@@ -1,0 +1,29 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The actual benchmarks live in `benches/paper_experiments.rs`; this library
+//! crate only exposes small utilities so that the bench file stays readable
+//! and the helpers themselves are unit-testable.
+
+use rpc_graphs::prelude::*;
+
+/// Standard benchmark topologies: the paper-density Erdős–Rényi graph and the
+/// complete graph of the same size, generated deterministically.
+pub fn benchmark_graphs(n: usize, seed: u64) -> (Graph, Graph) {
+    (
+        ErdosRenyi::paper_density(n).generate(seed),
+        CompleteGraph::new(n).generate(seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_graphs_have_requested_size() {
+        let (random, complete) = benchmark_graphs(256, 1);
+        assert_eq!(random.num_nodes(), 256);
+        assert_eq!(complete.num_nodes(), 256);
+        assert_eq!(complete.num_edges(), 256 * 255 / 2);
+    }
+}

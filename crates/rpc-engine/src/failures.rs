@@ -1,0 +1,137 @@
+//! Node-failure injection.
+//!
+//! The paper's robustness model (Section 4, Theorem 3 and the experiments in
+//! Figures 2, 3 and 5): `f` nodes chosen uniformly at random fail; failures
+//! are non-malicious — "a failed node does not communicate at all", and in
+//! the simulation "these nodes simply do not store any incoming message and
+//! refuse to transmit messages to other nodes". For the empirical robustness
+//! study the nodes are deactivated between Phase I and Phase II of
+//! Algorithm 2.
+
+use rand::Rng;
+use rpc_graphs::NodeId;
+
+/// Draws `count` distinct nodes uniformly at random from `0..n`.
+///
+/// Panics if `count > n`. Uses a partial Fisher–Yates shuffle, `O(n)` memory
+/// and `O(count)` swaps, so sampling even hundreds of thousands of failures
+/// out of a million nodes is cheap.
+pub fn sample_failures<R: Rng + ?Sized>(n: usize, count: usize, rng: &mut R) -> Vec<NodeId> {
+    assert!(count <= n, "cannot fail more nodes than exist");
+    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        ids.swap(i, j);
+    }
+    ids.truncate(count);
+    ids
+}
+
+/// When, relative to an algorithm's phases, the failures are injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FailureTime {
+    /// No failures at all.
+    #[default]
+    Never,
+    /// Before the algorithm starts.
+    BeforeStart,
+    /// Between Phase I (tree construction) and Phase II (gathering) — the
+    /// point used by the paper's robustness experiments, chosen because it is
+    /// the worst case analysed in Theorem 3.
+    BetweenPhases,
+}
+
+/// A complete failure scenario: how many nodes fail and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct FailurePlan {
+    /// Number of uniformly random failing nodes.
+    pub count: usize,
+    /// Injection time.
+    pub time: FailureTime,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `count` random failures injected between Phase I and Phase II.
+    pub fn between_phases(count: usize) -> Self {
+        Self { count, time: FailureTime::BetweenPhases }
+    }
+
+    /// `count` random failures present from the start.
+    pub fn before_start(count: usize) -> Self {
+        Self { count, time: FailureTime::BeforeStart }
+    }
+
+    /// Whether this plan injects any failure.
+    pub fn is_active(&self) -> bool {
+        self.count > 0 && self.time != FailureTime::Never
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn samples_are_distinct_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sample = sample_failures(1000, 250, &mut rng);
+        assert_eq!(sample.len(), 250);
+        let set: HashSet<_> = sample.iter().copied().collect();
+        assert_eq!(set.len(), 250, "samples must be distinct");
+        assert!(sample.iter().all(|&v| (v as usize) < 1000));
+    }
+
+    #[test]
+    fn sampling_everything_returns_all_nodes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sample = sample_failures(32, 32, &mut rng);
+        sample.sort_unstable();
+        assert_eq!(sample, (0..32u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_zero_is_empty() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(sample_failures(10, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail more nodes")]
+    fn oversampling_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = sample_failures(5, 6, &mut rng);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Each node should be picked with probability 1/2 when half the nodes
+        // fail; check no node is wildly over/under represented across trials.
+        let n = 100;
+        let mut counts = vec![0u32; n];
+        for seed in 0..400u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for v in sample_failures(n, n / 2, &mut rng) {
+                counts[v as usize] += 1;
+            }
+        }
+        for &c in &counts {
+            assert!((120..=280).contains(&c), "count {c} outside plausible range");
+        }
+    }
+
+    #[test]
+    fn failure_plan_flags() {
+        assert!(!FailurePlan::none().is_active());
+        assert!(FailurePlan::between_phases(10).is_active());
+        assert!(!FailurePlan { count: 0, time: FailureTime::BeforeStart }.is_active());
+        assert!(FailurePlan::before_start(1).is_active());
+    }
+}

@@ -1,0 +1,64 @@
+//! # rpc-engine
+//!
+//! Simulation engine for the **random phone call model** (Demers et al. 1987,
+//! Karp et al. 2000) as used in *"On the Influence of Graph Density on
+//! Randomized Gossiping"* (Elsässer & Kaaser, 2015).
+//!
+//! The engine provides the substrate that all gossiping and broadcasting
+//! algorithms of the paper run on:
+//!
+//! * [`message`] — combined messages as dense bitsets over the `n` original
+//!   messages, with cheap unions;
+//! * [`sim`] — the synchronous simulation state: per-node knowledge, channel
+//!   opening (uniform and `open-avoid`), packet delivery with faithful
+//!   "messages arrive next step" timing, and node failures;
+//! * [`metrics`] — communication accounting in the two conventions used by
+//!   the paper (per packet and per channel exchange);
+//! * [`walks`] — random-walk tokens and per-node queues (Algorithm 1,
+//!   Phase II);
+//! * [`memory`] — the constant-size contact lists of the memory model
+//!   (Section 4);
+//! * [`failures`] — uniform node-failure sampling and injection plans
+//!   (Theorem 3 / Figures 2, 3, 5);
+//! * [`parallel`] — crossbeam-based parallel computation of per-step message
+//!   deltas (bit-identical to the sequential path).
+//!
+//! ```
+//! use rpc_engine::prelude::*;
+//! use rpc_graphs::prelude::*;
+//!
+//! let graph = CompleteGraph::new(8).generate(0);
+//! let mut sim = Simulation::new(&graph, 42);
+//! // One push from node 0 to a random neighbour.
+//! if let Some(u) = sim.open_channel(0) {
+//!     sim.deliver(&[Transfer::new(0, u)]);
+//!     assert!(sim.knows(u, 0));
+//! }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod failures;
+pub mod memory;
+pub mod message;
+pub mod metrics;
+pub mod parallel;
+pub mod sim;
+pub mod walks;
+
+pub use failures::{sample_failures, FailurePlan, FailureTime};
+pub use memory::{Contact, ContactLists, ContactMemory, MEMORY_SLOTS};
+pub use message::{MessageId, MessageSet};
+pub use metrics::{Accounting, Metrics, PhaseSnapshot};
+pub use sim::{DeliverySemantics, Simulation, Transfer};
+pub use walks::{Walk, WalkQueues};
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::failures::{sample_failures, FailurePlan, FailureTime};
+    pub use crate::memory::{Contact, ContactLists, ContactMemory};
+    pub use crate::message::{MessageId, MessageSet};
+    pub use crate::metrics::{Accounting, Metrics};
+    pub use crate::sim::{DeliverySemantics, Simulation, Transfer};
+    pub use crate::walks::{Walk, WalkQueues};
+}

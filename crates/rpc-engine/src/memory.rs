@@ -1,0 +1,167 @@
+//! Constant-size per-node contact memory (the memory model of Section 4).
+//!
+//! "The nodes can store up to four different links they called on in the past,
+//! and they are also able to avoid these links as well as to reuse them in a
+//! certain time step." Each node `v` owns a list `l_v` of length four; entry
+//! `l_v[i]` stores the address of a previously contacted neighbour, and —
+//! because Algorithm 2 replays the contact *paths* backwards in time — the
+//! step in which the contact happened.
+
+use rpc_graphs::NodeId;
+
+/// Number of memory slots per node, fixed to four by the paper's model.
+pub const MEMORY_SLOTS: usize = 4;
+
+/// A remembered contact: which neighbour was called, and in which step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Contact {
+    /// The neighbour that was contacted.
+    pub node: NodeId,
+    /// The global step in which the contact was made.
+    pub step: u64,
+}
+
+/// The list `l_v` of one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContactMemory {
+    slots: [Option<Contact>; MEMORY_SLOTS],
+}
+
+impl ContactMemory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a contact in `slot` (`slot < 4`), overwriting any previous entry.
+    pub fn store(&mut self, slot: usize, node: NodeId, step: u64) {
+        self.slots[slot] = Some(Contact { node, step });
+    }
+
+    /// The contact stored in `slot`, if any.
+    pub fn get(&self, slot: usize) -> Option<Contact> {
+        self.slots[slot]
+    }
+
+    /// All currently remembered neighbour addresses (the `open-avoid` list).
+    pub fn addresses(&self) -> Vec<NodeId> {
+        self.slots.iter().flatten().map(|c| c.node).collect()
+    }
+
+    /// The neighbour contacted in `step`, if remembered.
+    pub fn find_by_step(&self, step: u64) -> Option<NodeId> {
+        self.slots.iter().flatten().find(|c| c.step == step).map(|c| c.node)
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether no contact is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.slots = [None; MEMORY_SLOTS];
+    }
+}
+
+/// Contact memories for all nodes of a network (one tree / one run of
+/// Algorithm 2 phase I keeps one such table; the robustness experiments keep
+/// several independent tables).
+#[derive(Clone, Debug)]
+pub struct ContactLists {
+    lists: Vec<ContactMemory>,
+}
+
+impl ContactLists {
+    /// Empty memories for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { lists: vec![ContactMemory::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Immutable access to node `v`'s memory.
+    pub fn get(&self, v: NodeId) -> &ContactMemory {
+        &self.lists[v as usize]
+    }
+
+    /// Mutable access to node `v`'s memory.
+    pub fn get_mut(&mut self, v: NodeId) -> &mut ContactMemory {
+        &mut self.lists[v as usize]
+    }
+
+    /// Nodes that remember a contact made in `step` — exactly the nodes that
+    /// open a channel in the corresponding gather step of Algorithm 2 Phase II.
+    pub fn nodes_with_step(&self, step: u64) -> Vec<(NodeId, NodeId)> {
+        self.lists
+            .iter()
+            .enumerate()
+            .filter_map(|(v, m)| m.find_by_step(step).map(|u| (v as NodeId, u)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_retrieve() {
+        let mut m = ContactMemory::new();
+        assert!(m.is_empty());
+        m.store(0, 7, 12);
+        m.store(3, 9, 15);
+        assert_eq!(m.get(0), Some(Contact { node: 7, step: 12 }));
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.addresses(), vec![7, 9]);
+    }
+
+    #[test]
+    fn overwriting_a_slot_replaces_it() {
+        let mut m = ContactMemory::new();
+        m.store(2, 1, 5);
+        m.store(2, 3, 8);
+        assert_eq!(m.get(2), Some(Contact { node: 3, step: 8 }));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn find_by_step_matches_exact_step_only() {
+        let mut m = ContactMemory::new();
+        m.store(0, 4, 10);
+        m.store(1, 5, 11);
+        assert_eq!(m.find_by_step(10), Some(4));
+        assert_eq!(m.find_by_step(11), Some(5));
+        assert_eq!(m.find_by_step(12), None);
+        m.clear();
+        assert_eq!(m.find_by_step(10), None);
+    }
+
+    #[test]
+    fn contact_lists_group_nodes_by_step() {
+        let mut lists = ContactLists::new(5);
+        lists.get_mut(1).store(0, 2, 42);
+        lists.get_mut(3).store(1, 4, 42);
+        lists.get_mut(4).store(0, 0, 43);
+        let mut at_42 = lists.nodes_with_step(42);
+        at_42.sort_unstable();
+        assert_eq!(at_42, vec![(1, 2), (3, 4)]);
+        assert_eq!(lists.nodes_with_step(41), vec![]);
+        assert_eq!(lists.num_nodes(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slot_index_out_of_range_panics() {
+        ContactMemory::new().store(MEMORY_SLOTS, 0, 0);
+    }
+}

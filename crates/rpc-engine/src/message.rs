@@ -1,0 +1,259 @@
+//! Message sets.
+//!
+//! In the gossiping problem every node `v` starts with its own original
+//! message `m_v` and combines every message it receives into one packet
+//! (`m_v(t) = ⋃ m_v^{(in)}(i)`, Section 2). A node's knowledge is therefore a
+//! subset of the `n` original messages, which we represent as a dense bitset:
+//! union (the `⋃` above) is a word-wise OR, and the number of *newly learned*
+//! messages — needed to maintain completion counters cheaply — falls out of
+//! the same pass.
+
+/// Identifier of an original message; message `i` is the message node `i`
+/// started with.
+pub type MessageId = u32;
+
+const WORD_BITS: usize = 64;
+
+/// A set of original messages, stored as a dense bitset over `0..universe`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl MessageSet {
+    /// The empty set over a universe of `universe` messages.
+    pub fn empty(universe: usize) -> Self {
+        Self { words: vec![0; universe.div_ceil(WORD_BITS)], universe }
+    }
+
+    /// The singleton `{id}`. Panics if `id >= universe`.
+    pub fn singleton(universe: usize, id: MessageId) -> Self {
+        let mut set = Self::empty(universe);
+        set.insert(id);
+        set
+    }
+
+    /// The full set `{0, …, universe-1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut words = vec![u64::MAX; universe.div_ceil(WORD_BITS)];
+        if let Some(last) = words.last_mut() {
+            let rem = universe % WORD_BITS;
+            if rem != 0 {
+                *last = (1u64 << rem) - 1;
+            }
+            if universe == 0 {
+                *last = 0;
+            }
+        }
+        Self { words, universe }
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts `id`; returns `true` if it was not present before.
+    /// Panics if `id >= universe`.
+    pub fn insert(&mut self, id: MessageId) -> bool {
+        let id = id as usize;
+        assert!(id < self.universe, "message id {id} outside universe {}", self.universe);
+        let (w, b) = (id / WORD_BITS, id % WORD_BITS);
+        let mask = 1u64 << b;
+        let newly = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        newly
+    }
+
+    /// Whether `id` is contained in the set.
+    pub fn contains(&self, id: MessageId) -> bool {
+        let id = id as usize;
+        if id >= self.universe {
+            return false;
+        }
+        self.words[id / WORD_BITS] & (1u64 << (id % WORD_BITS)) != 0
+    }
+
+    /// Number of messages in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the set contains the whole universe.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe
+    }
+
+    /// Unions `other` into `self`; returns how many messages were newly added.
+    ///
+    /// Both sets must range over the same universe.
+    pub fn union_from(&mut self, other: &MessageSet) -> usize {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut added = 0usize;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            added += (b & !*a).count_ones() as usize;
+            *a |= b;
+        }
+        added
+    }
+
+    /// Overwrites `self` with a copy of `other` (reusing the allocation).
+    pub fn copy_from(&mut self, other: &MessageSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Removes every element, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of elements of `self` that are *not* in `other`
+    /// (`|self \ other|`). Used to count messages lost to failures.
+    pub fn difference_len(&self, other: &MessageSet) -> usize {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the contained message ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some((wi * WORD_BITS) as MessageId + b)
+                }
+            })
+        })
+    }
+
+    /// Approximate heap size in bytes (used by the experiment harness to warn
+    /// before launching runs that would not fit in memory).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = MessageSet::empty(130);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.is_full());
+        let f = MessageSet::full(130);
+        assert!(f.is_full());
+        assert_eq!(f.len(), 130);
+        assert!(f.contains(0));
+        assert!(f.contains(129));
+        assert!(!f.contains(130));
+    }
+
+    #[test]
+    fn full_handles_word_boundary_universes() {
+        for n in [0usize, 1, 63, 64, 65, 128] {
+            let f = MessageSet::full(n);
+            assert_eq!(f.len(), n, "universe {n}");
+            assert!(n == 0 || f.is_full());
+        }
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = MessageSet::empty(100);
+        assert!(s.insert(7));
+        assert!(!s.insert(7), "second insert reports already-present");
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_range_panics() {
+        MessageSet::empty(10).insert(10);
+    }
+
+    #[test]
+    fn singleton_contains_exactly_one() {
+        let s = MessageSet::singleton(1000, 512);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(512));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![512]);
+    }
+
+    #[test]
+    fn union_counts_new_messages() {
+        let mut a = MessageSet::singleton(200, 3);
+        let mut b = MessageSet::singleton(200, 3);
+        b.insert(100);
+        b.insert(150);
+        assert_eq!(a.union_from(&b), 2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.union_from(&b), 0, "second union adds nothing");
+    }
+
+    #[test]
+    fn union_until_full() {
+        let n = 70;
+        let mut acc = MessageSet::empty(n);
+        for i in 0..n {
+            let added = acc.union_from(&MessageSet::singleton(n, i as MessageId));
+            assert_eq!(added, 1);
+        }
+        assert!(acc.is_full());
+    }
+
+    #[test]
+    fn copy_from_and_clear() {
+        let mut a = MessageSet::empty(64);
+        let b = MessageSet::full(64);
+        a.copy_from(&b);
+        assert!(a.is_full());
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn difference_len_counts_missing() {
+        let mut a = MessageSet::empty(100);
+        a.insert(1);
+        a.insert(2);
+        a.insert(3);
+        let mut b = MessageSet::empty(100);
+        b.insert(2);
+        assert_eq!(a.difference_len(&b), 2);
+        assert_eq!(b.difference_len(&a), 0);
+    }
+
+    #[test]
+    fn iter_yields_sorted_ids() {
+        let mut s = MessageSet::empty(300);
+        for id in [299u32, 0, 64, 63, 65, 128] {
+            s.insert(id);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128, 299]);
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_universe() {
+        assert!(MessageSet::empty(1 << 16).heap_bytes() >= (1 << 16) / 8);
+    }
+}

@@ -1,0 +1,227 @@
+//! Communication accounting.
+//!
+//! The paper follows the counting convention of Berenbrink et al. (ICALP'10):
+//! a packet sent through an open channel counts once, no matter how many
+//! original messages it combines, and opening a channel is itself a countable
+//! event. Section 5 plots the *average number of messages sent per node* and
+//! notes that for the simple Push-Pull algorithm this equals the number of
+//! rounds — i.e. a bidirectional exchange over one channel is charged once to
+//! the node that opened the channel. Both conventions are provided here.
+
+/// How "messages sent per node" is computed from the raw packet counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Accounting {
+    /// Every push packet and every pull packet counts 1 for its sender.
+    PerPacket,
+    /// A (possibly bidirectional) exchange over a single open channel counts 1,
+    /// charged to the node that opened the channel. This reproduces the
+    /// paper's "messages per node = rounds" identity for Push-Pull and is the
+    /// default for Figure 1.
+    #[default]
+    PerChannelExchange,
+}
+
+/// Snapshot of the aggregate counters at a phase boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSnapshot {
+    /// Phase label supplied by the algorithm (e.g. `"phase1-distribution"`).
+    pub label: String,
+    /// Round count at the end of the phase.
+    pub rounds: u64,
+    /// Total packets sent by the end of the phase.
+    pub packets: u64,
+    /// Total channel exchanges by the end of the phase.
+    pub exchanges: u64,
+    /// Total channels opened by the end of the phase.
+    pub channels_opened: u64,
+}
+
+/// Per-run communication metrics.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    rounds: u64,
+    channels_opened: u64,
+    total_packets: u64,
+    total_exchanges: u64,
+    packets_per_node: Vec<u64>,
+    exchanges_per_node: Vec<u64>,
+    phases: Vec<PhaseSnapshot>,
+}
+
+impl Metrics {
+    /// Creates metrics for a network of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            packets_per_node: vec![0; n],
+            exchanges_per_node: vec![0; n],
+            ..Self::default()
+        }
+    }
+
+    /// Number of nodes this metric tracks.
+    pub fn num_nodes(&self) -> usize {
+        self.packets_per_node.len()
+    }
+
+    /// Marks the end of one synchronous step/round.
+    pub fn finish_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Adds `k` rounds at once (used when a phase's length is known upfront).
+    pub fn add_rounds(&mut self, k: u64) {
+        self.rounds += k;
+    }
+
+    /// Records that `v` opened a communication channel.
+    pub fn record_channel_open(&mut self, v: u32) {
+        debug_assert!((v as usize) < self.packets_per_node.len());
+        self.channels_opened += 1;
+        let _ = v;
+    }
+
+    /// Records a packet (push or pull) sent by `sender`.
+    pub fn record_packet(&mut self, sender: u32) {
+        self.total_packets += 1;
+        self.packets_per_node[sender as usize] += 1;
+    }
+
+    /// Records one channel exchange charged to the channel `opener`.
+    pub fn record_exchange(&mut self, opener: u32) {
+        self.total_exchanges += 1;
+        self.exchanges_per_node[opener as usize] += 1;
+    }
+
+    /// Stores a snapshot of the cumulative counters under `label`.
+    pub fn mark_phase(&mut self, label: impl Into<String>) {
+        self.phases.push(PhaseSnapshot {
+            label: label.into(),
+            rounds: self.rounds,
+            packets: self.total_packets,
+            exchanges: self.total_exchanges,
+            channels_opened: self.channels_opened,
+        });
+    }
+
+    /// Phase snapshots in the order they were recorded.
+    pub fn phases(&self) -> &[PhaseSnapshot] {
+        &self.phases
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total number of opened channels.
+    pub fn channels_opened(&self) -> u64 {
+        self.channels_opened
+    }
+
+    /// Total packets sent (push + pull).
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Total channel exchanges.
+    pub fn total_exchanges(&self) -> u64 {
+        self.total_exchanges
+    }
+
+    /// Total transmissions under the given accounting convention.
+    pub fn total_transmissions(&self, accounting: Accounting) -> u64 {
+        match accounting {
+            Accounting::PerPacket => self.total_packets,
+            Accounting::PerChannelExchange => self.total_exchanges,
+        }
+    }
+
+    /// Average number of messages sent per node under the given accounting —
+    /// the y-axis of Figure 1.
+    pub fn messages_per_node(&self, accounting: Accounting) -> f64 {
+        let n = self.packets_per_node.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_transmissions(accounting) as f64 / n as f64
+    }
+
+    /// Maximum number of packets sent by any single node.
+    pub fn max_packets_per_node(&self) -> u64 {
+        self.packets_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-node packet counts (for distribution plots / tests).
+    pub fn packets_per_node(&self) -> &[u64] {
+        &self.packets_per_node
+    }
+
+    /// Per-node exchange counts.
+    pub fn exchanges_per_node(&self) -> &[u64] {
+        &self.exchanges_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_and_exchange_accounting_are_independent() {
+        let mut m = Metrics::new(4);
+        m.record_channel_open(0);
+        m.record_packet(0);
+        m.record_packet(1);
+        m.record_exchange(0);
+        assert_eq!(m.total_transmissions(Accounting::PerPacket), 2);
+        assert_eq!(m.total_transmissions(Accounting::PerChannelExchange), 1);
+        assert_eq!(m.channels_opened(), 1);
+        assert_eq!(m.messages_per_node(Accounting::PerPacket), 0.5);
+        assert_eq!(m.messages_per_node(Accounting::PerChannelExchange), 0.25);
+    }
+
+    #[test]
+    fn rounds_accumulate() {
+        let mut m = Metrics::new(1);
+        m.finish_round();
+        m.finish_round();
+        m.add_rounds(3);
+        assert_eq!(m.rounds(), 5);
+    }
+
+    #[test]
+    fn per_node_counters_track_senders() {
+        let mut m = Metrics::new(3);
+        m.record_packet(2);
+        m.record_packet(2);
+        m.record_packet(0);
+        assert_eq!(m.packets_per_node(), &[1, 0, 2]);
+        assert_eq!(m.max_packets_per_node(), 2);
+    }
+
+    #[test]
+    fn phase_snapshots_capture_cumulative_state() {
+        let mut m = Metrics::new(2);
+        m.record_packet(0);
+        m.finish_round();
+        m.mark_phase("phase1");
+        m.record_packet(1);
+        m.record_exchange(1);
+        m.finish_round();
+        m.mark_phase("phase2");
+        let phases = m.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].label, "phase1");
+        assert_eq!(phases[0].packets, 1);
+        assert_eq!(phases[0].rounds, 1);
+        assert_eq!(phases[1].packets, 2);
+        assert_eq!(phases[1].exchanges, 1);
+        assert_eq!(phases[1].rounds, 2);
+    }
+
+    #[test]
+    fn empty_metrics_yield_zero_averages() {
+        let m = Metrics::new(0);
+        assert_eq!(m.messages_per_node(Accounting::PerPacket), 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Parallel computation of per-receiver message deltas.
+//!
+//! The expensive part of a simulation step is the union of message bitsets.
+//! With deferred delivery semantics every receiver's delta depends only on the
+//! senders' begin-of-step states, so all deltas can be computed independently
+//! and in parallel from a shared immutable view of the states, then committed
+//! sequentially. Receivers are partitioned into contiguous chunks, one per
+//! worker thread (crossbeam scoped threads); with a single thread the code
+//! degenerates to a plain loop, and the result is identical for any thread
+//! count.
+
+use rpc_graphs::NodeId;
+
+use crate::message::MessageSet;
+use crate::sim::Transfer;
+
+/// Computes, for every receiver appearing in `sorted_transfers` (which must be
+/// sorted by receiver), the union of its senders' current states.
+///
+/// `pool` supplies reusable scratch bitsets; buffers are taken from it when
+/// available and the caller is expected to push the returned buffers back
+/// after committing them.
+pub fn compute_deltas(
+    states: &[MessageSet],
+    sorted_transfers: &[Transfer],
+    threads: usize,
+    pool: &mut Vec<MessageSet>,
+) -> Vec<(NodeId, MessageSet)> {
+    debug_assert!(
+        sorted_transfers.windows(2).all(|w| w[0].to <= w[1].to),
+        "transfers must be sorted by receiver"
+    );
+    let groups = group_by_receiver(sorted_transfers);
+    if groups.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(groups.len());
+    if threads == 1 {
+        return compute_group_deltas(states, sorted_transfers, &groups, pool);
+    }
+
+    // Hand each worker an equal share of the reusable buffers.
+    let mut pools: Vec<Vec<MessageSet>> = Vec::with_capacity(threads);
+    let share = pool.len() / threads;
+    for _ in 0..threads {
+        let tail = pool.len().saturating_sub(share);
+        pools.push(pool.split_off(tail));
+    }
+
+    let chunk_size = groups.len().div_ceil(threads);
+    let chunks: Vec<&[(NodeId, std::ops::Range<usize>)]> = groups.chunks(chunk_size).collect();
+
+    let mut results: Vec<Vec<(NodeId, MessageSet)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk, mut local_pool) in chunks.into_iter().zip(pools.into_iter()) {
+            handles.push(scope.spawn(move |_| {
+                compute_group_deltas(states, sorted_transfers, chunk, &mut local_pool)
+            }));
+        }
+        for handle in handles {
+            results.push(handle.join().expect("delta worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    results.into_iter().flatten().collect()
+}
+
+type Group = (NodeId, std::ops::Range<usize>);
+
+fn group_by_receiver(sorted_transfers: &[Transfer]) -> Vec<Group> {
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    while start < sorted_transfers.len() {
+        let to = sorted_transfers[start].to;
+        let mut end = start + 1;
+        while end < sorted_transfers.len() && sorted_transfers[end].to == to {
+            end += 1;
+        }
+        groups.push((to, start..end));
+        start = end;
+    }
+    groups
+}
+
+fn compute_group_deltas(
+    states: &[MessageSet],
+    transfers: &[Transfer],
+    groups: &[Group],
+    pool: &mut Vec<MessageSet>,
+) -> Vec<(NodeId, MessageSet)> {
+    let universe = states.first().map(|s| s.universe()).unwrap_or(0);
+    let mut out = Vec::with_capacity(groups.len());
+    for (to, range) in groups {
+        let mut delta = pool.pop().unwrap_or_else(|| MessageSet::empty(universe));
+        let mut first = true;
+        for t in &transfers[range.clone()] {
+            let sender_state = &states[t.from as usize];
+            if first {
+                delta.copy_from(sender_state);
+                first = false;
+            } else {
+                delta.union_from(sender_state);
+            }
+        }
+        out.push((*to, delta));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageSet;
+
+    fn states(n: usize) -> Vec<MessageSet> {
+        (0..n).map(|v| MessageSet::singleton(n, v as u32)).collect()
+    }
+
+    #[test]
+    fn grouping_splits_runs_of_equal_receivers() {
+        let transfers = vec![
+            Transfer::new(5, 1),
+            Transfer::new(6, 1),
+            Transfer::new(7, 2),
+            Transfer::new(8, 4),
+        ];
+        let groups = group_by_receiver(&transfers);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], (1, 0..2));
+        assert_eq!(groups[1], (2, 2..3));
+        assert_eq!(groups[2], (4, 3..4));
+    }
+
+    #[test]
+    fn deltas_are_union_of_sender_states() {
+        let s = states(8);
+        let transfers = vec![Transfer::new(3, 0), Transfer::new(5, 0), Transfer::new(6, 7)];
+        let mut pool = Vec::new();
+        let deltas = compute_deltas(&s, &transfers, 1, &mut pool);
+        assert_eq!(deltas.len(), 2);
+        let d0 = &deltas.iter().find(|(to, _)| *to == 0).unwrap().1;
+        assert!(d0.contains(3) && d0.contains(5) && !d0.contains(6));
+        let d7 = &deltas.iter().find(|(to, _)| *to == 7).unwrap().1;
+        assert_eq!(d7.len(), 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_deltas_agree() {
+        let n = 64;
+        let s = states(n);
+        let mut transfers = Vec::new();
+        for v in 0..n as u32 {
+            transfers.push(Transfer::new((v + 1) % n as u32, v));
+            transfers.push(Transfer::new((v + 5) % n as u32, v));
+        }
+        transfers.sort_unstable_by_key(|t| t.to);
+        let mut pool = Vec::new();
+        let mut seq = compute_deltas(&s, &transfers, 1, &mut pool);
+        let mut par = compute_deltas(&s, &transfers, 4, &mut pool);
+        seq.sort_by_key(|(to, _)| *to);
+        par.sort_by_key(|(to, _)| *to);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pool_buffers_are_reused() {
+        let s = states(16);
+        let transfers = vec![Transfer::new(1, 0)];
+        let mut pool = vec![MessageSet::full(16)]; // stale content must be overwritten
+        let deltas = compute_deltas(&s, &transfers, 1, &mut pool);
+        assert!(pool.is_empty(), "buffer should have been taken from the pool");
+        assert_eq!(deltas[0].1.len(), 1);
+        assert!(deltas[0].1.contains(1));
+    }
+
+    #[test]
+    fn empty_transfer_list_yields_no_deltas() {
+        let s = states(4);
+        let mut pool = Vec::new();
+        assert!(compute_deltas(&s, &[], 3, &mut pool).is_empty());
+    }
+}

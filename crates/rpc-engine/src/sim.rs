@@ -1,0 +1,517 @@
+//! The synchronous random phone call simulation state.
+//!
+//! A [`Simulation`] bundles the network graph, every node's current combined
+//! message, the liveness mask used by the failure model, the communication
+//! metrics and the random source. Algorithms drive it with three primitives:
+//!
+//! 1. [`Simulation::open_channel`] / [`Simulation::open_channel_avoiding`] —
+//!    "in each step every node opens a communication channel to a randomly
+//!    chosen neighbor" (Section 2), optionally avoiding remembered contacts
+//!    (Section 4);
+//! 2. [`Simulation::deliver`] — applies a batch of push/pull packet transfers
+//!    for one synchronous step;
+//! 3. [`Simulation::absorb`] — merges an arbitrary message set into one node
+//!    (used for random-walk tokens, whose payload travels separately from the
+//!    node states).
+//!
+//! Delivery obeys the model's timing: all packets of a step are computed from
+//! the senders' states *at the beginning of the step* ("`m_v(t)` is the union
+//! of all messages received in steps `< t`"). See [`DeliverySemantics`].
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rpc_graphs::{Graph, NodeId};
+
+use crate::message::{MessageId, MessageSet};
+use crate::metrics::Metrics;
+use crate::parallel::compute_deltas;
+
+/// How packet deliveries within one synchronous step are applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeliverySemantics {
+    /// Faithful to the model: every packet of the step carries the sender's
+    /// combined message as it was at the *beginning* of the step; messages
+    /// received in step `t` become usable in step `t + 1`. (Default.)
+    #[default]
+    Deferred,
+    /// Packets are applied one by one in submission order, so a message can
+    /// traverse several hops within a single step. Cheaper (no staging
+    /// buffers) and useful for quick exploration, but slightly optimistic
+    /// about round counts.
+    Immediate,
+}
+
+/// A single packet transfer: `from` sends its current combined message to `to`.
+///
+/// Whether this is a *push* (sender opened the channel) or a *pull* (receiver
+/// opened the channel) only matters for the accounting, which the algorithms
+/// perform via [`Metrics`]; the engine treats both identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+impl Transfer {
+    /// Convenience constructor.
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        Self { from, to }
+    }
+}
+
+/// The mutable state of one simulation run.
+#[derive(Debug)]
+pub struct Simulation<'g> {
+    graph: &'g Graph,
+    states: Vec<MessageSet>,
+    known: Vec<u32>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    fully_informed: usize,
+    metrics: Metrics,
+    rng: SmallRng,
+    semantics: DeliverySemantics,
+    threads: usize,
+    scratch_pool: Vec<MessageSet>,
+}
+
+impl<'g> Simulation<'g> {
+    /// Creates a simulation in the gossiping start configuration: node `v`
+    /// knows exactly its own original message `m_v = {v}`.
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
+        let n = graph.num_nodes();
+        let states = (0..n).map(|v| MessageSet::singleton(n, v as MessageId)).collect();
+        Self {
+            graph,
+            states,
+            known: vec![1; n],
+            alive: vec![true; n],
+            alive_count: n,
+            fully_informed: if n <= 1 { n } else { 0 },
+            metrics: Metrics::new(n),
+            rng: SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03),
+            semantics: DeliverySemantics::Deferred,
+            threads: 1,
+            scratch_pool: Vec::new(),
+        }
+    }
+
+    /// Selects the delivery semantics (default [`DeliverySemantics::Deferred`]).
+    pub fn with_semantics(mut self, semantics: DeliverySemantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Number of worker threads used to apply large delivery batches
+    /// (default 1 = fully sequential). The result is identical regardless of
+    /// the thread count; threads only speed up the bitset unions.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Number of nodes / original messages.
+    pub fn num_nodes(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Communication metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics (used by algorithms for exchange
+    /// accounting and phase markers).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The simulation's random source. All randomness of a run flows through
+    /// this generator, so a run is fully determined by the graph and the seed.
+    pub fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Current combined message of node `v`.
+    pub fn state(&self, v: NodeId) -> &MessageSet {
+        &self.states[v as usize]
+    }
+
+    /// Whether node `v` knows original message `m`.
+    pub fn knows(&self, v: NodeId, m: MessageId) -> bool {
+        self.states[v as usize].contains(m)
+    }
+
+    /// Number of original messages node `v` knows.
+    pub fn num_known(&self, v: NodeId) -> usize {
+        self.known[v as usize] as usize
+    }
+
+    /// Whether node `v` knows all `n` original messages.
+    pub fn is_fully_informed(&self, v: NodeId) -> bool {
+        self.known[v as usize] as usize == self.num_nodes()
+    }
+
+    /// Number of nodes (alive or failed) that know all original messages.
+    pub fn fully_informed_count(&self) -> usize {
+        self.fully_informed
+    }
+
+    /// Whether every *alive* node knows every original message — the
+    /// completion condition of the gossiping problem.
+    pub fn gossip_complete(&self) -> bool {
+        (0..self.num_nodes() as NodeId)
+            .all(|v| !self.alive[v as usize] || self.is_fully_informed(v))
+    }
+
+    /// Number of nodes that know original message `m` (the paper's `|I_m(t)|`).
+    /// This is an `O(n)` scan and intended for tests and phase diagnostics.
+    pub fn informed_count_of(&self, m: MessageId) -> usize {
+        self.states.iter().filter(|s| s.contains(m)).count()
+    }
+
+    /// Whether node `v` is alive (has not failed).
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive[v as usize]
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Marks the given nodes as failed. Failed nodes do not open channels, do
+    /// not transmit and do not store incoming messages (Section 5).
+    pub fn fail_nodes(&mut self, nodes: &[NodeId]) {
+        for &v in nodes {
+            if std::mem::replace(&mut self.alive[v as usize], false) {
+                self.alive_count -= 1;
+            }
+        }
+    }
+
+    /// Opens a channel from `v` to a uniformly random neighbour and records
+    /// the channel opening. Returns `None` if `v` has failed or is isolated.
+    pub fn open_channel(&mut self, v: NodeId) -> Option<NodeId> {
+        if !self.alive[v as usize] {
+            return None;
+        }
+        let target = self.graph.random_neighbor(v, &mut self.rng)?;
+        self.metrics.record_channel_open(v);
+        Some(target)
+    }
+
+    /// Opens a channel from `v` to a uniformly random neighbour outside
+    /// `avoid` (the memory model's `open-avoid`). Returns `None` if `v` has
+    /// failed or every neighbour is excluded.
+    pub fn open_channel_avoiding(&mut self, v: NodeId, avoid: &[NodeId]) -> Option<NodeId> {
+        if !self.alive[v as usize] {
+            return None;
+        }
+        let target = self.graph.random_neighbor_avoiding(v, avoid, &mut self.rng)?;
+        self.metrics.record_channel_open(v);
+        Some(target)
+    }
+
+    /// Merges `set` into node `v`'s combined message, returning how many
+    /// messages were new to `v`. No packet is recorded — callers account for
+    /// the transmission that carried `set` themselves (e.g. random walks).
+    /// Failed nodes ignore the merge.
+    pub fn absorb(&mut self, v: NodeId, set: &MessageSet) -> usize {
+        if !self.alive[v as usize] {
+            return 0;
+        }
+        let added = self.states[v as usize].union_from(set);
+        self.bump_known(v, added);
+        added
+    }
+
+    fn bump_known(&mut self, v: NodeId, added: usize) {
+        if added == 0 {
+            return;
+        }
+        self.known[v as usize] += added as u32;
+        if self.known[v as usize] as usize == self.num_nodes() {
+            self.fully_informed += 1;
+        }
+    }
+
+    /// Applies one synchronous step's packet transfers.
+    ///
+    /// * Packets from failed senders are dropped (they "refuse to transmit").
+    /// * Packets to failed receivers are transmitted — and therefore counted —
+    ///   but not stored.
+    /// * Every applied packet increments the sender's packet counter in the
+    ///   metrics. Channel-exchange accounting is the caller's responsibility
+    ///   because only the caller knows which node opened the channel.
+    ///
+    /// Returns the total number of (node, message) pairs that became known in
+    /// this step, which is `0` exactly when the step made no progress.
+    pub fn deliver(&mut self, transfers: &[Transfer]) -> usize {
+        match self.semantics {
+            DeliverySemantics::Deferred => self.deliver_deferred(transfers),
+            DeliverySemantics::Immediate => self.deliver_immediate(transfers),
+        }
+    }
+
+    fn count_packets(&mut self, transfers: &[Transfer]) -> Vec<Transfer> {
+        let mut effective = Vec::with_capacity(transfers.len());
+        for &t in transfers {
+            if !self.alive[t.from as usize] {
+                continue; // failed nodes do not transmit
+            }
+            self.metrics.record_packet(t.from);
+            if t.from == t.to {
+                continue; // self-delivery is a no-op (possible via self-loops)
+            }
+            effective.push(t);
+        }
+        effective
+    }
+
+    fn deliver_deferred(&mut self, transfers: &[Transfer]) -> usize {
+        let mut effective = self.count_packets(transfers);
+        if effective.is_empty() {
+            return 0;
+        }
+        // Group by receiver so each receiver's delta is computed exactly once
+        // from the senders' begin-of-step states.
+        effective.sort_unstable_by_key(|t| t.to);
+        let deltas = compute_deltas(&self.states, &effective, self.threads, &mut self.scratch_pool);
+        let mut total_added = 0usize;
+        for (to, delta) in &deltas {
+            if self.alive[*to as usize] {
+                let added = self.states[*to as usize].union_from(delta);
+                self.bump_known(*to, added);
+                total_added += added;
+            }
+        }
+        // Return the scratch buffers to the pool for reuse in later steps.
+        for (_, delta) in deltas {
+            self.scratch_pool.push(delta);
+        }
+        total_added
+    }
+
+    fn deliver_immediate(&mut self, transfers: &[Transfer]) -> usize {
+        let effective = self.count_packets(transfers);
+        let mut total_added = 0usize;
+        for t in effective {
+            if !self.alive[t.to as usize] {
+                continue;
+            }
+            let (from, to) = (t.from as usize, t.to as usize);
+            // Split the state slice so we can read `from` while writing `to`.
+            let added = if from < to {
+                let (left, right) = self.states.split_at_mut(to);
+                right[0].union_from(&left[from])
+            } else {
+                let (left, right) = self.states.split_at_mut(from);
+                left[to].union_from(&right[0])
+            };
+            self.bump_known(t.to, added);
+            total_added += added;
+        }
+        total_added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpc_graphs::prelude::*;
+    use rpc_graphs::topology::path;
+
+    fn complete(n: usize) -> Graph {
+        CompleteGraph::new(n).generate(0)
+    }
+
+    #[test]
+    fn initial_state_is_own_message_only() {
+        let g = complete(8);
+        let sim = Simulation::new(&g, 1);
+        for v in 0..8u32 {
+            assert!(sim.knows(v, v));
+            assert_eq!(sim.num_known(v), 1);
+            assert!(!sim.is_fully_informed(v));
+        }
+        assert_eq!(sim.fully_informed_count(), 0);
+        assert!(!sim.gossip_complete());
+        assert_eq!(sim.informed_count_of(3), 1);
+    }
+
+    #[test]
+    fn single_node_network_is_immediately_complete() {
+        let g = complete(1);
+        let sim = Simulation::new(&g, 1);
+        assert!(sim.gossip_complete());
+        assert_eq!(sim.fully_informed_count(), 1);
+    }
+
+    #[test]
+    fn deliver_merges_messages_and_counts_packets() {
+        let g = complete(4);
+        let mut sim = Simulation::new(&g, 2);
+        let added = sim.deliver(&[Transfer::new(0, 1), Transfer::new(2, 1)]);
+        assert_eq!(added, 2);
+        assert!(sim.knows(1, 0) && sim.knows(1, 2) && sim.knows(1, 1));
+        assert_eq!(sim.num_known(1), 3);
+        assert_eq!(sim.metrics().total_packets(), 2);
+        assert_eq!(sim.informed_count_of(0), 2);
+    }
+
+    #[test]
+    fn deferred_delivery_uses_begin_of_step_states() {
+        // Chain 0 -> 1 -> 2 submitted in one step: with deferred semantics
+        // node 2 must NOT yet learn message 0 (it only gets node 1's old state).
+        let g = complete(3);
+        let mut sim = Simulation::new(&g, 3).with_semantics(DeliverySemantics::Deferred);
+        sim.deliver(&[Transfer::new(0, 1), Transfer::new(1, 2)]);
+        assert!(sim.knows(1, 0));
+        assert!(sim.knows(2, 1));
+        assert!(!sim.knows(2, 0), "message must not travel two hops in one step");
+    }
+
+    #[test]
+    fn immediate_delivery_allows_in_step_chaining() {
+        let g = complete(3);
+        let mut sim = Simulation::new(&g, 3).with_semantics(DeliverySemantics::Immediate);
+        sim.deliver(&[Transfer::new(0, 1), Transfer::new(1, 2)]);
+        assert!(sim.knows(2, 0), "immediate semantics forwards within the step");
+    }
+
+    #[test]
+    fn deferred_and_immediate_agree_on_final_fixpoint() {
+        // Repeatedly exchanging along a path eventually informs everyone in
+        // both modes; only the round counts may differ.
+        let g = path(6);
+        for semantics in [DeliverySemantics::Deferred, DeliverySemantics::Immediate] {
+            let mut sim = Simulation::new(&g, 9).with_semantics(semantics);
+            for _ in 0..20 {
+                let mut transfers = Vec::new();
+                for v in 0..6u32 {
+                    for &u in g.neighbors(v) {
+                        transfers.push(Transfer::new(v, u));
+                    }
+                }
+                sim.deliver(&transfers);
+            }
+            assert!(sim.gossip_complete(), "semantics {semantics:?} did not converge");
+        }
+    }
+
+    #[test]
+    fn parallel_delivery_matches_sequential() {
+        let g = ErdosRenyi::with_expected_degree(256, 12.0).generate(4);
+        let mut transfers = Vec::new();
+        let mut seq = Simulation::new(&g, 5);
+        let mut par = Simulation::new(&g, 5).with_threads(4);
+        // Build a deterministic, fairly dense transfer batch.
+        for v in g.nodes() {
+            for &u in g.neighbors(v).iter().take(3) {
+                transfers.push(Transfer::new(v, u));
+            }
+        }
+        for _ in 0..4 {
+            let a = seq.deliver(&transfers);
+            let b = par.deliver(&transfers);
+            assert_eq!(a, b);
+        }
+        for v in g.nodes() {
+            assert_eq!(seq.num_known(v), par.num_known(v));
+            assert_eq!(seq.state(v), par.state(v));
+        }
+    }
+
+    #[test]
+    fn failed_nodes_neither_send_nor_store() {
+        let g = complete(4);
+        let mut sim = Simulation::new(&g, 7);
+        sim.fail_nodes(&[2]);
+        assert!(!sim.is_alive(2));
+        assert_eq!(sim.alive_count(), 3);
+        let added = sim.deliver(&[
+            Transfer::new(2, 0), // dropped: failed sender
+            Transfer::new(1, 2), // counted but not stored: failed receiver
+            Transfer::new(3, 0), // normal
+        ]);
+        assert_eq!(added, 1);
+        assert!(!sim.knows(0, 2));
+        assert!(!sim.knows(2, 1));
+        assert!(sim.knows(0, 3));
+        // Only the packets from alive senders are counted.
+        assert_eq!(sim.metrics().total_packets(), 2);
+        assert_eq!(sim.open_channel(2), None, "failed nodes do not open channels");
+    }
+
+    #[test]
+    fn gossip_complete_ignores_failed_nodes() {
+        let g = complete(3);
+        let mut sim = Simulation::new(&g, 8);
+        sim.fail_nodes(&[2]);
+        // Fully inform nodes 0 and 1 only.
+        sim.deliver(&[Transfer::new(0, 1), Transfer::new(1, 0)]);
+        sim.deliver(&[Transfer::new(2, 0)]); // dropped, 2 is dead
+        let full = MessageSet::full(3);
+        sim.absorb(0, &full);
+        sim.absorb(1, &full);
+        assert!(sim.gossip_complete());
+    }
+
+    #[test]
+    fn absorb_updates_counters_and_respects_failures() {
+        let g = complete(4);
+        let mut sim = Simulation::new(&g, 9);
+        let mut set = MessageSet::empty(4);
+        set.insert(0);
+        set.insert(3);
+        assert_eq!(sim.absorb(1, &set), 2);
+        assert_eq!(sim.num_known(1), 3);
+        sim.fail_nodes(&[2]);
+        assert_eq!(sim.absorb(2, &set), 0);
+        assert_eq!(sim.num_known(2), 1);
+    }
+
+    #[test]
+    fn open_channel_returns_neighbors_and_counts() {
+        let g = path(3);
+        let mut sim = Simulation::new(&g, 10);
+        for _ in 0..20 {
+            let u = sim.open_channel(1).unwrap();
+            assert!(u == 0 || u == 2);
+        }
+        assert_eq!(sim.metrics().channels_opened(), 20);
+        let avoided = sim.open_channel_avoiding(1, &[0]).unwrap();
+        assert_eq!(avoided, 2);
+        assert_eq!(sim.open_channel_avoiding(1, &[0, 2]), None);
+    }
+
+    #[test]
+    fn fully_informed_counter_reaches_n_when_everyone_knows_everything() {
+        let g = complete(5);
+        let mut sim = Simulation::new(&g, 11);
+        let full = MessageSet::full(5);
+        for v in 0..5u32 {
+            sim.absorb(v, &full);
+        }
+        assert_eq!(sim.fully_informed_count(), 5);
+        assert!(sim.gossip_complete());
+    }
+
+    #[test]
+    fn self_transfers_are_counted_but_change_nothing() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)]);
+        let mut sim = Simulation::new(&g, 12);
+        let added = sim.deliver(&[Transfer::new(0, 0)]);
+        assert_eq!(added, 0);
+        assert_eq!(sim.metrics().total_packets(), 1);
+    }
+}

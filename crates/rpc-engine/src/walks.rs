@@ -1,0 +1,133 @@
+//! Random-walk tokens and per-node walk queues (Phase II of Algorithm 1).
+//!
+//! In the random-walk phase of fast-gossiping a node starts a walk with
+//! probability `ℓ/log n`; a walk carries a combined message and a counter of
+//! the *moves* it has made. "To ensure that no random walk is lost, each node
+//! collects all incoming messages (which correspond to random walks) and
+//! stores them in a queue to send them out one by one in the following steps"
+//! (Section 3.2). Walks whose move counter exceeds `c_moves · log n` are no
+//! longer enqueued.
+
+use std::collections::VecDeque;
+
+use crate::message::MessageSet;
+
+/// A random-walk token: the combined message it carries plus its move count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Walk {
+    /// Combined message carried by the walk.
+    pub messages: MessageSet,
+    /// Number of real moves the walk has made so far (`moves(m)` in Alg. 1).
+    pub moves: u32,
+}
+
+impl Walk {
+    /// A fresh walk carrying `messages`, with zero moves.
+    pub fn new(messages: MessageSet) -> Self {
+        Self { messages, moves: 0 }
+    }
+}
+
+/// The per-node FIFO queues `q_v` of Algorithm 1, Phase II.
+#[derive(Clone, Debug)]
+pub struct WalkQueues {
+    queues: Vec<VecDeque<Walk>>,
+}
+
+impl WalkQueues {
+    /// Empty queues for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { queues: vec![VecDeque::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// `q_v.add(walk)` — append a walk at the end of node `v`'s queue.
+    pub fn add(&mut self, v: u32, walk: Walk) {
+        self.queues[v as usize].push_back(walk);
+    }
+
+    /// `q_v.pop()` — remove and return the first walk of node `v`'s queue.
+    pub fn pop(&mut self, v: u32) -> Option<Walk> {
+        self.queues[v as usize].pop_front()
+    }
+
+    /// `empty(q_v)` — whether node `v`'s queue is empty.
+    pub fn is_empty(&self, v: u32) -> bool {
+        self.queues[v as usize].is_empty()
+    }
+
+    /// Queue length of node `v`.
+    pub fn len(&self, v: u32) -> usize {
+        self.queues[v as usize].len()
+    }
+
+    /// Total number of queued walks across all nodes.
+    pub fn total_walks(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Longest queue over all nodes (Lemma 6 bounds this by
+    /// `O(log n / log log n)` w.h.p.).
+    pub fn max_queue_len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).max().unwrap_or(0)
+    }
+
+    /// Nodes that currently hold at least one walk (these become *active*
+    /// before the broadcast sub-phase).
+    pub fn nodes_with_walks(&self) -> Vec<u32> {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+
+    /// Removes all walks from all queues (end of a round).
+    pub fn clear(&mut self) {
+        self.queues.iter_mut().for_each(|q| q.clear());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(universe: usize, id: u32) -> Walk {
+        Walk::new(MessageSet::singleton(universe, id))
+    }
+
+    #[test]
+    fn queues_are_fifo() {
+        let mut q = WalkQueues::new(3);
+        q.add(1, walk(8, 0));
+        q.add(1, walk(8, 5));
+        assert_eq!(q.len(1), 2);
+        assert!(q.pop(1).unwrap().messages.contains(0));
+        assert!(q.pop(1).unwrap().messages.contains(5));
+        assert!(q.pop(1).is_none());
+        assert!(q.is_empty(1));
+    }
+
+    #[test]
+    fn totals_and_active_nodes() {
+        let mut q = WalkQueues::new(4);
+        q.add(0, walk(4, 1));
+        q.add(2, walk(4, 2));
+        q.add(2, walk(4, 3));
+        assert_eq!(q.total_walks(), 3);
+        assert_eq!(q.max_queue_len(), 2);
+        assert_eq!(q.nodes_with_walks(), vec![0, 2]);
+        q.clear();
+        assert_eq!(q.total_walks(), 0);
+    }
+
+    #[test]
+    fn fresh_walk_has_zero_moves() {
+        assert_eq!(walk(4, 0).moves, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Command-line entry point that regenerates the paper's figures and tables.
+//!
+//! ```text
+//! experiments <subcommand> [--quick|--large] [--max-n N] [--reps K] [--seed S] [--out DIR]
+//!
+//! subcommands:
+//!   table1      Table 1  — simulation constants
+//!   fig1        Figure 1 — messages per node for Push-Pull / Algorithm 1 / Algorithm 2
+//!   fig2        Figure 2 — robustness ratio (largest size)
+//!   fig3        Figure 3 — robustness ratio (two sizes)
+//!   fig4        Figure 4 — fast-gossiping detail
+//!   fig5        Figure 5 — loss thresholds
+//!   theory      Theorems 1 & 2 shape check
+//!   separation  Broadcast-vs-gossip density contrast
+//!   all         Everything above
+//! ```
+//!
+//! Results are printed as Markdown and, when `--out DIR` is given, written as
+//! one CSV file per experiment.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rpc_experiments::{
+    ablation, fig1, fig4, phases, report::Table, robustness, separation, sweep, table1,
+    theory_check, Scale,
+};
+
+struct Options {
+    command: String,
+    scale: Scale,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "help".to_string());
+    let mut scale = Scale::default_scale();
+    let mut out_dir = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--large" => scale = Scale::large(),
+            "--max-n" => {
+                let value = args.next().ok_or("--max-n needs a value")?;
+                scale.max_n = value.parse().map_err(|_| format!("invalid --max-n: {value}"))?;
+            }
+            "--reps" => {
+                let value = args.next().ok_or("--reps needs a value")?;
+                scale.repetitions =
+                    value.parse().map_err(|_| format!("invalid --reps: {value}"))?;
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                scale.seed = value.parse().map_err(|_| format!("invalid --seed: {value}"))?;
+            }
+            "--out" => {
+                let value = args.next().ok_or("--out needs a directory")?;
+                out_dir = Some(PathBuf::from(value));
+            }
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(Options { command, scale, out_dir })
+}
+
+fn emit(table: &Table, file: &str, out_dir: &Option<PathBuf>) {
+    println!("{}", table.to_markdown());
+    if let Some(dir) = out_dir {
+        let path = dir.join(file);
+        match table.write_csv(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn run_fig1(scale: Scale, out: &Option<PathBuf>) {
+    let sizes = sweep::size_sweep(scale.min_n, scale.max_n);
+    let points = fig1::run(&sizes, scale.repetitions, scale.seed);
+    emit(&fig1::table(&points), "fig1_overhead.csv", out);
+}
+
+fn run_fig2(scale: Scale, out: &Option<PathBuf>) {
+    // The paper uses n = 10^6; we use the largest size of the configured scale.
+    let n = scale.max_n;
+    let failures = sweep::failure_sweep((n / 1000).max(2), n / 10);
+    let points = robustness::loss_ratio(n, &failures, 3, scale.repetitions, scale.seed);
+    emit(
+        &robustness::loss_ratio_table(
+            &format!("Figure 2 — additional loss ratio, n = {n}"),
+            &points,
+        ),
+        "fig2_robustness.csv",
+        out,
+    );
+}
+
+fn run_fig3(scale: Scale, out: &Option<PathBuf>) {
+    for (idx, n) in [scale.max_n / 8, scale.max_n / 2].into_iter().enumerate() {
+        let n = n.max(512);
+        let failures = sweep::failure_sweep((n / 1000).max(2), n / 10);
+        let points = robustness::loss_ratio(n, &failures, 3, scale.repetitions, scale.seed);
+        emit(
+            &robustness::loss_ratio_table(
+                &format!("Figure 3.{} — additional loss ratio, n = {n}", idx + 1),
+                &points,
+            ),
+            &format!("fig3_robustness_n{n}.csv"),
+            out,
+        );
+    }
+}
+
+fn run_fig4(scale: Scale, out: &Option<PathBuf>) {
+    let sizes = sweep::dense_size_sweep(scale.max_n / 8, scale.max_n);
+    let points = fig4::run(&sizes, scale.repetitions, scale.seed);
+    emit(&fig4::table(&points), "fig4_fastgossip_detail.csv", out);
+}
+
+fn run_fig5(scale: Scale, out: &Option<PathBuf>) {
+    for (idx, n) in [scale.max_n / 8, scale.max_n / 2].into_iter().enumerate() {
+        let n = n.max(512);
+        let step = (n / 20).max(1);
+        let failures = sweep::arithmetic_failure_sweep(step, n / 4);
+        let runs = scale.repetitions.max(5);
+        let points = robustness::loss_thresholds(n, &failures, 3, runs, scale.seed);
+        emit(
+            &robustness::loss_thresholds_table(
+                &format!("Figure 5.{} — runs losing more than T messages, n = {n}", idx + 1),
+                &points,
+            ),
+            &format!("fig5_thresholds_n{n}.csv"),
+            out,
+        );
+    }
+}
+
+fn run_ablation(scale: Scale, out: &Option<PathBuf>) {
+    let n = (scale.max_n / 4).max(1024);
+    let points = ablation::run(n, &[0.5, 1.0, 2.0, 4.0], &[1, 2, 3], scale.repetitions, scale.seed);
+    emit(&ablation::table(&points), "ablation_fast_gossiping.csv", out);
+    let (deferred, immediate) = ablation::delivery_semantics_rounds(n, scale.repetitions, scale.seed);
+    println!(
+        "delivery semantics at n = {n}: deferred = {deferred:.2} rounds, immediate = {immediate:.2} rounds\n"
+    );
+}
+
+fn run_phases(scale: Scale, out: &Option<PathBuf>) {
+    let n = (scale.max_n / 4).max(1024);
+    let points = phases::run(n, scale.repetitions, scale.seed);
+    emit(&phases::table(&points), "phase_breakdown.csv", out);
+}
+
+fn run_table1(out: &Option<PathBuf>) {
+    let table = table1::run(&[1_000, 10_000, 100_000, 1_000_000]);
+    emit(&table, "table1_constants.csv", out);
+}
+
+fn run_theory(scale: Scale, out: &Option<PathBuf>) {
+    let sizes = sweep::size_sweep(scale.min_n, scale.max_n.min(1 << 14));
+    let points = theory_check::run(&sizes, scale.repetitions, scale.seed);
+    emit(&theory_check::table(&points), "theory_shape_check.csv", out);
+}
+
+fn run_separation(scale: Scale, out: &Option<PathBuf>) {
+    let sizes = sweep::size_sweep(scale.min_n, scale.max_n.min(1 << 14));
+    let points = separation::run(&sizes, scale.repetitions, scale.seed);
+    emit(&separation::table(&points), "separation_broadcast_vs_gossip.csv", out);
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = options.scale;
+    let out = options.out_dir;
+    match options.command.as_str() {
+        "table1" => run_table1(&out),
+        "fig1" => run_fig1(scale, &out),
+        "fig2" => run_fig2(scale, &out),
+        "fig3" => run_fig3(scale, &out),
+        "fig4" => run_fig4(scale, &out),
+        "fig5" => run_fig5(scale, &out),
+        "theory" => run_theory(scale, &out),
+        "separation" => run_separation(scale, &out),
+        "ablation" => run_ablation(scale, &out),
+        "phases" => run_phases(scale, &out),
+        "all" => {
+            run_table1(&out);
+            run_fig1(scale, &out);
+            run_fig2(scale, &out);
+            run_fig3(scale, &out);
+            run_fig4(scale, &out);
+            run_fig5(scale, &out);
+            run_theory(scale, &out);
+            run_separation(scale, &out);
+            run_ablation(scale, &out);
+            run_phases(scale, &out);
+        }
+        "help" | "--help" | "-h" => {
+            println!(
+                "usage: experiments \
+                 <table1|fig1|fig2|fig3|fig4|fig5|theory|separation|ablation|phases|all> \
+                 [--quick|--large] [--max-n N] [--reps K] [--seed S] [--out DIR]"
+            );
+        }
+        other => {
+            eprintln!("unknown subcommand: {other} (try `experiments help`)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

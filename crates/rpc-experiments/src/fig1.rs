@@ -1,0 +1,134 @@
+//! Figure 1 — communication overhead of the three gossiping methods.
+//!
+//! "The plot shows the average number of messages sent per node using a simple
+//! push-pull-approach, Algorithm 1, and Algorithm 2" on Erdős–Rényi graphs
+//! with `p = log² n / n`, for sizes 10³–10⁶. The expected shape:
+//!
+//! * Push-Pull grows like `log n` (messages per node = rounds),
+//! * fast-gossiping grows like `log n / log log n` and an **increasing gap**
+//!   to Push-Pull opens as `n` grows,
+//! * the memory model stays bounded by a small constant (the paper reports 5).
+
+use rpc_engine::Accounting;
+use rpc_gossip::prelude::*;
+use rpc_graphs::prelude::*;
+
+use crate::report::{fmt3, Table};
+use crate::sweep::seeds;
+
+/// One measured point of Figure 1.
+#[derive(Clone, Debug)]
+pub struct Fig1Point {
+    /// Graph size.
+    pub n: usize,
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Average messages per node (per-channel-exchange accounting, the
+    /// convention of the figure).
+    pub messages_per_node: f64,
+    /// Average messages per node under per-packet accounting.
+    pub packets_per_node: f64,
+    /// Average number of rounds.
+    pub rounds: f64,
+    /// Fraction of runs that completed gossiping.
+    pub completion_rate: f64,
+}
+
+/// Runs the Figure 1 experiment for the given sizes, averaging over
+/// `repetitions` seeded runs per point.
+pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<Fig1Point> {
+    let mut points = Vec::new();
+    for &n in sizes {
+        let generator = ErdosRenyi::paper_density(n);
+        let algorithms: Vec<Box<dyn GossipAlgorithm>> = vec![
+            Box::new(PushPullGossip::default()),
+            Box::new(FastGossiping::paper(n)),
+            Box::new(MemoryGossip::paper(n)),
+        ];
+        for algorithm in &algorithms {
+            let mut messages = 0.0;
+            let mut packets = 0.0;
+            let mut rounds = 0.0;
+            let mut completed = 0usize;
+            let run_seeds = seeds(base_seed, repetitions);
+            for (i, &seed) in run_seeds.iter().enumerate() {
+                let graph = generator.generate(seed ^ (i as u64) << 32);
+                let outcome = algorithm.run(&graph, seed);
+                messages += outcome.messages_per_node(Accounting::PerChannelExchange);
+                packets += outcome.messages_per_node(Accounting::PerPacket);
+                rounds += outcome.rounds() as f64;
+                completed += usize::from(outcome.completed());
+            }
+            let reps = repetitions.max(1) as f64;
+            points.push(Fig1Point {
+                n,
+                algorithm: algorithm.name(),
+                messages_per_node: messages / reps,
+                packets_per_node: packets / reps,
+                rounds: rounds / reps,
+                completion_rate: completed as f64 / reps,
+            });
+        }
+    }
+    points
+}
+
+/// Renders Figure 1 points as a table (one row per `(n, algorithm)` pair).
+pub fn table(points: &[Fig1Point]) -> Table {
+    let mut table = Table::new(
+        "Figure 1 — average messages per node on G(n, log^2 n / n)",
+        &[
+            "n",
+            "algorithm",
+            "messages_per_node",
+            "packets_per_node",
+            "rounds",
+            "completion_rate",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            p.algorithm.to_string(),
+            fmt3(p.messages_per_node),
+            fmt3(p.packets_per_node),
+            fmt3(p.rounds),
+            fmt3(p.completion_rate),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_point_per_size_and_algorithm() {
+        let points = run(&[128, 256], 1, 1);
+        assert_eq!(points.len(), 6);
+        assert!(points.iter().all(|p| p.completion_rate == 1.0));
+        let t = table(&points);
+        assert_eq!(t.len(), 6);
+        assert!(t.to_csv().contains("push-pull"));
+    }
+
+    #[test]
+    fn figure_shape_holds_at_small_scale() {
+        // Even at n = 1024 the ordering of the three curves must match the
+        // figure: memory < fast-gossiping < push-pull (packet accounting).
+        let points = run(&[1024], 2, 3);
+        let get = |name: &str| {
+            points
+                .iter()
+                .find(|p| p.algorithm == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .packets_per_node
+        };
+        let push_pull = get("push-pull");
+        let fast = get("fast-gossiping");
+        let memory = get("memory");
+        assert!(memory < fast, "memory ({memory:.2}) >= fast ({fast:.2})");
+        assert!(fast < push_pull, "fast ({fast:.2}) >= push-pull ({push_pull:.2})");
+    }
+}

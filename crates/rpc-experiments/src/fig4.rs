@@ -1,0 +1,93 @@
+//! Figure 4 — detailed view of Algorithm 1's messages per node.
+//!
+//! The appendix plot zooms into the fast-gossiping curve of Figure 1 on a
+//! denser grid of (large) sizes and shows two effects: jumps whenever a phase
+//! gains an extra step (the phase lengths are discrete functions of `n`), and
+//! a *decrease* between jumps because the relative number of random walks,
+//! `1/log n` per node, shrinks while the step counts stay constant.
+
+use rpc_engine::Accounting;
+use rpc_gossip::prelude::*;
+use rpc_graphs::prelude::*;
+
+use crate::report::{fmt3, Table};
+use crate::sweep::seeds;
+
+/// One measured point of Figure 4.
+#[derive(Clone, Debug)]
+pub struct Fig4Point {
+    /// Graph size.
+    pub n: usize,
+    /// Average messages per node (per-packet accounting).
+    pub packets_per_node: f64,
+    /// Phase I step count used at this size.
+    pub phase1_steps: usize,
+    /// Phase II round count used at this size.
+    pub phase2_rounds: usize,
+    /// Packets per node spent in the random-walk phase only.
+    pub phase2_packets_per_node: f64,
+}
+
+/// Runs the Figure 4 experiment on the given (dense) size grid.
+pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<Fig4Point> {
+    let mut points = Vec::new();
+    for &n in sizes {
+        let config = FastGossipingConfig::paper_defaults(n);
+        let algorithm = FastGossiping::new(config);
+        let generator = ErdosRenyi::paper_density(n);
+        let mut packets = 0.0;
+        let mut phase2_packets = 0.0;
+        let run_seeds = seeds(base_seed, repetitions);
+        for (i, &seed) in run_seeds.iter().enumerate() {
+            let graph = generator.generate(seed ^ ((i as u64) << 32));
+            let outcome = algorithm.run(&graph, seed);
+            packets += outcome.messages_per_node(Accounting::PerPacket);
+            phase2_packets +=
+                outcome.packets_in_phase("phase2-random-walks").unwrap_or(0) as f64 / n as f64;
+        }
+        let reps = repetitions.max(1) as f64;
+        points.push(Fig4Point {
+            n,
+            packets_per_node: packets / reps,
+            phase1_steps: config.phase1_steps,
+            phase2_rounds: config.phase2_rounds,
+            phase2_packets_per_node: phase2_packets / reps,
+        });
+    }
+    points
+}
+
+/// Renders Figure 4 points as a table.
+pub fn table(points: &[Fig4Point]) -> Table {
+    let mut table = Table::new(
+        "Figure 4 — fast-gossiping messages per node (detail)",
+        &["n", "packets_per_node", "phase1_steps", "phase2_rounds", "phase2_packets_per_node"],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            fmt3(p.packets_per_node),
+            p.phase1_steps.to_string(),
+            p.phase2_rounds.to_string(),
+            fmt3(p.phase2_packets_per_node),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_phase_parameters_alongside_measurements() {
+        let points = run(&[256, 512], 1, 5);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.packets_per_node > 0.0);
+            assert!(p.phase2_packets_per_node <= p.packets_per_node);
+            assert!(p.phase1_steps >= 1 && p.phase2_rounds >= 1);
+        }
+        assert_eq!(table(&points).len(), 2);
+    }
+}

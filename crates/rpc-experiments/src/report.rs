@@ -1,0 +1,147 @@
+//! Tabular experiment output (CSV and Markdown).
+//!
+//! Every experiment returns a [`Table`]; the CLI prints it as Markdown and can
+//! additionally write it as CSV, which is the format the paper's gnuplot
+//! figures would be regenerated from.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple rectangular table of strings with a title and column headers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Human-readable title (e.g. `"Figure 1 — communication overhead"`).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each row must have `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Panics if the cell count does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header row first, no title).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a GitHub-flavoured Markdown table preceded by the
+    /// title.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with three decimal places for table cells.
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.push_row(vec!["1024".into(), fmt3(3.5)]);
+        t.push_row(vec!["2048".into(), fmt3(4.0)]);
+        t
+    }
+
+    #[test]
+    fn csv_rendering() {
+        assert_eq!(sample().to_csv(), "n,value\n1024,3.500\n2048,4.000\n");
+    }
+
+    #[test]
+    fn markdown_rendering_contains_all_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| n | value |"));
+        assert!(md.contains("| 1024 | 3.500 |"));
+        assert!(md.contains("| 2048 | 4.000 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("rpc-experiments-test");
+        let path = dir.join("nested").join("out.csv");
+        sample().write_csv(&path).unwrap();
+        assert!(path.exists());
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with("n,value"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+        assert!(Table::new("empty", &["x"]).is_empty());
+    }
+}

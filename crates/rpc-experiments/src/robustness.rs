@@ -1,0 +1,195 @@
+//! Figures 2, 3 and 5 — robustness of the memory model under node failures.
+//!
+//! * **Figure 2**: graph of 10⁶ nodes, x = number of failed nodes `F`
+//!   (log-spaced), y = (additional lost healthy messages) / `F`, with three
+//!   independently built distribution trees and failures injected between
+//!   Phase I and Phase II.
+//! * **Figure 3**: the same for 10⁵ and 5·10⁵ nodes.
+//! * **Figure 5**: arithmetic sweep over `F`, at least five runs per point,
+//!   y = percentage of runs in which more than `T ∈ {0, 10, 100}` additional
+//!   messages were lost.
+//!
+//! The experiments here take the graph size as a parameter so the same code
+//! regenerates Figure 2 (one large size) and Figure 3 (two smaller sizes); the
+//! default CLI sizes are scaled down to laptop scale (see DESIGN.md).
+
+use rpc_gossip::prelude::*;
+use rpc_graphs::prelude::*;
+
+use crate::report::{fmt3, Table};
+use crate::sweep::seeds;
+
+/// One measured point of the loss-ratio experiments (Figures 2 and 3).
+#[derive(Clone, Debug)]
+pub struct LossRatioPoint {
+    /// Graph size.
+    pub n: usize,
+    /// Number of failed nodes `F`.
+    pub failures: usize,
+    /// Mean ratio of additionally lost healthy messages to `F`.
+    pub loss_ratio: f64,
+    /// Mean number of additionally lost healthy messages.
+    pub lost_messages: f64,
+    /// Number of repetitions averaged.
+    pub repetitions: usize,
+}
+
+/// Runs the loss-ratio experiment (Figures 2/3) for one graph size over the
+/// given failure counts, with `trees` independent distribution trees.
+pub fn loss_ratio(
+    n: usize,
+    failure_counts: &[usize],
+    trees: usize,
+    repetitions: usize,
+    base_seed: u64,
+) -> Vec<LossRatioPoint> {
+    let generator = ErdosRenyi::paper_density(n);
+    let algorithm = MemoryGossip::new(MemoryGossipConfig::paper_defaults(n).with_trees(trees));
+    let mut points = Vec::new();
+    for &failures in failure_counts {
+        let mut ratio_sum = 0.0;
+        let mut lost_sum = 0.0;
+        let run_seeds = seeds(base_seed ^ failures as u64, repetitions);
+        for (i, &seed) in run_seeds.iter().enumerate() {
+            let graph = generator.generate(seed ^ ((i as u64) << 32));
+            let outcome = algorithm.run_with_failures(&graph, seed, failures);
+            lost_sum += outcome.lost_messages() as f64;
+            ratio_sum += outcome.additional_loss_ratio().unwrap_or(0.0);
+        }
+        let reps = repetitions.max(1) as f64;
+        points.push(LossRatioPoint {
+            n,
+            failures,
+            loss_ratio: ratio_sum / reps,
+            lost_messages: lost_sum / reps,
+            repetitions,
+        });
+    }
+    points
+}
+
+/// Renders loss-ratio points as a table.
+pub fn loss_ratio_table(title: &str, points: &[LossRatioPoint]) -> Table {
+    let mut table = Table::new(
+        title,
+        &["n", "failed_nodes", "loss_ratio", "lost_messages", "repetitions"],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            p.failures.to_string(),
+            fmt3(p.loss_ratio),
+            fmt3(p.lost_messages),
+            p.repetitions.to_string(),
+        ]);
+    }
+    table
+}
+
+/// One measured point of the Figure 5 experiment.
+#[derive(Clone, Debug)]
+pub struct ThresholdPoint {
+    /// Graph size.
+    pub n: usize,
+    /// Number of failed nodes `F`.
+    pub failures: usize,
+    /// Percentage of runs with more than 0 additional lost messages.
+    pub percent_above_0: f64,
+    /// Percentage of runs with more than 10 additional lost messages.
+    pub percent_above_10: f64,
+    /// Percentage of runs with more than 100 additional lost messages.
+    pub percent_above_100: f64,
+    /// Number of runs per point.
+    pub runs: usize,
+}
+
+/// Runs the Figure 5 experiment: for each failure count, the percentage of
+/// runs losing more than `T ∈ {0, 10, 100}` additional messages.
+pub fn loss_thresholds(
+    n: usize,
+    failure_counts: &[usize],
+    trees: usize,
+    runs: usize,
+    base_seed: u64,
+) -> Vec<ThresholdPoint> {
+    let generator = ErdosRenyi::paper_density(n);
+    let algorithm = MemoryGossip::new(MemoryGossipConfig::paper_defaults(n).with_trees(trees));
+    let mut points = Vec::new();
+    for &failures in failure_counts {
+        let mut above = [0usize; 3];
+        let run_seeds = seeds(base_seed ^ (failures as u64).rotate_left(17), runs);
+        for (i, &seed) in run_seeds.iter().enumerate() {
+            let graph = generator.generate(seed ^ ((i as u64) << 32));
+            let outcome = algorithm.run_with_failures(&graph, seed, failures);
+            let lost = outcome.lost_messages();
+            if lost > 0 {
+                above[0] += 1;
+            }
+            if lost > 10 {
+                above[1] += 1;
+            }
+            if lost > 100 {
+                above[2] += 1;
+            }
+        }
+        let pct = |count: usize| 100.0 * count as f64 / runs.max(1) as f64;
+        points.push(ThresholdPoint {
+            n,
+            failures,
+            percent_above_0: pct(above[0]),
+            percent_above_10: pct(above[1]),
+            percent_above_100: pct(above[2]),
+            runs,
+        });
+    }
+    points
+}
+
+/// Renders Figure 5 points as a table.
+pub fn loss_thresholds_table(title: &str, points: &[ThresholdPoint]) -> Table {
+    let mut table = Table::new(
+        title,
+        &["n", "failed_nodes", "pct_runs_gt0", "pct_runs_gt10", "pct_runs_gt100", "runs"],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            p.failures.to_string(),
+            fmt3(p.percent_above_0),
+            fmt3(p.percent_above_10),
+            fmt3(p.percent_above_100),
+            p.runs.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_ratio_is_zero_without_failures_and_bounded_with_failures() {
+        let points = loss_ratio(512, &[0, 20], 3, 2, 1);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].loss_ratio, 0.0);
+        assert_eq!(points[0].lost_messages, 0.0);
+        // With 20 failed nodes out of 512 the additional loss ratio stays small.
+        assert!(points[1].loss_ratio < 4.0, "ratio {:.2}", points[1].loss_ratio);
+        let table = loss_ratio_table("fig2-test", &points);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn thresholds_are_monotone() {
+        let points = loss_thresholds(512, &[0, 40], 3, 3, 2);
+        for p in &points {
+            assert!(p.percent_above_0 >= p.percent_above_10);
+            assert!(p.percent_above_10 >= p.percent_above_100);
+            assert!(p.percent_above_0 <= 100.0);
+        }
+        assert_eq!(points[0].percent_above_0, 0.0, "no failures => nothing lost");
+        let table = loss_thresholds_table("fig5-test", &points);
+        assert!(table.to_markdown().contains("pct_runs_gt10"));
+    }
+}

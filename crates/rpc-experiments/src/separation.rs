@@ -1,0 +1,123 @@
+//! The broadcast-vs-gossip density contrast that motivates the paper.
+//!
+//! Karp et al.'s push-pull broadcasting needs only `O(n log log n)`
+//! transmissions in complete graphs, but this cannot be achieved in sparse
+//! random graphs (Elsässer, SPAA'06) — broadcasting *is* sensitive to density.
+//! The paper's main message is that gossiping is *not*: fast-gossiping matches
+//! its complete-graph message complexity on `G(n, p)` with
+//! `p ≥ log^{2+ε} n / n`.
+//!
+//! This experiment measures both, per topology, so the contrast can be read
+//! off one table: the broadcast ratio (random / complete) grows with `n`,
+//! while the gossiping ratio stays near 1.
+
+use rpc_engine::Accounting;
+use rpc_gossip::prelude::*;
+use rpc_graphs::prelude::*;
+
+use crate::report::{fmt3, Table};
+use crate::sweep::seeds;
+
+/// One measured point of the separation experiment.
+#[derive(Clone, Debug)]
+pub struct SeparationPoint {
+    /// Graph size.
+    pub n: usize,
+    /// Push-pull broadcast: transmissions per node on the complete graph.
+    pub broadcast_complete: f64,
+    /// Push-pull broadcast: transmissions per node on `G(n, log² n / n)`.
+    pub broadcast_random: f64,
+    /// Fast-gossiping: packets per node on the complete graph.
+    pub gossip_complete: f64,
+    /// Fast-gossiping: packets per node on `G(n, log² n / n)`.
+    pub gossip_random: f64,
+}
+
+impl SeparationPoint {
+    /// Random/complete overhead ratio for broadcasting.
+    pub fn broadcast_ratio(&self) -> f64 {
+        self.broadcast_random / self.broadcast_complete
+    }
+
+    /// Random/complete overhead ratio for gossiping.
+    pub fn gossip_ratio(&self) -> f64 {
+        self.gossip_random / self.gossip_complete
+    }
+}
+
+/// Runs the separation experiment for the given sizes.
+pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<SeparationPoint> {
+    let mut points = Vec::new();
+    for &n in sizes {
+        let er = ErdosRenyi::paper_density(n);
+        let kn = CompleteGraph::new(n);
+        let mut sums = [0.0f64; 4];
+        let run_seeds = seeds(base_seed, repetitions);
+        for (i, &seed) in run_seeds.iter().enumerate() {
+            let random = er.generate(seed ^ ((i as u64) << 32));
+            let complete = kn.generate(seed);
+            let broadcast = PushPullBroadcast::default();
+            sums[0] += broadcast.run(&complete, seed).transmissions_per_node(n);
+            sums[1] += broadcast.run(&random, seed).transmissions_per_node(n);
+            let gossip = FastGossiping::paper(n);
+            sums[2] += gossip.run(&complete, seed).messages_per_node(Accounting::PerPacket);
+            sums[3] += gossip.run(&random, seed).messages_per_node(Accounting::PerPacket);
+        }
+        let reps = repetitions.max(1) as f64;
+        points.push(SeparationPoint {
+            n,
+            broadcast_complete: sums[0] / reps,
+            broadcast_random: sums[1] / reps,
+            gossip_complete: sums[2] / reps,
+            gossip_random: sums[3] / reps,
+        });
+    }
+    points
+}
+
+/// Renders the separation points as a table.
+pub fn table(points: &[SeparationPoint]) -> Table {
+    let mut table = Table::new(
+        "Broadcast vs gossip — per-node overhead on complete vs random graphs",
+        &[
+            "n",
+            "broadcast_complete",
+            "broadcast_random",
+            "broadcast_ratio",
+            "gossip_complete",
+            "gossip_random",
+            "gossip_ratio",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            fmt3(p.broadcast_complete),
+            fmt3(p.broadcast_random),
+            fmt3(p.broadcast_ratio()),
+            fmt3(p.gossip_complete),
+            fmt3(p.gossip_random),
+            fmt3(p.gossip_ratio()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_ratio_is_close_to_one() {
+        let points = run(&[512], 1, 4);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(
+            (0.5..=2.0).contains(&p.gossip_ratio()),
+            "gossiping should not separate by density, ratio {:.2}",
+            p.gossip_ratio()
+        );
+        assert!(p.broadcast_complete > 0.0 && p.broadcast_random > 0.0);
+        assert_eq!(table(&points).len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Parameter sweeps shared by the experiments.
+
+/// Geometric sweep of graph sizes between `min_n` and `max_n` (both rounded to
+/// powers of two), mirroring the log-scaled x-axis of Figures 1 and 4.
+pub fn size_sweep(min_n: usize, max_n: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut n = min_n.next_power_of_two().max(2);
+    let max = max_n.max(n);
+    while n <= max {
+        sizes.push(n);
+        n *= 2;
+    }
+    sizes
+}
+
+/// Geometric sweep with intermediate points (`×2` and `×3` per octave), used
+/// by the Figure 4 detail plot.
+pub fn dense_size_sweep(min_n: usize, max_n: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut base = min_n.next_power_of_two().max(2);
+    while base <= max_n {
+        sizes.push(base);
+        let mid = base + base / 2;
+        if mid <= max_n {
+            sizes.push(mid);
+        }
+        base *= 2;
+    }
+    sizes
+}
+
+/// Failure-count sweep used by Figures 2 and 3: roughly log-spaced values from
+/// `min_f` to `max_f`.
+pub fn failure_sweep(min_f: usize, max_f: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut f = min_f.max(1);
+    while f <= max_f {
+        out.push(f);
+        let next = (f as f64 * 2.0).round() as usize;
+        f = next.max(f + 1);
+    }
+    out
+}
+
+/// Arithmetic failure sweep used by Figure 5 (`0, step, 2·step, …`).
+pub fn arithmetic_failure_sweep(step: usize, max_f: usize) -> Vec<usize> {
+    (0..=max_f / step.max(1)).map(|k| k * step).collect()
+}
+
+/// Per-run seeds derived from a base seed (one per repetition).
+pub fn seeds(base: u64, repetitions: usize) -> Vec<u64> {
+    (0..repetitions as u64).map(|i| base.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_sweep_doubles() {
+        assert_eq!(size_sweep(1024, 8192), vec![1024, 2048, 4096, 8192]);
+        assert_eq!(size_sweep(1000, 1000), vec![1024]);
+    }
+
+    #[test]
+    fn dense_sweep_adds_midpoints() {
+        assert_eq!(dense_size_sweep(1024, 4096), vec![1024, 1536, 2048, 3072, 4096]);
+    }
+
+    #[test]
+    fn failure_sweep_is_increasing_and_bounded() {
+        let sweep = failure_sweep(10, 1000);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*sweep.first().unwrap(), 10);
+        assert!(*sweep.last().unwrap() <= 1000);
+    }
+
+    #[test]
+    fn arithmetic_sweep_includes_zero() {
+        assert_eq!(arithmetic_failure_sweep(100, 350), vec![0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let s = seeds(7, 16);
+        let unique: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(unique.len(), 16);
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 1 — the simulation constants of both algorithms.
+//!
+//! This experiment does not run anything; it prints, for a range of graph
+//! sizes, the phase lengths that [`FastGossipingConfig::paper_defaults`] and
+//! [`MemoryGossipConfig::paper_defaults`] derive from Table 1, making it easy
+//! to compare the constants against the paper.
+
+use rpc_gossip::prelude::*;
+
+use crate::report::{fmt3, Table};
+
+/// Builds the Table 1 report for the given sizes.
+pub fn run(sizes: &[usize]) -> Table {
+    let mut table = Table::new(
+        "Table 1 — simulation constants",
+        &[
+            "n",
+            "alg1_phase1_steps",
+            "alg1_phase2_rounds",
+            "alg1_walk_probability",
+            "alg1_walk_steps",
+            "alg1_broadcast_steps",
+            "alg2_phase1_push_steps",
+            "alg2_phase1_pull_steps",
+            "alg2_phase3_push_steps",
+        ],
+    );
+    for &n in sizes {
+        let fg = FastGossipingConfig::paper_defaults(n);
+        let mg = MemoryGossipConfig::paper_defaults(n);
+        table.push_row(vec![
+            n.to_string(),
+            fg.phase1_steps.to_string(),
+            fg.phase2_rounds.to_string(),
+            fmt3(fg.walk_probability),
+            fg.walk_steps.to_string(),
+            fg.broadcast_steps.to_string(),
+            mg.phase1_push_steps.to_string(),
+            mg.phase1_pull_steps.to_string(),
+            mg.phase3_push_steps.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_a_row_per_size() {
+        let table = run(&[1_000, 10_000, 100_000, 1_000_000]);
+        assert_eq!(table.len(), 4);
+        let csv = table.to_csv();
+        assert!(csv.contains("1000000"));
+        // The n = 10^6 row must reproduce the Table 1 derived values.
+        let row: Vec<&str> = csv.lines().last().unwrap().split(',').collect();
+        assert_eq!(row[1], "6"); // ⌈1.2 log log n⌉
+        assert_eq!(row[6], "40"); // 2 log n rounded to a multiple of 4
+    }
+}

@@ -1,0 +1,148 @@
+//! Shape checks for Theorems 1 and 2 — the paper's analytical results.
+//!
+//! * **Theorem 1**: fast-gossiping needs `O(n log n / log log n)` transmissions
+//!   and `O(log² n / log log n)` time on random graphs of degree
+//!   `Ω(log^{2+ε} n)` — i.e. *the same* bounds as in complete graphs, so
+//!   density does not separate gossiping. We measure both topologies and
+//!   report the transmissions normalised by `n log n / log log n`: a flat
+//!   series (and a random/complete ratio near 1) confirms the shape.
+//! * **Theorem 2**: memory-model gossiping needs `O(n)` transmissions; the
+//!   normalised column divides by `n` and must stay constant.
+
+use rpc_engine::Accounting;
+use rpc_gossip::{theory, prelude::*};
+use rpc_graphs::prelude::*;
+
+use crate::report::{fmt3, Table};
+use crate::sweep::seeds;
+
+/// One measured point of the theorem shape check.
+#[derive(Clone, Debug)]
+pub struct TheoryPoint {
+    /// Graph size.
+    pub n: usize,
+    /// Topology label (`"G(n,p)"` or `"complete"`).
+    pub topology: &'static str,
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Measured packets (per-packet accounting).
+    pub packets: f64,
+    /// Packets normalised by the theorem's bound.
+    pub normalised_packets: f64,
+    /// Measured rounds.
+    pub rounds: f64,
+    /// Rounds normalised by the theorem's bound.
+    pub normalised_rounds: f64,
+}
+
+fn predicted_packets(algorithm: &str, n: usize) -> f64 {
+    match algorithm {
+        "fast-gossiping" => theory::fast_gossiping_transmissions(n),
+        "memory" => theory::memory_gossiping_transmissions(n),
+        _ => theory::gossip_logtime_lower_bound(n),
+    }
+}
+
+fn predicted_rounds(algorithm: &str, n: usize) -> f64 {
+    match algorithm {
+        "fast-gossiping" => theory::fast_gossiping_rounds(n),
+        "memory" => theory::push_pull_gossip_rounds(n),
+        _ => theory::push_pull_gossip_rounds(n),
+    }
+}
+
+/// Runs the shape check over the given sizes on both topologies.
+pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<TheoryPoint> {
+    let mut points = Vec::new();
+    for &n in sizes {
+        let topologies: Vec<(&'static str, Box<dyn GraphGenerator>)> = vec![
+            ("G(n,p)", Box::new(ErdosRenyi::paper_density(n))),
+            ("complete", Box::new(CompleteGraph::new(n))),
+        ];
+        for (label, generator) in &topologies {
+            let algorithms: Vec<Box<dyn GossipAlgorithm>> = vec![
+                Box::new(PushPullGossip::default()),
+                Box::new(FastGossiping::paper(n)),
+                Box::new(MemoryGossip::paper(n)),
+            ];
+            for algorithm in &algorithms {
+                let mut packets = 0.0;
+                let mut rounds = 0.0;
+                let run_seeds = seeds(base_seed, repetitions);
+                for (i, &seed) in run_seeds.iter().enumerate() {
+                    let graph = generator.generate(seed ^ ((i as u64) << 32));
+                    let outcome = algorithm.run(&graph, seed);
+                    packets += outcome.total_transmissions(Accounting::PerPacket) as f64;
+                    rounds += outcome.rounds() as f64;
+                }
+                let reps = repetitions.max(1) as f64;
+                let packets = packets / reps;
+                let rounds = rounds / reps;
+                points.push(TheoryPoint {
+                    n,
+                    topology: label,
+                    algorithm: algorithm.name(),
+                    packets,
+                    normalised_packets: packets / predicted_packets(algorithm.name(), n),
+                    rounds,
+                    normalised_rounds: rounds / predicted_rounds(algorithm.name(), n),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Renders the shape-check points as a table.
+pub fn table(points: &[TheoryPoint]) -> Table {
+    let mut table = Table::new(
+        "Theorems 1 & 2 — transmissions/rounds normalised by the predicted bounds",
+        &["n", "topology", "algorithm", "packets", "packets/bound", "rounds", "rounds/bound"],
+    );
+    for p in points {
+        table.push_row(vec![
+            p.n.to_string(),
+            p.topology.to_string(),
+            p.algorithm.to_string(),
+            fmt3(p.packets),
+            fmt3(p.normalised_packets),
+            fmt3(p.rounds),
+            fmt3(p.normalised_rounds),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_and_complete_graphs_behave_alike_for_fast_gossiping() {
+        // The core claim: no significant density separation for gossiping.
+        let points = run(&[512], 1, 9);
+        let get = |topology: &str| {
+            points
+                .iter()
+                .find(|p| p.topology == topology && p.algorithm == "fast-gossiping")
+                .unwrap()
+                .packets
+        };
+        let random = get("G(n,p)");
+        let complete = get("complete");
+        let ratio = random / complete;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "fast-gossiping on G(n,p) vs K_n differs by {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn normalised_values_are_order_one() {
+        let points = run(&[256], 1, 10);
+        for p in &points {
+            assert!(p.normalised_packets > 0.0 && p.normalised_packets < 10.0, "{p:?}");
+        }
+        assert_eq!(table(&points).len(), points.len());
+    }
+}

@@ -1,0 +1,286 @@
+//! Randomized broadcasting baselines (push and push-pull).
+//!
+//! Broadcasting — one distinguished node spreads a single rumor — is the
+//! problem the paper contrasts gossiping against: Karp et al. showed that
+//! push-pull broadcasting in complete graphs needs only `O(n log log n)`
+//! transmissions, while Elsässer (SPAA'06) showed this bound cannot be
+//! achieved in sparse random graphs. Gossiping, by the paper's main result,
+//! shows *no* such density separation. These two baselines let the experiment
+//! harness reproduce that motivating contrast.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rpc_graphs::{Graph, NodeId};
+
+/// Result of one broadcast run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// Number of synchronous rounds executed.
+    pub rounds: u64,
+    /// Number of times the rumor was transmitted over a channel.
+    pub transmissions: u64,
+    /// Number of channels opened.
+    pub channels_opened: u64,
+    /// Number of informed nodes at the end.
+    pub informed: usize,
+    /// Whether every node was informed.
+    pub completed: bool,
+}
+
+impl BroadcastOutcome {
+    /// Rumor transmissions divided by `n` — the per-node communication
+    /// overhead of broadcasting a single message.
+    pub fn transmissions_per_node(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.transmissions as f64 / n as f64
+        }
+    }
+}
+
+/// Push-only broadcast: in every round every informed node sends the rumor to
+/// a uniformly random neighbour (Pittel; Feige et al.).
+#[derive(Clone, Copy, Debug)]
+pub struct PushBroadcast {
+    /// The node initially holding the rumor.
+    pub source: NodeId,
+    /// Safety cap on the number of rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for PushBroadcast {
+    fn default() -> Self {
+        Self { source: 0, max_rounds: 10_000 }
+    }
+}
+
+impl PushBroadcast {
+    /// Runs the broadcast on `graph`.
+    pub fn run(&self, graph: &Graph, seed: u64) -> BroadcastOutcome {
+        let n = graph.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+        let mut informed = vec![false; n];
+        if n == 0 {
+            return BroadcastOutcome {
+                rounds: 0,
+                transmissions: 0,
+                channels_opened: 0,
+                informed: 0,
+                completed: true,
+            };
+        }
+        informed[self.source as usize] = true;
+        let mut informed_count = 1usize;
+        let mut rounds = 0u64;
+        let mut transmissions = 0u64;
+        let mut channels = 0u64;
+        while informed_count < n && (rounds as usize) < self.max_rounds {
+            let mut newly: Vec<NodeId> = Vec::new();
+            for v in 0..n as NodeId {
+                if !informed[v as usize] {
+                    continue;
+                }
+                if let Some(u) = graph.random_neighbor(v, &mut rng) {
+                    channels += 1;
+                    transmissions += 1;
+                    if !informed[u as usize] {
+                        newly.push(u);
+                    }
+                }
+            }
+            for u in newly {
+                if !informed[u as usize] {
+                    informed[u as usize] = true;
+                    informed_count += 1;
+                }
+            }
+            rounds += 1;
+        }
+        BroadcastOutcome {
+            rounds,
+            transmissions,
+            channels_opened: channels,
+            informed: informed_count,
+            completed: informed_count == n,
+        }
+    }
+}
+
+/// Push-pull broadcast (Karp et al.): in every round *every* node opens a
+/// channel to a random neighbour; the rumor travels over the channel in
+/// whichever direction is possible. Only actual rumor transmissions are
+/// counted, matching the communication-complexity accounting of the paper's
+/// related-work discussion.
+#[derive(Clone, Copy, Debug)]
+pub struct PushPullBroadcast {
+    /// The node initially holding the rumor.
+    pub source: NodeId,
+    /// Safety cap on the number of rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for PushPullBroadcast {
+    fn default() -> Self {
+        Self { source: 0, max_rounds: 10_000 }
+    }
+}
+
+impl PushPullBroadcast {
+    /// Runs the broadcast on `graph`.
+    pub fn run(&self, graph: &Graph, seed: u64) -> BroadcastOutcome {
+        let n = graph.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut informed = vec![false; n];
+        if n == 0 {
+            return BroadcastOutcome {
+                rounds: 0,
+                transmissions: 0,
+                channels_opened: 0,
+                informed: 0,
+                completed: true,
+            };
+        }
+        informed[self.source as usize] = true;
+        let mut informed_count = 1usize;
+        let mut rounds = 0u64;
+        let mut transmissions = 0u64;
+        let mut channels = 0u64;
+        while informed_count < n && (rounds as usize) < self.max_rounds {
+            let mut newly: Vec<NodeId> = Vec::new();
+            for v in 0..n as NodeId {
+                let Some(u) = graph.random_neighbor(v, &mut rng) else { continue };
+                channels += 1;
+                // Push: the caller sends the rumor if it has it.
+                if informed[v as usize] {
+                    transmissions += 1;
+                    if !informed[u as usize] {
+                        newly.push(u);
+                    }
+                }
+                // Pull: the callee sends the rumor back if it has it.
+                if informed[u as usize] {
+                    transmissions += 1;
+                    if !informed[v as usize] {
+                        newly.push(v);
+                    }
+                }
+            }
+            for u in newly {
+                if !informed[u as usize] {
+                    informed[u as usize] = true;
+                    informed_count += 1;
+                }
+            }
+            rounds += 1;
+        }
+        BroadcastOutcome {
+            rounds,
+            transmissions,
+            channels_opened: channels,
+            informed: informed_count,
+            completed: informed_count == n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpc_graphs::prelude::*;
+
+    #[test]
+    fn push_broadcast_informs_everyone_on_complete_graph() {
+        let n = 1024;
+        let g = CompleteGraph::new(n).generate(0);
+        let outcome = PushBroadcast::default().run(&g, 1);
+        assert!(outcome.completed);
+        assert_eq!(outcome.informed, n);
+    }
+
+    #[test]
+    fn push_broadcast_round_count_matches_pittel_bound() {
+        // Pittel: log2 n + ln n + O(1) rounds in complete graphs.
+        let n = 4096;
+        let g = CompleteGraph::new(n).generate(0);
+        let expected = (n as f64).log2() + (n as f64).ln();
+        let mut total = 0.0;
+        let runs = 3;
+        for seed in 0..runs {
+            let outcome = PushBroadcast::default().run(&g, seed);
+            assert!(outcome.completed);
+            total += outcome.rounds as f64;
+        }
+        let mean = total / runs as f64;
+        assert!(
+            (mean - expected).abs() < 6.0,
+            "mean rounds {mean:.1} too far from Pittel's {expected:.1}"
+        );
+    }
+
+    #[test]
+    fn push_pull_broadcast_is_faster_than_push_alone() {
+        let n = 4096;
+        let g = CompleteGraph::new(n).generate(0);
+        let push = PushBroadcast::default().run(&g, 3);
+        let push_pull = PushPullBroadcast::default().run(&g, 3);
+        assert!(push_pull.completed && push.completed);
+        assert!(push_pull.rounds < push.rounds);
+    }
+
+    #[test]
+    fn push_pull_broadcast_transmissions_are_subloglinear_in_complete_graphs() {
+        // Karp et al.: O(n log log n) transmissions. Check the per-node
+        // overhead stays far below log n.
+        let n = 8192;
+        let g = CompleteGraph::new(n).generate(0);
+        let outcome = PushPullBroadcast::default().run(&g, 4);
+        assert!(outcome.completed);
+        let per_node = outcome.transmissions_per_node(n);
+        let loglog = (n as f64).log2().log2();
+        assert!(
+            per_node < 2.5 * loglog,
+            "per-node overhead {per_node:.2} vs 2.5 · log log n = {:.1}",
+            2.5 * loglog
+        );
+    }
+
+    #[test]
+    fn broadcasts_complete_on_paper_density_random_graphs() {
+        let n = 2048;
+        let g = ErdosRenyi::paper_density(n).generate(5);
+        assert!(PushBroadcast::default().run(&g, 6).completed);
+        assert!(PushPullBroadcast::default().run(&g, 6).completed);
+    }
+
+    #[test]
+    fn respects_round_caps() {
+        let g = ring(256);
+        let outcome = PushBroadcast { source: 0, max_rounds: 5 }.run(&g, 7);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.rounds, 5);
+        assert!(outcome.informed <= 11); // at most 2 new nodes per round on a ring
+    }
+
+    #[test]
+    fn source_parameter_is_respected() {
+        let g = star(16);
+        let outcome = PushBroadcast { source: 5, max_rounds: 2000 }.run(&g, 8);
+        assert!(outcome.completed);
+        // Leaf source: first round informs the hub, then the hub informs one
+        // random leaf per round (coupon collector) — so the run takes many
+        // more rounds than on a well-connected graph.
+        assert!(outcome.rounds > 10);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g0 = CompleteGraph::new(0).generate(0);
+        assert!(PushPullBroadcast::default().run(&g0, 0).completed);
+        let g1 = CompleteGraph::new(1).generate(0);
+        let o = PushBroadcast::default().run(&g1, 0);
+        assert!(o.completed);
+        assert_eq!(o.transmissions, 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Algorithm 1: fast-gossiping in the traditional random phone call model.
+//!
+//! The algorithm trades running time for communication volume (Theorem 1:
+//! `O(log² n / log log n)` time, `O(n log n / log log n)` transmissions on
+//! random graphs with degree `Ω(log^{2+ε} n)`). It works in three phases:
+//!
+//! 1. **Distribution** — every node pushes its combined message for
+//!    `Θ(log n / log log n)` steps, so each message reaches `log^k n` nodes.
+//! 2. **Random walks** — `Θ(log n / log log n)` rounds. In each round every
+//!    node starts a random walk with probability `ℓ/log n`; walks accumulate
+//!    the messages of the nodes they visit, are queued at the hosts and
+//!    forwarded one per step; finally the nodes holding a walk seed a short
+//!    broadcast of `½ log log n` steps that multiplies the informed sets by
+//!    `Θ(√log n)`.
+//! 3. **Broadcast** — plain push-pull finishes the dissemination.
+//!
+//! The per-phase step counts come from [`FastGossipingConfig`]; the defaults
+//! are the tuned constants of Table 1.
+
+use rand::Rng;
+use rpc_graphs::{Graph, NodeId};
+
+use rpc_engine::{Simulation, Transfer, Walk, WalkQueues};
+
+use crate::config::FastGossipingConfig;
+use crate::outcome::GossipOutcome;
+use crate::push_pull::PushPullGossip;
+use crate::runner::GossipAlgorithm;
+
+/// Algorithm 1 (fast-gossiping).
+#[derive(Clone, Copy, Debug)]
+pub struct FastGossiping {
+    config: FastGossipingConfig,
+}
+
+impl FastGossiping {
+    /// Fast-gossiping with an explicit configuration.
+    pub fn new(config: FastGossipingConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fast-gossiping with the Table 1 constants for a network of `n` nodes.
+    pub fn paper(n: usize) -> Self {
+        Self::new(FastGossipingConfig::paper_defaults(n))
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FastGossipingConfig {
+        &self.config
+    }
+
+    /// Phase I: every node pushes its combined message in every step.
+    fn phase1_distribution(&self, sim: &mut Simulation<'_>) {
+        let n = sim.num_nodes();
+        let mut transfers: Vec<Transfer> = Vec::with_capacity(n);
+        for _ in 0..self.config.phase1_steps {
+            transfers.clear();
+            for v in 0..n as NodeId {
+                if let Some(u) = sim.open_channel(v) {
+                    transfers.push(Transfer::new(v, u));
+                    sim.metrics_mut().record_exchange(v);
+                }
+            }
+            sim.deliver(&transfers);
+            sim.metrics_mut().finish_round();
+        }
+        sim.metrics_mut().mark_phase("phase1-distribution");
+    }
+
+    /// Delivers walk tokens that arrived in the previous step: the host merges
+    /// the walk's messages into its own state and enqueues the walk (now
+    /// carrying the host's combined message), unless the walk has exceeded its
+    /// move budget.
+    fn process_walk_arrivals(
+        &self,
+        sim: &mut Simulation<'_>,
+        queues: &mut WalkQueues,
+        arrivals: Vec<(NodeId, Walk)>,
+    ) {
+        for (host, mut walk) in arrivals {
+            if !sim.is_alive(host) || walk.moves > self.config.max_walk_moves {
+                continue;
+            }
+            // q_v.add(m' ∪ m_v); m_v ← m_v ∪ m'.
+            sim.absorb(host, &walk.messages);
+            walk.messages.copy_from(sim.state(host));
+            queues.add(host, walk);
+        }
+    }
+
+    /// Phase II: random-walk rounds.
+    fn phase2_random_walks(&self, sim: &mut Simulation<'_>) {
+        let n = sim.num_nodes();
+        let mut queues = WalkQueues::new(n);
+        let mut transfers: Vec<Transfer> = Vec::with_capacity(n);
+
+        for _ in 0..self.config.phase2_rounds {
+            // Coin flips: with probability ℓ/log n a node starts a random walk
+            // by pushing its combined message to a random neighbour.
+            let mut arrivals: Vec<(NodeId, Walk)> = Vec::new();
+            for v in 0..n as NodeId {
+                let start = sim.rng_mut().gen_bool(self.config.walk_probability);
+                if !start {
+                    continue;
+                }
+                if let Some(u) = sim.open_channel(v) {
+                    sim.metrics_mut().record_packet(v);
+                    sim.metrics_mut().record_exchange(v);
+                    arrivals.push((u, Walk::new(sim.state(v).clone())));
+                }
+            }
+            sim.metrics_mut().finish_round();
+            self.process_walk_arrivals(sim, &mut queues, arrivals);
+
+            // Walk-forwarding steps: every node holding at least one walk
+            // forwards the oldest one to a random neighbour.
+            for _ in 0..self.config.walk_steps {
+                let mut arrivals: Vec<(NodeId, Walk)> = Vec::new();
+                for v in 0..n as NodeId {
+                    if queues.is_empty(v) || !sim.is_alive(v) {
+                        continue;
+                    }
+                    if let Some(u) = sim.open_channel(v) {
+                        let mut walk = queues.pop(v).expect("queue checked non-empty");
+                        walk.moves += 1;
+                        sim.metrics_mut().record_packet(v);
+                        sim.metrics_mut().record_exchange(v);
+                        arrivals.push((u, walk));
+                    }
+                }
+                sim.metrics_mut().finish_round();
+                self.process_walk_arrivals(sim, &mut queues, arrivals);
+            }
+
+            // Nodes that currently host a walk become active and run a short
+            // broadcast; nodes that receive a message become active as well.
+            let mut active = vec![false; n];
+            for v in queues.nodes_with_walks() {
+                active[v as usize] = true;
+            }
+            for _ in 0..self.config.broadcast_steps {
+                transfers.clear();
+                for v in 0..n as NodeId {
+                    if !active[v as usize] {
+                        continue;
+                    }
+                    if let Some(u) = sim.open_channel(v) {
+                        transfers.push(Transfer::new(v, u));
+                        sim.metrics_mut().record_exchange(v);
+                    }
+                }
+                sim.deliver(&transfers);
+                for t in &transfers {
+                    active[t.to as usize] = true;
+                }
+                sim.metrics_mut().finish_round();
+            }
+            // "All nodes become inactive"; walks are discarded at the end of
+            // the round (their content already lives in the hosts' states).
+            queues.clear();
+        }
+        sim.metrics_mut().mark_phase("phase2-random-walks");
+    }
+}
+
+impl GossipAlgorithm for FastGossiping {
+    fn name(&self) -> &'static str {
+        "fast-gossiping"
+    }
+
+    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome {
+        let mut sim = Simulation::new(graph, seed);
+        self.phase1_distribution(&mut sim);
+        self.phase2_random_walks(&mut sim);
+        // Phase III: push-pull until the whole graph is informed (the paper's
+        // simulations run the last phase to completion).
+        PushPullGossip::run_until_complete(&mut sim, self.config.phase3_max_steps);
+        sim.metrics_mut().mark_phase("phase3-broadcast");
+        GossipOutcome::from_metrics(
+            sim.metrics(),
+            sim.gossip_complete(),
+            sim.fully_informed_count(),
+            0,
+            0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rpc_engine::Accounting;
+    use rpc_graphs::prelude::*;
+
+    #[test]
+    fn completes_on_paper_density_random_graph() {
+        let n = 512;
+        let g = ErdosRenyi::paper_density(n).generate(1);
+        let outcome = FastGossiping::paper(n).run(&g, 2);
+        assert!(outcome.completed());
+        assert_eq!(outcome.fully_informed(), n);
+    }
+
+    #[test]
+    fn completes_on_complete_graph() {
+        let n = 256;
+        let g = CompleteGraph::new(n).generate(0);
+        let outcome = FastGossiping::paper(n).run(&g, 3);
+        assert!(outcome.completed());
+    }
+
+    #[test]
+    fn phase_markers_are_recorded_in_order() {
+        let n = 128;
+        let g = ErdosRenyi::paper_density(n).generate(2);
+        let outcome = FastGossiping::paper(n).run(&g, 4);
+        let labels: Vec<_> = outcome.phases().iter().map(|p| p.label.clone()).collect();
+        assert_eq!(
+            labels,
+            vec!["phase1-distribution", "phase2-random-walks", "phase3-broadcast"]
+        );
+        assert!(outcome.packets_in_phase("phase1-distribution").unwrap() > 0);
+    }
+
+    #[test]
+    fn phase1_informs_a_polylog_set_per_message() {
+        // Lemma 1 (scaled down): after the distribution phase every message is
+        // known by noticeably more than one node.
+        let n = 1024;
+        let g = ErdosRenyi::paper_density(n).generate(5);
+        let alg = FastGossiping::paper(n);
+        let mut sim = Simulation::new(&g, 6);
+        alg.phase1_distribution(&mut sim);
+        let mut min_informed = usize::MAX;
+        for m in (0..n as u32).step_by(97) {
+            min_informed = min_informed.min(sim.informed_count_of(m));
+        }
+        assert!(
+            min_informed >= 3,
+            "some message reached only {min_informed} nodes after phase I"
+        );
+    }
+
+    #[test]
+    fn uses_fewer_messages_per_node_than_push_pull_at_moderate_size() {
+        // The headline empirical claim of Figure 1: an increasing gap between
+        // the message complexity of Algorithm 1 and simple push-pull.
+        let n = 4096;
+        let g = ErdosRenyi::paper_density(n).generate(7);
+        let fast = FastGossiping::paper(n).run(&g, 8);
+        let baseline = crate::push_pull::PushPullGossip::default().run(&g, 8);
+        assert!(fast.completed() && baseline.completed());
+        let fast_msgs = fast.messages_per_node(Accounting::PerPacket);
+        let base_msgs = baseline.messages_per_node(Accounting::PerPacket);
+        assert!(
+            fast_msgs < base_msgs,
+            "fast-gossiping ({fast_msgs:.2}) should beat push-pull ({base_msgs:.2})"
+        );
+    }
+
+    #[test]
+    fn walk_arrivals_merge_messages_into_hosts() {
+        let n = 64;
+        let g = CompleteGraph::new(n).generate(0);
+        let alg = FastGossiping::paper(n);
+        let mut sim = Simulation::new(&g, 9);
+        let mut queues = WalkQueues::new(n);
+        let walk = Walk::new(sim.state(3).clone());
+        alg.process_walk_arrivals(&mut sim, &mut queues, vec![(10, walk)]);
+        assert!(sim.knows(10, 3));
+        assert_eq!(queues.len(10), 1);
+        // The queued walk now carries the host's own message as well.
+        let queued = queues.pop(10).unwrap();
+        assert!(queued.messages.contains(10) && queued.messages.contains(3));
+    }
+
+    #[test]
+    fn exhausted_walks_are_dropped() {
+        let n = 16;
+        let g = CompleteGraph::new(n).generate(0);
+        let alg = FastGossiping::new(FastGossipingConfig {
+            max_walk_moves: 2,
+            ..FastGossipingConfig::paper_defaults(n)
+        });
+        let mut sim = Simulation::new(&g, 10);
+        let mut queues = WalkQueues::new(n);
+        let mut walk = Walk::new(sim.state(0).clone());
+        walk.moves = 3;
+        alg.process_walk_arrivals(&mut sim, &mut queues, vec![(5, walk)]);
+        assert_eq!(queues.total_walks(), 0);
+        assert!(!sim.knows(5, 0), "dropped walks are not merged");
+    }
+
+    #[test]
+    fn number_of_walks_concentrates_around_n_over_log_n() {
+        // Section 3.2: Θ(n / log n) random walks are started per round w.h.p.
+        let n = 1 << 14;
+        let cfg = FastGossipingConfig::paper_defaults(n);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut started = 0usize;
+        for _ in 0..n {
+            if rng.gen_bool(cfg.walk_probability) {
+                started += 1;
+            }
+        }
+        let expected = n as f64 * cfg.walk_probability;
+        assert!((started as f64 - expected).abs() < 5.0 * expected.sqrt() + 5.0);
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,495 @@
+//! Algorithm 2: gossiping in the memory model (Section 4).
+//!
+//! Each node may remember up to four previously contacted neighbours and can
+//! avoid them (`open-avoid`) or deliberately reuse them. The algorithm:
+//!
+//! * **Phase I** — starting from a leader, a communication tree is built in
+//!   *long-steps* of four steps each: a node informed in long-step `j`
+//!   contacts four (distinct, avoided) neighbours in long-step `j+1` and
+//!   remembers whom it contacted and when. A short pull period lets the
+//!   remaining uninformed nodes attach themselves to the tree.
+//! * **Phase II** — the tree edges are replayed *backwards in time*, so every
+//!   node's original message travels along its tree path to the leader, which
+//!   ends up knowing all messages.
+//! * **Phase III** — the leader broadcasts the combined messages using the
+//!   Phase I procedure again.
+//!
+//! Theorem 2: `O(log n)` time and `O(n)` message transmissions (plus
+//! `O(n log log n)` if a leader has to be elected first). Theorem 3 analyses
+//! robustness against random node failures when the tree construction is run
+//! multiple times independently; the experiments of Figures 2, 3 and 5 use
+//! three independent trees and fail nodes between Phase I and Phase II.
+
+use std::collections::HashMap;
+
+use rpc_graphs::{Graph, NodeId};
+
+use rpc_engine::{sample_failures, ContactLists, Simulation, Transfer};
+
+use crate::config::MemoryGossipConfig;
+use crate::outcome::GossipOutcome;
+use crate::runner::GossipAlgorithm;
+
+/// Algorithm 2 (memory-model gossiping).
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryGossip {
+    config: MemoryGossipConfig,
+    leader: Option<NodeId>,
+}
+
+/// The record of one Phase I tree construction, used to replay the tree
+/// backwards in Phase II.
+#[derive(Clone, Debug)]
+struct TreeRecord {
+    /// Contact lists `l_v`: whom each node contacted, and in which step.
+    contacts: ContactLists,
+    /// For nodes informed during the pull period: the step and the parent
+    /// they pulled the leader message from (stored in `l_v[0]` in the paper).
+    pull_parent: Vec<Option<(u64, NodeId)>>,
+    /// Total number of Phase I steps of this tree (push + pull).
+    total_steps: u64,
+    /// Which nodes were reached by the tree at all.
+    covered: Vec<bool>,
+}
+
+impl MemoryGossip {
+    /// Memory-model gossiping with an explicit configuration. The leader is a
+    /// uniformly random node unless overridden with [`Self::with_leader`].
+    pub fn new(config: MemoryGossipConfig) -> Self {
+        Self { config, leader: None }
+    }
+
+    /// Memory-model gossiping with the Table 1 constants for `n` nodes.
+    pub fn paper(n: usize) -> Self {
+        Self::new(MemoryGossipConfig::paper_defaults(n))
+    }
+
+    /// Fixes the leader node (by default a uniformly random node acts as the
+    /// leader, as assumed by the paper).
+    pub fn with_leader(mut self, leader: NodeId) -> Self {
+        self.leader = Some(leader);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemoryGossipConfig {
+        &self.config
+    }
+
+    fn pick_leader(&self, sim: &mut Simulation<'_>) -> NodeId {
+        use rand::Rng;
+        let n = sim.num_nodes() as NodeId;
+        self.leader.unwrap_or_else(|| sim.rng_mut().gen_range(0..n))
+    }
+
+    /// Phase I: builds one leader-rooted communication tree. Only the leader's
+    /// message is (conceptually) transmitted, so node states are not touched;
+    /// every packet is still accounted for.
+    fn build_tree(&self, sim: &mut Simulation<'_>, leader: NodeId) -> TreeRecord {
+        let n = sim.num_nodes();
+        let mut tree = TreeRecord {
+            contacts: ContactLists::new(n),
+            pull_parent: vec![None; n],
+            total_steps: 0,
+            covered: vec![false; n],
+        };
+        let mut has_msg = vec![false; n];
+        has_msg[leader as usize] = true;
+        tree.covered[leader as usize] = true;
+
+        // Push long-steps: the leader is active in long-step 0; afterwards the
+        // nodes informed in long-step j are active in long-step j+1.
+        let long_steps = self.config.phase1_push_steps / 4;
+        let mut active: Vec<NodeId> = vec![leader];
+        let mut step: u64 = 0;
+        for _ in 0..long_steps {
+            let mut newly_informed: Vec<NodeId> = Vec::new();
+            for k in 0..4u64 {
+                step += 1;
+                for &v in &active {
+                    let avoid = tree.contacts.get(v).addresses();
+                    if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                        sim.metrics_mut().record_packet(v);
+                        sim.metrics_mut().record_exchange(v);
+                        tree.contacts.get_mut(v).store(k as usize, u, step);
+                        if sim.is_alive(u) && !has_msg[u as usize] {
+                            has_msg[u as usize] = true;
+                            tree.covered[u as usize] = true;
+                            newly_informed.push(u);
+                        }
+                    }
+                }
+                sim.metrics_mut().finish_round();
+            }
+            active = newly_informed;
+            if active.is_empty() && has_msg.iter().all(|&h| h) {
+                // Everyone already informed; remaining long-steps would be
+                // no-ops, but keep the step counter consistent.
+            }
+        }
+
+        // Pull steps: every node without the leader message opens an avoided
+        // channel; if the contacted node is informed, the message is pulled.
+        // The paper runs ⌊2 log log n⌋ such steps; we keep pulling (up to a
+        // safety cap) until every alive node joined the tree, matching the
+        // simulation note that the dissemination phases are run to completion.
+        let mut pull_step = 0usize;
+        loop {
+            let all_covered =
+                (0..n).all(|v| has_msg[v] || !sim.is_alive(v as NodeId));
+            if pull_step >= self.config.phase1_pull_steps
+                && (all_covered || pull_step >= self.config.phase3_max_pull_steps)
+            {
+                break;
+            }
+            step += 1;
+            pull_step += 1;
+            let mut newly: Vec<(NodeId, NodeId)> = Vec::new();
+            for v in 0..n as NodeId {
+                if has_msg[v as usize] || !sim.is_alive(v) {
+                    continue;
+                }
+                let avoid = tree.contacts.get(v).addresses();
+                if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                    tree.contacts.get_mut(v).store((step % 4) as usize, u, step);
+                    if has_msg[u as usize] && sim.is_alive(u) {
+                        // u answers the open channel with a pull transmission.
+                        sim.metrics_mut().record_packet(u);
+                        sim.metrics_mut().record_exchange(v);
+                        newly.push((v, u));
+                    }
+                }
+            }
+            for (v, u) in newly {
+                has_msg[v as usize] = true;
+                tree.covered[v as usize] = true;
+                tree.pull_parent[v as usize] = Some((step, u));
+                tree.contacts.get_mut(v).store(0, u, step);
+            }
+            sim.metrics_mut().finish_round();
+        }
+
+        tree.total_steps = step;
+        tree
+    }
+
+    /// Phase II: replays one tree backwards in time so that every covered
+    /// node's original messages reach the leader.
+    fn gather(&self, sim: &mut Simulation<'_>, tree: &TreeRecord) {
+        let n = sim.num_nodes();
+        // Group the work by step so each reversed step is O(#contacts of that step).
+        let mut pulls_by_step: HashMap<u64, Vec<(NodeId, NodeId)>> = HashMap::new();
+        for v in 0..n {
+            if let Some((step, parent)) = tree.pull_parent[v] {
+                pulls_by_step.entry(step).or_default().push((v as NodeId, parent));
+            }
+        }
+        let mut contacts_by_step: HashMap<u64, Vec<(NodeId, NodeId)>> = HashMap::new();
+        for s in 1..=tree.total_steps {
+            let list = tree.contacts.nodes_with_step(s);
+            if !list.is_empty() {
+                contacts_by_step.insert(s, list);
+            }
+        }
+
+        let mut transfers: Vec<Transfer> = Vec::new();
+        for t in 1..=tree.total_steps {
+            let rev = tree.total_steps + 1 - t;
+            transfers.clear();
+            // Nodes that pulled the leader message in step `rev` push all
+            // original messages they have to the parent they pulled from.
+            if let Some(pulls) = pulls_by_step.get(&rev) {
+                for &(v, parent) in pulls {
+                    if !sim.is_alive(v) {
+                        continue;
+                    }
+                    sim.metrics_mut().record_channel_open(v);
+                    sim.metrics_mut().record_exchange(v);
+                    transfers.push(Transfer::new(v, parent));
+                }
+            }
+            // Nodes that contacted a neighbour in step `rev` re-open that
+            // channel; the neighbour answers with all original messages it has.
+            if let Some(contacts) = contacts_by_step.get(&rev) {
+                for &(v, u) in contacts {
+                    if !sim.is_alive(v) {
+                        continue;
+                    }
+                    sim.metrics_mut().record_channel_open(v);
+                    if sim.is_alive(u) {
+                        sim.metrics_mut().record_exchange(v);
+                        transfers.push(Transfer::new(u, v));
+                    }
+                }
+            }
+            sim.deliver(&transfers);
+            sim.metrics_mut().finish_round();
+        }
+    }
+
+    /// Phase III: the leader broadcasts its (now complete) combined message
+    /// with the Phase I procedure; this time the payload is delivered into the
+    /// node states.
+    fn broadcast_back(&self, sim: &mut Simulation<'_>, leader: NodeId) {
+        let n = sim.num_nodes();
+        let mut contacts = ContactLists::new(n);
+        let mut has_msg = vec![false; n];
+        has_msg[leader as usize] = true;
+
+        let long_steps = self.config.phase3_push_steps / 4;
+        let mut active: Vec<NodeId> = vec![leader];
+        let mut transfers: Vec<Transfer> = Vec::new();
+        for _ in 0..long_steps {
+            let mut newly_informed: Vec<NodeId> = Vec::new();
+            for k in 0..4usize {
+                transfers.clear();
+                for &v in &active {
+                    let avoid = contacts.get(v).addresses();
+                    if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                        contacts.get_mut(v).store(k, u, 0);
+                        sim.metrics_mut().record_exchange(v);
+                        transfers.push(Transfer::new(v, u));
+                        if sim.is_alive(u) && !has_msg[u as usize] {
+                            has_msg[u as usize] = true;
+                            newly_informed.push(u);
+                        }
+                    }
+                }
+                sim.deliver(&transfers);
+                sim.metrics_mut().finish_round();
+            }
+            active = newly_informed;
+        }
+
+        // Closing pull steps, run until every alive node received the
+        // broadcast (capped).
+        let mut steps = 0usize;
+        while steps < self.config.phase3_max_pull_steps {
+            let done = (0..n).all(|v| has_msg[v] || !sim.is_alive(v as NodeId));
+            if done {
+                break;
+            }
+            transfers.clear();
+            let mut newly: Vec<NodeId> = Vec::new();
+            for v in 0..n as NodeId {
+                if has_msg[v as usize] || !sim.is_alive(v) {
+                    continue;
+                }
+                let avoid = contacts.get(v).addresses();
+                if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                    contacts.get_mut(v).store(steps % 4, u, 0);
+                    if has_msg[u as usize] && sim.is_alive(u) {
+                        sim.metrics_mut().record_exchange(v);
+                        transfers.push(Transfer::new(u, v));
+                        newly.push(v);
+                    }
+                }
+            }
+            sim.deliver(&transfers);
+            for v in newly {
+                has_msg[v as usize] = true;
+            }
+            sim.metrics_mut().finish_round();
+            steps += 1;
+        }
+    }
+
+    /// Runs the complete algorithm with `failures` uniformly random node
+    /// failures injected between Phase I (tree construction) and Phase II
+    /// (gathering), exactly as in the robustness experiments of Figures 2, 3
+    /// and 5. The leader itself never fails (a failed leader loses everything
+    /// trivially and is excluded by the experiments). Phase III is skipped —
+    /// the measured quantity is which original messages reached the leader.
+    ///
+    /// The returned outcome's [`GossipOutcome::lost_messages`] is the number
+    /// of *healthy* non-leader nodes whose original message is missing at the
+    /// leader, and [`GossipOutcome::additional_loss_ratio`] is the y-value of
+    /// Figures 2 and 3.
+    pub fn run_with_failures(&self, graph: &Graph, seed: u64, failures: usize) -> GossipOutcome {
+        let mut sim = Simulation::new(graph, seed);
+        let leader = self.pick_leader(&mut sim);
+        let trees: Vec<TreeRecord> =
+            (0..self.config.trees).map(|_| self.build_tree(&mut sim, leader)).collect();
+        sim.metrics_mut().mark_phase("phase1-trees");
+
+        // Fail `failures` random non-leader nodes.
+        let n = sim.num_nodes();
+        let failed: Vec<NodeId> = if failures > 0 {
+            let mut candidates = sample_failures(n, (failures + 1).min(n), sim.rng_mut());
+            candidates.retain(|&v| v != leader);
+            candidates.truncate(failures);
+            candidates
+        } else {
+            Vec::new()
+        };
+        sim.fail_nodes(&failed);
+
+        for tree in &trees {
+            self.gather(&mut sim, tree);
+        }
+        sim.metrics_mut().mark_phase("phase2-gather");
+
+        // Count healthy original messages missing at the leader.
+        let leader_state = sim.state(leader);
+        let mut lost = 0usize;
+        for v in 0..n as NodeId {
+            if v == leader || !sim.is_alive(v) {
+                continue;
+            }
+            if !leader_state.contains(v) {
+                lost += 1;
+            }
+        }
+        GossipOutcome::from_metrics(
+            sim.metrics(),
+            lost == 0,
+            sim.fully_informed_count(),
+            lost,
+            failed.len(),
+        )
+    }
+}
+
+impl GossipAlgorithm for MemoryGossip {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome {
+        let mut sim = Simulation::new(graph, seed);
+        let leader = self.pick_leader(&mut sim);
+        let trees: Vec<TreeRecord> =
+            (0..self.config.trees).map(|_| self.build_tree(&mut sim, leader)).collect();
+        sim.metrics_mut().mark_phase("phase1-trees");
+        for tree in &trees {
+            self.gather(&mut sim, tree);
+        }
+        sim.metrics_mut().mark_phase("phase2-gather");
+        self.broadcast_back(&mut sim, leader);
+        sim.metrics_mut().mark_phase("phase3-broadcast");
+        GossipOutcome::from_metrics(
+            sim.metrics(),
+            sim.gossip_complete(),
+            sim.fully_informed_count(),
+            0,
+            0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpc_engine::Accounting;
+    use rpc_graphs::prelude::*;
+
+    #[test]
+    fn completes_on_paper_density_random_graph() {
+        let n = 512;
+        let g = ErdosRenyi::paper_density(n).generate(1);
+        let outcome = MemoryGossip::paper(n).run(&g, 2);
+        assert!(outcome.completed(), "leader-based gossiping did not complete");
+        assert_eq!(outcome.fully_informed(), n);
+    }
+
+    #[test]
+    fn completes_on_complete_graph() {
+        let n = 256;
+        let g = CompleteGraph::new(n).generate(0);
+        let outcome = MemoryGossip::paper(n).run(&g, 3);
+        assert!(outcome.completed());
+    }
+
+    #[test]
+    fn message_count_per_node_is_a_small_constant() {
+        // Theorem 2 / Figure 1: O(n) transmissions overall, i.e. O(1) per node;
+        // the paper's measured value stays below 5, ours below a slightly
+        // looser constant that is still far below log n.
+        let n = 2048;
+        let g = ErdosRenyi::paper_density(n).generate(4);
+        let outcome = MemoryGossip::paper(n).run(&g, 5);
+        assert!(outcome.completed());
+        let per_node = outcome.messages_per_node(Accounting::PerPacket);
+        assert!(
+            per_node < 12.0,
+            "memory model should use O(1) messages per node, got {per_node:.2}"
+        );
+        assert!(per_node < 0.6 * (n as f64).log2());
+    }
+
+    #[test]
+    fn gather_collects_every_message_at_the_leader() {
+        let n = 512;
+        let g = ErdosRenyi::paper_density(n).generate(6);
+        let alg = MemoryGossip::paper(n).with_leader(0);
+        let mut sim = Simulation::new(&g, 7);
+        let tree = alg.build_tree(&mut sim, 0);
+        assert!(tree.covered.iter().all(|&c| c), "tree must reach every node");
+        alg.gather(&mut sim, &tree);
+        assert!(sim.is_fully_informed(0), "leader is missing messages after the gather phase");
+    }
+
+    #[test]
+    fn fixed_leader_is_respected() {
+        let n = 128;
+        let g = ErdosRenyi::paper_density(n).generate(8);
+        let outcome = MemoryGossip::paper(n).with_leader(17).run(&g, 9);
+        assert!(outcome.completed());
+    }
+
+    #[test]
+    fn without_failures_nothing_is_lost() {
+        let n = 256;
+        let g = ErdosRenyi::paper_density(n).generate(10);
+        let outcome = MemoryGossip::paper(n).with_trees_helper(3).run_with_failures(&g, 11, 0);
+        assert_eq!(outcome.lost_messages(), 0);
+        assert_eq!(outcome.failed_nodes(), 0);
+        assert!(outcome.completed());
+        assert_eq!(outcome.additional_loss_ratio(), None);
+    }
+
+    #[test]
+    fn failures_lose_only_a_bounded_number_of_additional_messages() {
+        // Figure 2: the ratio of additionally lost healthy messages to failed
+        // nodes stays small (the paper observes values up to ~2.5).
+        let n = 1024;
+        let g = ErdosRenyi::paper_density(n).generate(12);
+        let failures = 50;
+        let outcome =
+            MemoryGossip::paper(n).with_trees_helper(3).run_with_failures(&g, 13, failures);
+        assert_eq!(outcome.failed_nodes(), failures);
+        let ratio = outcome.additional_loss_ratio().unwrap();
+        assert!(ratio < 4.0, "loss ratio {ratio:.2} implausibly high");
+    }
+
+    #[test]
+    fn more_trees_lose_fewer_messages() {
+        let n = 1024;
+        let g = ErdosRenyi::paper_density(n).generate(14);
+        let failures = 120;
+        let mut one_tree_losses = 0usize;
+        let mut three_tree_losses = 0usize;
+        for seed in 0..3u64 {
+            one_tree_losses += MemoryGossip::paper(n)
+                .with_trees_helper(1)
+                .run_with_failures(&g, 20 + seed, failures)
+                .lost_messages();
+            three_tree_losses += MemoryGossip::paper(n)
+                .with_trees_helper(3)
+                .run_with_failures(&g, 20 + seed, failures)
+                .lost_messages();
+        }
+        assert!(
+            three_tree_losses <= one_tree_losses,
+            "3 trees ({three_tree_losses}) should not lose more than 1 tree ({one_tree_losses})"
+        );
+    }
+
+    impl MemoryGossip {
+        /// Test helper: same algorithm with a different tree count.
+        fn with_trees_helper(mut self, trees: usize) -> Self {
+            self.config = self.config.with_trees(trees);
+            self
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The simple Push-Pull gossiping baseline (Algorithm 4 / Appendix C.1).
+//!
+//! "In the simple push-pull-approach, every node opens in each step a
+//! communication channel to a randomly selected neighbor, and each node
+//! transmits all its messages through all open channels incident to it. This
+//! is done until all nodes receive all initial messages." (Section 5.)
+//!
+//! Accounting: every push and every pull packet is recorded; additionally one
+//! channel exchange is charged to each channel opener per step, which is the
+//! convention under which the paper's observation "the number of messages per
+//! node corresponds to the number of rounds" holds.
+
+use rpc_graphs::Graph;
+
+use rpc_engine::{Simulation, Transfer};
+
+use crate::config::PushPullConfig;
+use crate::outcome::GossipOutcome;
+use crate::runner::GossipAlgorithm;
+
+/// The simple Push-Pull gossiping protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushPullGossip {
+    config: PushPullConfig,
+}
+
+impl PushPullGossip {
+    /// Push-Pull with an explicit configuration.
+    pub fn new(config: PushPullConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the protocol on an existing simulation (used by other algorithms
+    /// that end with a push-pull phase). Returns the number of executed steps.
+    pub fn run_until_complete(sim: &mut Simulation<'_>, max_rounds: usize) -> usize {
+        let n = sim.num_nodes();
+        let mut transfers: Vec<Transfer> = Vec::with_capacity(2 * n);
+        let mut steps = 0usize;
+        while !sim.gossip_complete() && steps < max_rounds {
+            transfers.clear();
+            for v in 0..n as u32 {
+                if let Some(u) = sim.open_channel(v) {
+                    // pushpull(m_v): push over the outgoing channel, pull back.
+                    transfers.push(Transfer::new(v, u));
+                    transfers.push(Transfer::new(u, v));
+                    sim.metrics_mut().record_exchange(v);
+                }
+            }
+            sim.deliver(&transfers);
+            sim.metrics_mut().finish_round();
+            steps += 1;
+        }
+        steps
+    }
+}
+
+impl GossipAlgorithm for PushPullGossip {
+    fn name(&self) -> &'static str {
+        "push-pull"
+    }
+
+    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome {
+        let mut sim = Simulation::new(graph, seed);
+        Self::run_until_complete(&mut sim, self.config.max_rounds);
+        sim.metrics_mut().mark_phase("push-pull");
+        GossipOutcome::from_metrics(
+            sim.metrics(),
+            sim.gossip_complete(),
+            sim.fully_informed_count(),
+            0,
+            0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpc_engine::Accounting;
+    use rpc_graphs::prelude::*;
+
+    #[test]
+    fn completes_on_complete_graph() {
+        let g = CompleteGraph::new(128).generate(0);
+        let outcome = PushPullGossip::default().run(&g, 1);
+        assert!(outcome.completed());
+        assert_eq!(outcome.fully_informed(), 128);
+    }
+
+    #[test]
+    fn completes_on_paper_density_random_graph() {
+        let g = ErdosRenyi::paper_density(512).generate(2);
+        let outcome = PushPullGossip::default().run(&g, 3);
+        assert!(outcome.completed());
+    }
+
+    #[test]
+    fn messages_per_node_equal_rounds_under_exchange_accounting() {
+        // Section 5: "since in this approach each node communicates in every
+        // round, the number of messages per node corresponds to the number of
+        // rounds".
+        let g = CompleteGraph::new(256).generate(0);
+        let outcome = PushPullGossip::default().run(&g, 5);
+        let per_node = outcome.messages_per_node(Accounting::PerChannelExchange);
+        assert!(
+            (per_node - outcome.rounds() as f64).abs() < 1e-9,
+            "exchanges per node {per_node} != rounds {}",
+            outcome.rounds()
+        );
+        // Per-packet accounting counts both directions, so it is about twice
+        // as large (not exactly: pulls from isolated/self channels differ).
+        let packets = outcome.messages_per_node(Accounting::PerPacket);
+        assert!(packets > 1.5 * per_node && packets <= 2.0 * per_node + 1e-9);
+    }
+
+    #[test]
+    fn round_count_is_logarithmic() {
+        // Push-pull gossiping completes in Θ(log n) rounds on these graphs;
+        // allow a generous constant.
+        let n = 1024;
+        let g = ErdosRenyi::paper_density(n).generate(7);
+        let outcome = PushPullGossip::default().run(&g, 11);
+        let rounds = outcome.rounds() as f64;
+        let log = (n as f64).log2();
+        assert!(rounds >= log / 2.0, "suspiciously few rounds: {rounds}");
+        assert!(rounds <= 3.0 * log, "suspiciously many rounds: {rounds}");
+    }
+
+    #[test]
+    fn respects_round_cap() {
+        let g = ring(64); // far too sparse to finish in 3 rounds
+        let outcome = PushPullGossip::new(PushPullConfig { max_rounds: 3 }).run(&g, 1);
+        assert!(!outcome.completed());
+        assert_eq!(outcome.rounds(), 3);
+    }
+
+    #[test]
+    fn single_node_graph_finishes_immediately() {
+        let g = CompleteGraph::new(1).generate(0);
+        let outcome = PushPullGossip::default().run(&g, 1);
+        assert!(outcome.completed());
+        assert_eq!(outcome.rounds(), 0);
+        assert_eq!(outcome.total_packets(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! The [`GossipAlgorithm`] trait: a uniform interface over all gossiping
+//! protocols so that experiments and benchmarks can sweep over them.
+
+use rpc_graphs::Graph;
+
+use crate::outcome::GossipOutcome;
+
+/// A gossiping protocol that can be run on any graph with a given seed.
+pub trait GossipAlgorithm {
+    /// Short name used in reports (e.g. `"push-pull"`, `"fast-gossiping"`,
+    /// `"memory"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the protocol to completion on `graph`, deterministically in
+    /// `seed`, and returns the communication accounting.
+    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast_gossiping::FastGossiping;
+    use crate::memory_model::MemoryGossip;
+    use crate::push_pull::PushPullGossip;
+    use rpc_engine::Accounting;
+    use rpc_graphs::prelude::*;
+
+    /// All three algorithms compared in Figure 1, as trait objects.
+    fn all_algorithms(n: usize) -> Vec<Box<dyn GossipAlgorithm>> {
+        vec![
+            Box::new(PushPullGossip::default()),
+            Box::new(FastGossiping::paper(n)),
+            Box::new(MemoryGossip::paper(n)),
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_completes_on_a_small_random_graph() {
+        let n = 256;
+        let graph = ErdosRenyi::paper_density(n).generate(3);
+        for algorithm in all_algorithms(n) {
+            let outcome = algorithm.run(&graph, 7);
+            assert!(
+                outcome.completed(),
+                "{} did not complete gossiping",
+                algorithm.name()
+            );
+            assert_eq!(outcome.fully_informed(), n, "{}", algorithm.name());
+            assert!(outcome.total_packets() > 0);
+            assert!(
+                outcome.messages_per_node(Accounting::PerPacket) > 0.0,
+                "{}",
+                algorithm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let n = 128;
+        let graph = ErdosRenyi::paper_density(n).generate(1);
+        for algorithm in all_algorithms(n) {
+            let a = algorithm.run(&graph, 11);
+            let b = algorithm.run(&graph, 11);
+            assert_eq!(a.total_packets(), b.total_packets(), "{}", algorithm.name());
+            assert_eq!(a.rounds(), b.rounds(), "{}", algorithm.name());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Closed-form reference values from the paper's theorems and related work.
+//!
+//! The experiment harness normalises measured quantities by these functions to
+//! check the *shape* of the asymptotic claims (e.g. Theorem 1's
+//! `O(n log n / log log n)` transmissions): if the normalised series stays
+//! (roughly) constant while `n` grows by orders of magnitude, the measured
+//! growth matches the predicted growth.
+
+use rpc_graphs::{lnn, log2n};
+
+use crate::config::loglog2n;
+
+/// Pittel's bound for push broadcasting in complete graphs:
+/// `log₂ n + ln n + O(1)` rounds.
+pub fn push_broadcast_rounds(n: usize) -> f64 {
+    log2n(n) + lnn(n)
+}
+
+/// Karp et al.: transmissions of push-pull broadcasting in complete graphs,
+/// `Θ(n log log n)`.
+pub fn pushpull_broadcast_transmissions(n: usize) -> f64 {
+    n as f64 * loglog2n(n).max(1.0)
+}
+
+/// Lower bound of Berenbrink et al. for any `O(log n)`-time address-oblivious
+/// gossiping algorithm: `Ω(n log n)` transmissions.
+pub fn gossip_logtime_lower_bound(n: usize) -> f64 {
+    n as f64 * log2n(n)
+}
+
+/// Theorem 1: transmissions of fast-gossiping, `O(n log n / log log n)`.
+pub fn fast_gossiping_transmissions(n: usize) -> f64 {
+    n as f64 * log2n(n) / loglog2n(n).max(1.0)
+}
+
+/// Theorem 1: running time of fast-gossiping, `O(log² n / log log n)` steps.
+pub fn fast_gossiping_rounds(n: usize) -> f64 {
+    log2n(n) * log2n(n) / loglog2n(n).max(1.0)
+}
+
+/// Theorem 2: transmissions of memory-model gossiping with a given leader,
+/// `O(n)`.
+pub fn memory_gossiping_transmissions(n: usize) -> f64 {
+    n as f64
+}
+
+/// Theorem 2: transmissions including leader election, `O(n log log n)`.
+pub fn memory_gossiping_with_election_transmissions(n: usize) -> f64 {
+    n as f64 * loglog2n(n).max(1.0)
+}
+
+/// Running time of simple push-pull gossiping, `Θ(log n)` rounds — and, under
+/// per-channel-exchange accounting, also its messages per node.
+pub fn push_pull_gossip_rounds(n: usize) -> f64 {
+    log2n(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values_at_one_million() {
+        let n = 1_000_000;
+        assert!((push_broadcast_rounds(n) - (19.93 + 13.82)).abs() < 0.2);
+        assert!((push_pull_gossip_rounds(n) - 19.93).abs() < 0.05);
+        assert!((fast_gossiping_transmissions(n) / n as f64 - 19.93 / 4.32).abs() < 0.1);
+        assert_eq!(memory_gossiping_transmissions(n), 1e6);
+    }
+
+    #[test]
+    fn orderings_expected_from_the_paper() {
+        // For large n: memory < fast-gossiping < push-pull lower bound.
+        for exp in 10..22 {
+            let n = 1usize << exp;
+            assert!(memory_gossiping_transmissions(n) < fast_gossiping_transmissions(n));
+            assert!(fast_gossiping_transmissions(n) < gossip_logtime_lower_bound(n));
+        }
+        // n log log n < n log n / log log n requires log log² n < log n, which
+        // kicks in around n ≈ 2^17 (log log² n = 16.7 < 17 at n = 2^17).
+        for exp in 17..26 {
+            let n = 1usize << exp;
+            assert!(
+                pushpull_broadcast_transmissions(n) < fast_gossiping_transmissions(n),
+                "broadcast should be cheaper than gossiping at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalisation_is_monotone_in_n() {
+        // The gap between push-pull (n log n) and fast-gossiping
+        // (n log n / log log n) widens with n — the "increasing gap" of Fig. 1.
+        let gap_small = gossip_logtime_lower_bound(1 << 10) / fast_gossiping_transmissions(1 << 10);
+        let gap_large = gossip_logtime_lower_bound(1 << 20) / fast_gossiping_transmissions(1 << 20);
+        assert!(gap_large > gap_small);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_blow_up() {
+        for n in [0usize, 1, 2, 3] {
+            assert!(push_broadcast_rounds(n).is_finite());
+            assert!(fast_gossiping_transmissions(n).is_finite());
+            assert!(fast_gossiping_rounds(n).is_finite());
+        }
+    }
+}

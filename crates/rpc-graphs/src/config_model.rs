@@ -1,0 +1,197 @@
+//! The configuration model (random pairing of degree stubs).
+//!
+//! Section 2 of the paper: "Consider a set of `d · n` edge stubs partitioned
+//! into `n` cells of `d` stubs each. A perfect matching of the stubs is called
+//! a pairing. Each pairing corresponds to a graph in which the cells are the
+//! vertices and the pairs define the edges." The pairing may produce self
+//! loops and parallel edges, but for `d ≥ log^{2+ε} n` their number is a
+//! constant with high probability — the generator therefore reports them and
+//! optionally erases them.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{Graph, NodeId};
+use crate::generator::GraphGenerator;
+
+/// How self-loops and parallel edges produced by the pairing are handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MultiEdgePolicy {
+    /// Keep the pairing as is (a true configuration-model multigraph).
+    #[default]
+    Keep,
+    /// Drop self-loops and collapse parallel edges (the "erased" configuration
+    /// model); degrees may then be slightly below `d`.
+    Erase,
+}
+
+/// Generator for configuration-model (multi-)graphs with `d` stubs per node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigurationModel {
+    n: usize,
+    d: usize,
+    policy: MultiEdgePolicy,
+}
+
+impl ConfigurationModel {
+    /// Configuration model with `n` cells of `d` stubs each.
+    ///
+    /// `n * d` must be even so that a perfect matching of the stubs exists;
+    /// panics otherwise.
+    pub fn new(n: usize, d: usize) -> Self {
+        assert!(n * d % 2 == 0, "n * d must be even for a perfect stub matching");
+        Self { n, d, policy: MultiEdgePolicy::Keep }
+    }
+
+    /// Degree (stubs per cell).
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// Sets the [`MultiEdgePolicy`].
+    pub fn with_policy(mut self, policy: MultiEdgePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Convenience constructor matching the paper's minimum density
+    /// requirement: `d = ceil(log^{2+eps} n)`, adjusted by one if needed to
+    /// keep `n·d` even.
+    pub fn paper_degree(n: usize, eps: f64) -> Self {
+        let mut d = crate::log2n(n).powf(2.0 + eps).ceil() as usize;
+        d = d.max(1);
+        if n * d % 2 != 0 {
+            d += 1;
+        }
+        Self { n, d, policy: MultiEdgePolicy::Keep }
+    }
+}
+
+impl GraphGenerator for ConfigurationModel {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn expected_degree(&self) -> f64 {
+        self.d as f64
+    }
+
+    fn generate(&self, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x853c_49e6_748f_ea9b);
+        let total_stubs = self.n * self.d;
+        // stubs[i] = owning node of stub i; we shuffle and pair consecutive stubs,
+        // which is a uniformly random perfect matching.
+        let mut stubs: Vec<NodeId> = Vec::with_capacity(total_stubs);
+        for v in 0..self.n as NodeId {
+            for _ in 0..self.d {
+                stubs.push(v);
+            }
+        }
+        // Fisher–Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(total_stubs / 2);
+        for pair in stubs.chunks_exact(2) {
+            edges.push((pair[0], pair[1]));
+        }
+        if self.policy == MultiEdgePolicy::Erase {
+            edges.retain(|&(u, v)| u != v);
+            edges.iter_mut().for_each(|e| {
+                if e.0 > e.1 {
+                    *e = (e.1, e.0);
+                }
+            });
+            edges.sort_unstable();
+            edges.dedup();
+        }
+        Graph::from_edges(self.n, &edges)
+    }
+
+    fn label(&self) -> String {
+        format!("config-model(n={}, d={})", self.n, self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::is_connected;
+
+    #[test]
+    fn every_node_has_exactly_d_stubs_in_keep_mode() {
+        let g = ConfigurationModel::new(200, 8).generate(4);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 8);
+        }
+        assert_eq!(g.num_edges(), 200 * 8 / 2);
+    }
+
+    #[test]
+    fn erased_model_has_no_loops_or_parallel_edges() {
+        let g = ConfigurationModel::new(200, 8)
+            .with_policy(MultiEdgePolicy::Erase)
+            .generate(4);
+        assert_eq!(g.num_self_loops(), 0);
+        assert_eq!(g.num_parallel_edges(), 0);
+        // Erasure removes only a handful of edges w.h.p. for this density.
+        assert!(g.num_edges() >= 200 * 8 / 2 - 20);
+    }
+
+    #[test]
+    fn loops_and_multi_edges_are_a_negligible_fraction() {
+        // Section 2 argues that self-loops and parallel edges can be treated
+        // separately because there are few of them relative to the graph. The
+        // expected counts are Θ(d) while the graph has n·d/2 edges, so they are
+        // an O(1/n) fraction of all edges.
+        let n = 1 << 11;
+        let gen = ConfigurationModel::paper_degree(n, 0.1);
+        let d = gen.degree() as f64;
+        let g = gen.generate(17);
+        let bad = (g.num_self_loops() + g.num_parallel_edges()) as f64;
+        // E[self-loops] ≈ (d-1)/2 and E[parallel pairs] ≈ (d-1)²/4; allow 2×.
+        let expected = (d - 1.0) / 2.0 + (d - 1.0) * (d - 1.0) / 4.0;
+        assert!(
+            bad < 2.0 * expected + 50.0,
+            "{bad} defective edges, expected around {expected}"
+        );
+        // And they remain a small fraction of all n·d/2 edges.
+        assert!(bad < 0.1 * g.num_edges() as f64);
+    }
+
+    #[test]
+    fn paper_degree_is_at_least_log_squared() {
+        let n = 1 << 12;
+        let gen = ConfigurationModel::paper_degree(n, 0.1);
+        assert!(gen.expected_degree() >= 12.0 * 12.0);
+        assert_eq!((gen.num_nodes() * gen.degree()) % 2, 0);
+    }
+
+    #[test]
+    fn paper_degree_graphs_are_connected() {
+        let g = ConfigurationModel::paper_degree(1 << 11, 0.1).generate(3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = ConfigurationModel::new(128, 6);
+        assert_eq!(gen.generate(5), gen.generate(5));
+        assert_ne!(gen.generate(5), gen.generate(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_total_stub_count_is_rejected() {
+        let _ = ConfigurationModel::new(3, 3);
+    }
+
+    #[test]
+    fn total_degree_is_preserved_by_pairing() {
+        let gen = ConfigurationModel::new(64, 10);
+        let g = gen.generate(9);
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(total, 64 * 10);
+    }
+}

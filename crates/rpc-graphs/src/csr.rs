@@ -1,0 +1,366 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! All graph models in this crate produce a [`Graph`], an immutable undirected
+//! graph stored as two flat arrays (`offsets`, `neighbors`). This keeps a
+//! million-node Erdős–Rényi graph with expected degree `log² n ≈ 400` at
+//! roughly 1.6 GB of adjacency data and, more importantly for the simulator,
+//! makes "pick a uniformly random neighbor" a single array index.
+
+use rand::Rng;
+
+/// Node identifier. Graphs in this repository stay below `2^32` nodes, so a
+/// 32-bit id halves the adjacency memory compared to `usize`.
+pub type NodeId = u32;
+
+/// An immutable undirected (multi-)graph in CSR form.
+///
+/// Self-loops and parallel edges are representable (the configuration model
+/// can produce a constant number of them, see Section 2 of the paper); the
+/// generators document whether they emit them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes the neighbor slice of node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated adjacency lists; each undirected edge appears twice
+    /// (once per endpoint), a self-loop appears twice at its single endpoint.
+    neighbors: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from a list of undirected edges.
+    ///
+    /// Edges may be given in any order; `(u, v)` and `(v, u)` denote the same
+    /// edge and must only be listed once. Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; acc];
+        for &(u, v) in edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        let mut graph = Self { offsets, neighbors };
+        graph.sort_adjacency();
+        graph
+    }
+
+    /// Builds a graph directly from per-node adjacency lists.
+    ///
+    /// The adjacency must already be symmetric: if `u` lists `v` then `v`
+    /// must list `u` (checked in debug builds only, as this is `O(m log m)`).
+    pub fn from_adjacency(adjacency: Vec<Vec<NodeId>>) -> Self {
+        let n = adjacency.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for list in &adjacency {
+            total += list.len();
+            offsets.push(total);
+        }
+        let mut neighbors = Vec::with_capacity(total);
+        for list in adjacency {
+            neighbors.extend_from_slice(&list);
+        }
+        let mut graph = Self { offsets, neighbors };
+        graph.sort_adjacency();
+        debug_assert!(graph.is_symmetric(), "adjacency lists are not symmetric");
+        graph
+    }
+
+    fn sort_adjacency(&mut self) {
+        for v in 0..self.num_nodes() {
+            let (a, b) = (self.offsets[v], self.offsets[v + 1]);
+            self.neighbors[a..b].sort_unstable();
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // A (multi-)graph adjacency is symmetric iff the multiset of directed
+        // pairs {(v, u)} is closed under swapping, i.e. equals the multiset of
+        // swapped pairs. O(m log m) — cheap enough for a debug assertion even
+        // on million-edge graphs.
+        let mut forward: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.neighbors.len());
+        let mut backward: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.neighbors.len());
+        for v in self.nodes() {
+            for &u in self.neighbors(v) {
+                forward.push((v, u));
+                backward.push((u, v));
+            }
+        }
+        forward.sort_unstable();
+        backward.sort_unstable();
+        forward == backward
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (self-loops count once, parallel edges each).
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of node `v` (self-loops contribute 2, matching the CSR storage).
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbor slice of node `v`, sorted ascending.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the edge `{u, v}` exists (binary search, `O(log deg)`).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// A uniformly random neighbor of `v`, or `None` if `v` is isolated.
+    ///
+    /// This is the core primitive of the random phone call model: "every node
+    /// opens a communication channel to a randomly chosen neighbor".
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, v: NodeId, rng: &mut R) -> Option<NodeId> {
+        let nbrs = self.neighbors(v);
+        if nbrs.is_empty() {
+            None
+        } else {
+            Some(nbrs[rng.gen_range(0..nbrs.len())])
+        }
+    }
+
+    /// A uniformly random neighbor of `v` that is not contained in `avoid`.
+    ///
+    /// This implements the `open-avoid` operation of the memory model
+    /// (Section 4): nodes remember up to four previously contacted neighbors
+    /// and call on a neighbor chosen uniformly at random from
+    /// `N(v) \ {l_v[0..3]}`. Returns `None` if every neighbor is excluded.
+    pub fn random_neighbor_avoiding<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        avoid: &[NodeId],
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let nbrs = self.neighbors(v);
+        if nbrs.is_empty() {
+            return None;
+        }
+        // Rejection sampling is efficient because |avoid| <= 4 while the
+        // paper's graphs have degree >= log^{2+eps} n. Fall back to an exact
+        // scan when the neighborhood is tiny (test topologies).
+        if nbrs.len() > 4 * avoid.len().max(1) {
+            for _ in 0..32 {
+                let candidate = nbrs[rng.gen_range(0..nbrs.len())];
+                if !avoid.contains(&candidate) {
+                    return Some(candidate);
+                }
+            }
+        }
+        let eligible: Vec<NodeId> = nbrs.iter().copied().filter(|u| !avoid.contains(u)).collect();
+        if eligible.is_empty() {
+            None
+        } else {
+            Some(eligible[rng.gen_range(0..eligible.len())])
+        }
+    }
+
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).min().unwrap_or(0)
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as NodeId).into_iter()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u <= v`.
+    ///
+    /// Parallel edges are reported once per multiplicity; a self-loop `(v, v)`
+    /// is reported once.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+                .chain(
+                    // Self-loops appear twice in the neighbor list of u; emit half.
+                    self.neighbors(u)
+                        .iter()
+                        .copied()
+                        .filter(move |&v| v == u)
+                        .enumerate()
+                        .filter(|(i, _)| i % 2 == 0)
+                        .map(move |(_, v)| (u, v)),
+                )
+        })
+    }
+
+    /// Number of self-loops in the graph.
+    pub fn num_self_loops(&self) -> usize {
+        self.nodes()
+            .map(|v| self.neighbors(v).iter().filter(|&&u| u == v).count() / 2)
+            .sum()
+    }
+
+    /// Number of parallel edge *pairs* beyond the first copy of each edge.
+    pub fn num_parallel_edges(&self) -> usize {
+        let mut extra = 0usize;
+        for v in self.nodes() {
+            let nbrs = self.neighbors(v);
+            let mut i = 0;
+            while i < nbrs.len() {
+                let mut j = i + 1;
+                while j < nbrs.len() && nbrs[j] == nbrs[i] {
+                    j += 1;
+                }
+                if nbrs[i] != v {
+                    extra += (j - i) - 1;
+                }
+                i = j;
+            }
+        }
+        extra / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn from_edges_builds_symmetric_adjacency() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn from_adjacency_roundtrips() {
+        let g = Graph::from_adjacency(vec![vec![1], vec![0, 2], vec![1]]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.average_degree(), 4.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range() {
+        let _ = Graph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn degree_extremes() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.average_degree(), 1.5);
+    }
+
+    #[test]
+    fn random_neighbor_is_a_neighbor() {
+        let g = triangle();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let u = g.random_neighbor(0, &mut rng).unwrap();
+            assert!(g.neighbors(0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_neighbor_of_isolated_node_is_none() {
+        let g = Graph::from_edges(2, &[]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(g.random_neighbor(0, &mut rng), None);
+    }
+
+    #[test]
+    fn random_neighbor_avoiding_respects_avoid_list() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let u = g.random_neighbor_avoiding(0, &[1, 2, 3], &mut rng).unwrap();
+            assert_eq!(u, 4);
+        }
+        assert_eq!(g.random_neighbor_avoiding(0, &[1, 2, 3, 4], &mut rng), None);
+    }
+
+    #[test]
+    fn random_neighbor_avoiding_covers_all_eligible() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(g.random_neighbor_avoiding(0, &[1], &mut rng).unwrap());
+        }
+        assert_eq!(seen, [2, 3, 4, 5].into_iter().collect());
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges_are_counted() {
+        // Node 0 with a self loop, and a double edge between 1 and 2.
+        let g = Graph::from_edges(3, &[(0, 0), (1, 2), (1, 2)]);
+        assert_eq!(g.num_self_loops(), 1);
+        assert_eq!(g.num_parallel_edges(), 1);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn nodes_iterator_covers_all_nodes() {
+        let g = triangle();
+        assert_eq!(g.nodes().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

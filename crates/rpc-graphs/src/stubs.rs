@@ -1,0 +1,266 @@
+//! Deferred-decision stub pairing.
+//!
+//! Section 2 of the paper analyses the configuration model with the *principle
+//! of deferred decisions*: "at the beginning all the nodes have `d` stubs
+//! which are all unconnected. If a node chooses a link for communication for
+//! the first time in a step, then we connect the corresponding stub of the
+//! node with a free stub in the graph, while leaving all the other stubs as
+//! they are."
+//!
+//! [`StubPairing`] implements exactly this lazily-revealed graph. It is used
+//! by tests that validate the probabilistic statements of Lemmas 2–5 (e.g.
+//! the probability of contacting an already informed node) without having to
+//! materialise the full pairing, and it doubles as an alternative network
+//! backend for analysis-faithful simulations on the configuration model.
+
+use rand::Rng;
+
+use crate::csr::{Graph, NodeId};
+
+/// A configuration-model graph revealed stub by stub.
+#[derive(Clone, Debug)]
+pub struct StubPairing {
+    n: usize,
+    d: usize,
+    /// `partner[v][i]` is the node that stub `i` of node `v` is paired with,
+    /// if it has been revealed.
+    partner: Vec<Vec<Option<NodeId>>>,
+    /// Stubs (node, index) that are still unpaired, as a flat pool supporting
+    /// O(1) uniform sampling with swap-remove.
+    free_pool: Vec<(NodeId, u32)>,
+    /// Position of each stub in `free_pool`, or `usize::MAX` once paired.
+    pool_index: Vec<usize>,
+    used: Vec<u32>,
+}
+
+impl StubPairing {
+    /// Creates an unrevealed pairing with `n` cells of `d` stubs each.
+    /// `n * d` must be even.
+    pub fn new(n: usize, d: usize) -> Self {
+        assert!(n * d % 2 == 0, "n * d must be even");
+        let mut free_pool = Vec::with_capacity(n * d);
+        let mut pool_index = vec![usize::MAX; n * d];
+        for v in 0..n {
+            for i in 0..d {
+                pool_index[v * d + i] = free_pool.len();
+                free_pool.push((v as NodeId, i as u32));
+            }
+        }
+        Self {
+            n,
+            d,
+            partner: vec![vec![None; d]; n],
+            free_pool,
+            pool_index,
+            used: vec![0; n],
+        }
+    }
+
+    /// Number of cells (nodes).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Stubs per cell.
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// Number of stubs of `v` that have already been paired (either because
+    /// `v` used them or because another node's stub was paired to them).
+    pub fn used_stubs(&self, v: NodeId) -> usize {
+        self.used[v as usize] as usize
+    }
+
+    /// Number of globally unpaired stubs.
+    pub fn free_stubs(&self) -> usize {
+        self.free_pool.len()
+    }
+
+    fn stub_id(&self, v: NodeId, i: u32) -> usize {
+        v as usize * self.d + i as usize
+    }
+
+    fn remove_from_pool(&mut self, v: NodeId, i: u32) {
+        let id = self.stub_id(v, i);
+        let pos = self.pool_index[id];
+        debug_assert_ne!(pos, usize::MAX, "stub already paired");
+        let last = self.free_pool.len() - 1;
+        self.free_pool.swap(pos, last);
+        let moved = self.free_pool[pos];
+        let moved_id = self.stub_id(moved.0, moved.1);
+        self.pool_index[moved_id] = pos;
+        self.free_pool.pop();
+        self.pool_index[id] = usize::MAX;
+    }
+
+    /// Node `v` opens a communication channel on a uniformly random one of its
+    /// stubs. If that stub was already paired in an earlier step (a *wasted*
+    /// stub in the paper's terminology) the existing partner is returned with
+    /// `fresh = false`. Otherwise the stub is paired with a uniformly random
+    /// free stub in the whole graph and the new partner is returned with
+    /// `fresh = true`. Returns `None` only in the degenerate case where the
+    /// only free stub left belongs to the chosen stub itself.
+    pub fn open_channel<R: Rng + ?Sized>(&mut self, v: NodeId, rng: &mut R) -> Option<(NodeId, bool)> {
+        if self.d == 0 {
+            return None;
+        }
+        let i = rng.gen_range(0..self.d) as u32;
+        if let Some(u) = self.partner[v as usize][i as usize] {
+            return Some((u, false));
+        }
+        // Pair stub (v, i) with a uniformly random *other* free stub.
+        let own_id = self.stub_id(v, i);
+        if self.free_pool.len() <= 1 {
+            return None;
+        }
+        loop {
+            let pick = rng.gen_range(0..self.free_pool.len());
+            let (u, j) = self.free_pool[pick];
+            if self.stub_id(u, j) == own_id {
+                continue;
+            }
+            self.remove_from_pool(v, i);
+            self.remove_from_pool(u, j);
+            self.partner[v as usize][i as usize] = Some(u);
+            self.partner[u as usize][j as usize] = Some(v);
+            self.used[v as usize] += 1;
+            self.used[u as usize] += 1;
+            return Some((u, true));
+        }
+    }
+
+    /// Completes the pairing uniformly at random and returns the resulting
+    /// multigraph. Already-revealed pairs are kept.
+    pub fn finish<R: Rng + ?Sized>(mut self, rng: &mut R) -> Graph {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.n * self.d / 2);
+        for v in 0..self.n {
+            for i in 0..self.d {
+                if let Some(u) = self.partner[v][i] {
+                    // Emit each revealed pair once (from the lexicographically
+                    // smaller endpoint; self-loop pairs are emitted from the
+                    // smaller stub index side).
+                    if (u as usize) > v || (u as usize == v) {
+                        // For self loops we would double count; handle below by
+                        // only emitting half of the loop stubs.
+                        continue;
+                    }
+                }
+            }
+        }
+        // Re-derive revealed edges robustly: walk all stubs and pair ids.
+        edges.clear();
+        let mut seen = vec![false; self.n * self.d];
+        for v in 0..self.n {
+            for i in 0..self.d {
+                let id = v * self.d + i;
+                if seen[id] {
+                    continue;
+                }
+                if let Some(u) = self.partner[v][i] {
+                    // Find the matching unseen stub on u that points back to v.
+                    let mut matched = false;
+                    for j in 0..self.d {
+                        let uid = u as usize * self.d + j;
+                        if !seen[uid] && uid != id && self.partner[u as usize][j] == Some(v as NodeId) {
+                            seen[id] = true;
+                            seen[uid] = true;
+                            edges.push((v as NodeId, u));
+                            matched = true;
+                            break;
+                        }
+                    }
+                    debug_assert!(matched, "revealed stub without reciprocal partner");
+                }
+            }
+        }
+        // Pair the remaining free stubs uniformly at random (Fisher–Yates on
+        // the pool, then pair consecutive entries).
+        let pool = &mut self.free_pool;
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pool.swap(i, j);
+        }
+        for pair in pool.chunks_exact(2) {
+            edges.push((pair[0].0, pair[1].0));
+        }
+        Graph::from_edges(self.n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn opening_channels_pairs_stubs() {
+        let mut pairing = StubPairing::new(100, 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let before = pairing.free_stubs();
+        let (_, fresh) = pairing.open_channel(0, &mut rng).unwrap();
+        assert!(fresh);
+        assert_eq!(pairing.free_stubs(), before - 2);
+        assert!(pairing.used_stubs(0) >= 1);
+    }
+
+    #[test]
+    fn reused_stub_returns_same_partner_without_consuming_pool() {
+        let mut pairing = StubPairing::new(4, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (first, fresh) = pairing.open_channel(0, &mut rng).unwrap();
+        assert!(fresh);
+        let before = pairing.free_stubs();
+        // Node 0 has a single stub, so every later call must reuse it.
+        let (second, fresh2) = pairing.open_channel(0, &mut rng).unwrap();
+        assert!(!fresh2);
+        assert_eq!(first, second);
+        assert_eq!(pairing.free_stubs(), before);
+    }
+
+    #[test]
+    fn finish_produces_a_d_regular_multigraph() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut pairing = StubPairing::new(60, 6);
+        // Reveal a few edges first.
+        for v in 0..20u32 {
+            pairing.open_channel(v, &mut rng);
+        }
+        let g = pairing.finish(&mut rng);
+        assert_eq!(g.num_edges(), 60 * 6 / 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 6);
+        }
+    }
+
+    #[test]
+    fn wasted_stub_probability_is_small_after_few_steps() {
+        // Lemma 2: after O(log n / log log n) channel openings a node still has
+        // Θ(d) free stubs, so the probability of choosing a wasted stub is
+        // O(log n / d). Check the bookkeeping that underlies that argument.
+        let n = 512;
+        let d = 100;
+        let mut pairing = StubPairing::new(n, d);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let steps = 12; // ~ 12 log n / log log n with small constants
+        for _ in 0..steps {
+            for v in 0..n as NodeId {
+                pairing.open_channel(v, &mut rng);
+            }
+        }
+        for v in 0..n as NodeId {
+            assert!(
+                pairing.used_stubs(v) <= 3 * steps,
+                "node {v} used {} stubs after {steps} steps",
+                pairing.used_stubs(v)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_stub_total_rejected() {
+        let _ = StubPairing::new(3, 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic test topologies (ring, star, hypercube, path).
+//!
+//! These are *not* part of the paper's evaluation but are invaluable for unit
+//! testing the simulation engine and the algorithms: on a ring or a star the
+//! exact behaviour of push/pull rounds can be computed by hand, which gives
+//! strong oracle tests for the communication accounting.
+
+use crate::csr::{Graph, NodeId};
+
+/// Ring (cycle) on `n` nodes. Requires `n >= 3` to be a simple cycle;
+/// for `n < 3` the degenerate path/empty graph is returned.
+pub fn ring(n: usize) -> Graph {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n);
+    if n >= 2 {
+        for v in 0..(n - 1) {
+            edges.push((v as NodeId, (v + 1) as NodeId));
+        }
+        if n >= 3 {
+            edges.push(((n - 1) as NodeId, 0));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Simple path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        edges.push(((v - 1) as NodeId, v as NodeId));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Star with center `0` and `n - 1` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        edges.push((0, v as NodeId));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Hypercube of dimension `dim` (`2^dim` nodes, degree `dim`).
+///
+/// Feige et al. analyse push broadcasting on the hypercube; it is a useful
+/// bounded-degree sanity topology for the engine.
+pub fn hypercube(dim: u32) -> Graph {
+    let n = 1usize << dim;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * dim as usize / 2);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1usize << bit);
+            if v < u {
+                edges.push((v as NodeId, u as NodeId));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{bfs_distances, is_connected};
+
+    #[test]
+    fn ring_degrees_are_two() {
+        let g = ring(10);
+        assert_eq!(g.num_edges(), 10);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn small_rings_degenerate_gracefully() {
+        assert_eq!(ring(0).num_nodes(), 0);
+        assert_eq!(ring(1).num_edges(), 0);
+        assert_eq!(ring(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn path_is_connected_with_n_minus_1_edges() {
+        let g = path(17);
+        assert_eq!(g.num_edges(), 16);
+        assert!(is_connected(&g));
+        let dist = bfs_distances(&g, 0);
+        assert_eq!(dist[16], Some(16));
+    }
+
+    #[test]
+    fn star_center_has_full_degree() {
+        let g = star(12);
+        assert_eq!(g.degree(0), 11);
+        for v in 1..12 {
+            assert_eq!(g.degree(v as NodeId), 1);
+        }
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 16 * 4 / 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(is_connected(&g));
+        // Diameter of the 4-cube is 4.
+        let dist = bfs_distances(&g, 0);
+        assert_eq!(dist[15], Some(4));
+    }
+}

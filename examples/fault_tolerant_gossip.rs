@@ -1,0 +1,45 @@
+//! Fault tolerance of the memory-model gossiping (Figure 2 scenario).
+//!
+//! Builds three independent distribution trees, then fails an increasing
+//! number of random nodes between the tree construction and the gathering
+//! phase, and reports how many *additional* healthy messages are lost — the
+//! quantity plotted in Figures 2 and 3 of the paper.
+//!
+//! ```bash
+//! cargo run --release --example fault_tolerant_gossip
+//! ```
+
+use gossip_density::gossip::MemoryGossipConfig;
+use gossip_density::prelude::*;
+
+fn main() {
+    let n = 1 << 13;
+    let graph = ErdosRenyi::paper_density(n).generate(11);
+    let config = MemoryGossipConfig::paper_defaults(n).with_trees(3);
+    let algorithm = MemoryGossip::new(config).with_leader(0);
+
+    println!("n = {n}, three independent distribution trees, failures injected before gathering\n");
+    println!(
+        "{:>10} {:>16} {:>12} {:>18}",
+        "failed", "lost (healthy)", "loss ratio", "packets per node"
+    );
+    for failures in [0usize, 16, 64, 256, 1024] {
+        let outcome = algorithm.run_with_failures(&graph, 5, failures);
+        println!(
+            "{:>10} {:>16} {:>12} {:>18.2}",
+            failures,
+            outcome.lost_messages(),
+            outcome
+                .additional_loss_ratio()
+                .map(|r| format!("{r:.3}"))
+                .unwrap_or_else(|| "-".to_string()),
+            outcome.messages_per_node(Accounting::PerPacket)
+        );
+    }
+
+    println!(
+        "\nThe loss ratio stays small (the paper reports values below ~2.5 even for very\n\
+         large failure counts): each failed node takes down at most a few healthy\n\
+         subtrees because the three trees are independent."
+    );
+}

@@ -1,0 +1,39 @@
+//! # gossip-density
+//!
+//! Umbrella crate for the reproduction of *"On the Influence of Graph Density on
+//! Randomized Gossiping"* (Elsässer & Kaaser, 2015). It re-exports the three
+//! library layers so downstream users only need a single dependency:
+//!
+//! * [`graphs`] — random graph substrate (Erdős–Rényi, configuration model,
+//!   complete graphs) in a compact CSR representation,
+//! * [`engine`] — the random phone call model simulation engine (channels,
+//!   message sets, communication accounting, failures, memory lists),
+//! * [`gossip`] — the gossiping/broadcasting algorithms studied in the paper
+//!   (Push-Pull, fast-gossiping, memory-model gossiping, leader election),
+//! * [`experiments`] — the harness that regenerates every figure and table of
+//!   the paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gossip_density::prelude::*;
+//!
+//! // G(n, p) with the paper's density p = log^2 n / n.
+//! let graph = ErdosRenyi::paper_density(1 << 10).generate(7);
+//! let outcome = PushPullGossip::default().run(&graph, 7);
+//! assert!(outcome.completed());
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rpc_engine as engine;
+pub use rpc_experiments as experiments;
+pub use rpc_gossip as gossip;
+pub use rpc_graphs as graphs;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use rpc_engine::prelude::*;
+    pub use rpc_gossip::prelude::*;
+    pub use rpc_graphs::prelude::*;
+}

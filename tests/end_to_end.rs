@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: graph substrate → simulation engine →
+//! gossiping algorithms → experiment harness, exercised through the public
+//! API of the umbrella crate exactly as a downstream user would.
+
+use gossip_density::experiments;
+use gossip_density::gossip::{theory, MemoryGossipConfig};
+use gossip_density::prelude::*;
+
+const N: usize = 1 << 10;
+
+fn paper_graph(seed: u64) -> Graph {
+    ErdosRenyi::paper_density(N).generate(seed)
+}
+
+#[test]
+fn all_algorithms_complete_on_all_paper_topologies() {
+    let topologies: Vec<(&str, Graph)> = vec![
+        ("erdos-renyi", paper_graph(1)),
+        ("configuration-model", ConfigurationModel::paper_degree(N, 0.1).generate(1)),
+        ("complete", CompleteGraph::new(N).generate(0)),
+    ];
+    let algorithms: Vec<Box<dyn GossipAlgorithm>> = vec![
+        Box::new(PushPullGossip::default()),
+        Box::new(FastGossiping::paper(N)),
+        Box::new(MemoryGossip::paper(N)),
+    ];
+    for (label, graph) in &topologies {
+        for algorithm in &algorithms {
+            let outcome = algorithm.run(graph, 5);
+            assert!(
+                outcome.completed(),
+                "{} failed to complete on {label}",
+                algorithm.name()
+            );
+            assert_eq!(outcome.fully_informed(), N, "{} on {label}", algorithm.name());
+        }
+    }
+}
+
+#[test]
+fn figure1_ordering_holds_end_to_end() {
+    let graph = paper_graph(2);
+    let push_pull = PushPullGossip::default().run(&graph, 3);
+    let fast = FastGossiping::paper(N).run(&graph, 3);
+    let memory = MemoryGossip::paper(N).run(&graph, 3);
+    let pp = push_pull.messages_per_node(Accounting::PerPacket);
+    let fg = fast.messages_per_node(Accounting::PerPacket);
+    let mm = memory.messages_per_node(Accounting::PerPacket);
+    assert!(mm < fg, "memory {mm:.2} should be below fast-gossiping {fg:.2}");
+    assert!(fg < pp, "fast-gossiping {fg:.2} should be below push-pull {pp:.2}");
+}
+
+#[test]
+fn fast_gossiping_matches_complete_graph_performance_on_random_graphs() {
+    // Theorem 1's message: no significant density separation for gossiping.
+    let random = paper_graph(4);
+    let complete = CompleteGraph::new(N).generate(0);
+    let on_random = FastGossiping::paper(N).run(&random, 5);
+    let on_complete = FastGossiping::paper(N).run(&complete, 5);
+    let ratio = on_random.total_packets() as f64 / on_complete.total_packets() as f64;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "packets on G(n,p) vs K_n differ by {ratio:.2}x"
+    );
+}
+
+#[test]
+fn transmissions_stay_within_the_theorem_1_envelope() {
+    let graph = paper_graph(6);
+    let outcome = FastGossiping::paper(N).run(&graph, 7);
+    let measured = outcome.total_packets() as f64;
+    // At n = 1024 the log n / log log n saving is barely visible (log log n is
+    // only ~3.3), so the meaningful envelope at this scale is: stay within a
+    // small constant of the n log n lower bound for O(log n)-time algorithms,
+    // and do not exceed the push-pull baseline.
+    assert!(
+        measured < theory::gossip_logtime_lower_bound(N) * 1.5,
+        "measured {measured} packets exceed 1.5 · n log n"
+    );
+    let baseline = PushPullGossip::default().run(&graph, 7).total_packets() as f64;
+    assert!(measured < baseline, "fast-gossiping ({measured}) not below push-pull ({baseline})");
+}
+
+#[test]
+fn leader_election_feeds_memory_gossiping() {
+    let graph = paper_graph(8);
+    let election = LeaderElection::paper(N).run(&graph, 9);
+    assert!(election.succeeded());
+    let leader = election.leader.unwrap();
+    let outcome = MemoryGossip::paper(N).with_leader(leader).run(&graph, 10);
+    assert!(outcome.completed());
+    // Theorem 2 with election: O(n log log n) overall. The push phase of the
+    // election keeps all nodes active for Θ(log log n) closing steps, so the
+    // constant in front of log log n is around 4–6; allow 10.
+    let per_node = (election.total_packets + outcome.total_packets()) as f64 / N as f64;
+    let loglog = (N as f64).log2().log2();
+    assert!(
+        per_node < 10.0 * loglog,
+        "combined per-node packets {per_node:.2} exceed 10 · log log n = {:.1}",
+        10.0 * loglog
+    );
+}
+
+#[test]
+fn robustness_pipeline_reports_bounded_additional_loss() {
+    let graph = paper_graph(11);
+    let config = MemoryGossipConfig::paper_defaults(N).with_trees(3);
+    let outcome = MemoryGossip::new(config).run_with_failures(&graph, 12, 64);
+    assert_eq!(outcome.failed_nodes(), 64);
+    let ratio = outcome.additional_loss_ratio().unwrap();
+    assert!(ratio <= 4.0, "additional loss ratio {ratio:.2} too high");
+}
+
+#[test]
+fn experiment_harness_runs_at_quick_scale() {
+    let sizes = [256usize, 512];
+    let fig1_points = experiments::fig1::run(&sizes, 1, 1);
+    assert_eq!(fig1_points.len(), sizes.len() * 3);
+    assert!(fig1_points.iter().all(|p| p.completion_rate == 1.0));
+
+    let fig2_points = experiments::robustness::loss_ratio(512, &[0, 16], 3, 1, 2);
+    assert_eq!(fig2_points.len(), 2);
+    assert_eq!(fig2_points[0].loss_ratio, 0.0);
+
+    let table = experiments::table1::run(&[1_000_000]);
+    assert!(table.to_csv().contains("1000000"));
+}
+
+#[test]
+fn broadcasting_is_cheaper_than_gossiping_in_complete_graphs() {
+    // The motivating contrast: one message vs n messages.
+    let n = 2048;
+    let complete = CompleteGraph::new(n).generate(0);
+    let broadcast = PushPullBroadcast::default().run(&complete, 1);
+    let gossip = PushPullGossip::default().run(&complete, 1);
+    assert!(broadcast.completed && gossip.completed());
+    assert!(
+        broadcast.transmissions < gossip.total_packets(),
+        "broadcasting one rumor must cost less than full gossiping"
+    );
+}
+
+#[test]
+fn seeded_runs_are_reproducible_across_the_whole_stack() {
+    let graph = paper_graph(13);
+    for _ in 0..2 {
+        let a = FastGossiping::paper(N).run(&graph, 99);
+        let b = FastGossiping::paper(N).run(&graph, 99);
+        assert_eq!(a.total_packets(), b.total_packets());
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.channels_opened(), b.channels_opened());
+    }
+}
