@@ -62,13 +62,9 @@ fn bench_fig2_robustness_ratio(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_robustness_ratio");
     group.sample_size(10);
     for failures in [0usize, 32, 128] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(failures),
-            &failures,
-            |b, &failures| {
-                b.iter(|| black_box(algorithm.run_with_failures(&graph, SEED, failures)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(failures), &failures, |b, &failures| {
+            b.iter(|| black_box(algorithm.run_with_failures(&graph, SEED, failures)))
+        });
     }
     group.finish();
 }
@@ -131,9 +127,8 @@ fn bench_broadcast_vs_gossip(c: &mut Criterion) {
 fn bench_fig1_harness(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_harness");
     group.sample_size(10);
-    group.bench_function("sweep_256_512", |b| {
-        b.iter(|| black_box(fig1::run(&[256, 512], 1, SEED)))
-    });
+    group
+        .bench_function("sweep_256_512", |b| b.iter(|| black_box(fig1::run(&[256, 512], 1, SEED))));
     group.finish();
 }
 

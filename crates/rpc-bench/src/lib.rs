@@ -9,10 +9,7 @@ use rpc_graphs::prelude::*;
 /// Standard benchmark topologies: the paper-density Erdős–Rényi graph and the
 /// complete graph of the same size, generated deterministically.
 pub fn benchmark_graphs(n: usize, seed: u64) -> (Graph, Graph) {
-    (
-        ErdosRenyi::paper_density(n).generate(seed),
-        CompleteGraph::new(n).generate(seed),
-    )
+    (ErdosRenyi::paper_density(n).generate(seed), CompleteGraph::new(n).generate(seed))
 }
 
 #[cfg(test)]

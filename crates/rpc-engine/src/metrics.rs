@@ -51,11 +51,7 @@ pub struct Metrics {
 impl Metrics {
     /// Creates metrics for a network of `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self {
-            packets_per_node: vec![0; n],
-            exchanges_per_node: vec![0; n],
-            ..Self::default()
-        }
+        Self { packets_per_node: vec![0; n], exchanges_per_node: vec![0; n], ..Self::default() }
     }
 
     /// Number of nodes this metric tracks.

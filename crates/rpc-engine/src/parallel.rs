@@ -53,7 +53,7 @@ pub fn compute_deltas(
     let mut results: Vec<Vec<(NodeId, MessageSet)>> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (chunk, mut local_pool) in chunks.into_iter().zip(pools.into_iter()) {
+        for (chunk, mut local_pool) in chunks.into_iter().zip(pools) {
             handles.push(scope.spawn(move |_| {
                 compute_group_deltas(states, sorted_transfers, chunk, &mut local_pool)
             }));

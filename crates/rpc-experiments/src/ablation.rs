@@ -81,7 +81,14 @@ pub fn run(
 pub fn table(points: &[AblationPoint]) -> Table {
     let mut table = Table::new(
         "Ablation — fast-gossiping parameter tuning",
-        &["n", "walk_prob_factor", "broadcast_steps", "packets_per_node", "rounds", "completion_rate"],
+        &[
+            "n",
+            "walk_prob_factor",
+            "broadcast_steps",
+            "packets_per_node",
+            "rounds",
+            "completion_rate",
+        ],
     );
     for p in points {
         table.push_row(vec![

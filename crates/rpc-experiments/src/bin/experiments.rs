@@ -140,7 +140,8 @@ fn run_ablation(scale: Scale, out: &Option<PathBuf>) {
     let n = (scale.max_n / 4).max(1024);
     let points = ablation::run(n, &[0.5, 1.0, 2.0, 4.0], &[1, 2, 3], scale.repetitions, scale.seed);
     emit(&ablation::table(&points), "ablation_fast_gossiping.csv", out);
-    let (deferred, immediate) = ablation::delivery_semantics_rounds(n, scale.repetitions, scale.seed);
+    let (deferred, immediate) =
+        ablation::delivery_semantics_rounds(n, scale.repetitions, scale.seed);
     println!(
         "delivery semantics at n = {n}: deferred = {deferred:.2} rounds, immediate = {immediate:.2} rounds\n"
     );

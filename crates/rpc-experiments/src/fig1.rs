@@ -77,14 +77,7 @@ pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<Fig1Point
 pub fn table(points: &[Fig1Point]) -> Table {
     let mut table = Table::new(
         "Figure 1 — average messages per node on G(n, log^2 n / n)",
-        &[
-            "n",
-            "algorithm",
-            "messages_per_node",
-            "packets_per_node",
-            "rounds",
-            "completion_rate",
-        ],
+        &["n", "algorithm", "messages_per_node", "packets_per_node", "rounds", "completion_rate"],
     );
     for p in points {
         table.push_row(vec![

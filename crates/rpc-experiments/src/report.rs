@@ -70,11 +70,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {}\n", self.title);
         let _ = writeln!(out, "| {} |", self.columns.join(" | "));
-        let _ = writeln!(
-            out,
-            "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-        );
+        let _ =
+            writeln!(out, "|{}|", self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }

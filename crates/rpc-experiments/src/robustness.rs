@@ -70,10 +70,8 @@ pub fn loss_ratio(
 
 /// Renders loss-ratio points as a table.
 pub fn loss_ratio_table(title: &str, points: &[LossRatioPoint]) -> Table {
-    let mut table = Table::new(
-        title,
-        &["n", "failed_nodes", "loss_ratio", "lost_messages", "repetitions"],
-    );
+    let mut table =
+        Table::new(title, &["n", "failed_nodes", "loss_ratio", "lost_messages", "repetitions"]);
     for p in points {
         table.push_row(vec![
             p.n.to_string(),

@@ -49,7 +49,9 @@ pub fn arithmetic_failure_sweep(step: usize, max_f: usize) -> Vec<usize> {
 
 /// Per-run seeds derived from a base seed (one per repetition).
 pub fn seeds(base: u64, repetitions: usize) -> Vec<u64> {
-    (0..repetitions as u64).map(|i| base.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).collect()
+    (0..repetitions as u64)
+        .map(|i| base.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //!   normalised column divides by `n` and must stay constant.
 
 use rpc_engine::Accounting;
-use rpc_gossip::{theory, prelude::*};
+use rpc_gossip::{prelude::*, theory};
 use rpc_graphs::prelude::*;
 
 use crate::report::{fmt3, Table};

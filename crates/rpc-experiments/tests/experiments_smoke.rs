@@ -1,0 +1,72 @@
+//! End-to-end smoke test: run the `experiments` binary's `--quick` path and
+//! assert it produces non-empty Markdown on stdout and non-empty CSV files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Directory unique to this test process so parallel test runs cannot clash.
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("experiments-smoke-{label}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("stale scratch dir should be removable");
+    }
+    dir
+}
+
+#[test]
+fn table1_quick_emits_markdown_and_csv() {
+    let out_dir = scratch_dir("table1");
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["table1", "--quick", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("experiments binary should spawn");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let stdout = String::from_utf8(output.stdout).expect("stdout should be UTF-8");
+    assert!(!stdout.trim().is_empty(), "expected Markdown output on stdout");
+    assert!(stdout.contains('|'), "expected a Markdown table, got:\n{stdout}");
+    assert!(stdout.contains("Table 1"), "expected a Table 1 caption, got:\n{stdout}");
+
+    let csv = out_dir.join("table1_constants.csv");
+    let contents = std::fs::read_to_string(&csv)
+        .unwrap_or_else(|e| panic!("expected CSV at {}: {e}", csv.display()));
+    let lines: Vec<&str> = contents.lines().collect();
+    assert!(lines.len() >= 2, "CSV should have a header and at least one row:\n{contents}");
+    assert!(lines[0].contains(','), "CSV header should be comma-separated: {}", lines[0]);
+
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn fig1_quick_emits_markdown_and_csv() {
+    let out_dir = scratch_dir("fig1");
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["fig1", "--quick", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("experiments binary should spawn");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let stdout = String::from_utf8(output.stdout).expect("stdout should be UTF-8");
+    assert!(stdout.contains('|'), "expected a Markdown table, got:\n{stdout}");
+
+    let csv = out_dir.join("fig1_overhead.csv");
+    let contents = std::fs::read_to_string(&csv)
+        .unwrap_or_else(|e| panic!("expected CSV at {}: {e}", csv.display()));
+    assert!(contents.lines().count() >= 2, "CSV should have header and data:\n{contents}");
+
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("no-such-figure")
+        .output()
+        .expect("experiments binary should spawn");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown subcommand"), "stderr: {stderr}");
+}

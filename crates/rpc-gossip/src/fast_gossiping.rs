@@ -216,10 +216,7 @@ mod tests {
         let g = ErdosRenyi::paper_density(n).generate(2);
         let outcome = FastGossiping::paper(n).run(&g, 4);
         let labels: Vec<_> = outcome.phases().iter().map(|p| p.label.clone()).collect();
-        assert_eq!(
-            labels,
-            vec!["phase1-distribution", "phase2-random-walks", "phase3-broadcast"]
-        );
+        assert_eq!(labels, vec!["phase1-distribution", "phase2-random-walks", "phase3-broadcast"]);
         assert!(outcome.packets_in_phase("phase1-distribution").unwrap() > 0);
     }
 
@@ -236,10 +233,7 @@ mod tests {
         for m in (0..n as u32).step_by(97) {
             min_informed = min_informed.min(sim.informed_count_of(m));
         }
-        assert!(
-            min_informed >= 3,
-            "some message reached only {min_informed} nodes after phase I"
-        );
+        assert!(min_informed >= 3, "some message reached only {min_informed} nodes after phase I");
     }
 
     #[test]

@@ -170,9 +170,7 @@ impl LeaderElection {
             .collect();
         let leader = if self_declared.len() == 1 { Some(self_declared[0]) } else { None };
         let aware_nodes = match leader {
-            Some(l) => (0..n)
-                .filter(|&v| alive[v] && best[v] == Some(l))
-                .count(),
+            Some(l) => (0..n).filter(|&v| alive[v] && best[v] == Some(l)).count(),
             None => 0,
         };
 

@@ -135,8 +135,7 @@ impl MemoryGossip {
         // simulation note that the dissemination phases are run to completion.
         let mut pull_step = 0usize;
         loop {
-            let all_covered =
-                (0..n).all(|v| has_msg[v] || !sim.is_alive(v as NodeId));
+            let all_covered = (0..n).all(|v| has_msg[v] || !sim.is_alive(v as NodeId));
             if pull_step >= self.config.phase1_pull_steps
                 && (all_covered || pull_step >= self.config.phase3_max_pull_steps)
             {

@@ -40,18 +40,10 @@ mod tests {
         let graph = ErdosRenyi::paper_density(n).generate(3);
         for algorithm in all_algorithms(n) {
             let outcome = algorithm.run(&graph, 7);
-            assert!(
-                outcome.completed(),
-                "{} did not complete gossiping",
-                algorithm.name()
-            );
+            assert!(outcome.completed(), "{} did not complete gossiping", algorithm.name());
             assert_eq!(outcome.fully_informed(), n, "{}", algorithm.name());
             assert!(outcome.total_packets() > 0);
-            assert!(
-                outcome.messages_per_node(Accounting::PerPacket) > 0.0,
-                "{}",
-                algorithm.name()
-            );
+            assert!(outcome.messages_per_node(Accounting::PerPacket) > 0.0, "{}", algorithm.name());
         }
     }
 

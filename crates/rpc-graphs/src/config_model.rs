@@ -130,9 +130,7 @@ mod tests {
 
     #[test]
     fn erased_model_has_no_loops_or_parallel_edges() {
-        let g = ConfigurationModel::new(200, 8)
-            .with_policy(MultiEdgePolicy::Erase)
-            .generate(4);
+        let g = ConfigurationModel::new(200, 8).with_policy(MultiEdgePolicy::Erase).generate(4);
         assert_eq!(g.num_self_loops(), 0);
         assert_eq!(g.num_parallel_edges(), 0);
         // Erasure removes only a handful of edges w.h.p. for this density.
@@ -152,10 +150,7 @@ mod tests {
         let bad = (g.num_self_loops() + g.num_parallel_edges()) as f64;
         // E[self-loops] ≈ (d-1)/2 and E[parallel pairs] ≈ (d-1)²/4; allow 2×.
         let expected = (d - 1.0) / 2.0 + (d - 1.0) * (d - 1.0) / 4.0;
-        assert!(
-            bad < 2.0 * expected + 50.0,
-            "{bad} defective edges, expected around {expected}"
-        );
+        assert!(bad < 2.0 * expected + 50.0, "{bad} defective edges, expected around {expected}");
         // And they remain a small fraction of all n·d/2 edges.
         assert!(bad < 0.1 * g.num_edges() as f64);
     }

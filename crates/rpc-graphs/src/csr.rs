@@ -202,7 +202,7 @@ impl Graph {
 
     /// Iterator over all node ids `0..n`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as NodeId).into_iter()
+        0..self.num_nodes() as NodeId
     }
 
     /// Iterator over all undirected edges `(u, v)` with `u <= v`.
@@ -211,29 +211,22 @@ impl Graph {
     /// is reported once.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.nodes().flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
-                .chain(
-                    // Self-loops appear twice in the neighbor list of u; emit half.
-                    self.neighbors(u)
-                        .iter()
-                        .copied()
-                        .filter(move |&v| v == u)
-                        .enumerate()
-                        .filter(|(i, _)| i % 2 == 0)
-                        .map(move |(_, v)| (u, v)),
-                )
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v)).chain(
+                // Self-loops appear twice in the neighbor list of u; emit half.
+                self.neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(move |&v| v == u)
+                    .enumerate()
+                    .filter(|(i, _)| i % 2 == 0)
+                    .map(move |(_, v)| (u, v)),
+            )
         })
     }
 
     /// Number of self-loops in the graph.
     pub fn num_self_loops(&self) -> usize {
-        self.nodes()
-            .map(|v| self.neighbors(v).iter().filter(|&&u| u == v).count() / 2)
-            .sum()
+        self.nodes().map(|v| self.neighbors(v).iter().filter(|&&u| u == v).count() / 2).sum()
     }
 
     /// Number of parallel edge *pairs* beyond the first copy of each edge.

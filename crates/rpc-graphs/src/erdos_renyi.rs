@@ -36,11 +36,7 @@ impl ErdosRenyi {
     /// The density used throughout the paper's empirical section:
     /// `p = log² n / n`, i.e. expected degree `log² n`.
     pub fn paper_density(n: usize) -> Self {
-        let p = if n <= 1 {
-            0.0
-        } else {
-            (log2n(n) * log2n(n) / n as f64).min(1.0)
-        };
+        let p = if n <= 1 { 0.0 } else { (log2n(n) * log2n(n) / n as f64).min(1.0) };
         Self { n, p }
     }
 
@@ -58,11 +54,7 @@ impl ErdosRenyi {
     /// paper's theorems.
     pub fn theorem_density(n: usize, eps: f64) -> Self {
         assert!(eps >= 0.0, "eps must be non-negative");
-        let p = if n <= 1 {
-            0.0
-        } else {
-            (log2n(n).powf(2.0 + eps) / n as f64).min(1.0)
-        };
+        let p = if n <= 1 { 0.0 } else { (log2n(n).powf(2.0 + eps) / n as f64).min(1.0) };
         Self { n, p }
     }
 

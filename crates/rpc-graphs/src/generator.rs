@@ -43,10 +43,8 @@ mod tests {
 
     #[test]
     fn trait_objects_are_usable() {
-        let generators: Vec<Box<dyn GraphGenerator>> = vec![
-            Box::new(ErdosRenyi::paper_density(128)),
-            Box::new(CompleteGraph::new(128)),
-        ];
+        let generators: Vec<Box<dyn GraphGenerator>> =
+            vec![Box::new(ErdosRenyi::paper_density(128)), Box::new(CompleteGraph::new(128))];
         for g in &generators {
             assert_eq!(g.num_nodes(), 128);
             assert_eq!(g.generate(1).num_nodes(), 128);

@@ -28,8 +28,7 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let min = *degrees.iter().min().unwrap();
     let max = *degrees.iter().max().unwrap();
     let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
-    let variance =
-        degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let variance = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
     DegreeStats { min, max, mean, variance }
 }
 
@@ -97,11 +96,8 @@ pub fn diameter_estimate(graph: &Graph) -> Option<u32> {
         return None;
     }
     let first = bfs_distances(graph, 0);
-    let (far, _) = first
-        .iter()
-        .enumerate()
-        .filter_map(|(v, d)| d.map(|d| (v, d)))
-        .max_by_key(|&(_, d)| d)?;
+    let (far, _) =
+        first.iter().enumerate().filter_map(|(v, d)| d.map(|d| (v, d))).max_by_key(|&(_, d)| d)?;
     let second = bfs_distances(graph, far as NodeId);
     second.iter().filter_map(|d| *d).max()
 }
@@ -206,7 +202,7 @@ mod tests {
     fn random_graph_diameter_is_logarithmic() {
         let g = ErdosRenyi::paper_density(2048).generate(1);
         let diam = diameter_estimate(&g).unwrap();
-        assert!(diam >= 2 && diam <= 6, "diameter {diam} implausible for G(n, log^2 n/n)");
+        assert!((2..=6).contains(&diam), "diameter {diam} implausible for G(n, log^2 n/n)");
     }
 
     #[test]

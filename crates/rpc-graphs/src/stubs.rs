@@ -46,14 +46,7 @@ impl StubPairing {
                 free_pool.push((v as NodeId, i as u32));
             }
         }
-        Self {
-            n,
-            d,
-            partner: vec![vec![None; d]; n],
-            free_pool,
-            pool_index,
-            used: vec![0; n],
-        }
+        Self { n, d, partner: vec![vec![None; d]; n], free_pool, pool_index, used: vec![0; n] }
     }
 
     /// Number of cells (nodes).
@@ -101,7 +94,11 @@ impl StubPairing {
     /// free stub in the whole graph and the new partner is returned with
     /// `fresh = true`. Returns `None` only in the degenerate case where the
     /// only free stub left belongs to the chosen stub itself.
-    pub fn open_channel<R: Rng + ?Sized>(&mut self, v: NodeId, rng: &mut R) -> Option<(NodeId, bool)> {
+    pub fn open_channel<R: Rng + ?Sized>(
+        &mut self,
+        v: NodeId,
+        rng: &mut R,
+    ) -> Option<(NodeId, bool)> {
         if self.d == 0 {
             return None;
         }
@@ -134,22 +131,7 @@ impl StubPairing {
     /// multigraph. Already-revealed pairs are kept.
     pub fn finish<R: Rng + ?Sized>(mut self, rng: &mut R) -> Graph {
         let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.n * self.d / 2);
-        for v in 0..self.n {
-            for i in 0..self.d {
-                if let Some(u) = self.partner[v][i] {
-                    // Emit each revealed pair once (from the lexicographically
-                    // smaller endpoint; self-loop pairs are emitted from the
-                    // smaller stub index side).
-                    if (u as usize) > v || (u as usize == v) {
-                        // For self loops we would double count; handle below by
-                        // only emitting half of the loop stubs.
-                        continue;
-                    }
-                }
-            }
-        }
         // Re-derive revealed edges robustly: walk all stubs and pair ids.
-        edges.clear();
         let mut seen = vec![false; self.n * self.d];
         for v in 0..self.n {
             for i in 0..self.d {
@@ -162,7 +144,10 @@ impl StubPairing {
                     let mut matched = false;
                     for j in 0..self.d {
                         let uid = u as usize * self.d + j;
-                        if !seen[uid] && uid != id && self.partner[u as usize][j] == Some(v as NodeId) {
+                        if !seen[uid]
+                            && uid != id
+                            && self.partner[u as usize][j] == Some(v as NodeId)
+                        {
                             seen[id] = true;
                             seen[uid] = true;
                             edges.push((v as NodeId, u));

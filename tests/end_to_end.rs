@@ -27,11 +27,7 @@ fn all_algorithms_complete_on_all_paper_topologies() {
     for (label, graph) in &topologies {
         for algorithm in &algorithms {
             let outcome = algorithm.run(graph, 5);
-            assert!(
-                outcome.completed(),
-                "{} failed to complete on {label}",
-                algorithm.name()
-            );
+            assert!(outcome.completed(), "{} failed to complete on {label}", algorithm.name());
             assert_eq!(outcome.fully_informed(), N, "{} on {label}", algorithm.name());
         }
     }
@@ -58,10 +54,7 @@ fn fast_gossiping_matches_complete_graph_performance_on_random_graphs() {
     let on_random = FastGossiping::paper(N).run(&random, 5);
     let on_complete = FastGossiping::paper(N).run(&complete, 5);
     let ratio = on_random.total_packets() as f64 / on_complete.total_packets() as f64;
-    assert!(
-        (0.5..=2.0).contains(&ratio),
-        "packets on G(n,p) vs K_n differ by {ratio:.2}x"
-    );
+    assert!((0.5..=2.0).contains(&ratio), "packets on G(n,p) vs K_n differ by {ratio:.2}x");
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! invariants the paper's analysis relies on.
 
-use gossip_density::engine::{sample_failures, MessageSet, Simulation, Transfer};
 use gossip_density::engine::DeliverySemantics;
+use gossip_density::engine::{sample_failures, MessageSet, Simulation, Transfer};
 use gossip_density::graphs::prelude::*;
 use gossip_density::graphs::topology;
 use gossip_density::prelude::*;
@@ -131,14 +131,14 @@ proptest! {
                 }
             }
             sim.deliver(&transfers);
-            for v in 0..n {
+            for (v, prev) in previous.iter_mut().enumerate() {
                 let now = sim.num_known(v as u32);
-                prop_assert!(now >= previous[v], "knowledge shrank at node {v}");
+                prop_assert!(now >= *prev, "knowledge shrank at node {v}");
                 // One push per node per step: at most n-1 new messages, and a
                 // node can learn at most as many messages as it has in-neighbours
                 // this step — certainly no more than n.
                 prop_assert!(now <= n);
-                previous[v] = now;
+                *prev = now;
             }
         }
     }

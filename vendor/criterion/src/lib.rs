@@ -1,0 +1,285 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! Implements the subset of the `criterion 0.5` API used by this workspace:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is plain wall-clock timing — no
+//! statistics, plots, or saved baselines. `cargo bench -- --test` runs every
+//! benchmark body exactly once, like real criterion's test mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How the harness executes benchmark bodies this run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Time each benchmark and print a wall-clock estimate.
+    Measure,
+    /// Run each benchmark body once to check it works (`--test`).
+    Test,
+    /// Enumerate benchmark names without running them (`--list`).
+    List,
+}
+
+/// Entry point of the harness, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: Mode::Measure, filter: None, sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the command line, recognising the flags
+    /// cargo-bench passes through (`--test`, `--list`, `--bench`, a filter).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::Test,
+                "--list" => c.mode = Mode::List,
+                // Flags real criterion accepts and we can safely ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                filter => c.filter = Some(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: None }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let sample_size = self.sample_size;
+        self.run_one(&name, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        match self.mode {
+            Mode::List => println!("{name}: benchmark"),
+            Mode::Test => {
+                let mut bencher = Bencher {
+                    mode: Mode::Test,
+                    sample_size,
+                    elapsed: Duration::ZERO,
+                    iterations: 0,
+                };
+                f(&mut bencher);
+                println!("test {name} ... ok");
+            }
+            Mode::Measure => {
+                let mut bencher = Bencher {
+                    mode: Mode::Measure,
+                    sample_size,
+                    elapsed: Duration::ZERO,
+                    iterations: 0,
+                };
+                f(&mut bencher);
+                let per_iter = if bencher.iterations == 0 {
+                    Duration::ZERO
+                } else {
+                    bencher.elapsed / bencher.iterations as u32
+                };
+                println!("{name}: {per_iter:>12.2?}/iter ({} iterations)", bencher.iterations);
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of samples taken per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&name, sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (The stand-in keeps no cross-benchmark state, so this
+    /// only exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function_name.into()))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `&str` and `BenchmarkId` can both
+/// name benchmarks.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+/// Timer handed to benchmark closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the elapsed wall-clock time. In
+    /// `--test` mode the routine runs exactly once.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            self.iterations = 1;
+            return;
+        }
+        // One untimed warm-up call, then time `sample_size` iterations.
+        black_box(routine());
+        let iterations = self.sample_size.max(1) as u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += iterations;
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(32).0, "32");
+        assert_eq!(BenchmarkId::new("gen", 128).0, "gen/128");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let criterion = Criterion { mode: Mode::Test, filter: None, sample_size: 100 };
+        let mut runs = 0;
+        criterion.run_one("probe", 100, |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_honors_sample_size() {
+        let criterion = Criterion { mode: Mode::Measure, filter: None, sample_size: 100 };
+        let mut runs = 0u64;
+        criterion.run_one("probe", 7, |b| b.iter(|| runs += 1));
+        // One warm-up call plus seven timed iterations.
+        assert_eq!(runs, 8);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let criterion =
+            Criterion { mode: Mode::Test, filter: Some("wanted".into()), sample_size: 100 };
+        let mut runs = 0;
+        criterion.run_one("other", 100, |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        criterion.run_one("wanted_bench", 100, |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

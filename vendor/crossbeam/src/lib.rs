@@ -1,0 +1,104 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, implemented on top of `std::thread::scope`.
+//!
+//! Only the scoped-thread subset used by this workspace is provided:
+//! [`thread::scope`], [`thread::Scope::spawn`], and
+//! [`thread::ScopedJoinHandle::join`]. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope in which threads borrowing from the environment can be spawned.
+    ///
+    /// Thin wrapper around [`std::thread::Scope`] whose `spawn` passes the
+    /// scope to the closure again, matching crossbeam's signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: deriving would put bounds on the lifetimes' usage sites.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread, mirroring
+    /// `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so it
+        /// can spawn further threads, exactly like crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the environment.
+    ///
+    /// Returns `Ok(r)` with the closure's result; unlike crossbeam, a panic in
+    /// an unjoined child propagates at scope exit instead of surfacing as
+    /// `Err` (this workspace joins every handle, so the difference is moot).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins_borrowing_threads() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::thread::scope(|scope| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| scope.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_passed_scope() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn join_surfaces_panics_as_err() {
+        let joined = super::thread::scope(|scope| -> super::thread::Result<()> {
+            scope.spawn(|_| panic!("boom")).join()
+        })
+        .unwrap();
+        assert!(joined.is_err());
+    }
+}

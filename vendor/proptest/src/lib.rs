@@ -1,0 +1,268 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! Implements the subset of the `proptest 1` API used by this workspace: the
+//! [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`], [`any`],
+//! integer / float range strategies, `prop::collection::vec`, and
+//! [`ProptestConfig`]. There is **no shrinking**: a failing case panics with
+//! the case number and seed in the message instead of a minimized
+//! counterexample. The `PROPTEST_CASES` environment variable caps the case
+//! count, which CI uses to bound runtime. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The configured case count, capped by the `PROPTEST_CASES` environment
+    /// variable when set (used to bound CI runtime).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+            Some(cap) => self.cases.min(cap),
+            None => self.cases,
+        }
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`], mirroring
+/// `proptest::strategy::Strategy` (without shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from this strategy.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+/// Strategy producing any value of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical uniform generator, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value of `Self`.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Strategy combinators namespace, mirroring the `proptest::prop` re-export.
+pub mod prop {
+    /// Collection strategies, mirroring `proptest::collection`.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with element strategy `S` and a length drawn
+        /// from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors whose length is drawn uniformly from `size` and
+        /// whose elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let len = if self.size.is_empty() {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property, mirroring `proptest::prop_assert!`.
+///
+/// Without shrinking there is no failure persistence, so this simply panics
+/// (the surrounding [`proptest!`] loop reports the case number and seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item expands to a
+/// test that draws `arg` from `strategy` for every case. Cases are seeded
+/// deterministically from the case index so failures reproduce exactly.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.effective_cases() {
+                    // Derived, fixed per-case seed: failures name the exact
+                    // case and rerunning reproduces it bit-for-bit.
+                    let seed = 0x5EED_0000_u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut proptest_rng =
+                        <::rand::rngs::SmallRng as ::rand::SeedableRng>::seed_from_u64(seed);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut proptest_rng);)+
+                    let run = move || $body;
+                    if let Err(payload) = ::std::panic::catch_unwind(run) {
+                        eprintln!(
+                            "proptest case {case} (seed {seed:#x}) failed in {}",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let v = Strategy::sample(&(5usize..17), &mut rng);
+            assert!((5..17).contains(&v));
+            let f = Strategy::sample(&(0.0f64..0.25), &mut rng);
+            assert!((0.0..0.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(0u32..10, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn effective_cases_defaults_to_configured() {
+        // Do not touch the environment here: tests run concurrently and
+        // PROPTEST_CASES may be legitimately set by the harness.
+        let config = ProptestConfig::with_cases(64);
+        assert!(config.effective_cases() <= 64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(n in 1usize..50, flag in any::<bool>()) {
+            prop_assert!(n >= 1);
+            prop_assert_eq!(usize::from(flag) * 2, if flag { 2 } else { 0 });
+        }
+    }
+}
