@@ -9,7 +9,10 @@
 //! * `fig5_robustness_runs` — repeated failure runs,
 //! * `theorem1_scaling` — fast-gossiping on random vs complete graphs,
 //! * `broadcast_vs_gossip` — the motivating separation experiment,
-//! * `substrate` — graph generation and engine delivery throughput.
+//! * `substrate` — graph generation and engine delivery throughput,
+//! * `scenario_throughput` — the churn-heavy scenario at quick scale
+//!   (steps/sec = rounds per iteration / measured time; the round count per
+//!   run is deterministic, so the per-iteration time tracks step throughput).
 //!
 //! Benchmark sizes are deliberately moderate (2¹⁰–2¹²) so the whole suite runs
 //! in a few minutes; the absolute numbers are not the reproduction target (the
@@ -158,6 +161,18 @@ fn bench_substrate(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scenario_throughput(c: &mut Criterion) {
+    let n = 512;
+    let scenario = rpc_scenarios::registry::find("churn-heavy", n)
+        .expect("churn-heavy is a registry scenario");
+    let mut group = c.benchmark_group("scenario_throughput");
+    group.sample_size(10);
+    group.bench_function("churn_heavy_n512", |b| {
+        b.iter(|| black_box(rpc_scenarios::run_scenario(black_box(&scenario), SEED, 1)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_table1_config,
@@ -168,6 +183,7 @@ criterion_group!(
     bench_theorem1_scaling,
     bench_broadcast_vs_gossip,
     bench_fig1_harness,
-    bench_substrate
+    bench_substrate,
+    bench_scenario_throughput
 );
 criterion_main!(benches);

@@ -18,13 +18,26 @@ use rpc_graphs::NodeId;
 /// out of a million nodes is cheap.
 pub fn sample_failures<R: Rng + ?Sized>(n: usize, count: usize, rng: &mut R) -> Vec<NodeId> {
     assert!(count <= n, "cannot fail more nodes than exist");
-    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    let ids: Vec<NodeId> = (0..n as NodeId).collect();
+    sample_from_pool(ids, count, rng)
+}
+
+/// Draws `count` distinct nodes uniformly at random from an arbitrary
+/// candidate pool (consumed and partially shuffled). Panics if
+/// `count > pool.len()`. Used by churn schedulers that must exclude
+/// already-departed nodes from the next wave.
+pub fn sample_from_pool<R: Rng + ?Sized>(
+    mut pool: Vec<NodeId>,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    assert!(count <= pool.len(), "cannot sample more nodes than the pool holds");
     for i in 0..count {
-        let j = rng.gen_range(i..n);
-        ids.swap(i, j);
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
     }
-    ids.truncate(count);
-    ids
+    pool.truncate(count);
+    pool
 }
 
 /// When, relative to an algorithm's phases, the failures are injected.
@@ -108,6 +121,26 @@ mod tests {
     fn oversampling_panics() {
         let mut rng = SmallRng::seed_from_u64(4);
         let _ = sample_failures(5, 6, &mut rng);
+    }
+
+    #[test]
+    fn pool_sampling_respects_the_pool() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pool: Vec<u32> = vec![3, 7, 11, 19, 23];
+        for _ in 0..50 {
+            let sample = sample_from_pool(pool.clone(), 3, &mut rng);
+            assert_eq!(sample.len(), 3);
+            let set: HashSet<_> = sample.iter().copied().collect();
+            assert_eq!(set.len(), 3, "samples must be distinct");
+            assert!(sample.iter().all(|v| pool.contains(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample more nodes")]
+    fn pool_oversampling_panics() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let _ = sample_from_pool(vec![1, 2], 3, &mut rng);
     }
 
     #[test]

@@ -21,7 +21,16 @@
 //! * [`failures`] — uniform node-failure sampling and injection plans
 //!   (Theorem 3 / Figures 2, 3, 5);
 //! * [`parallel`] — crossbeam-based parallel computation of per-step message
-//!   deltas (bit-identical to the sequential path).
+//!   deltas (bit-identical to the sequential path);
+//! * [`seeding`] — SplitMix64 seed derivation shared by every replication
+//!   harness, so Monte Carlo results are identical for any thread count.
+//!
+//! Beyond the paper's static model, the simulation supports *dynamic*
+//! scenarios used by the `rpc-scenarios` crate: per-packet message loss
+//! ([`Simulation::with_loss_probability`]) and scheduled churn / crash events
+//! ([`Simulation::schedule_kill`], [`Simulation::schedule_revive`],
+//! [`Simulation::schedule_crash`]) that fire at round boundaries without any
+//! cooperation from the algorithm being simulated.
 //!
 //! ```
 //! use rpc_engine::prelude::*;
@@ -43,22 +52,25 @@ pub mod memory;
 pub mod message;
 pub mod metrics;
 pub mod parallel;
+pub mod seeding;
 pub mod sim;
 pub mod walks;
 
-pub use failures::{sample_failures, FailurePlan, FailureTime};
+pub use failures::{sample_failures, sample_from_pool, FailurePlan, FailureTime};
 pub use memory::{Contact, ContactLists, ContactMemory, MEMORY_SLOTS};
 pub use message::{MessageId, MessageSet};
 pub use metrics::{Accounting, Metrics, PhaseSnapshot};
+pub use seeding::{derive_seed, splitmix64};
 pub use sim::{DeliverySemantics, Simulation, Transfer};
 pub use walks::{Walk, WalkQueues};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
-    pub use crate::failures::{sample_failures, FailurePlan, FailureTime};
+    pub use crate::failures::{sample_failures, sample_from_pool, FailurePlan, FailureTime};
     pub use crate::memory::{Contact, ContactLists, ContactMemory};
     pub use crate::message::{MessageId, MessageSet};
     pub use crate::metrics::{Accounting, Metrics};
+    pub use crate::seeding::{derive_seed, splitmix64};
     pub use crate::sim::{DeliverySemantics, Simulation, Transfer};
     pub use crate::walks::{Walk, WalkQueues};
 }

@@ -19,7 +19,7 @@
 //! of all messages received in steps `< t`"). See [`DeliverySemantics`].
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use rpc_graphs::{Graph, NodeId};
 
@@ -62,6 +62,28 @@ impl Transfer {
     }
 }
 
+/// What a scheduled liveness event does to its node set. Kept private: users
+/// go through [`Simulation::schedule_kill`] / [`Simulation::schedule_revive`]
+/// / [`Simulation::schedule_crash`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LivenessKind {
+    /// Churn out: the nodes leave the network entirely.
+    Kill,
+    /// Churn in: previously departed nodes rejoin with their old state.
+    Revive,
+    /// Crash: the paper's failure model — the nodes stay addressable but
+    /// neither transmit nor store (Section 5).
+    Crash,
+}
+
+/// A liveness change applied at the start of the given round.
+#[derive(Clone, Debug)]
+struct LivenessEvent {
+    round: u64,
+    kind: LivenessKind,
+    nodes: Vec<NodeId>,
+}
+
 /// The mutable state of one simulation run.
 #[derive(Debug)]
 pub struct Simulation<'g> {
@@ -70,11 +92,22 @@ pub struct Simulation<'g> {
     known: Vec<u32>,
     alive: Vec<bool>,
     alive_count: usize,
+    /// Churn mask: `false` means the node has departed the network. Unlike a
+    /// crashed node (`alive[v] == false`), a departed node is also excluded
+    /// from its neighbors' channel selection.
+    present: Vec<bool>,
+    departed_count: usize,
     fully_informed: usize,
     metrics: Metrics,
     rng: SmallRng,
     semantics: DeliverySemantics,
     threads: usize,
+    /// Per-packet loss probability applied inside [`Simulation::deliver`].
+    loss_probability: f64,
+    /// Scheduled liveness events, sorted by round; `next_event` is the cursor
+    /// into the already-applied prefix.
+    schedule: Vec<LivenessEvent>,
+    next_event: usize,
     scratch_pool: Vec<MessageSet>,
 }
 
@@ -90,11 +123,16 @@ impl<'g> Simulation<'g> {
             known: vec![1; n],
             alive: vec![true; n],
             alive_count: n,
+            present: vec![true; n],
+            departed_count: 0,
             fully_informed: if n <= 1 { n } else { 0 },
             metrics: Metrics::new(n),
             rng: SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03),
             semantics: DeliverySemantics::Deferred,
             threads: 1,
+            loss_probability: 0.0,
+            schedule: Vec::new(),
+            next_event: 0,
             scratch_pool: Vec::new(),
         }
     }
@@ -111,6 +149,28 @@ impl<'g> Simulation<'g> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets the per-packet message-loss probability (default `0.0`). Each
+    /// packet that would be delivered is instead dropped with probability `p`,
+    /// drawn from the simulation's own RNG so runs stay deterministic in the
+    /// seed for any thread count. Lost packets are still counted as sent.
+    ///
+    /// Panics unless `p ∈ [0, 1)`.
+    pub fn with_loss_probability(mut self, p: f64) -> Self {
+        self.set_loss_probability(p);
+        self
+    }
+
+    /// See [`Self::with_loss_probability`].
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!(p.is_finite() && (0.0..1.0).contains(&p), "loss probability must lie in [0, 1)");
+        self.loss_probability = p;
+    }
+
+    /// The configured per-packet loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss_probability
     }
 
     /// The underlying graph.
@@ -165,11 +225,13 @@ impl<'g> Simulation<'g> {
         self.fully_informed
     }
 
-    /// Whether every *alive* node knows every original message — the
-    /// completion condition of the gossiping problem.
+    /// Whether every *participating* (alive and present) node knows every
+    /// original message — the completion condition of the gossiping problem.
+    /// Crashed and churned-out nodes are exempt.
     pub fn gossip_complete(&self) -> bool {
-        (0..self.num_nodes() as NodeId)
-            .all(|v| !self.alive[v as usize] || self.is_fully_informed(v))
+        (0..self.num_nodes() as NodeId).all(|v| {
+            !self.alive[v as usize] || !self.present[v as usize] || self.is_fully_informed(v)
+        })
     }
 
     /// Number of nodes that know original message `m` (the paper's `|I_m(t)|`).
@@ -198,25 +260,127 @@ impl<'g> Simulation<'g> {
         }
     }
 
+    /// Whether node `v` is present (has not churned out of the network).
+    pub fn is_present(&self, v: NodeId) -> bool {
+        self.present[v as usize]
+    }
+
+    /// Number of present nodes.
+    pub fn present_count(&self) -> usize {
+        self.num_nodes() - self.departed_count
+    }
+
+    /// Whether node `v` currently participates in the protocol: it is alive
+    /// (not crashed) and present (not churned out).
+    pub fn is_participating(&self, v: NodeId) -> bool {
+        self.alive[v as usize] && self.present[v as usize]
+    }
+
+    /// Churns the given nodes out of the network immediately. A departed node
+    /// opens no channels, neither sends nor receives any packet, and — unlike
+    /// a crashed node — is excluded from its neighbors' channel selection, as
+    /// if its edges were removed (the CSR adjacency itself stays immutable).
+    pub fn kill_nodes(&mut self, nodes: &[NodeId]) {
+        for &v in nodes {
+            if std::mem::replace(&mut self.present[v as usize], false) {
+                self.departed_count += 1;
+            }
+        }
+    }
+
+    /// Brings previously departed nodes back into the network. A revived node
+    /// keeps the combined message it had when it left; reviving a node that
+    /// never departed is a no-op.
+    pub fn revive_nodes(&mut self, nodes: &[NodeId]) {
+        for &v in nodes {
+            if !std::mem::replace(&mut self.present[v as usize], true) {
+                self.departed_count -= 1;
+            }
+        }
+    }
+
+    /// Schedules the given nodes to churn out at the start of round `round`
+    /// (rounds are counted by [`Metrics::finish_round`], so round `r` is the
+    /// step executed after `r` completed rounds).
+    pub fn schedule_kill(&mut self, round: u64, nodes: Vec<NodeId>) {
+        self.push_event(LivenessEvent { round, kind: LivenessKind::Kill, nodes });
+    }
+
+    /// Schedules previously departed nodes to rejoin at the start of round
+    /// `round`.
+    pub fn schedule_revive(&mut self, round: u64, nodes: Vec<NodeId>) {
+        self.push_event(LivenessEvent { round, kind: LivenessKind::Revive, nodes });
+    }
+
+    /// Schedules the given nodes to crash (the paper's failure model: still
+    /// addressable, but neither transmitting nor storing) at the start of
+    /// round `round`.
+    pub fn schedule_crash(&mut self, round: u64, nodes: Vec<NodeId>) {
+        self.push_event(LivenessEvent { round, kind: LivenessKind::Crash, nodes });
+    }
+
+    fn push_event(&mut self, event: LivenessEvent) {
+        self.schedule.push(event);
+        // Keep the unapplied suffix sorted by round; the sort is stable, so
+        // events scheduled for the same round apply in insertion order.
+        self.schedule[self.next_event..].sort_by_key(|e| e.round);
+    }
+
+    /// Applies every scheduled event that is due at the current round. Called
+    /// lazily from the engine primitives so algorithms need no churn-specific
+    /// code: the round counter advances via [`Metrics::finish_round`] and the
+    /// next engine call picks the events up.
+    #[inline]
+    fn poll_events(&mut self) {
+        if self.next_event >= self.schedule.len() {
+            return;
+        }
+        let round = self.metrics.rounds();
+        while self.next_event < self.schedule.len() && self.schedule[self.next_event].round <= round
+        {
+            let kind = self.schedule[self.next_event].kind;
+            let nodes = std::mem::take(&mut self.schedule[self.next_event].nodes);
+            self.next_event += 1;
+            match kind {
+                LivenessKind::Kill => self.kill_nodes(&nodes),
+                LivenessKind::Revive => self.revive_nodes(&nodes),
+                LivenessKind::Crash => self.fail_nodes(&nodes),
+            }
+        }
+    }
+
     /// Opens a channel from `v` to a uniformly random neighbour and records
-    /// the channel opening. Returns `None` if `v` has failed or is isolated.
+    /// the channel opening. Returns `None` if `v` has failed, departed, or is
+    /// isolated. Departed neighbours are excluded from the selection; crashed
+    /// neighbours remain selectable (they silently drop what they receive),
+    /// matching the paper's failure semantics.
     pub fn open_channel(&mut self, v: NodeId) -> Option<NodeId> {
-        if !self.alive[v as usize] {
+        self.poll_events();
+        if !self.alive[v as usize] || !self.present[v as usize] {
             return None;
         }
-        let target = self.graph.random_neighbor(v, &mut self.rng)?;
+        let target = if self.departed_count == 0 {
+            self.graph.random_neighbor(v, &mut self.rng)?
+        } else {
+            self.graph.random_neighbor_masked(v, &self.present, &mut self.rng)?
+        };
         self.metrics.record_channel_open(v);
         Some(target)
     }
 
     /// Opens a channel from `v` to a uniformly random neighbour outside
     /// `avoid` (the memory model's `open-avoid`). Returns `None` if `v` has
-    /// failed or every neighbour is excluded.
+    /// failed or departed, or every neighbour is excluded.
     pub fn open_channel_avoiding(&mut self, v: NodeId, avoid: &[NodeId]) -> Option<NodeId> {
-        if !self.alive[v as usize] {
+        self.poll_events();
+        if !self.alive[v as usize] || !self.present[v as usize] {
             return None;
         }
-        let target = self.graph.random_neighbor_avoiding(v, avoid, &mut self.rng)?;
+        let target = if self.departed_count == 0 {
+            self.graph.random_neighbor_avoiding(v, avoid, &mut self.rng)?
+        } else {
+            self.graph.random_neighbor_masked_avoiding(v, avoid, &self.present, &mut self.rng)?
+        };
         self.metrics.record_channel_open(v);
         Some(target)
     }
@@ -224,9 +388,9 @@ impl<'g> Simulation<'g> {
     /// Merges `set` into node `v`'s combined message, returning how many
     /// messages were new to `v`. No packet is recorded — callers account for
     /// the transmission that carried `set` themselves (e.g. random walks).
-    /// Failed nodes ignore the merge.
+    /// Failed and departed nodes ignore the merge.
     pub fn absorb(&mut self, v: NodeId, set: &MessageSet) -> usize {
-        if !self.alive[v as usize] {
+        if !self.alive[v as usize] || !self.present[v as usize] {
             return 0;
         }
         let added = self.states[v as usize].union_from(set);
@@ -249,13 +413,20 @@ impl<'g> Simulation<'g> {
     /// * Packets from failed senders are dropped (they "refuse to transmit").
     /// * Packets to failed receivers are transmitted — and therefore counted —
     ///   but not stored.
-    /// * Every applied packet increments the sender's packet counter in the
-    ///   metrics. Channel-exchange accounting is the caller's responsibility
-    ///   because only the caller knows which node opened the channel.
+    /// * Transfers from or to *departed* (churned-out) nodes are dropped
+    ///   entirely and never counted: the connection fails before a packet is
+    ///   put on the wire.
+    /// * With a non-zero loss probability, each surviving packet is dropped in
+    ///   transit with that probability (counted as sent, never stored).
+    /// * Every transmitted packet increments the sender's packet counter in
+    ///   the metrics. Channel-exchange accounting is the caller's
+    ///   responsibility because only the caller knows which node opened the
+    ///   channel.
     ///
     /// Returns the total number of (node, message) pairs that became known in
     /// this step, which is `0` exactly when the step made no progress.
     pub fn deliver(&mut self, transfers: &[Transfer]) -> usize {
+        self.poll_events();
         match self.semantics {
             DeliverySemantics::Deferred => self.deliver_deferred(transfers),
             DeliverySemantics::Immediate => self.deliver_immediate(transfers),
@@ -265,12 +436,18 @@ impl<'g> Simulation<'g> {
     fn count_packets(&mut self, transfers: &[Transfer]) -> Vec<Transfer> {
         let mut effective = Vec::with_capacity(transfers.len());
         for &t in transfers {
-            if !self.alive[t.from as usize] {
-                continue; // failed nodes do not transmit
+            if !self.alive[t.from as usize] || !self.present[t.from as usize] {
+                continue; // failed nodes do not transmit, departed nodes are gone
+            }
+            if !self.present[t.to as usize] {
+                continue; // the connection to a departed node fails silently
             }
             self.metrics.record_packet(t.from);
             if t.from == t.to {
                 continue; // self-delivery is a no-op (possible via self-loops)
+            }
+            if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+                continue; // lost in transit: sent (counted) but never stored
             }
             effective.push(t);
         }
@@ -504,6 +681,119 @@ mod tests {
         }
         assert_eq!(sim.fully_informed_count(), 5);
         assert!(sim.gossip_complete());
+    }
+
+    #[test]
+    fn departed_nodes_are_invisible_to_the_network() {
+        let g = complete(4);
+        let mut sim = Simulation::new(&g, 21);
+        sim.kill_nodes(&[2]);
+        assert!(!sim.is_present(2));
+        assert!(!sim.is_participating(2));
+        assert_eq!(sim.present_count(), 3);
+        // A departed node opens no channels and is never selected as a target.
+        assert_eq!(sim.open_channel(2), None);
+        for _ in 0..50 {
+            let u = sim.open_channel(0).unwrap();
+            assert_ne!(u, 2, "departed node selected as channel target");
+        }
+        // Transfers from and to the departed node are dropped without any
+        // packet accounting.
+        let added = sim.deliver(&[Transfer::new(2, 0), Transfer::new(1, 2), Transfer::new(3, 0)]);
+        assert_eq!(added, 1);
+        assert_eq!(sim.metrics().total_packets(), 1);
+        assert_eq!(sim.metrics().packets_per_node(), &[0, 0, 0, 1]);
+        assert_eq!(sim.num_known(2), 1);
+        // absorb is ignored as well.
+        assert_eq!(sim.absorb(2, &MessageSet::full(4)), 0);
+    }
+
+    #[test]
+    fn revived_nodes_rejoin_with_their_old_state() {
+        let g = complete(3);
+        let mut sim = Simulation::new(&g, 22);
+        sim.deliver(&[Transfer::new(1, 0)]);
+        sim.kill_nodes(&[0]);
+        sim.deliver(&[Transfer::new(2, 0)]); // dropped, 0 is away
+        sim.revive_nodes(&[0]);
+        assert!(sim.is_present(0));
+        assert_eq!(sim.present_count(), 3);
+        assert!(sim.knows(0, 1), "state must survive the downtime");
+        assert!(!sim.knows(0, 2), "messages sent while away are not received");
+        let added = sim.deliver(&[Transfer::new(2, 0)]);
+        assert_eq!(added, 1);
+    }
+
+    #[test]
+    fn gossip_complete_ignores_departed_nodes() {
+        let g = complete(3);
+        let mut sim = Simulation::new(&g, 23);
+        sim.kill_nodes(&[2]);
+        let full = MessageSet::full(3);
+        sim.absorb(0, &full);
+        sim.absorb(1, &full);
+        assert!(sim.gossip_complete());
+        sim.revive_nodes(&[2]);
+        assert!(!sim.gossip_complete(), "rejoined node counts again");
+    }
+
+    #[test]
+    fn scheduled_events_fire_at_their_round() {
+        let g = complete(4);
+        let mut sim = Simulation::new(&g, 24);
+        sim.schedule_kill(1, vec![3]);
+        sim.schedule_revive(2, vec![3]);
+        sim.schedule_crash(2, vec![1]);
+        // Round 0: nothing due yet.
+        sim.deliver(&[Transfer::new(3, 0)]);
+        assert!(sim.knows(0, 3));
+        sim.metrics_mut().finish_round();
+        // Round 1: node 3 departs before any round-1 traffic.
+        assert_eq!(sim.open_channel(3), None);
+        sim.deliver(&[Transfer::new(3, 1)]);
+        assert!(!sim.knows(1, 3));
+        sim.metrics_mut().finish_round();
+        // Round 2: node 3 rejoins, node 1 crashes.
+        assert!(sim.open_channel(3).is_some());
+        assert!(!sim.is_alive(1));
+        assert!(sim.is_present(1), "crashed nodes remain addressable");
+    }
+
+    #[test]
+    fn full_loss_blocks_all_progress_but_counts_packets() {
+        let g = complete(4);
+        let mut sim = Simulation::new(&g, 25).with_loss_probability(0.999_999);
+        let added = sim.deliver(&[Transfer::new(0, 1), Transfer::new(2, 3)]);
+        assert_eq!(added, 0);
+        assert_eq!(sim.metrics().total_packets(), 2, "lost packets still count as sent");
+    }
+
+    #[test]
+    fn loss_is_deterministic_in_seed_and_thread_count() {
+        let g = ErdosRenyi::with_expected_degree(128, 10.0).generate(6);
+        let mut transfers = Vec::new();
+        for v in g.nodes() {
+            for &u in g.neighbors(v).iter().take(2) {
+                transfers.push(Transfer::new(v, u));
+            }
+        }
+        let run = |threads: usize| {
+            let mut sim = Simulation::new(&g, 77).with_loss_probability(0.3).with_threads(threads);
+            let mut total = 0usize;
+            for _ in 0..6 {
+                total += sim.deliver(&transfers);
+            }
+            let knowledge: Vec<usize> = g.nodes().map(|v| sim.num_known(v)).collect();
+            (total, knowledge)
+        };
+        assert_eq!(run(1), run(4), "loss must not depend on the thread count");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn loss_probability_must_be_a_probability() {
+        let g = complete(2);
+        let _ = Simulation::new(&g, 1).with_loss_probability(1.5);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Command-line entry point that regenerates the paper's figures and tables.
 //!
 //! ```text
-//! experiments <subcommand> [--quick|--large] [--max-n N] [--reps K] [--seed S] [--out DIR]
+//! experiments <subcommand> [--quick|--large] [--max-n N] [--reps K] [--seed S]
+//!             [--threads T] [--out DIR]
 //!
 //! subcommands:
 //!   table1      Table 1  — simulation constants
@@ -12,8 +13,13 @@
 //!   fig5        Figure 5 — loss thresholds
 //!   theory      Theorems 1 & 2 shape check
 //!   separation  Broadcast-vs-gossip density contrast
+//!   scenario    Built-in scenario registry via the Monte Carlo batch driver
 //!   all         Everything above
 //! ```
+//!
+//! `--threads` (default: available parallelism) feeds both the engine's
+//! parallel delivery path (`compute_deltas`) and the scenario `BatchDriver`;
+//! every reported number is bit-identical for any value.
 //!
 //! Results are printed as Markdown and, when `--out DIR` is given, written as
 //! one CSV file per experiment.
@@ -22,20 +28,26 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rpc_experiments::{
-    ablation, fig1, fig4, phases, report::Table, robustness, separation, sweep, table1,
+    ablation, fig1, fig4, phases, report::Table, robustness, scenario, separation, sweep, table1,
     theory_check, Scale,
 };
 
 struct Options {
     command: String,
     scale: Scale,
+    threads: usize,
     out_dir: Option<PathBuf>,
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| "help".to_string());
     let mut scale = Scale::default_scale();
+    let mut threads = default_threads();
     let mut out_dir = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,6 +66,14 @@ fn parse_args() -> Result<Options, String> {
                 let value = args.next().ok_or("--seed needs a value")?;
                 scale.seed = value.parse().map_err(|_| format!("invalid --seed: {value}"))?;
             }
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                threads = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or(format!("invalid --threads: {value}"))?;
+            }
             "--out" => {
                 let value = args.next().ok_or("--out needs a directory")?;
                 out_dir = Some(PathBuf::from(value));
@@ -61,7 +81,7 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown option: {other}")),
         }
     }
-    Ok(Options { command, scale, out_dir })
+    Ok(Options { command, scale, threads, out_dir })
 }
 
 fn emit(table: &Table, file: &str, out_dir: &Option<PathBuf>) {
@@ -75,10 +95,19 @@ fn emit(table: &Table, file: &str, out_dir: &Option<PathBuf>) {
     }
 }
 
-fn run_fig1(scale: Scale, out: &Option<PathBuf>) {
+fn run_fig1(scale: Scale, threads: usize, out: &Option<PathBuf>) {
     let sizes = sweep::size_sweep(scale.min_n, scale.max_n);
-    let points = fig1::run(&sizes, scale.repetitions, scale.seed);
+    let points = fig1::run_threaded(&sizes, scale.repetitions, scale.seed, threads);
     emit(&fig1::table(&points), "fig1_overhead.csv", out);
+}
+
+fn run_scenarios(scale: Scale, threads: usize, out: &Option<PathBuf>) {
+    // Scenario graphs use a quarter of the sweep's largest size: the registry
+    // runs 8 scenarios x reps replications, so this keeps `--quick` in CI
+    // territory while the default/large scales still exercise real sizes.
+    let n = (scale.max_n / 4).max(256);
+    let reports = scenario::run(n, scale.repetitions, scale.seed, threads);
+    emit(&scenario::table(&reports), "scenarios.csv", out);
 }
 
 fn run_fig2(scale: Scale, out: &Option<PathBuf>) {
@@ -179,10 +208,11 @@ fn main() -> ExitCode {
         }
     };
     let scale = options.scale;
+    let threads = options.threads;
     let out = options.out_dir;
     match options.command.as_str() {
         "table1" => run_table1(&out),
-        "fig1" => run_fig1(scale, &out),
+        "fig1" => run_fig1(scale, threads, &out),
         "fig2" => run_fig2(scale, &out),
         "fig3" => run_fig3(scale, &out),
         "fig4" => run_fig4(scale, &out),
@@ -191,9 +221,10 @@ fn main() -> ExitCode {
         "separation" => run_separation(scale, &out),
         "ablation" => run_ablation(scale, &out),
         "phases" => run_phases(scale, &out),
+        "scenario" => run_scenarios(scale, threads, &out),
         "all" => {
             run_table1(&out);
-            run_fig1(scale, &out);
+            run_fig1(scale, threads, &out);
             run_fig2(scale, &out);
             run_fig3(scale, &out);
             run_fig4(scale, &out);
@@ -202,12 +233,13 @@ fn main() -> ExitCode {
             run_separation(scale, &out);
             run_ablation(scale, &out);
             run_phases(scale, &out);
+            run_scenarios(scale, threads, &out);
         }
         "help" | "--help" | "-h" => {
             println!(
                 "usage: experiments \
-                 <table1|fig1|fig2|fig3|fig4|fig5|theory|separation|ablation|phases|all> \
-                 [--quick|--large] [--max-n N] [--reps K] [--seed S] [--out DIR]"
+                 <table1|fig1|fig2|fig3|fig4|fig5|theory|separation|ablation|phases|scenario|all> \
+                 [--quick|--large] [--max-n N] [--reps K] [--seed S] [--threads T] [--out DIR]"
             );
         }
         other => {

@@ -9,7 +9,7 @@
 //!   to Push-Pull opens as `n` grows,
 //! * the memory model stays bounded by a small constant (the paper reports 5).
 
-use rpc_engine::Accounting;
+use rpc_engine::{Accounting, Simulation};
 use rpc_gossip::prelude::*;
 use rpc_graphs::prelude::*;
 
@@ -35,8 +35,21 @@ pub struct Fig1Point {
 }
 
 /// Runs the Figure 1 experiment for the given sizes, averaging over
-/// `repetitions` seeded runs per point.
+/// `repetitions` seeded runs per point. Single-threaded; see [`run_threaded`].
 pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<Fig1Point> {
+    run_threaded(sizes, repetitions, base_seed, 1)
+}
+
+/// Like [`run`], but with `threads` engine workers applying each delivery
+/// batch (`rpc_engine::parallel::compute_deltas`). The measured numbers are
+/// bit-identical for every thread count; threads only shorten the wall-clock
+/// time of the big bitset unions.
+pub fn run_threaded(
+    sizes: &[usize],
+    repetitions: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<Fig1Point> {
     let mut points = Vec::new();
     for &n in sizes {
         let generator = ErdosRenyi::paper_density(n);
@@ -53,7 +66,8 @@ pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<Fig1Point
             let run_seeds = seeds(base_seed, repetitions);
             for (i, &seed) in run_seeds.iter().enumerate() {
                 let graph = generator.generate(seed ^ (i as u64) << 32);
-                let outcome = algorithm.run(&graph, seed);
+                let mut sim = Simulation::new(&graph, seed).with_threads(threads);
+                let outcome = algorithm.run_on(&mut sim);
                 messages += outcome.messages_per_node(Accounting::PerChannelExchange);
                 packets += outcome.messages_per_node(Accounting::PerPacket);
                 rounds += outcome.rounds() as f64;
@@ -104,6 +118,18 @@ mod tests {
         let t = table(&points);
         assert_eq!(t.len(), 6);
         assert!(t.to_csv().contains("push-pull"));
+    }
+
+    #[test]
+    fn threaded_run_is_bit_identical_to_single_threaded() {
+        let single = run(&[256], 2, 5);
+        let multi = run_threaded(&[256], 2, 5, 4);
+        assert_eq!(single.len(), multi.len());
+        for (a, b) in single.iter().zip(&multi) {
+            assert_eq!(a.messages_per_node, b.messages_per_node, "{}", a.algorithm);
+            assert_eq!(a.packets_per_node, b.packets_per_node, "{}", a.algorithm);
+            assert_eq!(a.rounds, b.rounds, "{}", a.algorithm);
+        }
     }
 
     #[test]

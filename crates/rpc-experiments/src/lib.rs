@@ -17,6 +17,7 @@
 //! | Broadcast-vs-gossip motivation | [`separation`] | `separation` |
 //! | Parameter-tuning ablation (abstract's tuning claim) | [`ablation`] | `ablation` |
 //! | Per-phase packet breakdown | [`phases`] | `phases` |
+//! | Scenario registry (churn/loss/crash workloads) | [`scenario`] | `scenario` |
 //!
 //! The default sizes are scaled to laptop hardware (the paper used four
 //! 64-core machines with 512 GB–1 TB of RAM and graphs up to 10⁶ nodes; see
@@ -31,6 +32,7 @@ pub mod fig4;
 pub mod phases;
 pub mod report;
 pub mod robustness;
+pub mod scenario;
 pub mod separation;
 pub mod sweep;
 pub mod table1;

@@ -1,0 +1,88 @@
+//! The `scenario` experiment: the built-in scenario registry executed by the
+//! Monte Carlo batch driver.
+//!
+//! Unlike the figure experiments — each a bespoke harness for one paper
+//! artefact — this experiment runs every scenario in
+//! [`rpc_scenarios::registry`] (static and dynamic topologies, loss, churn,
+//! crash bursts, adversarial placement) and reports the aggregated
+//! round/message/coverage statistics in the repository's standard
+//! Markdown/CSV table format. Output is bit-identical for any `--threads`
+//! value, making the CSV a cheap cross-machine determinism check.
+
+use rpc_scenarios::registry;
+use rpc_scenarios::{BatchDriver, ScenarioReport};
+
+use crate::report::{fmt3, Table};
+
+/// Runs all built-in scenarios at size `n` with `repetitions` replications
+/// each, fanned across `threads` workers.
+pub fn run(n: usize, repetitions: usize, base_seed: u64, threads: usize) -> Vec<ScenarioReport> {
+    let scenarios = registry::builtin(n);
+    BatchDriver::new(repetitions, base_seed).with_threads(threads).run(&scenarios)
+}
+
+/// Renders scenario reports as a table (one row per scenario).
+pub fn table(reports: &[ScenarioReport]) -> Table {
+    let mut table = Table::new(
+        "Scenario registry — Monte Carlo statistics per scenario",
+        &[
+            "scenario",
+            "topology",
+            "protocol",
+            "n",
+            "reps",
+            "completed",
+            "rounds_min",
+            "rounds_p50",
+            "rounds_p90",
+            "rounds_max",
+            "rounds_mean",
+            "packets_per_node_mean",
+            "coverage_mean",
+            "rumor_coverage_mean",
+        ],
+    );
+    for r in reports {
+        table.push_row(vec![
+            r.name.clone(),
+            r.topology.clone(),
+            r.protocol.to_string(),
+            r.n.to_string(),
+            r.replications.to_string(),
+            r.completed_runs.to_string(),
+            fmt3(r.rounds.min),
+            fmt3(r.rounds.p50),
+            fmt3(r.rounds.p90),
+            fmt3(r.rounds.max),
+            fmt3(r.rounds.mean),
+            fmt3(r.packets_per_node.mean),
+            fmt3(r.coverage.mean),
+            fmt3(r.tracked_coverage.mean),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_registry_scenario() {
+        let reports = run(128, 1, 1, 2);
+        assert_eq!(reports.len(), registry::BUILTIN_NAMES.len());
+        let t = table(&reports);
+        assert_eq!(t.len(), reports.len());
+        let csv = t.to_csv();
+        for name in registry::BUILTIN_NAMES {
+            assert!(csv.contains(name), "missing scenario {name} in CSV");
+        }
+    }
+
+    #[test]
+    fn csv_is_identical_across_thread_counts() {
+        let one = table(&run(128, 2, 7, 1)).to_csv();
+        let four = table(&run(128, 2, 7, 4)).to_csv();
+        assert_eq!(one, four, "scenario CSV must not depend on --threads");
+    }
+}

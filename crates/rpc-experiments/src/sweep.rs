@@ -47,11 +47,12 @@ pub fn arithmetic_failure_sweep(step: usize, max_f: usize) -> Vec<usize> {
     (0..=max_f / step.max(1)).map(|k| k * step).collect()
 }
 
-/// Per-run seeds derived from a base seed (one per repetition).
+/// Per-run seeds derived from a base seed (one per repetition), using the
+/// shared SplitMix64 derivation from [`rpc_engine::seeding`] so experiment
+/// replications and scenario batches draw from the same well-mixed seed space
+/// instead of ad-hoc arithmetic on the base seed.
 pub fn seeds(base: u64, repetitions: usize) -> Vec<u64> {
-    (0..repetitions as u64)
-        .map(|i| base.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
-        .collect()
+    (0..repetitions as u64).map(|i| rpc_engine::derive_seed(base, 0, i)).collect()
 }
 
 #[cfg(test)]
@@ -87,5 +88,12 @@ mod tests {
         let s = seeds(7, 16);
         let unique: std::collections::HashSet<_> = s.iter().collect();
         assert_eq!(unique.len(), 16);
+    }
+
+    #[test]
+    fn seeds_use_the_shared_splitmix_derivation() {
+        let s = seeds(42, 3);
+        let expected: Vec<u64> = (0..3).map(|i| rpc_engine::derive_seed(42, 0, i)).collect();
+        assert_eq!(s, expected);
     }
 }

@@ -61,6 +61,31 @@ fn fig1_quick_emits_markdown_and_csv() {
 }
 
 #[test]
+fn scenario_quick_is_byte_identical_across_thread_counts() {
+    let mut csvs = Vec::new();
+    for threads in ["1", "4"] {
+        let out_dir = scratch_dir(&format!("scenario-t{threads}"));
+        let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["scenario", "--quick", "--threads", threads, "--out"])
+            .arg(&out_dir)
+            .output()
+            .expect("experiments binary should spawn");
+        assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+        let stdout = String::from_utf8(output.stdout).expect("stdout should be UTF-8");
+        assert!(stdout.contains("churn-heavy"), "expected registry rows, got:\n{stdout}");
+
+        let csv = out_dir.join("scenarios.csv");
+        let contents = std::fs::read_to_string(&csv)
+            .unwrap_or_else(|e| panic!("expected CSV at {}: {e}", csv.display()));
+        assert!(contents.lines().count() >= 9, "expected 8 scenario rows:\n{contents}");
+        csvs.push(contents);
+        std::fs::remove_dir_all(&out_dir).ok();
+    }
+    assert_eq!(csvs[0], csvs[1], "scenario CSV must not depend on --threads");
+}
+
+#[test]
 fn unknown_subcommand_fails_with_message() {
     let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
         .arg("no-such-figure")

@@ -18,7 +18,7 @@
 //! are the tuned constants of Table 1.
 
 use rand::Rng;
-use rpc_graphs::{Graph, NodeId};
+use rpc_graphs::NodeId;
 
 use rpc_engine::{Simulation, Transfer, Walk, WalkQueues};
 
@@ -168,13 +168,12 @@ impl GossipAlgorithm for FastGossiping {
         "fast-gossiping"
     }
 
-    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome {
-        let mut sim = Simulation::new(graph, seed);
-        self.phase1_distribution(&mut sim);
-        self.phase2_random_walks(&mut sim);
+    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+        self.phase1_distribution(sim);
+        self.phase2_random_walks(sim);
         // Phase III: push-pull until the whole graph is informed (the paper's
         // simulations run the last phase to completion).
-        PushPullGossip::run_until_complete(&mut sim, self.config.phase3_max_steps);
+        PushPullGossip::run_until_complete(sim, self.config.phase3_max_steps);
         sim.metrics_mut().mark_phase("phase3-broadcast");
         GossipOutcome::from_metrics(
             sim.metrics(),

@@ -354,17 +354,16 @@ impl GossipAlgorithm for MemoryGossip {
         "memory"
     }
 
-    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome {
-        let mut sim = Simulation::new(graph, seed);
-        let leader = self.pick_leader(&mut sim);
+    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+        let leader = self.pick_leader(sim);
         let trees: Vec<TreeRecord> =
-            (0..self.config.trees).map(|_| self.build_tree(&mut sim, leader)).collect();
+            (0..self.config.trees).map(|_| self.build_tree(sim, leader)).collect();
         sim.metrics_mut().mark_phase("phase1-trees");
         for tree in &trees {
-            self.gather(&mut sim, tree);
+            self.gather(sim, tree);
         }
         sim.metrics_mut().mark_phase("phase2-gather");
-        self.broadcast_back(&mut sim, leader);
+        self.broadcast_back(sim, leader);
         sim.metrics_mut().mark_phase("phase3-broadcast");
         GossipOutcome::from_metrics(
             sim.metrics(),

@@ -10,8 +10,6 @@
 //! convention under which the paper's observation "the number of messages per
 //! node corresponds to the number of rounds" holds.
 
-use rpc_graphs::Graph;
-
 use rpc_engine::{Simulation, Transfer};
 
 use crate::config::PushPullConfig;
@@ -33,10 +31,23 @@ impl PushPullGossip {
     /// Runs the protocol on an existing simulation (used by other algorithms
     /// that end with a push-pull phase). Returns the number of executed steps.
     pub fn run_until_complete(sim: &mut Simulation<'_>, max_rounds: usize) -> usize {
+        Self::run_until(sim, max_rounds, Simulation::gossip_complete)
+    }
+
+    /// Runs push-pull rounds until `stop` returns `true` (checked before each
+    /// round) or `max_rounds` rounds have executed, whichever comes first.
+    /// Returns the number of executed steps. This is the step-granular entry
+    /// point the scenario engine uses for round-budget and coverage stop
+    /// rules.
+    pub fn run_until<'g>(
+        sim: &mut Simulation<'g>,
+        max_rounds: usize,
+        stop: impl Fn(&Simulation<'g>) -> bool,
+    ) -> usize {
         let n = sim.num_nodes();
         let mut transfers: Vec<Transfer> = Vec::with_capacity(2 * n);
         let mut steps = 0usize;
-        while !sim.gossip_complete() && steps < max_rounds {
+        while !stop(sim) && steps < max_rounds {
             transfers.clear();
             for v in 0..n as u32 {
                 if let Some(u) = sim.open_channel(v) {
@@ -59,9 +70,8 @@ impl GossipAlgorithm for PushPullGossip {
         "push-pull"
     }
 
-    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome {
-        let mut sim = Simulation::new(graph, seed);
-        Self::run_until_complete(&mut sim, self.config.max_rounds);
+    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+        Self::run_until_complete(sim, self.config.max_rounds);
         sim.metrics_mut().mark_phase("push-pull");
         GossipOutcome::from_metrics(
             sim.metrics(),

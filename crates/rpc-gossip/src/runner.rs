@@ -1,6 +1,7 @@
 //! The [`GossipAlgorithm`] trait: a uniform interface over all gossiping
 //! protocols so that experiments and benchmarks can sweep over them.
 
+use rpc_engine::Simulation;
 use rpc_graphs::Graph;
 
 use crate::outcome::GossipOutcome;
@@ -11,9 +12,23 @@ pub trait GossipAlgorithm {
     /// `"memory"`).
     fn name(&self) -> &'static str;
 
+    /// Runs the protocol on a caller-prepared simulation and returns the
+    /// communication accounting.
+    ///
+    /// This is the scenario-engine entry point: the caller may have configured
+    /// the simulation with message loss, scheduled churn/crash events, or a
+    /// worker-thread count, and the protocol experiences those conditions
+    /// without any protocol-specific code — the engine primitives apply them.
+    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome;
+
     /// Runs the protocol to completion on `graph`, deterministically in
-    /// `seed`, and returns the communication accounting.
-    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome;
+    /// `seed`, and returns the communication accounting. Equivalent to
+    /// [`Self::run_on`] with a freshly created, loss- and churn-free
+    /// simulation.
+    fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome {
+        let mut sim = Simulation::new(graph, seed);
+        self.run_on(&mut sim)
+    }
 }
 
 #[cfg(test)]

@@ -181,6 +181,64 @@ impl Graph {
         }
     }
 
+    /// A uniformly random neighbor of `v` among those with `mask[u] == true`,
+    /// or `None` if no neighbor is eligible.
+    ///
+    /// This is the graph-side shim for *dynamic* (churn) scenarios: the CSR
+    /// arrays stay immutable, and departed nodes are excluded at selection
+    /// time instead. `mask` must have one entry per node.
+    pub fn random_neighbor_masked<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        mask: &[bool],
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        debug_assert_eq!(mask.len(), self.num_nodes(), "mask must cover every node");
+        self.random_neighbor_where(v, rng, |u| mask[u as usize])
+    }
+
+    /// A uniformly random neighbor of `v` that is present (`mask[u] == true`)
+    /// and not contained in `avoid` — the churn-aware variant of
+    /// [`Self::random_neighbor_avoiding`]. Returns `None` if no neighbor is
+    /// eligible.
+    pub fn random_neighbor_masked_avoiding<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        avoid: &[NodeId],
+        mask: &[bool],
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        debug_assert_eq!(mask.len(), self.num_nodes(), "mask must cover every node");
+        self.random_neighbor_where(v, rng, |u| mask[u as usize] && !avoid.contains(&u))
+    }
+
+    /// Uniform selection among the neighbors satisfying `eligible`: rejection
+    /// sampling while the predicate is likely to hit, then an exact scan so
+    /// the result is correct even when almost every neighbor is excluded.
+    fn random_neighbor_where<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        rng: &mut R,
+        eligible: impl Fn(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        let nbrs = self.neighbors(v);
+        if nbrs.is_empty() {
+            return None;
+        }
+        for _ in 0..32 {
+            let candidate = nbrs[rng.gen_range(0..nbrs.len())];
+            if eligible(candidate) {
+                return Some(candidate);
+            }
+        }
+        let pool: Vec<NodeId> = nbrs.iter().copied().filter(|&u| eligible(u)).collect();
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[rng.gen_range(0..pool.len())])
+        }
+    }
+
     /// Average degree `2m / n` (0 for the empty graph).
     pub fn average_degree(&self) -> f64 {
         if self.num_nodes() == 0 {
@@ -332,6 +390,38 @@ mod tests {
             seen.insert(g.random_neighbor_avoiding(0, &[1], &mut rng).unwrap());
         }
         assert_eq!(seen, [2, 3, 4, 5].into_iter().collect());
+    }
+
+    #[test]
+    fn random_neighbor_masked_excludes_absent_nodes() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mask = [true, false, true, false, true]; // 1 and 3 departed
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(g.random_neighbor_masked(0, &mask, &mut rng).unwrap());
+        }
+        assert_eq!(seen, [2, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn random_neighbor_masked_returns_none_when_all_excluded() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)]);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mask = [true, false, false];
+        assert_eq!(g.random_neighbor_masked(0, &mask, &mut rng), None);
+    }
+
+    #[test]
+    fn random_neighbor_masked_avoiding_combines_both_filters() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mask = [true, true, false, true, true]; // 2 departed
+        for _ in 0..200 {
+            let u = g.random_neighbor_masked_avoiding(0, &[1], &mask, &mut rng).unwrap();
+            assert!(u == 3 || u == 4, "got excluded neighbor {u}");
+        }
+        assert_eq!(g.random_neighbor_masked_avoiding(0, &[1, 3, 4], &mask, &mut rng), None);
     }
 
     #[test]

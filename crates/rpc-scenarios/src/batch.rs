@@ -1,0 +1,194 @@
+//! The multi-threaded Monte Carlo batch driver.
+//!
+//! [`BatchDriver`] fans `R` seeded replications of `S` scenarios out across a
+//! crossbeam scoped-thread pool. Every `(scenario, replication)` cell gets its
+//! seed from [`rpc_engine::derive_seed`] — a pure function of the coordinates
+//! — and each replication is itself deterministic, so the aggregated
+//! [`ScenarioReport`]s are bit-identical for **any** thread count: threading
+//! only changes which worker computes a cell, never what the cell contains.
+
+use rpc_engine::derive_seed;
+
+use crate::exec::{run_scenario, ScenarioOutcome};
+use crate::spec::Scenario;
+use crate::stats::{summarize, SummaryStats};
+
+/// Aggregated statistics of all replications of one scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Topology label (e.g. `er-paper(n=1024)`).
+    pub topology: String,
+    /// Protocol label (e.g. `push-pull`).
+    pub protocol: &'static str,
+    /// Nodes per graph.
+    pub n: usize,
+    /// Number of replications aggregated.
+    pub replications: usize,
+    /// Replications whose stop rule was satisfied before the round cap.
+    pub completed_runs: usize,
+    /// Rounds executed.
+    pub rounds: SummaryStats,
+    /// Packets sent per node (per-packet accounting).
+    pub packets_per_node: SummaryStats,
+    /// Final fraction of participating nodes that are fully informed.
+    pub coverage: SummaryStats,
+    /// Final fraction of all nodes knowing the tracked rumor.
+    pub tracked_coverage: SummaryStats,
+}
+
+/// Fans seeded scenario replications across a thread pool and aggregates the
+/// outcomes.
+#[derive(Clone, Debug)]
+pub struct BatchDriver {
+    threads: usize,
+    replications: usize,
+    base_seed: u64,
+}
+
+impl BatchDriver {
+    /// A driver running `replications` replications per scenario from
+    /// `base_seed`, with one worker per available CPU.
+    pub fn new(replications: usize, base_seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        Self { threads, replications: replications.max(1), base_seed }
+    }
+
+    /// Overrides the worker-thread count (values are clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured replications per scenario.
+    pub fn replications(&self) -> usize {
+        self.replications
+    }
+
+    /// Runs every replication of every scenario and aggregates per-scenario
+    /// reports, in the order the scenarios were given.
+    pub fn run(&self, scenarios: &[Scenario]) -> Vec<ScenarioReport> {
+        let outcomes = self.run_cells(scenarios);
+        scenarios
+            .iter()
+            .enumerate()
+            .map(|(s_idx, scenario)| {
+                let slice = &outcomes[s_idx * self.replications..(s_idx + 1) * self.replications];
+                aggregate(scenario, slice)
+            })
+            .collect()
+    }
+
+    /// Computes the flat `(scenario-major, replication-minor)` outcome grid.
+    fn run_cells(&self, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+        let cells: Vec<(usize, usize)> = (0..scenarios.len())
+            .flat_map(|s| (0..self.replications).map(move |r| (s, r)))
+            .collect();
+        let run_cell = |&(s, r): &(usize, usize)| {
+            // Inner simulations run single-threaded: the batch dimension is
+            // where the parallelism is, and nesting pools would oversubscribe.
+            run_scenario(&scenarios[s], derive_seed(self.base_seed, s as u64, r as u64), 1)
+        };
+        let threads = self.threads.min(cells.len().max(1));
+        if threads <= 1 {
+            return cells.iter().map(run_cell).collect();
+        }
+        let chunk_size = cells.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = cells
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().map(run_cell).collect::<Vec<_>>()))
+                .collect();
+            // Joining in spawn order keeps the grid in cell order regardless
+            // of which worker finishes first.
+            handles.into_iter().flat_map(|h| h.join().expect("batch worker panicked")).collect()
+        })
+        .expect("crossbeam scope failed")
+    }
+}
+
+fn aggregate(scenario: &Scenario, outcomes: &[ScenarioOutcome]) -> ScenarioReport {
+    let n = scenario.num_nodes();
+    let collect =
+        |f: &dyn Fn(&ScenarioOutcome) -> f64| -> Vec<f64> { outcomes.iter().map(f).collect() };
+    ScenarioReport {
+        name: scenario.name.clone(),
+        topology: scenario.topology.label(),
+        protocol: scenario.protocol.name(),
+        n,
+        replications: outcomes.len(),
+        completed_runs: outcomes.iter().filter(|o| o.completed).count(),
+        rounds: summarize(&collect(&|o| o.rounds as f64)),
+        packets_per_node: summarize(&collect(&|o| o.packets_per_node(n))),
+        coverage: summarize(&collect(&|o| o.coverage)),
+        tracked_coverage: summarize(&collect(&|o| o.tracked_coverage)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{StopRule, TopologySpec};
+
+    fn scenarios() -> Vec<Scenario> {
+        vec![
+            Scenario::builder("clean", TopologySpec::ErdosRenyiPaper { n: 128 }).build().unwrap(),
+            Scenario::builder("lossy", TopologySpec::ErdosRenyiPaper { n: 128 })
+                .loss(0.2)
+                .build()
+                .unwrap(),
+            Scenario::builder("budget", TopologySpec::Complete { n: 64 })
+                .stop(StopRule::Rounds(5))
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn reports_follow_scenario_order_and_aggregate_all_replications() {
+        let reports = BatchDriver::new(4, 42).with_threads(2).run(&scenarios());
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].name, "clean");
+        assert_eq!(reports[2].name, "budget");
+        for report in &reports {
+            assert_eq!(report.replications, 4);
+            assert_eq!(report.completed_runs, 4);
+            assert!(report.rounds.max >= report.rounds.min);
+        }
+        assert_eq!(reports[2].rounds.mean, 5.0);
+    }
+
+    #[test]
+    fn reports_are_identical_for_any_thread_count() {
+        let scenarios = scenarios();
+        let one = BatchDriver::new(3, 7).with_threads(1).run(&scenarios);
+        let four = BatchDriver::new(3, 7).with_threads(4).run(&scenarios);
+        let many = BatchDriver::new(3, 7).with_threads(64).run(&scenarios);
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn different_base_seeds_change_the_outcomes() {
+        let scenarios = vec![Scenario::builder("lossy", TopologySpec::ErdosRenyiPaper { n: 128 })
+            .loss(0.3)
+            .build()
+            .unwrap()];
+        let a = BatchDriver::new(3, 1).with_threads(1).run(&scenarios);
+        let b = BatchDriver::new(3, 2).with_threads(1).run(&scenarios);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn replication_count_is_clamped_to_one() {
+        let driver = BatchDriver::new(0, 1);
+        assert_eq!(driver.replications(), 1);
+        assert!(driver.threads() >= 1);
+    }
+}

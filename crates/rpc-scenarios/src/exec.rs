@@ -1,0 +1,320 @@
+//! Executing a single scenario replication.
+//!
+//! [`run_scenario`] turns a declarative [`Scenario`] into one deterministic
+//! simulation run: it generates the graph, pre-computes the churn/crash event
+//! schedule with a dedicated RNG stream, configures the engine (loss
+//! probability, worker threads), drives the protocol, and measures the
+//! outcome. Everything is a pure function of `(scenario, seed)` — the thread
+//! count only parallelises bitset unions, which are bit-identical in any
+//! configuration.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rpc_engine::{derive_seed, sample_failures, sample_from_pool, Simulation};
+use rpc_gossip::PushPullGossip;
+use rpc_graphs::{Graph, NodeId};
+
+use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule};
+
+// Sub-stream indices for [`derive_seed`], so graph generation, environment
+// sampling and the protocol run draw from independent RNG streams.
+const STREAM_GRAPH: u64 = 0x0147_5241;
+const STREAM_ENV: u64 = 0x02e5_56e3;
+const STREAM_RUN: u64 = 0x0375_6e21;
+
+/// The measured result of one scenario replication.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Whether the stop rule was satisfied before the round cap.
+    pub completed: bool,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total packets sent (per-packet accounting).
+    pub total_packets: u64,
+    /// Total channel exchanges (per-channel-exchange accounting).
+    pub total_exchanges: u64,
+    /// Fraction of participating (alive and present) nodes that are fully
+    /// informed at the end.
+    pub coverage: f64,
+    /// Fraction of all nodes that know the tracked rumor at the end.
+    pub tracked_coverage: f64,
+    /// The node whose original message is tracked as "the rumor".
+    pub tracked_source: NodeId,
+    /// Crashed nodes at the end of the run.
+    pub crashed: usize,
+    /// Departed (churned-out) nodes at the end of the run.
+    pub departed: usize,
+}
+
+impl ScenarioOutcome {
+    /// Average packets per node over the whole network.
+    pub fn packets_per_node(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.total_packets as f64 / n as f64
+        }
+    }
+}
+
+/// Runs one replication of `scenario`, deterministically in `seed`.
+///
+/// `threads` is the engine worker-thread count used for large delivery
+/// batches; the outcome is bit-identical for every value (see
+/// `rpc_engine::parallel`).
+pub fn run_scenario(scenario: &Scenario, seed: u64, threads: usize) -> ScenarioOutcome {
+    let n = scenario.num_nodes();
+    let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
+    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+
+    let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0))
+        .with_threads(threads)
+        .with_loss_probability(scenario.environment.loss);
+    schedule_environment(scenario, &graph, &mut env_rng, &mut sim);
+    let tracked = place_rumor(scenario.environment.placement, &graph, &mut env_rng);
+
+    let (completed, rounds) = match scenario.protocol {
+        ProtocolSpec::PushPull => drive_push_pull(scenario, &mut sim, tracked),
+        ProtocolSpec::FastGossiping | ProtocolSpec::Memory => {
+            // Phase-based protocols run their phases as a block; churn, crash
+            // and loss still apply through the engine hooks. Validation
+            // guarantees the stop rule is `Complete` here.
+            let algorithm = scenario.protocol.build(n);
+            let outcome = algorithm.run_on(&mut sim);
+            (outcome.completed(), outcome.rounds())
+        }
+    };
+
+    let participating: Vec<NodeId> =
+        (0..n as NodeId).filter(|&v| sim.is_participating(v)).collect();
+    let fully_informed = participating.iter().filter(|&&v| sim.is_fully_informed(v)).count();
+    let coverage = if participating.is_empty() {
+        0.0
+    } else {
+        fully_informed as f64 / participating.len() as f64
+    };
+    let tracked_coverage =
+        if n == 0 { 0.0 } else { sim.informed_count_of(tracked) as f64 / n as f64 };
+
+    ScenarioOutcome {
+        completed,
+        rounds,
+        total_packets: sim.metrics().total_packets(),
+        total_exchanges: sim.metrics().total_exchanges(),
+        coverage,
+        tracked_coverage,
+        tracked_source: tracked,
+        crashed: n - sim.alive_count(),
+        departed: n - sim.present_count(),
+    }
+}
+
+/// Pre-computes the churn waves and the crash burst and registers them with
+/// the simulation's event schedule.
+///
+/// Waves are only sampled up to the effective round horizon (a `rounds:`
+/// budget can be far below `max_rounds`), and each wave draws exclusively
+/// from nodes that are *up* at its round, so every departed node stays out
+/// for exactly its configured downtime even when `downtime > period`.
+fn schedule_environment(
+    scenario: &Scenario,
+    graph: &Graph,
+    env_rng: &mut SmallRng,
+    sim: &mut Simulation<'_>,
+) {
+    let n = graph.num_nodes();
+    let horizon = round_limit(scenario);
+    if let Some(churn) = scenario.environment.churn {
+        let count = ((churn.fraction * n as f64).round() as usize).min(n);
+        if count > 0 {
+            let mut down_until = vec![0u64; n];
+            let mut wave = churn.period;
+            // Events at round == horizon can never fire (the run executes
+            // rounds 0..horizon), so the last sampled wave is at horizon - 1.
+            while wave < horizon {
+                let eligible: Vec<NodeId> =
+                    (0..n as NodeId).filter(|&v| down_until[v as usize] <= wave).collect();
+                let take = count.min(eligible.len());
+                let nodes = sample_from_pool(eligible, take, env_rng);
+                for &v in &nodes {
+                    down_until[v as usize] = wave + churn.downtime;
+                }
+                sim.schedule_kill(wave, nodes.clone());
+                sim.schedule_revive(wave + churn.downtime, nodes);
+                wave += churn.period;
+            }
+        }
+    }
+    if let Some(crash) = scenario.environment.crash {
+        if crash.count > 0 {
+            sim.schedule_crash(crash.round, sample_failures(n, crash.count.min(n), env_rng));
+        }
+    }
+}
+
+/// The effective round bound of a run: the `rounds:` budget where one is set,
+/// the scenario's hard cap otherwise.
+fn round_limit(scenario: &Scenario) -> u64 {
+    match scenario.stop {
+        StopRule::Rounds(r) => r.min(scenario.max_rounds),
+        _ => scenario.max_rounds,
+    }
+}
+
+/// Picks the tracked rumor's source node according to the placement policy.
+fn place_rumor(placement: StartPlacement, graph: &Graph, env_rng: &mut SmallRng) -> NodeId {
+    let n = graph.num_nodes();
+    match placement {
+        StartPlacement::Random => env_rng.gen_range(0..n) as NodeId,
+        StartPlacement::MinDegree => {
+            graph.nodes().min_by_key(|&v| (graph.degree(v), v)).expect("non-empty graph")
+        }
+        StartPlacement::MaxDegree => graph
+            .nodes()
+            .max_by_key(|&v| (graph.degree(v), std::cmp::Reverse(v)))
+            .expect("non-empty graph"),
+    }
+}
+
+/// Drives push-pull one synchronous round at a time, evaluating the stop rule
+/// between rounds. The round body itself is [`PushPullGossip::run_until`], so
+/// scenario runs and plain protocol runs can never diverge in semantics or
+/// accounting.
+fn drive_push_pull(scenario: &Scenario, sim: &mut Simulation<'_>, tracked: NodeId) -> (bool, u64) {
+    let n = sim.num_nodes();
+    let coverage_target = |fraction: f64| (fraction * n as f64).ceil() as usize;
+    let satisfied = |sim: &Simulation<'_>| match scenario.stop {
+        StopRule::Complete => sim.gossip_complete(),
+        StopRule::Rounds(_) => false, // handled by the round limit
+        StopRule::Coverage(f) => sim.informed_count_of(tracked) >= coverage_target(f),
+    };
+    let limit = round_limit(scenario);
+    let rounds = PushPullGossip::run_until(sim, limit as usize, satisfied) as u64;
+
+    let completed = match scenario.stop {
+        StopRule::Complete => sim.gossip_complete(),
+        StopRule::Rounds(r) => rounds == r,
+        StopRule::Coverage(f) => sim.informed_count_of(tracked) >= coverage_target(f),
+    };
+    (completed, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologySpec;
+
+    fn er(n: usize) -> TopologySpec {
+        TopologySpec::ErdosRenyiPaper { n }
+    }
+
+    #[test]
+    fn clean_scenario_completes_with_full_coverage() {
+        let s = Scenario::builder("clean", er(256)).build().unwrap();
+        let o = run_scenario(&s, 1, 1);
+        assert!(o.completed);
+        assert!(o.rounds > 0);
+        assert_eq!(o.coverage, 1.0);
+        assert_eq!(o.tracked_coverage, 1.0);
+        assert_eq!(o.crashed, 0);
+        assert_eq!(o.departed, 0);
+        assert!(o.packets_per_node(256) > 0.0);
+    }
+
+    #[test]
+    fn outcome_is_deterministic_in_the_seed() {
+        let s = Scenario::builder("det", er(256)).loss(0.1).churn(0.1, 3, 5).build().unwrap();
+        assert_eq!(run_scenario(&s, 9, 1), run_scenario(&s, 9, 1));
+        assert_ne!(run_scenario(&s, 9, 1), run_scenario(&s, 10, 1));
+    }
+
+    #[test]
+    fn outcome_is_identical_for_any_thread_count() {
+        let s = Scenario::builder("threads", er(512)).loss(0.2).churn(0.15, 2, 4).build().unwrap();
+        let single = run_scenario(&s, 3, 1);
+        let multi = run_scenario(&s, 3, 4);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn lossy_scenario_still_completes_with_more_rounds() {
+        let clean = Scenario::builder("clean", er(256)).build().unwrap();
+        let lossy = Scenario::builder("lossy", er(256)).loss(0.4).build().unwrap();
+        let a = run_scenario(&clean, 5, 1);
+        let b = run_scenario(&lossy, 5, 1);
+        assert!(a.completed && b.completed);
+        assert!(b.rounds >= a.rounds, "loss should not speed gossiping up");
+    }
+
+    #[test]
+    fn round_budget_is_honoured_exactly() {
+        let s = Scenario::builder("budget", er(128)).stop(StopRule::Rounds(7)).build().unwrap();
+        let o = run_scenario(&s, 2, 1);
+        assert!(o.completed);
+        assert_eq!(o.rounds, 7);
+    }
+
+    #[test]
+    fn coverage_stop_halts_before_completion() {
+        let s = Scenario::builder("cov", er(512))
+            .placement(StartPlacement::MinDegree)
+            .stop(StopRule::Coverage(0.5))
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 4, 1);
+        assert!(o.completed);
+        assert!(o.tracked_coverage >= 0.5);
+        let full = Scenario::builder("full", er(512)).build().unwrap();
+        assert!(o.rounds < run_scenario(&full, 4, 1).rounds);
+    }
+
+    #[test]
+    fn crash_burst_reduces_final_coverage_population() {
+        let s = Scenario::builder("crash", er(256))
+            .crash(2, 64)
+            .stop(StopRule::Rounds(30))
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 6, 1);
+        assert_eq!(o.crashed, 64);
+        assert_eq!(o.departed, 0);
+    }
+
+    #[test]
+    fn churn_departs_and_rejoins_nodes() {
+        // Downtime longer than the residual run leaves the last wave out.
+        let s = Scenario::builder("churn", er(256))
+            .churn(0.2, 5, 1000)
+            .stop(StopRule::Rounds(12))
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 7, 1);
+        assert!(o.departed > 0, "last churn wave should still be away");
+    }
+
+    #[test]
+    fn phase_protocols_run_under_hostile_environments() {
+        for protocol in [ProtocolSpec::FastGossiping, ProtocolSpec::Memory] {
+            let s = Scenario::builder("hostile", er(256))
+                .protocol(protocol)
+                .loss(0.05)
+                .crash(4, 16)
+                .build()
+                .unwrap();
+            let o = run_scenario(&s, 8, 1);
+            assert!(o.rounds > 0, "{} executed no rounds", protocol.name());
+            assert_eq!(o.crashed, 16);
+        }
+    }
+
+    #[test]
+    fn adversarial_placement_tracks_the_min_degree_node() {
+        let s =
+            Scenario::builder("adv", er(256)).placement(StartPlacement::MinDegree).build().unwrap();
+        let o = run_scenario(&s, 11, 1);
+        let graph = s.topology.build().generate(derive_seed(11, STREAM_GRAPH, 0));
+        let min_deg = graph.nodes().map(|v| graph.degree(v)).min().unwrap();
+        assert_eq!(graph.degree(o.tracked_source), min_deg);
+    }
+}

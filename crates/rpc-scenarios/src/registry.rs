@@ -1,0 +1,167 @@
+//! The built-in scenario registry.
+//!
+//! Eight named scenarios spanning the axes the paper studies (density,
+//! topology, robustness) plus the dynamic workloads the scenario engine adds
+//! (churn, loss, crash bursts, adversarial placement). All of them scale with
+//! a single size parameter so the same registry serves CI smoke runs and
+//! large sweeps.
+
+use rpc_graphs::log2n;
+
+use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule, TopologySpec};
+
+/// Names of the built-in scenarios, in registry order.
+pub const BUILTIN_NAMES: [&str; 8] = [
+    "dense-er",
+    "sparse-er",
+    "random-regular",
+    "complete",
+    "churn-heavy",
+    "lossy",
+    "crash-burst",
+    "adversarial-start",
+];
+
+/// Builds the registry for graphs of `n` nodes (`n ≥ 16`; smaller values are
+/// clamped so every scenario stays well-formed).
+pub fn builtin(n: usize) -> Vec<Scenario> {
+    let n = n.max(16);
+    let log2 = log2n(n);
+    let paper_degree = log2 * log2; // the paper's expected degree log² n
+    let dense_degree = (4.0 * paper_degree).min(n as f64 - 1.0);
+    let regular_degree = even_regular_degree(n, paper_degree.round() as usize);
+    let crash_count = n / 8;
+    let round_budget = (4.0 * log2).ceil() as u64;
+
+    let build = |scenario: Result<Scenario, crate::spec::ScenarioError>| {
+        scenario.expect("builtin scenario must validate")
+    };
+
+    vec![
+        // Density above the paper's G(n, log² n / n) working point: gossiping
+        // on a graph four times denser behaves almost like on K_n.
+        build(
+            Scenario::builder(
+                "dense-er",
+                TopologySpec::ErdosRenyiDegree { n, degree: dense_degree },
+            )
+            .build(),
+        ),
+        // The paper's density threshold regime: expected degree log² n.
+        build(Scenario::builder("sparse-er", TopologySpec::ErdosRenyiPaper { n }).build()),
+        // Lemma 6 regime: random regular graphs, driven by Algorithm 1.
+        build(
+            Scenario::builder(
+                "random-regular",
+                TopologySpec::RandomRegular { n, degree: regular_degree },
+            )
+            .protocol(ProtocolSpec::FastGossiping)
+            .build(),
+        ),
+        // The classical baseline topology, driven by Algorithm 2.
+        build(
+            Scenario::builder("complete", TopologySpec::Complete { n })
+                .protocol(ProtocolSpec::Memory)
+                .build(),
+        ),
+        // Heavy membership churn: every 4 rounds 10% of the nodes depart and
+        // rejoin 8 rounds later with their state intact.
+        build(
+            Scenario::builder("churn-heavy", TopologySpec::ErdosRenyiPaper { n })
+                .churn(0.1, 4, 8)
+                .build(),
+        ),
+        // A quarter of all packets vanish in transit.
+        build(Scenario::builder("lossy", TopologySpec::ErdosRenyiPaper { n }).loss(0.25).build()),
+        // An eighth of the network crashes at round 3 and never recovers; the
+        // run is measured over a fixed round budget since crashed nodes take
+        // their unsent messages down with them.
+        build(
+            Scenario::builder("crash-burst", TopologySpec::ErdosRenyiPaper { n })
+                .crash(3, crash_count)
+                .stop(StopRule::Rounds(round_budget))
+                .build(),
+        ),
+        // The rumor starts at the minimum-degree node — the worst placement —
+        // and the run ends once 99% of the network has heard it.
+        build(
+            Scenario::builder("adversarial-start", TopologySpec::ErdosRenyiPaper { n })
+                .placement(StartPlacement::MinDegree)
+                .stop(StopRule::Coverage(0.99))
+                .build(),
+        ),
+    ]
+}
+
+/// Looks a built-in scenario up by name at size `n`.
+pub fn find(name: &str, n: usize) -> Option<Scenario> {
+    builtin(n).into_iter().find(|s| s.name == name)
+}
+
+/// A degree `d ≈ wanted` that makes an `n`-node regular graph well-formed:
+/// `n * d` even and `d < n`.
+fn even_regular_degree(n: usize, wanted: usize) -> usize {
+    let mut d = wanted.clamp(2, n - 1);
+    if n % 2 == 1 && d % 2 == 1 {
+        d += 1;
+    }
+    if d >= n {
+        d = n - 1;
+        if n % 2 == 1 && d % 2 == 1 {
+            d -= 1;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eight_uniquely_named_scenarios() {
+        let scenarios = builtin(1024);
+        assert_eq!(scenarios.len(), 8);
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, BUILTIN_NAMES);
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn every_builtin_scenario_is_buildable_at_various_sizes() {
+        for n in [16, 100, 255, 1024] {
+            for scenario in builtin(n) {
+                assert!(scenario.num_nodes() >= 16);
+                // The topology must instantiate without panicking.
+                let _ = scenario.topology.build();
+            }
+        }
+    }
+
+    #[test]
+    fn find_returns_named_scenarios() {
+        assert!(find("churn-heavy", 256).is_some());
+        assert!(find("no-such-scenario", 256).is_none());
+        assert_eq!(find("lossy", 256).unwrap().environment.loss, 0.25);
+    }
+
+    #[test]
+    fn even_regular_degree_is_well_formed() {
+        for n in [16usize, 17, 100, 101, 1023] {
+            for wanted in [2usize, 5, 50, 2000] {
+                let d = even_regular_degree(n, wanted);
+                assert!(d < n, "d={d} n={n}");
+                assert_eq!(n * d % 2, 0, "n*d odd for n={n} wanted={wanted}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_text_roundtrips() {
+        for scenario in builtin(256) {
+            let reparsed = Scenario::parse_str(&scenario.to_text()).unwrap();
+            assert_eq!(scenario, reparsed);
+        }
+    }
+}

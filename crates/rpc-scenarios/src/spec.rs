@@ -1,0 +1,844 @@
+//! Declarative scenario specifications.
+//!
+//! A [`Scenario`] bundles everything one simulated workload needs: a
+//! [`TopologySpec`] (which graph model at which scale), a [`ProtocolSpec`]
+//! (which gossiping algorithm), an [`EnvironmentSpec`] (message loss, churn,
+//! crash bursts, adversarial start placement), and a [`StopRule`]. Scenarios
+//! are built either with the builder API ([`Scenario::builder`]) or parsed
+//! from a simple `key = value` text format ([`Scenario::parse_str`]) that
+//! needs no external dependencies.
+//!
+//! ## Text format
+//!
+//! One scenario per block, blocks separated by blank lines, `#` starts a
+//! comment:
+//!
+//! ```text
+//! name = churn-heavy
+//! topology = erdos-renyi      # erdos-renyi | random-regular | complete
+//! n = 1024
+//! degree = 100                # optional; omitted = paper density log^2 n
+//! protocol = push-pull        # push-pull | fast-gossiping | memory
+//! loss = 0.05                 # per-packet loss probability, default 0
+//! churn = 0.1:4:8             # fraction:period:downtime, default none
+//! crash = 3:64                # round:count, default none
+//! start = min-degree          # random | min-degree | max-degree
+//! stop = complete             # complete | rounds:N | coverage:F
+//! max-rounds = 400            # safety cap, default 64 * log2(n) + 64
+//! ```
+
+use std::fmt;
+
+use rpc_gossip::{FastGossiping, GossipAlgorithm, MemoryGossip, PushPullGossip};
+use rpc_graphs::log2n;
+use rpc_graphs::prelude::*;
+
+/// Errors produced while building or parsing a scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The text format could not be parsed; the message names the offending
+    /// key or line.
+    Parse(String),
+    /// The specification is structurally valid but semantically inconsistent
+    /// (e.g. a coverage stop rule on a phase-based protocol).
+    Invalid(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(msg) => write!(f, "scenario parse error: {msg}"),
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Which graph model a scenario runs on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// Erdős–Rényi `G(n, p)` at the paper's density `p = log² n / n`.
+    ErdosRenyiPaper {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Erdős–Rényi with an explicit expected degree.
+    ErdosRenyiDegree {
+        /// Number of nodes.
+        n: usize,
+        /// Expected degree `p (n - 1)`.
+        degree: f64,
+    },
+    /// Random `d`-regular simple graph.
+    RandomRegular {
+        /// Number of nodes.
+        n: usize,
+        /// Degree of every node (`n * degree` must be even).
+        degree: usize,
+    },
+    /// The complete graph `K_n`.
+    Complete {
+        /// Number of nodes.
+        n: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Number of nodes of the generated graphs.
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            TopologySpec::ErdosRenyiPaper { n }
+            | TopologySpec::ErdosRenyiDegree { n, .. }
+            | TopologySpec::RandomRegular { n, .. }
+            | TopologySpec::Complete { n } => n,
+        }
+    }
+
+    /// Instantiates the corresponding graph generator.
+    pub fn build(&self) -> Box<dyn GraphGenerator> {
+        match *self {
+            TopologySpec::ErdosRenyiPaper { n } => Box::new(ErdosRenyi::paper_density(n)),
+            TopologySpec::ErdosRenyiDegree { n, degree } => {
+                Box::new(ErdosRenyi::with_expected_degree(n, degree))
+            }
+            TopologySpec::RandomRegular { n, degree } => Box::new(RandomRegular::new(n, degree)),
+            TopologySpec::Complete { n } => Box::new(CompleteGraph::new(n)),
+        }
+    }
+
+    /// Short label for reports. Comma-free so the labels survive the plain
+    /// (unquoted) CSV rendering of experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::ErdosRenyiPaper { n } => format!("er-paper(n={n})"),
+            TopologySpec::ErdosRenyiDegree { n, degree } => format!("er(n={n} d={degree:.0})"),
+            TopologySpec::RandomRegular { n, degree } => format!("regular(n={n} d={degree})"),
+            TopologySpec::Complete { n } => format!("complete(n={n})"),
+        }
+    }
+}
+
+/// Which gossiping protocol a scenario runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ProtocolSpec {
+    /// The simple push-pull baseline (Algorithm 4). The only protocol that
+    /// supports step-granular stop rules ([`StopRule::Rounds`],
+    /// [`StopRule::Coverage`]).
+    #[default]
+    PushPull,
+    /// Algorithm 1 (distribution, random walks, broadcast).
+    FastGossiping,
+    /// Algorithm 2 (memory model: leader tree, gather, broadcast).
+    Memory,
+}
+
+impl ProtocolSpec {
+    /// Report label, matching [`GossipAlgorithm::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolSpec::PushPull => "push-pull",
+            ProtocolSpec::FastGossiping => "fast-gossiping",
+            ProtocolSpec::Memory => "memory",
+        }
+    }
+
+    /// Instantiates the algorithm with its paper constants for `n` nodes.
+    pub fn build(&self, n: usize) -> Box<dyn GossipAlgorithm> {
+        match self {
+            ProtocolSpec::PushPull => Box::new(PushPullGossip::default()),
+            ProtocolSpec::FastGossiping => Box::new(FastGossiping::paper(n)),
+            ProtocolSpec::Memory => Box::new(MemoryGossip::paper(n)),
+        }
+    }
+}
+
+/// Periodic churn: every `period` rounds a fresh uniformly random set of
+/// `fraction · n` nodes departs and rejoins `downtime` rounds later with its
+/// state intact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnSpec {
+    /// Fraction of nodes departing per wave, in `[0, 1]`.
+    pub fraction: f64,
+    /// Rounds between consecutive waves (≥ 1).
+    pub period: u64,
+    /// Rounds a departed node stays out (≥ 1).
+    pub downtime: u64,
+}
+
+/// A one-shot crash burst: `count` uniformly random nodes crash at the start
+/// of `round` and never recover (the paper's failure model — crashed nodes
+/// remain addressable but neither transmit nor store).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Round at which the burst fires.
+    pub round: u64,
+    /// Number of crashing nodes.
+    pub count: usize,
+}
+
+/// Where the tracked rumor starts. The scenario engine follows one original
+/// message ("the rumor") for its coverage metric; adversarial placement puts
+/// it where spreading is hardest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StartPlacement {
+    /// A uniformly random node.
+    #[default]
+    Random,
+    /// The minimum-degree node (worst case for push-based spreading).
+    MinDegree,
+    /// The maximum-degree node.
+    MaxDegree,
+}
+
+impl StartPlacement {
+    /// Report label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StartPlacement::Random => "random",
+            StartPlacement::MinDegree => "min-degree",
+            StartPlacement::MaxDegree => "max-degree",
+        }
+    }
+}
+
+/// Environmental conditions of a scenario run.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct EnvironmentSpec {
+    /// Per-packet message-loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// Periodic churn, if any.
+    pub churn: Option<ChurnSpec>,
+    /// One-shot crash burst, if any.
+    pub crash: Option<CrashSpec>,
+    /// Placement of the tracked rumor.
+    pub placement: StartPlacement,
+}
+
+impl EnvironmentSpec {
+    /// Whether this environment perturbs the run at all.
+    pub fn is_hostile(&self) -> bool {
+        self.loss > 0.0 || self.churn.is_some() || self.crash.is_some()
+    }
+}
+
+/// When a scenario run ends.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StopRule {
+    /// Run until every participating node knows every message (capped by the
+    /// scenario's `max_rounds`).
+    Complete,
+    /// Run exactly this many rounds (still capped by `max_rounds`).
+    Rounds(u64),
+    /// Run until the tracked rumor is known by at least this fraction of all
+    /// nodes, in `(0, 1]` (capped by `max_rounds`).
+    Coverage(f64),
+}
+
+/// A complete, validated scenario description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Unique name used in reports and the registry.
+    pub name: String,
+    /// Graph model.
+    pub topology: TopologySpec,
+    /// Gossiping protocol.
+    pub protocol: ProtocolSpec,
+    /// Loss / churn / crash / placement conditions.
+    pub environment: EnvironmentSpec,
+    /// Termination rule.
+    pub stop: StopRule,
+    /// Hard cap on executed rounds of the step-driven (push-pull) executor,
+    /// and the horizon up to which churn waves are pre-sampled. Phase-based
+    /// protocols (fast-gossiping, memory) bound their rounds through their
+    /// own paper configurations instead, so the builder rejects an explicit
+    /// cap for them.
+    pub max_rounds: u64,
+}
+
+/// The default round cap for a graph of `n` nodes: generous enough for every
+/// protocol in the registry, small enough that a stuck scenario ends quickly.
+pub fn default_max_rounds(n: usize) -> u64 {
+    64 * (log2n(n).ceil() as u64) + 64
+}
+
+impl Scenario {
+    /// Starts building a scenario; `topology` fixes the scale.
+    pub fn builder(name: impl Into<String>, topology: TopologySpec) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            topology,
+            protocol: ProtocolSpec::default(),
+            environment: EnvironmentSpec::default(),
+            stop: StopRule::Complete,
+            max_rounds: None,
+        }
+    }
+
+    /// Number of nodes in this scenario's graphs.
+    pub fn num_nodes(&self) -> usize {
+        self.topology.num_nodes()
+    }
+
+    /// Serialises the scenario into the text format parsed by
+    /// [`Scenario::parse_str`]. `parse_str(to_text(s)) == s` for every valid
+    /// scenario.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name = {}\n", self.name));
+        match self.topology {
+            TopologySpec::ErdosRenyiPaper { n } => {
+                out.push_str(&format!("topology = erdos-renyi\nn = {n}\n"));
+            }
+            TopologySpec::ErdosRenyiDegree { n, degree } => {
+                out.push_str(&format!("topology = erdos-renyi\nn = {n}\ndegree = {degree}\n"));
+            }
+            TopologySpec::RandomRegular { n, degree } => {
+                out.push_str(&format!("topology = random-regular\nn = {n}\ndegree = {degree}\n"));
+            }
+            TopologySpec::Complete { n } => {
+                out.push_str(&format!("topology = complete\nn = {n}\n"));
+            }
+        }
+        out.push_str(&format!("protocol = {}\n", self.protocol.name()));
+        if self.environment.loss > 0.0 {
+            out.push_str(&format!("loss = {}\n", self.environment.loss));
+        }
+        if let Some(churn) = self.environment.churn {
+            out.push_str(&format!(
+                "churn = {}:{}:{}\n",
+                churn.fraction, churn.period, churn.downtime
+            ));
+        }
+        if let Some(crash) = self.environment.crash {
+            out.push_str(&format!("crash = {}:{}\n", crash.round, crash.count));
+        }
+        out.push_str(&format!("start = {}\n", self.environment.placement.name()));
+        match self.stop {
+            StopRule::Complete => out.push_str("stop = complete\n"),
+            StopRule::Rounds(r) => out.push_str(&format!("stop = rounds:{r}\n")),
+            StopRule::Coverage(f) => out.push_str(&format!("stop = coverage:{f}\n")),
+        }
+        // The default cap is derived from n; only a custom cap is spelled out
+        // (phase-based protocols never have one, see the builder).
+        if self.max_rounds != default_max_rounds(self.topology.num_nodes()) {
+            out.push_str(&format!("max-rounds = {}\n", self.max_rounds));
+        }
+        out
+    }
+
+    /// Parses one scenario from the `key = value` text format (see the module
+    /// docs for the grammar).
+    pub fn parse_str(text: &str) -> Result<Scenario, ScenarioError> {
+        let mut name = None;
+        let mut topology = None;
+        let mut n = None;
+        let mut degree: Option<f64> = None;
+        let mut protocol = ProtocolSpec::default();
+        let mut environment = EnvironmentSpec::default();
+        let mut stop = StopRule::Complete;
+        let mut max_rounds = None;
+
+        for raw_line in text.lines() {
+            let line = raw_line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| ScenarioError::Parse(format!("expected `key = value`: {line}")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "name" => name = Some(value.to_string()),
+                "topology" => topology = Some(value.to_string()),
+                "n" => n = Some(parse_num::<usize>("n", value)?),
+                "degree" => degree = Some(parse_num::<f64>("degree", value)?),
+                "protocol" => {
+                    protocol = match value {
+                        "push-pull" => ProtocolSpec::PushPull,
+                        "fast-gossiping" => ProtocolSpec::FastGossiping,
+                        "memory" => ProtocolSpec::Memory,
+                        other => {
+                            return Err(ScenarioError::Parse(format!("unknown protocol: {other}")))
+                        }
+                    }
+                }
+                "loss" => environment.loss = parse_num::<f64>("loss", value)?,
+                "churn" => {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    if parts.len() != 3 {
+                        return Err(ScenarioError::Parse(format!(
+                            "churn must be fraction:period:downtime, got {value}"
+                        )));
+                    }
+                    environment.churn = Some(ChurnSpec {
+                        fraction: parse_num::<f64>("churn fraction", parts[0])?,
+                        period: parse_num::<u64>("churn period", parts[1])?,
+                        downtime: parse_num::<u64>("churn downtime", parts[2])?,
+                    });
+                }
+                "crash" => {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    if parts.len() != 2 {
+                        return Err(ScenarioError::Parse(format!(
+                            "crash must be round:count, got {value}"
+                        )));
+                    }
+                    environment.crash = Some(CrashSpec {
+                        round: parse_num::<u64>("crash round", parts[0])?,
+                        count: parse_num::<usize>("crash count", parts[1])?,
+                    });
+                }
+                "start" => {
+                    environment.placement = match value {
+                        "random" => StartPlacement::Random,
+                        "min-degree" => StartPlacement::MinDegree,
+                        "max-degree" => StartPlacement::MaxDegree,
+                        other => {
+                            return Err(ScenarioError::Parse(format!("unknown start: {other}")))
+                        }
+                    }
+                }
+                "stop" => {
+                    stop = if value == "complete" {
+                        StopRule::Complete
+                    } else if let Some(r) = value.strip_prefix("rounds:") {
+                        StopRule::Rounds(parse_num::<u64>("stop rounds", r)?)
+                    } else if let Some(f) = value.strip_prefix("coverage:") {
+                        StopRule::Coverage(parse_num::<f64>("stop coverage", f)?)
+                    } else {
+                        return Err(ScenarioError::Parse(format!("unknown stop rule: {value}")));
+                    };
+                }
+                "max-rounds" => max_rounds = Some(parse_num::<u64>("max-rounds", value)?),
+                other => return Err(ScenarioError::Parse(format!("unknown key: {other}"))),
+            }
+        }
+
+        let name = name.ok_or_else(|| ScenarioError::Parse("missing key: name".into()))?;
+        let n = n.ok_or_else(|| ScenarioError::Parse("missing key: n".into()))?;
+        let topology = match topology.as_deref() {
+            Some("erdos-renyi") | None => match degree {
+                Some(d) => TopologySpec::ErdosRenyiDegree { n, degree: d },
+                None => TopologySpec::ErdosRenyiPaper { n },
+            },
+            Some("random-regular") => {
+                let d = degree.ok_or_else(|| {
+                    ScenarioError::Parse("random-regular requires a degree".into())
+                })?;
+                if !d.is_finite() || d.fract() != 0.0 || d < 1.0 {
+                    return Err(ScenarioError::Parse(format!(
+                        "random-regular degree must be a positive integer, got {d}"
+                    )));
+                }
+                TopologySpec::RandomRegular { n, degree: d as usize }
+            }
+            Some("complete") => TopologySpec::Complete { n },
+            Some(other) => return Err(ScenarioError::Parse(format!("unknown topology: {other}"))),
+        };
+
+        let mut builder = Scenario::builder(name, topology);
+        builder.protocol = protocol;
+        builder.environment = environment;
+        builder.stop = stop;
+        builder.max_rounds = max_rounds;
+        builder.build()
+    }
+
+    /// Parses several scenarios separated by blank lines. Comment-only lines
+    /// belong to the surrounding block (they are not separators), matching
+    /// what [`Scenario::parse_str`] accepts inside a block.
+    pub fn parse_many(text: &str) -> Result<Vec<Scenario>, ScenarioError> {
+        let mut scenarios = Vec::new();
+        let mut block = String::new();
+        let mut has_content = false;
+        for line in text.lines().chain(std::iter::once("")) {
+            if line.trim().is_empty() {
+                if has_content {
+                    scenarios.push(Scenario::parse_str(&block)?);
+                }
+                block.clear();
+                has_content = false;
+            } else {
+                block.push_str(line);
+                block.push('\n');
+                // A block of nothing but comments (e.g. a file header) is not
+                // a scenario.
+                has_content |= !line.split('#').next().unwrap_or("").trim().is_empty();
+            }
+        }
+        Ok(scenarios)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ScenarioError> {
+    value
+        .trim()
+        .parse::<T>()
+        .map_err(|_| ScenarioError::Parse(format!("invalid value for {key}: {value}")))
+}
+
+/// Builder returned by [`Scenario::builder`].
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    name: String,
+    topology: TopologySpec,
+    protocol: ProtocolSpec,
+    environment: EnvironmentSpec,
+    stop: StopRule,
+    max_rounds: Option<u64>,
+}
+
+impl ScenarioBuilder {
+    /// Selects the protocol (default push-pull).
+    pub fn protocol(mut self, protocol: ProtocolSpec) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the per-packet loss probability.
+    pub fn loss(mut self, loss: f64) -> Self {
+        self.environment.loss = loss;
+        self
+    }
+
+    /// Adds periodic churn (see [`ChurnSpec`]).
+    pub fn churn(mut self, fraction: f64, period: u64, downtime: u64) -> Self {
+        self.environment.churn = Some(ChurnSpec { fraction, period, downtime });
+        self
+    }
+
+    /// Adds a one-shot crash burst (see [`CrashSpec`]).
+    pub fn crash(mut self, round: u64, count: usize) -> Self {
+        self.environment.crash = Some(CrashSpec { round, count });
+        self
+    }
+
+    /// Selects the tracked-rumor placement.
+    pub fn placement(mut self, placement: StartPlacement) -> Self {
+        self.environment.placement = placement;
+        self
+    }
+
+    /// Selects the stop rule (default [`StopRule::Complete`]).
+    pub fn stop(mut self, stop: StopRule) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Overrides the hard round cap (default [`default_max_rounds`]).
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Validates the specification and produces the [`Scenario`].
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let n = self.topology.num_nodes();
+        if n == 0 {
+            return Err(ScenarioError::Invalid("topology has zero nodes".into()));
+        }
+        // Names must survive the text format: no comment marker, no line
+        // breaks, no surrounding whitespace (the parser trims values).
+        if self.name.is_empty()
+            || self.name != self.name.trim()
+            || self.name.contains(['#', '\n', '\r'])
+        {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario name {:?} must be non-empty, trimmed, and free of '#' and line breaks",
+                self.name
+            )));
+        }
+        if let TopologySpec::ErdosRenyiDegree { degree, .. } = self.topology {
+            if !degree.is_finite() || degree < 0.0 {
+                return Err(ScenarioError::Invalid(format!(
+                    "expected degree must be finite and non-negative, got {degree}"
+                )));
+            }
+        }
+        if let TopologySpec::RandomRegular { n, degree } = self.topology {
+            if degree == 0 {
+                return Err(ScenarioError::Invalid(
+                    "random-regular degree must be at least 1 (an edgeless graph cannot gossip)"
+                        .into(),
+                ));
+            }
+            if n * degree % 2 != 0 {
+                return Err(ScenarioError::Invalid(format!(
+                    "random-regular requires even n * degree, got {n} * {degree}"
+                )));
+            }
+            if degree >= n {
+                return Err(ScenarioError::Invalid(format!(
+                    "random-regular degree {degree} must be below n = {n}"
+                )));
+            }
+        }
+        let env = &self.environment;
+        if !env.loss.is_finite() || !(0.0..1.0).contains(&env.loss) {
+            return Err(ScenarioError::Invalid(format!(
+                "loss probability must lie in [0, 1), got {}",
+                env.loss
+            )));
+        }
+        if let Some(churn) = env.churn {
+            if !churn.fraction.is_finite() || !(0.0..=1.0).contains(&churn.fraction) {
+                return Err(ScenarioError::Invalid(format!(
+                    "churn fraction must lie in [0, 1], got {}",
+                    churn.fraction
+                )));
+            }
+            if churn.period == 0 || churn.downtime == 0 {
+                return Err(ScenarioError::Invalid(
+                    "churn period and downtime must be at least 1".into(),
+                ));
+            }
+        }
+        if let Some(crash) = env.crash {
+            if crash.count > n {
+                return Err(ScenarioError::Invalid(format!(
+                    "cannot crash {} of {} nodes",
+                    crash.count, n
+                )));
+            }
+        }
+        match self.stop {
+            StopRule::Coverage(f) if !(f.is_finite() && 0.0 < f && f <= 1.0) => {
+                return Err(ScenarioError::Invalid(format!(
+                    "coverage threshold must lie in (0, 1], got {f}"
+                )));
+            }
+            StopRule::Rounds(0) => {
+                return Err(ScenarioError::Invalid("round budget must be at least 1".into()));
+            }
+            _ => {}
+        }
+        // Step-granular stop rules need a protocol the executor can drive one
+        // round at a time; the phase-based algorithms run their phases as a
+        // block.
+        if self.protocol != ProtocolSpec::PushPull && !matches!(self.stop, StopRule::Complete) {
+            return Err(ScenarioError::Invalid(format!(
+                "stop rule {:?} requires the push-pull protocol",
+                self.stop
+            )));
+        }
+        // An explicit round cap is equally step-granular: the phase-based
+        // protocols run their phases as a block and would silently ignore it.
+        if self.protocol != ProtocolSpec::PushPull && self.max_rounds.is_some() {
+            return Err(ScenarioError::Invalid(
+                "an explicit max-rounds cap requires the push-pull protocol; \
+                 fast-gossiping and memory bound their rounds via their configs"
+                    .into(),
+            ));
+        }
+        let max_rounds = self.max_rounds.unwrap_or_else(|| default_max_rounds(n));
+        if max_rounds == 0 {
+            return Err(ScenarioError::Invalid("max-rounds must be at least 1".into()));
+        }
+        Ok(Scenario {
+            name: self.name,
+            topology: self.topology,
+            protocol: self.protocol,
+            environment: self.environment,
+            stop: self.stop,
+            max_rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario::builder("demo", TopologySpec::ErdosRenyiPaper { n: 256 })
+            .loss(0.1)
+            .churn(0.05, 4, 8)
+            .crash(3, 16)
+            .placement(StartPlacement::MinDegree)
+            .stop(StopRule::Coverage(0.9))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_a_valid_scenario() {
+        let s = sample();
+        assert_eq!(s.num_nodes(), 256);
+        assert_eq!(s.protocol.name(), "push-pull");
+        assert!(s.environment.is_hostile());
+        assert_eq!(s.max_rounds, default_max_rounds(256));
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_every_field() {
+        let s = sample();
+        let reparsed = Scenario::parse_str(&s.to_text()).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn text_roundtrip_for_every_topology_and_protocol() {
+        let topologies = [
+            TopologySpec::ErdosRenyiPaper { n: 128 },
+            TopologySpec::ErdosRenyiDegree { n: 128, degree: 12.0 },
+            TopologySpec::RandomRegular { n: 128, degree: 6 },
+            TopologySpec::Complete { n: 128 },
+        ];
+        for topology in topologies {
+            for protocol in
+                [ProtocolSpec::PushPull, ProtocolSpec::FastGossiping, ProtocolSpec::Memory]
+            {
+                let s =
+                    Scenario::builder("t", topology.clone()).protocol(protocol).build().unwrap();
+                assert_eq!(Scenario::parse_str(&s.to_text()).unwrap(), s);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_whitespace() {
+        let text = "
+            # a comment
+            name = lossy   # trailing comment
+            topology = complete
+            n = 64
+            loss = 0.25
+            stop = rounds:10
+        ";
+        let s = Scenario::parse_str(text).unwrap();
+        assert_eq!(s.name, "lossy");
+        assert_eq!(s.topology, TopologySpec::Complete { n: 64 });
+        assert_eq!(s.environment.loss, 0.25);
+        assert_eq!(s.stop, StopRule::Rounds(10));
+    }
+
+    #[test]
+    fn parse_many_splits_on_blank_lines() {
+        let text = "name = a\nn = 32\n\nname = b\nn = 64\ntopology = complete\n";
+        let scenarios = Scenario::parse_many(text).unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].name, "a");
+        assert_eq!(scenarios[1].topology, TopologySpec::Complete { n: 64 });
+    }
+
+    #[test]
+    fn parse_many_keeps_comment_lines_inside_blocks() {
+        let text = "# file header comment\n\nname = a\n# interior comment\nn = 32\n\n# trailer\n";
+        let scenarios = Scenario::parse_many(text).unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].name, "a");
+        assert_eq!(scenarios[0].num_nodes(), 32);
+    }
+
+    #[test]
+    fn parse_rejects_non_integer_regular_degrees() {
+        for degree in ["6.9", "0", "-3"] {
+            let text = format!("name = x\nn = 32\ntopology = random-regular\ndegree = {degree}");
+            assert!(
+                matches!(Scenario::parse_str(&text), Err(ScenarioError::Parse(_))),
+                "accepted degree {degree}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_erdos_renyi_degrees() {
+        for degree in [-5.0, f64::NAN, f64::INFINITY] {
+            let built =
+                Scenario::builder("x", TopologySpec::ErdosRenyiDegree { n: 64, degree }).build();
+            assert!(matches!(built, Err(ScenarioError::Invalid(_))), "accepted degree {degree}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_values() {
+        assert!(matches!(
+            Scenario::parse_str("name = x\nn = 32\nbogus = 1"),
+            Err(ScenarioError::Parse(_))
+        ));
+        assert!(matches!(
+            Scenario::parse_str("name = x\nn = 32\nloss = banana"),
+            Err(ScenarioError::Parse(_))
+        ));
+        assert!(matches!(Scenario::parse_str("n = 32"), Err(ScenarioError::Parse(_))));
+        assert!(matches!(
+            Scenario::parse_str("name = x\nn = 32\nstop = never"),
+            Err(ScenarioError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        let base = || Scenario::builder("x", TopologySpec::ErdosRenyiPaper { n: 64 });
+        assert!(matches!(base().loss(1.5).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().churn(2.0, 4, 4).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().churn(0.1, 0, 4).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().crash(1, 65).build(), Err(ScenarioError::Invalid(_))));
+        assert!(base().stop(StopRule::Coverage(0.0)).build().is_err());
+        assert!(base().stop(StopRule::Rounds(0)).build().is_err());
+        assert!(matches!(
+            base().protocol(ProtocolSpec::Memory).stop(StopRule::Rounds(5)).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(matches!(
+            Scenario::builder("x", TopologySpec::RandomRegular { n: 9, degree: 3 }).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        // An explicit round cap is step-granular and push-pull-only.
+        assert!(matches!(
+            base().protocol(ProtocolSpec::FastGossiping).max_rounds(5).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(base().max_rounds(5).build().is_ok());
+    }
+
+    #[test]
+    fn names_must_survive_the_text_format() {
+        let named =
+            |name: &str| Scenario::builder(name, TopologySpec::ErdosRenyiPaper { n: 64 }).build();
+        assert!(named("ok-name with spaces").is_ok());
+        for bad in ["", " padded ", "has#comment", "two\nlines"] {
+            assert!(matches!(named(bad), Err(ScenarioError::Invalid(_))), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn custom_round_caps_roundtrip_and_defaults_are_omitted() {
+        let custom = Scenario::builder("capped", TopologySpec::ErdosRenyiPaper { n: 128 })
+            .max_rounds(9)
+            .build()
+            .unwrap();
+        assert!(custom.to_text().contains("max-rounds = 9"));
+        assert_eq!(Scenario::parse_str(&custom.to_text()).unwrap(), custom);
+
+        let phase = Scenario::builder("mem", TopologySpec::ErdosRenyiPaper { n: 128 })
+            .protocol(ProtocolSpec::Memory)
+            .build()
+            .unwrap();
+        assert!(!phase.to_text().contains("max-rounds"));
+        assert_eq!(Scenario::parse_str(&phase.to_text()).unwrap(), phase);
+    }
+
+    #[test]
+    fn protocol_spec_builds_matching_algorithms() {
+        for spec in [ProtocolSpec::PushPull, ProtocolSpec::FastGossiping, ProtocolSpec::Memory] {
+            assert_eq!(spec.build(128).name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn topology_spec_builds_generators_of_the_right_size() {
+        let specs = [
+            TopologySpec::ErdosRenyiPaper { n: 100 },
+            TopologySpec::ErdosRenyiDegree { n: 100, degree: 8.0 },
+            TopologySpec::RandomRegular { n: 100, degree: 4 },
+            TopologySpec::Complete { n: 100 },
+        ];
+        for spec in specs {
+            assert_eq!(spec.build().num_nodes(), 100);
+            assert!(!spec.label().is_empty());
+            assert!(!spec.label().contains(','), "labels must survive unquoted CSV");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Aggregate statistics over Monte Carlo replications.
+
+/// Five-number summary of a sample: min, mean, max and the 50th / 90th
+/// percentiles (nearest-rank on the sorted sample).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct SummaryStats {
+    /// Smallest observation.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+}
+
+/// Summarises a sample. Returns all-zero stats for an empty slice.
+pub fn summarize(values: &[f64]) -> SummaryStats {
+    if values.is_empty() {
+        return SummaryStats::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    SummaryStats {
+        min: sorted[0],
+        mean,
+        max: sorted[sorted.len() - 1],
+        p50: percentile(&sorted, 0.5),
+        p90: percentile(&sorted, 0.9),
+    }
+}
+
+/// Nearest-rank percentile of an already sorted sample, `q ∈ [0, 1]`.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p90, 5.0);
+    }
+
+    #[test]
+    fn summary_of_singleton_is_the_value_everywhere() {
+        let s = summarize(&[7.5]);
+        assert_eq!((s.min, s.mean, s.max, s.p50, s.p90), (7.5, 7.5, 7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zero() {
+        assert_eq!(summarize(&[]), SummaryStats::default());
+    }
+
+    #[test]
+    fn summary_is_order_independent() {
+        let a = summarize(&[1.0, 2.0, 9.0, 4.0]);
+        let b = summarize(&[9.0, 4.0, 2.0, 1.0]);
+        assert_eq!(a, b);
+    }
+}

@@ -10,6 +10,9 @@
 //!   message sets, communication accounting, failures, memory lists),
 //! * [`gossip`] — the gossiping/broadcasting algorithms studied in the paper
 //!   (Push-Pull, fast-gossiping, memory-model gossiping, leader election),
+//! * [`scenarios`] — the declarative scenario engine (topology/protocol/
+//!   environment specs, dynamic churn and message loss, a multi-threaded
+//!   Monte Carlo batch driver, and a registry of named workloads),
 //! * [`experiments`] — the harness that regenerates every figure and table of
 //!   the paper's evaluation section.
 //!
@@ -30,10 +33,12 @@ pub use rpc_engine as engine;
 pub use rpc_experiments as experiments;
 pub use rpc_gossip as gossip;
 pub use rpc_graphs as graphs;
+pub use rpc_scenarios as scenarios;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use rpc_engine::prelude::*;
     pub use rpc_gossip::prelude::*;
     pub use rpc_graphs::prelude::*;
+    pub use rpc_scenarios::prelude::*;
 }
