@@ -1,0 +1,63 @@
+//! Criterion benches for the push-pull round loop — packed engine vs.
+//! unpacked reference oracle.
+//!
+//! These guard the word-parallel hot path against regressions at sizes that
+//! finish quickly under criterion; the tracked large-scale baseline
+//! (n up to 100 000, all topologies) is produced by the
+//! `round_loop_baseline` binary and recorded in `BENCH_round_loop.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rpc_bench::round_loop::build_topology;
+use rpc_engine::{Engine, Simulation, UnpackedSimulation};
+use rpc_gossip::PushPullGossip;
+
+const SEED: u64 = 0xC0FFEE;
+const MAX_ROUNDS: usize = 10_000;
+
+fn bench_round_loop(c: &mut Criterion) {
+    let n = 1 << 10;
+    let mut group = c.benchmark_group("round_loop");
+    group.sample_size(10);
+    for topology in ["er-dense", "er-sparse", "regular", "complete"] {
+        let graph = build_topology(topology, n, SEED);
+        group.bench_with_input(BenchmarkId::new("packed", topology), &graph, |b, graph| {
+            b.iter(|| {
+                let mut sim = Simulation::new(black_box(graph), SEED);
+                PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+                black_box(sim.metrics().rounds())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unpacked", topology), &graph, |b, graph| {
+            b.iter(|| {
+                let mut sim = UnpackedSimulation::new(black_box(graph), SEED);
+                PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+                black_box(sim.metrics().rounds())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_loop_churny(c: &mut Criterion) {
+    // The masked-sampling path: a scenario with a permanent 20% hole in the
+    // presence mask exercises random_neighbor_masked every round.
+    let n = 1 << 10;
+    let graph = build_topology("er-sparse", n, SEED);
+    let departed: Vec<u32> = (0..n as u32).filter(|v| v % 5 == 0).collect();
+    let mut group = c.benchmark_group("round_loop_masked");
+    group.sample_size(10);
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(&graph, SEED);
+            sim.kill_nodes(black_box(&departed));
+            PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+            black_box(sim.metrics().rounds())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_loop, bench_round_loop_churny);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Emits the tracked round-loop baseline (`BENCH_round_loop.json`).
+//!
+//! Measures the push-pull round loop to gossip completion on the packed
+//! production engine and the unpacked reference oracle across the standard
+//! topology/size matrix, and writes a machine-readable JSON document so the
+//! repository's perf trajectory is recorded per PR.
+//!
+//! ```text
+//! round_loop_baseline [--quick] [--out PATH] [--seed S] [--reps R]
+//! ```
+//!
+//! * `--quick` — n = 1000 only, 2 repetitions (CI smoke mode);
+//! * default    — n ∈ {1000, 10 000, 100 000} (the complete graph stops at
+//!   10 000: its quadratic adjacency would need tens of GB beyond that);
+//! * `--out`   — output path (default `BENCH_round_loop.json`);
+//! * `--seed`  — graph/run seed (default `0xC0FFEE`);
+//! * `--reps`  — override the per-cell repetition count.
+
+use std::io::Write as _;
+
+use rpc_bench::round_loop::{
+    build_topology, measure_both, speedup_at, to_json, RoundLoopMeasurement, TOPOLOGIES,
+};
+
+/// The complete graph stores `n (n-1)` adjacency entries; cap it where that
+/// is still a few hundred MB.
+const COMPLETE_MAX_N: usize = 10_000;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_round_loop.json");
+    let mut seed: u64 = 0xC0FFEE;
+    let mut reps_override: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--seed" => {
+                seed = args.next().and_then(|s| s.parse().ok()).expect("--seed needs a number")
+            }
+            "--reps" => {
+                reps_override =
+                    Some(args.next().and_then(|s| s.parse().ok()).expect("--reps needs a number"))
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: round_loop_baseline [--quick] [--out PATH] [--seed S] [--reps R]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000, 100_000] };
+    let mut results: Vec<RoundLoopMeasurement> = Vec::new();
+
+    for &n in sizes {
+        for topology in TOPOLOGIES {
+            if topology == "complete" && n > COMPLETE_MAX_N {
+                eprintln!("skip  {topology} n={n}: quadratic adjacency exceeds the memory budget");
+                continue;
+            }
+            let reps = reps_override.unwrap_or(if quick { 2 } else { 5 });
+            eprintln!("graph {topology} n={n} …");
+            let graph = build_topology(topology, n, seed);
+            // The engines' repetitions are interleaved so host-level noise
+            // (shared VM, frequency drift) biases neither engine's median.
+            let (unpacked, packed) = measure_both(&graph, topology, seed, reps);
+            for m in [unpacked, packed] {
+                eprintln!(
+                    "  {:>8}: {} rounds, {:>12.1} ns/round, {:>14.1} msgs/s",
+                    m.engine, m.rounds, m.median_ns_per_round, m.messages_per_sec
+                );
+                results.push(m);
+            }
+            if let Some(speedup) = speedup_at(&results, topology, n) {
+                eprintln!("  speedup : {speedup:.2}x");
+            }
+        }
+    }
+
+    let json = to_json(&results, seed);
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", parent.display()));
+        }
+    }
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    file.write_all(json.as_bytes()).expect("write BENCH json");
+    eprintln!("wrote {out_path} ({} measurements)", results.len());
+}

@@ -1,8 +1,13 @@
-//! Shared helpers for the Criterion benchmark suite.
+//! Shared helpers for the Criterion benchmark suite and the tracked
+//! round-loop baseline.
 //!
-//! The actual benchmarks live in `benches/paper_experiments.rs`; this library
-//! crate only exposes small utilities so that the bench file stays readable
-//! and the helpers themselves are unit-testable.
+//! The criterion benchmarks live in `benches/`; this library crate exposes
+//! the utilities they share so the bench files stay readable and the helpers
+//! themselves are unit-testable. The [`round_loop`] module additionally backs
+//! the `round_loop_baseline` binary, which measures the push-pull round loop
+//! on the packed production engine and the unpacked reference oracle across
+//! the standard topology/size matrix and emits the machine-readable
+//! `BENCH_round_loop.json` that records the repository's perf trajectory.
 
 use rpc_graphs::prelude::*;
 
@@ -12,9 +17,283 @@ pub fn benchmark_graphs(n: usize, seed: u64) -> (Graph, Graph) {
     (ErdosRenyi::paper_density(n).generate(seed), CompleteGraph::new(n).generate(seed))
 }
 
+/// The tracked round-loop baseline: reproducible throughput measurements of
+/// the push-pull round loop, packed engine vs. unpacked oracle.
+pub mod round_loop {
+    use std::time::Instant;
+
+    use rpc_engine::{Engine, Simulation, UnpackedSimulation};
+    use rpc_gossip::PushPullGossip;
+    use rpc_graphs::log2n;
+    use rpc_graphs::prelude::*;
+
+    /// Safety cap on rounds per run; push-pull completes in Θ(log n) on every
+    /// benchmark topology, so hitting this indicates a bug.
+    const MAX_ROUNDS: usize = 10_000;
+
+    /// The benchmark topology keys, in reporting order.
+    pub const TOPOLOGIES: [&str; 4] = ["er-dense", "er-sparse", "regular", "complete"];
+
+    /// Builds the graph behind a topology key:
+    ///
+    /// * `er-dense` — Erdős–Rényi with expected degree `4 log² n` (the
+    ///   registry's dense working point, behaves almost like `K_n`);
+    /// * `er-sparse` — Erdős–Rényi at the paper's density threshold
+    ///   `p = log² n / n`;
+    /// * `regular` — random regular graph with degree `≈ log² n`;
+    /// * `complete` — `K_n` (quadratic adjacency: only use at moderate `n`).
+    pub fn build_topology(kind: &str, n: usize, seed: u64) -> Graph {
+        let log2 = log2n(n);
+        let paper_degree = log2 * log2;
+        match kind {
+            "er-dense" => {
+                let degree = (4.0 * paper_degree).min(n as f64 - 1.0);
+                ErdosRenyi::with_expected_degree(n, degree).generate(seed)
+            }
+            "er-sparse" => ErdosRenyi::paper_density(n).generate(seed),
+            "regular" => {
+                let mut d = (paper_degree.round() as usize).clamp(2, n - 1);
+                if n % 2 == 1 && d % 2 == 1 {
+                    d += 1;
+                }
+                RandomRegular::new(n, d.min(n - 1)).generate(seed)
+            }
+            "complete" => CompleteGraph::new(n).generate(seed),
+            other => panic!("unknown benchmark topology: {other}"),
+        }
+    }
+
+    /// One measured configuration of the round-loop benchmark.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct RoundLoopMeasurement {
+        /// Topology key (see [`TOPOLOGIES`]).
+        pub topology: String,
+        /// Number of nodes.
+        pub n: usize,
+        /// `"packed"` (production) or `"unpacked"` (reference baseline).
+        pub engine: &'static str,
+        /// Rounds until gossip completion (identical across engines and
+        /// repetitions — both are deterministic in the seed).
+        pub rounds: u64,
+        /// Total packets sent over the run.
+        pub total_packets: u64,
+        /// Timed repetitions.
+        pub reps: usize,
+        /// Median wall-clock nanoseconds per round.
+        pub median_ns_per_round: f64,
+        /// Median delivered packet throughput (total packets / elapsed).
+        pub messages_per_sec: f64,
+    }
+
+    /// Measures the packed engine's round loop on `graph`: `reps` full
+    /// push-pull runs to completion, reporting the median ns/round and
+    /// messages/sec.
+    pub fn measure_packed(
+        graph: &Graph,
+        topology: &str,
+        seed: u64,
+        reps: usize,
+    ) -> RoundLoopMeasurement {
+        measure_with(topology, graph.num_nodes(), "packed", reps, || {
+            let mut sim = Simulation::new(graph, seed);
+            let start = Instant::now();
+            PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+            (start.elapsed(), sim.metrics().rounds(), sim.metrics().total_packets())
+        })
+    }
+
+    /// Measures the unpacked reference oracle on the same workload (see
+    /// `rpc_engine::reference`): the recorded baseline the packed engine is
+    /// judged against.
+    pub fn measure_unpacked(
+        graph: &Graph,
+        topology: &str,
+        seed: u64,
+        reps: usize,
+    ) -> RoundLoopMeasurement {
+        measure_with(topology, graph.num_nodes(), "unpacked", reps, || {
+            let mut sim = UnpackedSimulation::new(graph, seed);
+            let start = Instant::now();
+            PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+            (start.elapsed(), sim.metrics().rounds(), sim.metrics().total_packets())
+        })
+    }
+
+    /// Measures both engines on the same workload with the repetitions
+    /// *interleaved* (and the within-rep order alternating), so slow drift in
+    /// the host's performance — noisy neighbours, frequency scaling, page
+    /// cache state — hits both engines alike instead of biasing whichever
+    /// block ran in the quiet minute. This is what the `round_loop_baseline`
+    /// binary records; per-engine medians are taken over the paired samples.
+    ///
+    /// Returns `(unpacked, packed)`.
+    pub fn measure_both(
+        graph: &Graph,
+        topology: &str,
+        seed: u64,
+        reps: usize,
+    ) -> (RoundLoopMeasurement, RoundLoopMeasurement) {
+        assert!(reps > 0, "at least one repetition is required");
+        let mut unpacked = Samples::new(reps);
+        let mut packed = Samples::new(reps);
+        for rep in 0..reps {
+            // Alternate which engine goes first so within-rep drift cancels
+            // across the pair sequence.
+            let unpacked_first = rep % 2 == 0;
+            for engine_pick in 0..2 {
+                if (engine_pick == 0) == unpacked_first {
+                    let mut sim = UnpackedSimulation::new(graph, seed);
+                    let start = Instant::now();
+                    PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+                    unpacked.push(start.elapsed(), &sim);
+                } else {
+                    let mut sim = Simulation::new(graph, seed);
+                    let start = Instant::now();
+                    PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+                    packed.push(start.elapsed(), &sim);
+                }
+            }
+        }
+        (
+            unpacked.finish(topology, graph.num_nodes(), "unpacked", reps),
+            packed.finish(topology, graph.num_nodes(), "packed", reps),
+        )
+    }
+
+    /// Per-engine timing samples of [`measure_both`] / `measure_with`.
+    struct Samples {
+        ns_per_round: Vec<f64>,
+        msgs_per_sec: Vec<f64>,
+        rounds: u64,
+        total_packets: u64,
+    }
+
+    impl Samples {
+        fn new(reps: usize) -> Self {
+            Self {
+                ns_per_round: Vec::with_capacity(reps),
+                msgs_per_sec: Vec::with_capacity(reps),
+                rounds: 0,
+                total_packets: 0,
+            }
+        }
+
+        fn push<E: Engine>(&mut self, elapsed: std::time::Duration, sim: &E) {
+            self.record(elapsed, sim.metrics().rounds(), sim.metrics().total_packets());
+        }
+
+        fn record(&mut self, elapsed: std::time::Duration, r: u64, packets: u64) {
+            assert!(r > 0 || packets == 0, "a run with packets must have rounds");
+            self.rounds = r;
+            self.total_packets = packets;
+            let nanos = elapsed.as_nanos() as f64;
+            self.ns_per_round.push(if r == 0 { 0.0 } else { nanos / r as f64 });
+            self.msgs_per_sec.push(if nanos == 0.0 { 0.0 } else { packets as f64 / (nanos / 1e9) });
+        }
+
+        fn finish(
+            mut self,
+            topology: &str,
+            n: usize,
+            engine: &'static str,
+            reps: usize,
+        ) -> RoundLoopMeasurement {
+            RoundLoopMeasurement {
+                topology: topology.to_string(),
+                n,
+                engine,
+                rounds: self.rounds,
+                total_packets: self.total_packets,
+                reps,
+                median_ns_per_round: median(&mut self.ns_per_round),
+                messages_per_sec: median(&mut self.msgs_per_sec),
+            }
+        }
+    }
+
+    fn measure_with(
+        topology: &str,
+        n: usize,
+        engine: &'static str,
+        reps: usize,
+        mut run: impl FnMut() -> (std::time::Duration, u64, u64),
+    ) -> RoundLoopMeasurement {
+        assert!(reps > 0, "at least one repetition is required");
+        let mut samples = Samples::new(reps);
+        for _ in 0..reps {
+            let (elapsed, r, packets) = run();
+            samples.record(elapsed, r, packets);
+        }
+        samples.finish(topology, n, engine, reps)
+    }
+
+    fn median(values: &mut [f64]) -> f64 {
+        values.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let mid = values.len() / 2;
+        if values.len() % 2 == 1 {
+            values[mid]
+        } else {
+            (values[mid - 1] + values[mid]) / 2.0
+        }
+    }
+
+    /// The unpacked-vs-packed round-loop speedup for one (topology, n) cell,
+    /// if both engines were measured.
+    pub fn speedup_at(results: &[RoundLoopMeasurement], topology: &str, n: usize) -> Option<f64> {
+        let find = |engine: &str| {
+            results
+                .iter()
+                .find(|m| m.topology == topology && m.n == n && m.engine == engine)
+                .map(|m| m.median_ns_per_round)
+        };
+        match (find("unpacked"), find("packed")) {
+            (Some(unpacked), Some(packed)) if packed > 0.0 => Some(unpacked / packed),
+            _ => None,
+        }
+    }
+
+    /// Renders the measurements as the `BENCH_round_loop.json` document. The
+    /// format is hand-rolled (no serde in the offline build environment) but
+    /// strict JSON: an object with a `results` array of flat records.
+    pub fn to_json(results: &[RoundLoopMeasurement], seed: u64) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"round_loop\",\n");
+        out.push_str(
+            "  \"description\": \"Push-pull round loop to gossip completion; \
+             packed = word-parallel production engine, unpacked = pre-optimization \
+             reference oracle (identical results, different representation)\",\n",
+        );
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(
+            "  \"units\": {\"median_ns_per_round\": \"ns\", \"messages_per_sec\": \"packets/s\"},\n",
+        );
+        out.push_str("  \"results\": [\n");
+        for (i, m) in results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"topology\": \"{}\", \"n\": {}, \"engine\": \"{}\", \"rounds\": {}, \
+                 \"total_packets\": {}, \"reps\": {}, \"median_ns_per_round\": {:.1}, \
+                 \"messages_per_sec\": {:.1}}}{}\n",
+                m.topology,
+                m.n,
+                m.engine,
+                m.rounds,
+                m.total_packets,
+                m.reps,
+                m.median_ns_per_round,
+                m.messages_per_sec,
+                if i + 1 == results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::round_loop::*;
 
     #[test]
     fn benchmark_graphs_have_requested_size() {
@@ -22,5 +301,67 @@ mod tests {
         assert_eq!(random.num_nodes(), 256);
         assert_eq!(complete.num_nodes(), 256);
         assert_eq!(complete.num_edges(), 256 * 255 / 2);
+    }
+
+    #[test]
+    fn every_topology_key_builds_a_graph() {
+        for kind in TOPOLOGIES {
+            let g = build_topology(kind, 129, 1); // odd n exercises the
+                                                  // regular-degree adjustment
+            assert_eq!(g.num_nodes(), 129, "{kind}");
+            assert!(g.num_edges() > 0, "{kind}");
+        }
+        assert_eq!(build_topology("complete", 64, 0).num_edges(), 64 * 63 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark topology")]
+    fn unknown_topology_key_panics() {
+        let _ = build_topology("torus", 64, 0);
+    }
+
+    #[test]
+    fn both_engines_measure_identical_round_and_packet_counts() {
+        let g = build_topology("er-sparse", 192, 5);
+        let packed = measure_packed(&g, "er-sparse", 7, 2);
+        let unpacked = measure_unpacked(&g, "er-sparse", 7, 2);
+        assert!(packed.rounds > 0);
+        assert_eq!(packed.rounds, unpacked.rounds, "engines must agree on the run");
+        assert_eq!(packed.total_packets, unpacked.total_packets);
+        assert!(packed.median_ns_per_round > 0.0);
+        assert!(packed.messages_per_sec > 0.0);
+    }
+
+    #[test]
+    fn interleaved_measurement_agrees_with_the_separate_ones() {
+        let g = build_topology("er-sparse", 160, 5);
+        let (u, p) = measure_both(&g, "er-sparse", 7, 3);
+        assert_eq!(u.engine, "unpacked");
+        assert_eq!(p.engine, "packed");
+        assert_eq!(u.rounds, p.rounds, "both engines must replay the same run");
+        assert_eq!(u.total_packets, p.total_packets);
+        assert_eq!(u.reps, 3);
+        assert!(u.median_ns_per_round > 0.0 && p.median_ns_per_round > 0.0);
+        assert!(speedup_at(&[u, p], "er-sparse", 160).is_some());
+    }
+
+    #[test]
+    fn json_document_is_well_formed_and_speedup_is_computed() {
+        let g = build_topology("complete", 96, 3);
+        let results =
+            vec![measure_unpacked(&g, "complete", 3, 2), measure_packed(&g, "complete", 3, 2)];
+        let json = to_json(&results, 3);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"benchmark\": \"round_loop\""));
+        assert!(json.contains("\"engine\": \"packed\""));
+        assert!(json.contains("\"engine\": \"unpacked\""));
+        assert_eq!(json.matches("\"topology\"").count(), 2);
+        // Balanced braces/brackets (a cheap structural sanity check since the
+        // offline environment has no JSON parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(speedup_at(&results, "complete", 96).unwrap() > 0.0);
+        assert_eq!(speedup_at(&results, "er-dense", 96), None);
     }
 }

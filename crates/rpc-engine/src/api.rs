@@ -1,0 +1,227 @@
+//! The [`Engine`] trait: the simulation-primitive API algorithms drive.
+//!
+//! Every gossiping protocol in this repository interacts with the simulation
+//! exclusively through the methods below — open a channel, deliver a batch of
+//! transfers, absorb a message set, query liveness and completion. Capturing
+//! that surface as a trait lets the same protocol code run on two engines:
+//!
+//! * [`crate::Simulation`] — the packed, word-parallel production engine
+//!   ([`crate::bitset::BitSet`] masks, sparse deltas, allocation-free rounds);
+//! * [`crate::reference::UnpackedSimulation`] — the straightforward
+//!   `Vec<bool>`-and-scans oracle with the *same RNG draw sequence*, kept as
+//!   the correctness reference and benchmark baseline.
+//!
+//! Because both engines consume randomness identically, a protocol driven on
+//! both with the same graph and seed must produce bit-identical traces; the
+//! `rpc-scenarios` property tests assert exactly that.
+
+use rand::rngs::SmallRng;
+
+use rpc_graphs::{Graph, NodeId};
+
+use crate::message::{MessageId, MessageSet};
+use crate::metrics::Metrics;
+use crate::sim::Transfer;
+
+/// The simulation primitives a gossiping algorithm needs — implemented by the
+/// packed [`crate::Simulation`] and the unpacked
+/// [`crate::reference::UnpackedSimulation`] oracle.
+///
+/// See the [module docs](self) for the bit-identical-traces contract.
+pub trait Engine {
+    /// The underlying graph.
+    fn graph(&self) -> &Graph;
+
+    /// Number of nodes / original messages.
+    fn num_nodes(&self) -> usize;
+
+    /// Opens a channel from `v` to a uniformly random (present) neighbour.
+    fn open_channel(&mut self, v: NodeId) -> Option<NodeId>;
+
+    /// Opens a channel from `v` to a uniformly random (present) neighbour
+    /// outside `avoid`.
+    fn open_channel_avoiding(&mut self, v: NodeId, avoid: &[NodeId]) -> Option<NodeId>;
+
+    /// Applies one synchronous step's packet transfers; returns the number of
+    /// newly learned (node, message) pairs.
+    fn deliver(&mut self, transfers: &[Transfer]) -> usize;
+
+    /// Merges `set` into node `v`'s combined message without packet
+    /// accounting; returns how many messages were new.
+    fn absorb(&mut self, v: NodeId, set: &MessageSet) -> usize;
+
+    /// Current combined message of node `v`.
+    fn state(&self, v: NodeId) -> &MessageSet;
+
+    /// Whether node `v` knows original message `m`.
+    fn knows(&self, v: NodeId, m: MessageId) -> bool;
+
+    /// Whether node `v` is alive (has not crashed).
+    fn is_alive(&self, v: NodeId) -> bool;
+
+    /// Whether node `v` is present (has not churned out).
+    fn is_present(&self, v: NodeId) -> bool;
+
+    /// Whether node `v` is alive and present.
+    fn is_participating(&self, v: NodeId) -> bool {
+        self.is_alive(v) && self.is_present(v)
+    }
+
+    /// Number of alive nodes.
+    fn alive_count(&self) -> usize;
+
+    /// Number of present nodes.
+    fn present_count(&self) -> usize;
+
+    /// Number of alive-and-present nodes.
+    fn participating_count(&self) -> usize;
+
+    /// Number of alive-and-present nodes that are fully informed.
+    fn participating_informed_count(&self) -> usize;
+
+    /// Whether node `v` knows all `n` original messages.
+    fn is_fully_informed(&self, v: NodeId) -> bool;
+
+    /// Number of nodes (alive or failed) that know all original messages.
+    fn fully_informed_count(&self) -> usize;
+
+    /// Whether every participating node knows every original message.
+    fn gossip_complete(&self) -> bool;
+
+    /// Number of nodes that know original message `m` (diagnostic scan).
+    fn informed_count_of(&self, m: MessageId) -> usize;
+
+    /// Starts tracking original message `m` for cheap coverage queries.
+    fn track_message(&mut self, m: MessageId);
+
+    /// Number of nodes that know the tracked rumor. Panics if
+    /// [`Engine::track_message`] was never called.
+    fn tracked_informed_count(&self) -> usize;
+
+    /// Crashes the given nodes immediately (paper failure model).
+    fn fail_nodes(&mut self, nodes: &[NodeId]);
+
+    /// Churns the given nodes out immediately.
+    fn kill_nodes(&mut self, nodes: &[NodeId]);
+
+    /// Brings previously departed nodes back immediately.
+    fn revive_nodes(&mut self, nodes: &[NodeId]);
+
+    /// Schedules a churn-out at the start of round `round`.
+    fn schedule_kill(&mut self, round: u64, nodes: Vec<NodeId>);
+
+    /// Schedules a rejoin at the start of round `round`.
+    fn schedule_revive(&mut self, round: u64, nodes: Vec<NodeId>);
+
+    /// Schedules a crash at the start of round `round`.
+    fn schedule_crash(&mut self, round: u64, nodes: Vec<NodeId>);
+
+    /// Sets the per-packet loss probability (`p ∈ [0, 1)`).
+    fn set_loss_probability(&mut self, p: f64);
+
+    /// Communication metrics collected so far.
+    fn metrics(&self) -> &Metrics;
+
+    /// Mutable access to the metrics (exchange accounting, phase markers,
+    /// round counting).
+    fn metrics_mut(&mut self) -> &mut Metrics;
+
+    /// The simulation's random source.
+    fn rng_mut(&mut self) -> &mut SmallRng;
+}
+
+impl Engine for crate::sim::Simulation<'_> {
+    fn graph(&self) -> &Graph {
+        Self::graph(self)
+    }
+    fn num_nodes(&self) -> usize {
+        Self::num_nodes(self)
+    }
+    fn open_channel(&mut self, v: NodeId) -> Option<NodeId> {
+        Self::open_channel(self, v)
+    }
+    fn open_channel_avoiding(&mut self, v: NodeId, avoid: &[NodeId]) -> Option<NodeId> {
+        Self::open_channel_avoiding(self, v, avoid)
+    }
+    fn deliver(&mut self, transfers: &[Transfer]) -> usize {
+        Self::deliver(self, transfers)
+    }
+    fn absorb(&mut self, v: NodeId, set: &MessageSet) -> usize {
+        Self::absorb(self, v, set)
+    }
+    fn state(&self, v: NodeId) -> &MessageSet {
+        Self::state(self, v)
+    }
+    fn knows(&self, v: NodeId, m: MessageId) -> bool {
+        Self::knows(self, v, m)
+    }
+    fn is_alive(&self, v: NodeId) -> bool {
+        Self::is_alive(self, v)
+    }
+    fn is_present(&self, v: NodeId) -> bool {
+        Self::is_present(self, v)
+    }
+    fn is_participating(&self, v: NodeId) -> bool {
+        Self::is_participating(self, v)
+    }
+    fn alive_count(&self) -> usize {
+        Self::alive_count(self)
+    }
+    fn present_count(&self) -> usize {
+        Self::present_count(self)
+    }
+    fn participating_count(&self) -> usize {
+        Self::participating_count(self)
+    }
+    fn participating_informed_count(&self) -> usize {
+        Self::participating_informed_count(self)
+    }
+    fn is_fully_informed(&self, v: NodeId) -> bool {
+        Self::is_fully_informed(self, v)
+    }
+    fn fully_informed_count(&self) -> usize {
+        Self::fully_informed_count(self)
+    }
+    fn gossip_complete(&self) -> bool {
+        Self::gossip_complete(self)
+    }
+    fn informed_count_of(&self, m: MessageId) -> usize {
+        Self::informed_count_of(self, m)
+    }
+    fn track_message(&mut self, m: MessageId) {
+        Self::track_message(self, m)
+    }
+    fn tracked_informed_count(&self) -> usize {
+        Self::tracked_informed_count(self)
+    }
+    fn fail_nodes(&mut self, nodes: &[NodeId]) {
+        Self::fail_nodes(self, nodes)
+    }
+    fn kill_nodes(&mut self, nodes: &[NodeId]) {
+        Self::kill_nodes(self, nodes)
+    }
+    fn revive_nodes(&mut self, nodes: &[NodeId]) {
+        Self::revive_nodes(self, nodes)
+    }
+    fn schedule_kill(&mut self, round: u64, nodes: Vec<NodeId>) {
+        Self::schedule_kill(self, round, nodes)
+    }
+    fn schedule_revive(&mut self, round: u64, nodes: Vec<NodeId>) {
+        Self::schedule_revive(self, round, nodes)
+    }
+    fn schedule_crash(&mut self, round: u64, nodes: Vec<NodeId>) {
+        Self::schedule_crash(self, round, nodes)
+    }
+    fn set_loss_probability(&mut self, p: f64) {
+        Self::set_loss_probability(self, p)
+    }
+    fn metrics(&self) -> &Metrics {
+        Self::metrics(self)
+    }
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        Self::metrics_mut(self)
+    }
+    fn rng_mut(&mut self) -> &mut SmallRng {
+        Self::rng_mut(self)
+    }
+}

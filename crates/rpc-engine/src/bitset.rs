@@ -1,0 +1,311 @@
+//! A packed bitset over node ids — the word-parallel backbone of the hot path.
+//!
+//! The simulation keeps several per-node boolean facts: *alive* (not crashed),
+//! *present* (not churned out), *fully informed*, *knows the tracked rumor*.
+//! Storing each as a [`BitSet`] instead of a `Vec<bool>` turns the per-round
+//! bookkeeping questions — "is any participating node still uninformed?",
+//! "how many nodes know the rumor?" — into a handful of word-wise AND/AND-NOT
+//! and `popcount` instructions over `n / 64` words, and lets the graph layer
+//! test presence during neighbor sampling with a single shift and mask (see
+//! [`rpc_graphs::Graph::random_neighbor_masked`]).
+//!
+//! Invariant: bits at positions `>= len` are always zero, so word-wise
+//! aggregates ([`BitSet::count_ones`], [`BitSet::intersects`], …) never see
+//! phantom entries even when `len` is not a multiple of 64.
+//!
+//! ```
+//! use rpc_engine::BitSet;
+//!
+//! let mut participating = BitSet::new_full(100);
+//! participating.clear_bit(17); // node 17 churns out
+//! assert_eq!(participating.count_ones(), 99);
+//! assert!(!participating.get(17));
+//! ```
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length packed bitset with word-wise bulk operations.
+///
+/// Bit `i` lives in word `i / 64` at position `i % 64` (LSB-first), the same
+/// layout as [`crate::MessageSet`] and the mask layout the graph layer's
+/// masked sampling primitives consume via [`BitSet::words`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// The all-zeros bitset over `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// The all-ones bitset over `len` bits (tail bits beyond `len` stay zero).
+    pub fn new_full(len: usize) -> Self {
+        let mut set = Self { words: vec![u64::MAX; len.div_ceil(WORD_BITS)], len };
+        set.mask_tail();
+        set
+    }
+
+    /// Zeroes the bits at positions `>= len` in the last word.
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of bits the set ranges over.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set ranges over zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether bit `i` is set. Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} outside bitset of length {}", self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Sets bit `i`; returns `true` if it was clear before. Panics if
+    /// `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} outside bitset of length {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        let word = &mut self.words[i / WORD_BITS];
+        let newly = *word & mask == 0;
+        *word |= mask;
+        newly
+    }
+
+    /// Clears bit `i`; returns `true` if it was set before. Panics if
+    /// `i >= len`.
+    #[inline]
+    pub fn clear_bit(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} outside bitset of length {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        let word = &mut self.words[i / WORD_BITS];
+        let was = *word & mask != 0;
+        *word &= !mask;
+        was
+    }
+
+    /// Sets every bit.
+    pub fn set_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits (one `popcount` per word).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The packed word representation (LSB-first within each word). This is
+    /// the view the graph layer's masked neighbor sampling consumes.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Unions `other` into `self`. Both sets must have the same length.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self ∩ other` is non-empty.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words.iter().zip(other.words.iter()).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// `|self \ other|` — the number of bits set in `self` but not in `other`.
+    pub fn and_not_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self \ other` is non-empty — the word-parallel form of "is
+    /// there an element of `self` missing from `other`?".
+    pub fn any_and_not(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words.iter().zip(other.words.iter()).any(|(&a, &b)| a & !b != 0)
+    }
+
+    /// Iterator over the set bit positions in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+}
+
+/// `|a ∩ b ∩ c|` over three equal-length bitsets in one pass — used for
+/// "participating and fully informed" style counts without temporaries.
+pub fn count_and3(a: &BitSet, b: &BitSet, c: &BitSet) -> usize {
+    debug_assert!(a.len == b.len && b.len == c.len, "bitset length mismatch");
+    a.words
+        .iter()
+        .zip(b.words.iter())
+        .zip(c.words.iter())
+        .map(|((&x, &y), &z)| (x & y & z).count_ones() as usize)
+        .sum()
+}
+
+/// Whether `(a ∩ b) \ c` is non-empty, word-parallel. This is the completion
+/// check "some alive, present node is not yet fully informed" evaluated in
+/// `n / 64` AND/AND-NOT steps.
+pub fn any_and2_not(a: &BitSet, b: &BitSet, c: &BitSet) -> bool {
+    debug_assert!(a.len == b.len && b.len == c.len, "bitset length mismatch");
+    a.words.iter().zip(b.words.iter()).zip(c.words.iter()).any(|((&x, &y), &z)| x & y & !z != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_full_at_non_word_multiples() {
+        for len in [0usize, 1, 5, 63, 64, 65, 127, 128, 130] {
+            let zero = BitSet::new(len);
+            assert_eq!(zero.count_ones(), 0, "len {len}");
+            assert!(zero.is_clear());
+            let full = BitSet::new_full(len);
+            assert_eq!(full.count_ones(), len, "len {len}");
+            assert_eq!(full.len(), len);
+            if len > 0 {
+                assert!(full.get(len - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn set_clear_get_roundtrip() {
+        let mut s = BitSet::new(100);
+        assert!(s.set(64));
+        assert!(!s.set(64), "second set reports already-set");
+        assert!(s.get(64));
+        assert!(!s.get(63));
+        assert!(s.clear_bit(64));
+        assert!(!s.clear_bit(64), "second clear reports already-clear");
+        assert!(s.is_clear());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bitset")]
+    fn get_out_of_range_panics() {
+        BitSet::new(10).get(10);
+    }
+
+    #[test]
+    fn set_all_respects_tail_invariant() {
+        let mut s = BitSet::new(70);
+        s.set_all();
+        assert_eq!(s.count_ones(), 70);
+        // The tail bits of the last word must stay zero so word-wise
+        // aggregates cannot see phantom nodes.
+        assert_eq!(s.words()[1] >> 6, 0);
+        s.clear_all();
+        assert!(s.is_clear());
+    }
+
+    #[test]
+    fn word_wise_combinators() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        for i in [0usize, 64, 129] {
+            a.set(i);
+        }
+        b.set(64);
+        b.set(100);
+        assert_eq!(a.intersection_count(&b), 1);
+        assert!(a.intersects(&b));
+        assert_eq!(a.and_not_count(&b), 2);
+        assert!(a.any_and_not(&b));
+        assert!(!BitSet::new(130).any_and_not(&b));
+        a.union_with(&b);
+        assert_eq!(a.count_ones(), 4);
+    }
+
+    #[test]
+    fn three_way_helpers() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        let mut c = BitSet::new(200);
+        for i in 0..200 {
+            a.set(i);
+        }
+        for i in (0..200).step_by(2) {
+            b.set(i);
+        }
+        for i in (0..200).step_by(4) {
+            c.set(i);
+        }
+        assert_eq!(count_and3(&a, &b, &c), 50);
+        // (a ∩ b) \ c: even positions not divisible by 4.
+        assert!(any_and2_not(&a, &b, &c));
+        assert!(!any_and2_not(&a, &c, &b), "multiples of 4 are all even");
+    }
+
+    #[test]
+    fn iter_ones_yields_ascending_positions() {
+        let mut s = BitSet::new(300);
+        for i in [299usize, 0, 63, 64, 65, 128] {
+            s.set(i);
+        }
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128, 299]);
+    }
+
+    #[test]
+    fn empty_bitset_is_well_behaved() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.is_clear());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+}

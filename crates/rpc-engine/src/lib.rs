@@ -9,9 +9,16 @@
 //!
 //! * [`message`] — combined messages as dense bitsets over the `n` original
 //!   messages, with cheap unions;
+//! * [`bitset`] — the packed per-node [`BitSet`] behind the word-parallel
+//!   hot path (liveness masks, completion checks, coverage popcounts);
 //! * [`sim`] — the synchronous simulation state: per-node knowledge, channel
 //!   opening (uniform and `open-avoid`), packet delivery with faithful
 //!   "messages arrive next step" timing, and node failures;
+//! * [`api`] — the [`Engine`] trait: the primitive surface algorithms drive,
+//!   implemented by [`Simulation`] and the unpacked oracle;
+//! * [`mod@reference`] — [`reference::UnpackedSimulation`], the pre-optimization
+//!   `Vec<bool>`-and-scans engine with the same RNG draw sequence, kept as
+//!   correctness oracle and benchmark baseline;
 //! * [`metrics`] — communication accounting in the two conventions used by
 //!   the paper (per packet and per channel exchange);
 //! * [`walks`] — random-walk tokens and per-node queues (Algorithm 1,
@@ -20,8 +27,8 @@
 //!   (Section 4);
 //! * [`failures`] — uniform node-failure sampling and injection plans
 //!   (Theorem 3 / Figures 2, 3, 5);
-//! * [`parallel`] — crossbeam-based parallel computation of per-step message
-//!   deltas (bit-identical to the sequential path);
+//! * [`parallel`] — crossbeam-based parallel computation of sparse per-step
+//!   message deltas (bit-identical to the sequential path);
 //! * [`seeding`] — SplitMix64 seed derivation shared by every replication
 //!   harness, so Monte Carlo results are identical for any thread count.
 //!
@@ -47,29 +54,38 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
+pub mod bitset;
 pub mod failures;
 pub mod memory;
 pub mod message;
 pub mod metrics;
 pub mod parallel;
+pub mod reference;
 pub mod seeding;
 pub mod sim;
 pub mod walks;
 
+pub use api::Engine;
+pub use bitset::BitSet;
 pub use failures::{sample_failures, sample_from_pool, FailurePlan, FailureTime};
 pub use memory::{Contact, ContactLists, ContactMemory, MEMORY_SLOTS};
 pub use message::{MessageId, MessageSet};
 pub use metrics::{Accounting, Metrics, PhaseSnapshot};
+pub use reference::UnpackedSimulation;
 pub use seeding::{derive_seed, splitmix64};
 pub use sim::{DeliverySemantics, Simulation, Transfer};
 pub use walks::{Walk, WalkQueues};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
+    pub use crate::api::Engine;
+    pub use crate::bitset::BitSet;
     pub use crate::failures::{sample_failures, sample_from_pool, FailurePlan, FailureTime};
     pub use crate::memory::{Contact, ContactLists, ContactMemory};
     pub use crate::message::{MessageId, MessageSet};
     pub use crate::metrics::{Accounting, Metrics};
+    pub use crate::reference::UnpackedSimulation;
     pub use crate::seeding::{derive_seed, splitmix64};
     pub use crate::sim::{DeliverySemantics, Simulation, Transfer};
     pub use crate::walks::{Walk, WalkQueues};

@@ -7,6 +7,13 @@
 //! union (the `⋃` above) is a word-wise OR, and the number of *newly learned*
 //! messages — needed to maintain completion counters cheaply — falls out of
 //! the same pass.
+//!
+//! Each set additionally maintains a one-bit-per-word *summary* (bit `w` set
+//! ⇒ word `w` may be nonzero — conservative, never the other way round). The
+//! summary costs 1/64 of the payload and lets the delta kernel in
+//! [`crate::parallel`] visit only the words a sender can actually contribute
+//! to, which is what makes the early rounds of a gossip run (nearly-empty
+//! states) almost free.
 
 /// Identifier of an original message; message `i` is the message node `i`
 /// started with.
@@ -14,17 +21,38 @@ pub type MessageId = u32;
 
 const WORD_BITS: usize = 64;
 
-/// A set of original messages, stored as a dense bitset over `0..universe`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A set of original messages, stored as a dense bitset over `0..universe`
+/// plus a conservative nonzero-word summary.
+#[derive(Clone, Debug)]
 pub struct MessageSet {
     words: Vec<u64>,
     universe: usize,
+    /// Bit `w` set ⇒ `words[w]` may be nonzero. Maintained conservatively:
+    /// a set summary bit over a zero word is allowed (costs one wasted visit),
+    /// a clear summary bit over a nonzero word is not.
+    summary: Vec<u64>,
 }
+
+impl PartialEq for MessageSet {
+    /// Equality is *semantic*: two sets are equal iff they contain the same
+    /// messages. The conservative summary is a visit hint, not content, and
+    /// is deliberately excluded.
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe && self.words == other.words
+    }
+}
+
+impl Eq for MessageSet {}
 
 impl MessageSet {
     /// The empty set over a universe of `universe` messages.
     pub fn empty(universe: usize) -> Self {
-        Self { words: vec![0; universe.div_ceil(WORD_BITS)], universe }
+        let num_words = universe.div_ceil(WORD_BITS);
+        Self {
+            words: vec![0; num_words],
+            universe,
+            summary: vec![0; num_words.div_ceil(WORD_BITS)],
+        }
     }
 
     /// The singleton `{id}`. Panics if `id >= universe`.
@@ -46,7 +74,18 @@ impl MessageSet {
                 *last = 0;
             }
         }
-        Self { words, universe }
+        let num_words = words.len();
+        let mut summary = vec![u64::MAX; num_words.div_ceil(WORD_BITS)];
+        if let Some(last) = summary.last_mut() {
+            let rem = num_words % WORD_BITS;
+            if rem != 0 {
+                *last = (1u64 << rem) - 1;
+            }
+            if num_words == 0 {
+                *last = 0;
+            }
+        }
+        Self { words, universe, summary }
     }
 
     /// Size of the universe this set ranges over.
@@ -63,6 +102,7 @@ impl MessageSet {
         let mask = 1u64 << b;
         let newly = self.words[w] & mask == 0;
         self.words[w] |= mask;
+        self.summary[w / WORD_BITS] |= 1u64 << (w % WORD_BITS);
         newly
     }
 
@@ -100,6 +140,9 @@ impl MessageSet {
             added += (b & !*a).count_ones() as usize;
             *a |= b;
         }
+        for (s, &o) in self.summary.iter_mut().zip(other.summary.iter()) {
+            *s |= o;
+        }
         added
     }
 
@@ -107,11 +150,13 @@ impl MessageSet {
     pub fn copy_from(&mut self, other: &MessageSet) {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
         self.words.copy_from_slice(&other.words);
+        self.summary.copy_from_slice(&other.summary);
     }
 
     /// Removes every element, keeping the allocation.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
+        self.summary.iter_mut().for_each(|w| *w = 0);
     }
 
     /// Number of elements of `self` that are *not* in `other`
@@ -144,13 +189,122 @@ impl MessageSet {
     /// Approximate heap size in bytes (used by the experiment harness to warn
     /// before launching runs that would not fit in memory).
     pub fn heap_bytes(&self) -> usize {
-        self.words.capacity() * std::mem::size_of::<u64>()
+        (self.words.capacity() + self.summary.capacity()) * std::mem::size_of::<u64>()
+    }
+
+    /// The packed word representation (LSB-first within each word), the same
+    /// layout as [`crate::BitSet`]. Word `i` holds messages `64 i .. 64 i + 63`;
+    /// bits at positions `>= universe` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The conservative nonzero-word summary: bit `w` (LSB-first) covers
+    /// `words()[w]`; a clear bit guarantees that word is zero.
+    pub fn summary(&self) -> &[u64] {
+        &self.summary
+    }
+
+    /// ORs `bits` into word `word_idx` and updates the summary. Test-only:
+    /// the one way to plant a conservative (stale) summary bit over a zero
+    /// word, which the semantic-equality test needs. The caller must
+    /// guarantee `bits` only covers positions `< universe` (checked in debug
+    /// builds).
+    #[cfg(test)]
+    pub(crate) fn or_word(&mut self, word_idx: usize, bits: u64) {
+        debug_assert!(
+            word_idx < self.words.len(),
+            "word {word_idx} outside universe {}",
+            self.universe
+        );
+        debug_assert!(
+            word_idx + 1 < self.words.len()
+                || self.universe % WORD_BITS == 0
+                || bits >> (self.universe % WORD_BITS) == 0,
+            "bits beyond the universe boundary"
+        );
+        self.words[word_idx] |= bits;
+        self.summary[word_idx / WORD_BITS] |= 1u64 << (word_idx % WORD_BITS);
+    }
+
+    /// ORs `bits` into word `word_idx` and returns how many of them were new,
+    /// updating the summary — the sparse in-place commit kernel.
+    pub(crate) fn or_word_counting(&mut self, word_idx: usize, bits: u64) -> usize {
+        let word = &mut self.words[word_idx];
+        let new = bits & !*word;
+        if new == 0 {
+            return 0;
+        }
+        *word |= new;
+        self.summary[word_idx / WORD_BITS] |= 1u64 << (word_idx % WORD_BITS);
+        new.count_ones() as usize
+    }
+
+    /// Overwrites `self` with `base ∪ s₁ ∪ … ∪ s_k` and returns
+    /// `|result \ base|` — the fused one-pass kernel of the delivery hot
+    /// path. The loops are branch-free over whole words so they vectorize;
+    /// every word of `self` is written (stale buffer content is fine).
+    pub(crate) fn assign_union_counting(
+        &mut self,
+        base: &MessageSet,
+        senders: &[&MessageSet],
+    ) -> usize {
+        debug_assert!(senders.iter().all(|s| s.universe == base.universe), "universe mismatch");
+        debug_assert_eq!(self.universe, base.universe, "universe mismatch");
+        let out = &mut self.words[..];
+        let mut added = 0usize;
+        match senders {
+            [] => {
+                out.copy_from_slice(&base.words);
+            }
+            [a] => {
+                for ((o, &c), &s) in out.iter_mut().zip(base.words.iter()).zip(a.words.iter()) {
+                    added += (s & !c).count_ones() as usize;
+                    *o = c | s;
+                }
+            }
+            [a, b] => {
+                for (((o, &c), &s1), &s2) in
+                    out.iter_mut().zip(base.words.iter()).zip(a.words.iter()).zip(b.words.iter())
+                {
+                    let or = s1 | s2;
+                    added += (or & !c).count_ones() as usize;
+                    *o = c | or;
+                }
+            }
+            _ => {
+                for (wi, (o, &c)) in out.iter_mut().zip(base.words.iter()).enumerate() {
+                    let mut or = 0u64;
+                    for s in senders {
+                        or |= s.words[wi];
+                    }
+                    added += (or & !c).count_ones() as usize;
+                    *o = c | or;
+                }
+            }
+        }
+        // The summary is the OR of the inputs' summaries (conservative).
+        self.summary.copy_from_slice(&base.summary);
+        for s in senders {
+            for (acc, &w) in self.summary.iter_mut().zip(s.summary.iter()) {
+                *acc |= w;
+            }
+        }
+        added
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The summary invariant: every nonzero word has its summary bit set.
+    fn summary_is_conservative(s: &MessageSet) -> bool {
+        s.words()
+            .iter()
+            .enumerate()
+            .all(|(w, &bits)| bits == 0 || s.summary()[w / 64] & (1u64 << (w % 64)) != 0)
+    }
 
     #[test]
     fn empty_and_full() {
@@ -164,6 +318,7 @@ mod tests {
         assert!(f.contains(0));
         assert!(f.contains(129));
         assert!(!f.contains(130));
+        assert!(summary_is_conservative(&e) && summary_is_conservative(&f));
     }
 
     #[test]
@@ -172,6 +327,7 @@ mod tests {
             let f = MessageSet::full(n);
             assert_eq!(f.len(), n, "universe {n}");
             assert!(n == 0 || f.is_full());
+            assert!(summary_is_conservative(&f), "universe {n}");
         }
     }
 
@@ -183,6 +339,7 @@ mod tests {
         assert!(s.contains(7));
         assert!(!s.contains(8));
         assert_eq!(s.len(), 1);
+        assert!(summary_is_conservative(&s));
     }
 
     #[test]
@@ -197,6 +354,8 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert!(s.contains(512));
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![512]);
+        // Exactly one summary bit: word 512 / 64 = 8.
+        assert_eq!(s.summary()[0], 1u64 << 8);
     }
 
     #[test]
@@ -208,6 +367,7 @@ mod tests {
         assert_eq!(a.union_from(&b), 2);
         assert_eq!(a.len(), 3);
         assert_eq!(a.union_from(&b), 0, "second union adds nothing");
+        assert!(summary_is_conservative(&a));
     }
 
     #[test]
@@ -219,6 +379,7 @@ mod tests {
             assert_eq!(added, 1);
         }
         assert!(acc.is_full());
+        assert!(summary_is_conservative(&acc));
     }
 
     #[test]
@@ -227,8 +388,10 @@ mod tests {
         let b = MessageSet::full(64);
         a.copy_from(&b);
         assert!(a.is_full());
+        assert!(summary_is_conservative(&a));
         a.clear();
         assert!(a.is_empty());
+        assert_eq!(a.summary()[0], 0, "clear resets the summary");
     }
 
     #[test]
@@ -253,7 +416,34 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_the_summary_hint() {
+        let mut a = MessageSet::empty(200);
+        a.insert(70);
+        let mut b = MessageSet::empty(200);
+        b.insert(70);
+        // A stale (conservative) summary bit over a zero word must not break
+        // semantic equality.
+        b.or_word(0, 0);
+        assert_ne!(a.summary(), b.summary());
+        assert_eq!(a, b);
+        let mut c = MessageSet::empty(200);
+        c.insert(0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn heap_bytes_scales_with_universe() {
         assert!(MessageSet::empty(1 << 16).heap_bytes() >= (1 << 16) / 8);
+    }
+
+    #[test]
+    fn summary_covers_words_past_the_first_summary_word() {
+        // A universe large enough that the summary itself spans two words:
+        // > 64 * 64 = 4096 messages.
+        let mut s = MessageSet::empty(5000);
+        s.insert(4999);
+        assert!(summary_is_conservative(&s));
+        let w = 4999 / 64; // word 78 -> summary word 1
+        assert_eq!(s.summary()[1] & (1u64 << (w - 64)), 1u64 << (w - 64));
     }
 }

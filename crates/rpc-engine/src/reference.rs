@@ -1,0 +1,497 @@
+//! The unpacked reference engine — correctness oracle and benchmark baseline.
+//!
+//! [`UnpackedSimulation`] preserves the pre-optimization implementation of the
+//! simulation hot path: `Vec<bool>` liveness bookkeeping, O(n) scans for the
+//! completion check and coverage queries, dense per-receiver delta bitsets,
+//! a freshly allocated effective-transfer buffer per delivery, and masked
+//! neighbor sampling that materializes the filtered neighbor list when
+//! rejection sampling gives up.
+//!
+//! It exists for two reasons:
+//!
+//! 1. **Oracle** — it consumes randomness in *exactly* the same order as the
+//!    packed [`crate::Simulation`] (same rejection-sampling attempts, same
+//!    fallback draw over the same candidate count, same loss-sampling order),
+//!    so any protocol driven on both engines with the same graph and seed
+//!    must produce bit-identical traces. The `rpc-scenarios` property tests
+//!    assert this for randomized scenarios and the whole registry.
+//! 2. **Baseline** — the `rpc-bench` round-loop harness measures it next to
+//!    the packed engine, so `BENCH_round_loop.json` records how much the
+//!    word-parallel hot path actually buys on each topology.
+//!
+//! It is deliberately sequential (no worker threads) and unoptimized; do not
+//! use it for large production runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rpc_graphs::{Graph, NodeId};
+
+use crate::api::Engine;
+use crate::message::{MessageId, MessageSet};
+use crate::metrics::Metrics;
+use crate::sim::{LivenessEvent, LivenessKind, Transfer};
+
+/// The unpacked (pre-optimization) simulation engine. Same API and RNG draw
+/// sequence as [`crate::Simulation`], `Vec<bool>`-and-scans bookkeeping.
+#[derive(Debug)]
+pub struct UnpackedSimulation<'g> {
+    graph: &'g Graph,
+    states: Vec<MessageSet>,
+    known: Vec<u32>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    present: Vec<bool>,
+    departed_count: usize,
+    fully_informed: usize,
+    tracked: Option<MessageId>,
+    metrics: Metrics,
+    rng: SmallRng,
+    loss_probability: f64,
+    schedule: Vec<LivenessEvent>,
+    next_event: usize,
+    scratch_pool: Vec<MessageSet>,
+}
+
+impl<'g> UnpackedSimulation<'g> {
+    /// Creates an unpacked simulation in the gossiping start configuration.
+    /// Seeding matches [`crate::Simulation::new`] bit for bit.
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
+        let n = graph.num_nodes();
+        let states = (0..n).map(|v| MessageSet::singleton(n, v as MessageId)).collect();
+        Self {
+            graph,
+            states,
+            known: vec![1; n],
+            alive: vec![true; n],
+            alive_count: n,
+            present: vec![true; n],
+            departed_count: 0,
+            fully_informed: if n <= 1 { n } else { 0 },
+            tracked: None,
+            metrics: Metrics::new(n),
+            rng: SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03),
+            loss_probability: 0.0,
+            schedule: Vec::new(),
+            next_event: 0,
+            scratch_pool: Vec::new(),
+        }
+    }
+
+    /// Number of original messages node `v` knows.
+    pub fn num_known(&self, v: NodeId) -> usize {
+        self.known[v as usize] as usize
+    }
+
+    fn push_event(&mut self, event: LivenessEvent) {
+        self.schedule.push(event);
+        self.schedule[self.next_event..].sort_by_key(|e| e.round);
+    }
+
+    fn poll_events(&mut self) {
+        if self.next_event >= self.schedule.len() {
+            return;
+        }
+        let round = self.metrics.rounds();
+        while self.next_event < self.schedule.len() && self.schedule[self.next_event].round <= round
+        {
+            let kind = self.schedule[self.next_event].kind;
+            let nodes = std::mem::take(&mut self.schedule[self.next_event].nodes);
+            self.next_event += 1;
+            match kind {
+                LivenessKind::Kill => Engine::kill_nodes(self, &nodes),
+                LivenessKind::Revive => Engine::revive_nodes(self, &nodes),
+                LivenessKind::Crash => Engine::fail_nodes(self, &nodes),
+            }
+        }
+    }
+
+    fn bump_known(&mut self, v: NodeId, added: usize) {
+        if added == 0 {
+            return;
+        }
+        self.known[v as usize] += added as u32;
+        if self.known[v as usize] as usize == self.states.len() {
+            self.fully_informed += 1;
+        }
+    }
+
+    /// The pre-optimization effective-packet filter: allocates a fresh buffer
+    /// on every call. The iteration order — and therefore the loss-sampling
+    /// order — matches the packed engine exactly.
+    fn count_packets(&mut self, transfers: &[Transfer]) -> Vec<Transfer> {
+        let mut effective = Vec::with_capacity(transfers.len());
+        for &t in transfers {
+            if !self.alive[t.from as usize] || !self.present[t.from as usize] {
+                continue;
+            }
+            if !self.present[t.to as usize] {
+                continue;
+            }
+            self.metrics.record_packet(t.from);
+            if t.from == t.to {
+                continue;
+            }
+            if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
+                continue;
+            }
+            effective.push(t);
+        }
+        effective
+    }
+
+    /// Dense deferred delivery: one full-width delta bitset per receiver,
+    /// built with copy + union and committed with a counting union.
+    fn deliver_deferred(&mut self, transfers: &[Transfer]) -> usize {
+        let mut effective = self.count_packets(transfers);
+        if effective.is_empty() {
+            return 0;
+        }
+        effective.sort_unstable_by_key(|t| t.to);
+        let universe = self.states.len();
+        let mut deltas: Vec<(NodeId, MessageSet)> = Vec::new();
+        let mut start = 0usize;
+        while start < effective.len() {
+            let to = effective[start].to;
+            let mut end = start + 1;
+            while end < effective.len() && effective[end].to == to {
+                end += 1;
+            }
+            let mut delta = self.scratch_pool.pop().unwrap_or_else(|| MessageSet::empty(universe));
+            let mut first = true;
+            for t in &effective[start..end] {
+                let sender_state = &self.states[t.from as usize];
+                if first {
+                    delta.copy_from(sender_state);
+                    first = false;
+                } else {
+                    delta.union_from(sender_state);
+                }
+            }
+            deltas.push((to, delta));
+            start = end;
+        }
+        let mut total_added = 0usize;
+        for (to, delta) in &deltas {
+            if self.alive[*to as usize] {
+                let added = self.states[*to as usize].union_from(delta);
+                self.bump_known(*to, added);
+                total_added += added;
+            }
+        }
+        for (_, delta) in deltas {
+            self.scratch_pool.push(delta);
+        }
+        total_added
+    }
+
+    /// The pre-optimization masked sampling: rejection sampling over the raw
+    /// neighbor slice, then a materialized filtered list. The draw sequence
+    /// (32 attempts, then one draw over the eligible count) is identical to
+    /// `Graph::random_neighbor_masked` on the packed presence words.
+    fn random_neighbor_masked(&mut self, v: NodeId) -> Option<NodeId> {
+        let nbrs = self.graph.neighbors(v);
+        if nbrs.is_empty() {
+            return None;
+        }
+        for _ in 0..32 {
+            let candidate = nbrs[self.rng.gen_range(0..nbrs.len())];
+            if self.present[candidate as usize] {
+                return Some(candidate);
+            }
+        }
+        let pool: Vec<NodeId> =
+            nbrs.iter().copied().filter(|&u| self.present[u as usize]).collect();
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[self.rng.gen_range(0..pool.len())])
+        }
+    }
+
+    /// Masked `open-avoid` sampling, same draw sequence as the packed engine.
+    fn random_neighbor_masked_avoiding(&mut self, v: NodeId, avoid: &[NodeId]) -> Option<NodeId> {
+        let nbrs = self.graph.neighbors(v);
+        if nbrs.is_empty() {
+            return None;
+        }
+        for _ in 0..32 {
+            let candidate = nbrs[self.rng.gen_range(0..nbrs.len())];
+            if self.present[candidate as usize] && !avoid.contains(&candidate) {
+                return Some(candidate);
+            }
+        }
+        let pool: Vec<NodeId> = nbrs
+            .iter()
+            .copied()
+            .filter(|&u| self.present[u as usize] && !avoid.contains(&u))
+            .collect();
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[self.rng.gen_range(0..pool.len())])
+        }
+    }
+}
+
+impl Engine for UnpackedSimulation<'_> {
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.states.len()
+    }
+
+    fn open_channel(&mut self, v: NodeId) -> Option<NodeId> {
+        self.poll_events();
+        if !self.alive[v as usize] || !self.present[v as usize] {
+            return None;
+        }
+        let target = if self.departed_count == 0 {
+            self.graph.random_neighbor(v, &mut self.rng)?
+        } else {
+            self.random_neighbor_masked(v)?
+        };
+        self.metrics.record_channel_open(v);
+        Some(target)
+    }
+
+    fn open_channel_avoiding(&mut self, v: NodeId, avoid: &[NodeId]) -> Option<NodeId> {
+        self.poll_events();
+        if !self.alive[v as usize] || !self.present[v as usize] {
+            return None;
+        }
+        let target = if self.departed_count == 0 {
+            self.graph.random_neighbor_avoiding(v, avoid, &mut self.rng)?
+        } else {
+            self.random_neighbor_masked_avoiding(v, avoid)?
+        };
+        self.metrics.record_channel_open(v);
+        Some(target)
+    }
+
+    fn deliver(&mut self, transfers: &[Transfer]) -> usize {
+        self.poll_events();
+        self.deliver_deferred(transfers)
+    }
+
+    fn absorb(&mut self, v: NodeId, set: &MessageSet) -> usize {
+        if !self.alive[v as usize] || !self.present[v as usize] {
+            return 0;
+        }
+        let added = self.states[v as usize].union_from(set);
+        self.bump_known(v, added);
+        added
+    }
+
+    fn state(&self, v: NodeId) -> &MessageSet {
+        &self.states[v as usize]
+    }
+
+    fn knows(&self, v: NodeId, m: MessageId) -> bool {
+        self.states[v as usize].contains(m)
+    }
+
+    fn is_alive(&self, v: NodeId) -> bool {
+        self.alive[v as usize]
+    }
+
+    fn is_present(&self, v: NodeId) -> bool {
+        self.present[v as usize]
+    }
+
+    fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    fn present_count(&self) -> usize {
+        self.states.len() - self.departed_count
+    }
+
+    fn participating_count(&self) -> usize {
+        (0..self.states.len()).filter(|&v| self.alive[v] && self.present[v]).count()
+    }
+
+    fn participating_informed_count(&self) -> usize {
+        let n = self.states.len();
+        (0..n).filter(|&v| self.alive[v] && self.present[v] && self.known[v] as usize == n).count()
+    }
+
+    fn is_fully_informed(&self, v: NodeId) -> bool {
+        self.known[v as usize] as usize == self.states.len()
+    }
+
+    fn fully_informed_count(&self) -> usize {
+        self.fully_informed
+    }
+
+    /// The pre-optimization completion check: an O(n) scan over the counters.
+    fn gossip_complete(&self) -> bool {
+        (0..self.states.len() as NodeId).all(|v| {
+            !self.alive[v as usize] || !self.present[v as usize] || self.is_fully_informed(v)
+        })
+    }
+
+    fn informed_count_of(&self, m: MessageId) -> usize {
+        self.states.iter().filter(|s| s.contains(m)).count()
+    }
+
+    fn track_message(&mut self, m: MessageId) {
+        assert!((m as usize) < self.states.len(), "message id {m} outside universe");
+        self.tracked = Some(m);
+    }
+
+    /// The pre-optimization coverage query: an O(n) scan per call.
+    fn tracked_informed_count(&self) -> usize {
+        let m = self.tracked.expect("no tracked message; call track_message first");
+        self.informed_count_of(m)
+    }
+
+    fn fail_nodes(&mut self, nodes: &[NodeId]) {
+        for &v in nodes {
+            if std::mem::replace(&mut self.alive[v as usize], false) {
+                self.alive_count -= 1;
+            }
+        }
+    }
+
+    fn kill_nodes(&mut self, nodes: &[NodeId]) {
+        for &v in nodes {
+            if std::mem::replace(&mut self.present[v as usize], false) {
+                self.departed_count += 1;
+            }
+        }
+    }
+
+    fn revive_nodes(&mut self, nodes: &[NodeId]) {
+        for &v in nodes {
+            if !std::mem::replace(&mut self.present[v as usize], true) {
+                self.departed_count -= 1;
+            }
+        }
+    }
+
+    fn schedule_kill(&mut self, round: u64, nodes: Vec<NodeId>) {
+        self.push_event(LivenessEvent { round, kind: LivenessKind::Kill, nodes });
+    }
+
+    fn schedule_revive(&mut self, round: u64, nodes: Vec<NodeId>) {
+        self.push_event(LivenessEvent { round, kind: LivenessKind::Revive, nodes });
+    }
+
+    fn schedule_crash(&mut self, round: u64, nodes: Vec<NodeId>) {
+        self.push_event(LivenessEvent { round, kind: LivenessKind::Crash, nodes });
+    }
+
+    fn set_loss_probability(&mut self, p: f64) {
+        assert!(p.is_finite() && (0.0..1.0).contains(&p), "loss probability must lie in [0, 1)");
+        self.loss_probability = p;
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use rpc_graphs::prelude::*;
+
+    /// Drives both engines through an identical mixed workload — channel
+    /// openings under churn, lossy deliveries, scheduled events, absorbs —
+    /// and asserts bit-identical observable state after every step.
+    #[test]
+    fn unpacked_engine_mirrors_the_packed_engine_step_for_step() {
+        let n = 150usize; // not a multiple of 64
+        let g = ErdosRenyi::with_expected_degree(n, 9.0).generate(17);
+        let mut packed = Simulation::new(&g, 23).with_loss_probability(0.2);
+        let mut unpacked = UnpackedSimulation::new(&g, 23);
+        unpacked.set_loss_probability(0.2);
+        for sim in [&mut packed as &mut dyn Engine, &mut unpacked as &mut dyn Engine] {
+            sim.schedule_kill(2, vec![5, 6, 7]);
+            sim.schedule_revive(5, vec![5, 6]);
+            sim.schedule_crash(7, vec![10, 11]);
+            sim.track_message(3);
+        }
+        for round in 0..12u64 {
+            let mut transfers_p = Vec::new();
+            let mut transfers_u = Vec::new();
+            for v in 0..n as NodeId {
+                let a = packed.open_channel(v);
+                let b = unpacked.open_channel(v);
+                assert_eq!(a, b, "channel choice diverged at round {round}, node {v}");
+                if let Some(u) = a {
+                    transfers_p.push(Transfer::new(v, u));
+                    transfers_p.push(Transfer::new(u, v));
+                    transfers_u.push(Transfer::new(v, u));
+                    transfers_u.push(Transfer::new(u, v));
+                }
+            }
+            let added_p = packed.deliver(&transfers_p);
+            let added_u = unpacked.deliver(&transfers_u);
+            assert_eq!(added_p, added_u, "delivery diverged at round {round}");
+            packed.metrics_mut().finish_round();
+            unpacked.metrics_mut().finish_round();
+            assert_eq!(packed.fully_informed_count(), unpacked.fully_informed_count());
+            assert_eq!(packed.tracked_informed_count(), unpacked.tracked_informed_count());
+            assert_eq!(packed.gossip_complete(), unpacked.gossip_complete());
+            assert_eq!(packed.participating_count(), unpacked.participating_count());
+            assert_eq!(
+                packed.participating_informed_count(),
+                unpacked.participating_informed_count()
+            );
+            assert_eq!(packed.metrics().total_packets(), unpacked.metrics().total_packets());
+        }
+        for v in 0..n as NodeId {
+            assert_eq!(Engine::state(&packed, v), Engine::state(&unpacked, v), "state of {v}");
+        }
+    }
+
+    #[test]
+    fn open_avoid_draws_match_under_churn() {
+        let g = RandomRegular::new(60, 6).generate(3);
+        let mut packed = Simulation::new(&g, 9);
+        let mut unpacked = UnpackedSimulation::new(&g, 9);
+        packed.kill_nodes(&[1, 2, 3, 4, 5]);
+        Engine::kill_nodes(&mut unpacked, &[1, 2, 3, 4, 5]);
+        for v in 0..60 {
+            let avoid = [(v + 1) % 60, (v + 2) % 60];
+            assert_eq!(
+                packed.open_channel_avoiding(v, &avoid),
+                unpacked.open_channel_avoiding(v, &avoid),
+                "open-avoid diverged for node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_mask_fallback_matches_packed_fallback() {
+        // Kill all but one neighbor so rejection sampling usually fails and
+        // both engines take their exact fallback path.
+        let g = CompleteGraph::new(40).generate(0);
+        let mut packed = Simulation::new(&g, 4);
+        let mut unpacked = UnpackedSimulation::new(&g, 4);
+        let departed: Vec<NodeId> = (2..40).collect();
+        packed.kill_nodes(&departed);
+        Engine::kill_nodes(&mut unpacked, &departed);
+        for _ in 0..50 {
+            assert_eq!(packed.open_channel(0), unpacked.open_channel(0));
+        }
+        // With every neighbor departed, both report isolation identically.
+        packed.kill_nodes(&[1]);
+        Engine::kill_nodes(&mut unpacked, &[1]);
+        assert_eq!(packed.open_channel(0), None);
+        assert_eq!(unpacked.open_channel(0), None);
+    }
+}

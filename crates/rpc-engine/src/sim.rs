@@ -1,8 +1,9 @@
 //! The synchronous random phone call simulation state.
 //!
 //! A [`Simulation`] bundles the network graph, every node's current combined
-//! message, the liveness mask used by the failure model, the communication
-//! metrics and the random source. Algorithms drive it with three primitives:
+//! message, the liveness masks used by the failure and churn models, the
+//! communication metrics and the random source. Algorithms drive it with three
+//! primitives:
 //!
 //! 1. [`Simulation::open_channel`] / [`Simulation::open_channel_avoiding`] —
 //!    "in each step every node opens a communication channel to a randomly
@@ -17,15 +18,51 @@
 //! Delivery obeys the model's timing: all packets of a step are computed from
 //! the senders' states *at the beginning of the step* ("`m_v(t)` is the union
 //! of all messages received in steps `< t`"). See [`DeliverySemantics`].
+//!
+//! ## The packed hot path
+//!
+//! All per-node boolean bookkeeping is packed into [`BitSet`]s — `alive`
+//! (not crashed), `present` (not churned out) and `full` (fully informed) —
+//! so the per-round control questions are word-parallel:
+//!
+//! * the completion check walks `(alive ∧ present) ∧ ¬full` one word at a
+//!   time instead of scanning `n` counters ([`Simulation::gossip_complete`]);
+//! * neighbor sampling under churn tests the presence mask with a shift and
+//!   an AND per candidate (`Graph::random_neighbor_masked` consumes
+//!   [`BitSet::words`] directly);
+//! * coverage queries for a tracked rumor are maintained incrementally and
+//!   answered from a popcount-backed counter
+//!   ([`Simulation::tracked_informed_count`]).
+//!
+//! Delivery itself is allocation-free in steady state: the effective-transfer
+//! buffer, the counting-sort buckets, and the kernel buffers (see
+//! [`crate::parallel`] for the three delivery kernels) are pooled and reused
+//! across rounds, and receivers that are already fully informed (or crashed)
+//! are dropped before any kernel work happens. Once the state table outgrows
+//! the CPU caches, the sequential path additionally processes receivers in
+//! *sender-chain order* and commits each node eagerly as soon as its last
+//! pending reader has been computed — the begin-of-step snapshot semantics
+//! are preserved exactly, but the base state and the pooled output buffer of
+//! a fused update are then usually cache-hot instead of cold DRAM reads
+//! (see [`crate::parallel`] for the scheduling details).
+//!
+//! The unoptimized PR 2 implementation of this type survives as
+//! [`crate::reference::UnpackedSimulation`] — same API, same RNG draw
+//! sequence, `Vec<bool>` bookkeeping — and serves as the correctness oracle
+//! and benchmark baseline for this hot path.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use rpc_graphs::{Graph, NodeId};
 
+use crate::bitset::{any_and2_not, count_and3, BitSet};
 use crate::message::{MessageId, MessageSet};
 use crate::metrics::Metrics;
-use crate::parallel::compute_deltas;
+use crate::parallel::{
+    cache_resident, chain_order, compute_one_update, compute_updates, group_by_receiver,
+    UpdatePayload, UpdatePools,
+};
 
 /// How packet deliveries within one synchronous step are applied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -66,7 +103,7 @@ impl Transfer {
 /// go through [`Simulation::schedule_kill`] / [`Simulation::schedule_revive`]
 /// / [`Simulation::schedule_crash`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum LivenessKind {
+pub(crate) enum LivenessKind {
     /// Churn out: the nodes leave the network entirely.
     Kill,
     /// Churn in: previously departed nodes rejoin with their old state.
@@ -78,10 +115,21 @@ enum LivenessKind {
 
 /// A liveness change applied at the start of the given round.
 #[derive(Clone, Debug)]
-struct LivenessEvent {
-    round: u64,
-    kind: LivenessKind,
-    nodes: Vec<NodeId>,
+pub(crate) struct LivenessEvent {
+    pub(crate) round: u64,
+    pub(crate) kind: LivenessKind,
+    pub(crate) nodes: Vec<NodeId>,
+}
+
+/// Incrementally maintained knowledge of one tracked original message.
+#[derive(Clone, Debug)]
+struct TrackedRumor {
+    id: MessageId,
+    /// Which nodes know the rumor — kept in lockstep with the states.
+    knowers: BitSet,
+    /// `knowers.count_ones()`, maintained incrementally so coverage stop
+    /// rules are O(1) per round.
+    count: usize,
 }
 
 /// The mutable state of one simulation run.
@@ -90,14 +138,18 @@ pub struct Simulation<'g> {
     graph: &'g Graph,
     states: Vec<MessageSet>,
     known: Vec<u32>,
-    alive: Vec<bool>,
+    alive: BitSet,
     alive_count: usize,
-    /// Churn mask: `false` means the node has departed the network. Unlike a
-    /// crashed node (`alive[v] == false`), a departed node is also excluded
-    /// from its neighbors' channel selection.
-    present: Vec<bool>,
+    /// Churn mask: a cleared bit means the node has departed the network.
+    /// Unlike a crashed node (cleared `alive` bit), a departed node is also
+    /// excluded from its neighbors' channel selection.
+    present: BitSet,
     departed_count: usize,
+    /// Fully informed nodes (`known[v] == n`), maintained by `bump_known` so
+    /// the completion check is word-parallel.
+    full: BitSet,
     fully_informed: usize,
+    tracked: Option<TrackedRumor>,
     metrics: Metrics,
     rng: SmallRng,
     semantics: DeliverySemantics,
@@ -108,7 +160,23 @@ pub struct Simulation<'g> {
     /// into the already-applied prefix.
     schedule: Vec<LivenessEvent>,
     next_event: usize,
-    scratch_pool: Vec<MessageSet>,
+    /// Reusable buffers for the delivery kernels (see [`crate::parallel`]);
+    /// the commit swaps replacement buffers into the state table and returns
+    /// the previous states here.
+    update_pools: UpdatePools,
+    /// Reusable effective-transfer buffer for [`Simulation::deliver`].
+    transfer_scratch: Vec<Transfer>,
+    /// Reusable receiver-grouped transfer buffer (counting-sort output).
+    grouped_scratch: Vec<Transfer>,
+    /// Reusable per-node counters for the counting sort.
+    bucket_scratch: Vec<u32>,
+    /// Reusable per-node pending-reader counters for the eager sequential
+    /// commit (how many not-yet-computed receivers still read this node's
+    /// begin-of-step state).
+    reader_scratch: Vec<u32>,
+    /// Reusable per-node stash of computed-but-not-yet-committable payloads
+    /// for the eager sequential commit.
+    pending_scratch: Vec<Option<UpdatePayload>>,
 }
 
 impl<'g> Simulation<'g> {
@@ -121,11 +189,13 @@ impl<'g> Simulation<'g> {
             graph,
             states,
             known: vec![1; n],
-            alive: vec![true; n],
+            alive: BitSet::new_full(n),
             alive_count: n,
-            present: vec![true; n],
+            present: BitSet::new_full(n),
             departed_count: 0,
+            full: if n <= 1 { BitSet::new_full(n) } else { BitSet::new(n) },
             fully_informed: if n <= 1 { n } else { 0 },
+            tracked: None,
             metrics: Metrics::new(n),
             rng: SmallRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03),
             semantics: DeliverySemantics::Deferred,
@@ -133,7 +203,12 @@ impl<'g> Simulation<'g> {
             loss_probability: 0.0,
             schedule: Vec::new(),
             next_event: 0,
-            scratch_pool: Vec::new(),
+            update_pools: UpdatePools::default(),
+            transfer_scratch: Vec::new(),
+            grouped_scratch: Vec::new(),
+            bucket_scratch: Vec::new(),
+            reader_scratch: Vec::new(),
+            pending_scratch: Vec::new(),
         }
     }
 
@@ -228,21 +303,55 @@ impl<'g> Simulation<'g> {
     /// Whether every *participating* (alive and present) node knows every
     /// original message — the completion condition of the gossiping problem.
     /// Crashed and churned-out nodes are exempt.
+    ///
+    /// Word-parallel: walks `(alive ∧ present) ∧ ¬full` in `n / 64` steps and
+    /// stops at the first word containing an uninformed participant.
     pub fn gossip_complete(&self) -> bool {
-        (0..self.num_nodes() as NodeId).all(|v| {
-            !self.alive[v as usize] || !self.present[v as usize] || self.is_fully_informed(v)
-        })
+        !any_and2_not(&self.alive, &self.present, &self.full)
     }
 
     /// Number of nodes that know original message `m` (the paper's `|I_m(t)|`).
-    /// This is an `O(n)` scan and intended for tests and phase diagnostics.
+    /// This is an `O(n)` scan intended for tests and phase diagnostics; for a
+    /// per-round coverage stop rule use [`Self::track_message`] and the O(1)
+    /// [`Self::tracked_informed_count`] instead.
     pub fn informed_count_of(&self, m: MessageId) -> usize {
         self.states.iter().filter(|s| s.contains(m)).count()
     }
 
+    /// Starts tracking original message `m` ("the rumor"): from now on the
+    /// set of nodes knowing `m` is maintained incrementally alongside the
+    /// deliveries, so [`Self::tracked_informed_count`] is O(1) instead of an
+    /// O(n) scan per query. Tracking may be enabled at any point; the initial
+    /// knower set is computed once from the current states.
+    pub fn track_message(&mut self, m: MessageId) {
+        let n = self.num_nodes();
+        assert!((m as usize) < n, "message id {m} outside universe {n}");
+        let mut knowers = BitSet::new(n);
+        let mut count = 0usize;
+        for (v, state) in self.states.iter().enumerate() {
+            if state.contains(m) {
+                knowers.set(v);
+                count += 1;
+            }
+        }
+        self.tracked = Some(TrackedRumor { id: m, knowers, count });
+    }
+
+    /// The message id currently tracked via [`Self::track_message`], if any.
+    pub fn tracked_message(&self) -> Option<MessageId> {
+        self.tracked.as_ref().map(|t| t.id)
+    }
+
+    /// Number of nodes that know the tracked rumor. O(1): the count is
+    /// maintained by the delivery paths. Panics if [`Self::track_message`]
+    /// was never called.
+    pub fn tracked_informed_count(&self) -> usize {
+        self.tracked.as_ref().expect("no tracked message; call track_message first").count
+    }
+
     /// Whether node `v` is alive (has not failed).
     pub fn is_alive(&self, v: NodeId) -> bool {
-        self.alive[v as usize]
+        self.alive.get(v as usize)
     }
 
     /// Number of alive nodes.
@@ -254,7 +363,7 @@ impl<'g> Simulation<'g> {
     /// not transmit and do not store incoming messages (Section 5).
     pub fn fail_nodes(&mut self, nodes: &[NodeId]) {
         for &v in nodes {
-            if std::mem::replace(&mut self.alive[v as usize], false) {
+            if self.alive.clear_bit(v as usize) {
                 self.alive_count -= 1;
             }
         }
@@ -262,7 +371,7 @@ impl<'g> Simulation<'g> {
 
     /// Whether node `v` is present (has not churned out of the network).
     pub fn is_present(&self, v: NodeId) -> bool {
-        self.present[v as usize]
+        self.present.get(v as usize)
     }
 
     /// Number of present nodes.
@@ -273,7 +382,19 @@ impl<'g> Simulation<'g> {
     /// Whether node `v` currently participates in the protocol: it is alive
     /// (not crashed) and present (not churned out).
     pub fn is_participating(&self, v: NodeId) -> bool {
-        self.alive[v as usize] && self.present[v as usize]
+        self.alive.get(v as usize) && self.present.get(v as usize)
+    }
+
+    /// Number of participating (alive and present) nodes — one popcount pass
+    /// over `alive ∧ present`.
+    pub fn participating_count(&self) -> usize {
+        self.alive.intersection_count(&self.present)
+    }
+
+    /// Number of participating nodes that are fully informed — one popcount
+    /// pass over `alive ∧ present ∧ full`.
+    pub fn participating_informed_count(&self) -> usize {
+        count_and3(&self.alive, &self.present, &self.full)
     }
 
     /// Churns the given nodes out of the network immediately. A departed node
@@ -282,7 +403,7 @@ impl<'g> Simulation<'g> {
     /// if its edges were removed (the CSR adjacency itself stays immutable).
     pub fn kill_nodes(&mut self, nodes: &[NodeId]) {
         for &v in nodes {
-            if std::mem::replace(&mut self.present[v as usize], false) {
+            if self.present.clear_bit(v as usize) {
                 self.departed_count += 1;
             }
         }
@@ -293,7 +414,7 @@ impl<'g> Simulation<'g> {
     /// never departed is a no-op.
     pub fn revive_nodes(&mut self, nodes: &[NodeId]) {
         for &v in nodes {
-            if !std::mem::replace(&mut self.present[v as usize], true) {
+            if self.present.set(v as usize) {
                 self.departed_count -= 1;
             }
         }
@@ -356,13 +477,13 @@ impl<'g> Simulation<'g> {
     /// matching the paper's failure semantics.
     pub fn open_channel(&mut self, v: NodeId) -> Option<NodeId> {
         self.poll_events();
-        if !self.alive[v as usize] || !self.present[v as usize] {
+        if !self.alive.get(v as usize) || !self.present.get(v as usize) {
             return None;
         }
         let target = if self.departed_count == 0 {
             self.graph.random_neighbor(v, &mut self.rng)?
         } else {
-            self.graph.random_neighbor_masked(v, &self.present, &mut self.rng)?
+            self.graph.random_neighbor_masked(v, self.present.words(), &mut self.rng)?
         };
         self.metrics.record_channel_open(v);
         Some(target)
@@ -373,13 +494,18 @@ impl<'g> Simulation<'g> {
     /// failed or departed, or every neighbour is excluded.
     pub fn open_channel_avoiding(&mut self, v: NodeId, avoid: &[NodeId]) -> Option<NodeId> {
         self.poll_events();
-        if !self.alive[v as usize] || !self.present[v as usize] {
+        if !self.alive.get(v as usize) || !self.present.get(v as usize) {
             return None;
         }
         let target = if self.departed_count == 0 {
             self.graph.random_neighbor_avoiding(v, avoid, &mut self.rng)?
         } else {
-            self.graph.random_neighbor_masked_avoiding(v, avoid, &self.present, &mut self.rng)?
+            self.graph.random_neighbor_masked_avoiding(
+                v,
+                avoid,
+                self.present.words(),
+                &mut self.rng,
+            )?
         };
         self.metrics.record_channel_open(v);
         Some(target)
@@ -390,11 +516,14 @@ impl<'g> Simulation<'g> {
     /// the transmission that carried `set` themselves (e.g. random walks).
     /// Failed and departed nodes ignore the merge.
     pub fn absorb(&mut self, v: NodeId, set: &MessageSet) -> usize {
-        if !self.alive[v as usize] || !self.present[v as usize] {
+        if !self.alive.get(v as usize) || !self.present.get(v as usize) {
             return 0;
         }
         let added = self.states[v as usize].union_from(set);
         self.bump_known(v, added);
+        if added > 0 {
+            self.refresh_tracked(v);
+        }
         added
     }
 
@@ -404,7 +533,19 @@ impl<'g> Simulation<'g> {
         }
         self.known[v as usize] += added as u32;
         if self.known[v as usize] as usize == self.num_nodes() {
+            self.full.set(v as usize);
             self.fully_informed += 1;
+        }
+    }
+
+    /// Re-derives node `v`'s tracked-rumor bit from its state (used by the
+    /// paths that union whole message sets rather than sparse deltas).
+    fn refresh_tracked(&mut self, v: NodeId) {
+        if let Some(tracked) = &mut self.tracked {
+            if !tracked.knowers.get(v as usize) && self.states[v as usize].contains(tracked.id) {
+                tracked.knowers.set(v as usize);
+                tracked.count += 1;
+            }
         }
     }
 
@@ -433,13 +574,17 @@ impl<'g> Simulation<'g> {
         }
     }
 
-    fn count_packets(&mut self, transfers: &[Transfer]) -> Vec<Transfer> {
-        let mut effective = Vec::with_capacity(transfers.len());
+    /// Filters `transfers` down to the packets that are actually put on the
+    /// wire, recording packet metrics and sampling loss along the way. The
+    /// survivors are appended to `out` (cleared first).
+    fn count_packets(&mut self, transfers: &[Transfer], out: &mut Vec<Transfer>) {
+        out.clear();
+        out.reserve(transfers.len());
         for &t in transfers {
-            if !self.alive[t.from as usize] || !self.present[t.from as usize] {
+            if !self.alive.get(t.from as usize) || !self.present.get(t.from as usize) {
                 continue; // failed nodes do not transmit, departed nodes are gone
             }
-            if !self.present[t.to as usize] {
+            if !self.present.get(t.to as usize) {
                 continue; // the connection to a departed node fails silently
             }
             self.metrics.record_packet(t.from);
@@ -449,40 +594,186 @@ impl<'g> Simulation<'g> {
             if self.loss_probability > 0.0 && self.rng.gen_bool(self.loss_probability) {
                 continue; // lost in transit: sent (counted) but never stored
             }
-            effective.push(t);
+            out.push(t);
         }
-        effective
     }
 
     fn deliver_deferred(&mut self, transfers: &[Transfer]) -> usize {
-        let mut effective = self.count_packets(transfers);
+        let mut effective = std::mem::take(&mut self.transfer_scratch);
+        self.count_packets(transfers, &mut effective);
+        // Packets to crashed receivers were counted but are never stored, and
+        // fully informed receivers cannot learn anything — drop both before
+        // any delta work happens.
+        let n = self.num_nodes();
+        let (alive, known) = (&self.alive, &self.known);
+        effective
+            .retain(|t| alive.get(t.to as usize) && (known[t.to as usize] as usize) < n.max(1));
         if effective.is_empty() {
+            self.transfer_scratch = effective;
             return 0;
         }
-        // Group by receiver so each receiver's delta is computed exactly once
-        // from the senders' begin-of-step states.
-        effective.sort_unstable_by_key(|t| t.to);
-        let deltas = compute_deltas(&self.states, &effective, self.threads, &mut self.scratch_pool);
-        let mut total_added = 0usize;
-        for (to, delta) in &deltas {
-            if self.alive[*to as usize] {
-                let added = self.states[*to as usize].union_from(delta);
-                self.bump_known(*to, added);
-                total_added += added;
+        // Group by receiver so each receiver's new state is computed exactly
+        // once from the senders' begin-of-step states. A counting sort over
+        // the node ids replaces a comparison sort: O(m + n) with two linear
+        // passes, reusing the bucket and output buffers across rounds.
+        {
+            let buckets = &mut self.bucket_scratch;
+            buckets.clear();
+            buckets.resize(n, 0);
+            for t in &effective {
+                buckets[t.to as usize] += 1;
+            }
+            let mut offset = 0u32;
+            for b in buckets.iter_mut() {
+                let count = *b;
+                *b = offset;
+                offset += count;
+            }
+            let grouped = &mut self.grouped_scratch;
+            grouped.clear();
+            grouped.resize(effective.len(), Transfer::new(0, 0));
+            for &t in &effective {
+                let slot = &mut buckets[t.to as usize];
+                grouped[*slot as usize] = t;
+                *slot += 1;
             }
         }
-        // Return the scratch buffers to the pool for reuse in later steps.
-        for (_, delta) in deltas {
-            self.scratch_pool.push(delta);
+        // The eager path only pays off once the state table has outgrown the
+        // caches (see `parallel::cache_resident`); multi-threaded delivery
+        // always uses the batch path, whose barrier the workers need anyway.
+        let total_added = if self.threads == 1 && !cache_resident(&self.states) {
+            self.deliver_grouped_eager()
+        } else {
+            self.deliver_grouped_batch()
+        };
+        self.transfer_scratch = effective;
+        total_added
+    }
+
+    /// Sequential delivery core: computes each receiver's payload in chain
+    /// order and commits a node's payload *as soon as its last pending reader
+    /// has been computed* (tracked with per-node reader counts). A sender is
+    /// therefore never committed while any receiver still needs its
+    /// begin-of-step state — the result is identical to the batch path — but
+    /// the buffer a commit returns to the LIFO pool is typically the state
+    /// the kernel just streamed through the cache, so the next fused
+    /// receiver's buffer pop avoids a cold read-for-ownership of 200 bytes
+    /// per 100 nodes of universe. Together with the chain ordering this
+    /// keeps two of the ~five full-width streams per receiver in cache in
+    /// the memory-bound mixing rounds.
+    fn deliver_grouped_eager(&mut self) -> usize {
+        let Simulation {
+            states,
+            known,
+            full,
+            fully_informed,
+            tracked,
+            update_pools,
+            grouped_scratch,
+            reader_scratch,
+            pending_scratch,
+            ..
+        } = self;
+        let grouped: &[Transfer] = grouped_scratch;
+        let n = states.len();
+        let groups = group_by_receiver(grouped);
+        let (order, group_of) = chain_order(
+            &groups,
+            grouped,
+            n,
+            std::mem::take(&mut update_pools.order),
+            std::mem::take(&mut update_pools.group_of),
+        );
+        let counts = reader_scratch;
+        counts.clear();
+        counts.resize(n, 0);
+        for t in grouped {
+            counts[t.from as usize] += 1;
+        }
+        let pending = pending_scratch;
+        pending.clear();
+        pending.resize_with(n, || None);
+        let mut total_added = 0usize;
+        for &oi in &order {
+            let (to, range) = &groups[oi as usize];
+            let group = &grouped[range.clone()];
+            let payload = compute_one_update(states, group, *to, known, full.words(), update_pools);
+            if counts[*to as usize] == 0 {
+                // Every reader of `to` has already been computed (or there
+                // were none): safe to commit immediately.
+                total_added += commit_payload(
+                    states,
+                    known,
+                    full,
+                    fully_informed,
+                    tracked,
+                    update_pools,
+                    *to,
+                    payload,
+                );
+            } else {
+                pending[*to as usize] = Some(payload);
+            }
+            for t in group {
+                let c = &mut counts[t.from as usize];
+                *c -= 1;
+                if *c == 0 {
+                    if let Some(p) = pending[t.from as usize].take() {
+                        total_added += commit_payload(
+                            states,
+                            known,
+                            full,
+                            fully_informed,
+                            tracked,
+                            update_pools,
+                            t.from,
+                            p,
+                        );
+                    }
+                }
+            }
+        }
+        debug_assert!(pending.iter().all(Option::is_none), "payload left uncommitted");
+        update_pools.order = order;
+        update_pools.group_of = group_of;
+        total_added
+    }
+
+    /// Multi-threaded delivery core: all payloads are computed from the
+    /// frozen begin-of-step states by [`compute_updates`], then committed in
+    /// one sequential pass. Bit-identical to the eager sequential path.
+    fn deliver_grouped_batch(&mut self) -> usize {
+        let updates = compute_updates(
+            &self.states,
+            &self.grouped_scratch,
+            &self.known,
+            self.full.words(),
+            self.threads,
+            &mut self.update_pools,
+        );
+        let Simulation { states, known, full, fully_informed, tracked, update_pools, .. } = self;
+        let mut total_added = 0usize;
+        for update in updates {
+            total_added += commit_payload(
+                states,
+                known,
+                full,
+                fully_informed,
+                tracked,
+                update_pools,
+                update.to,
+                update.payload,
+            );
         }
         total_added
     }
 
     fn deliver_immediate(&mut self, transfers: &[Transfer]) -> usize {
-        let effective = self.count_packets(transfers);
+        let mut effective = std::mem::take(&mut self.transfer_scratch);
+        self.count_packets(transfers, &mut effective);
         let mut total_added = 0usize;
-        for t in effective {
-            if !self.alive[t.to as usize] {
+        for t in &effective {
+            if !self.alive.get(t.to as usize) {
                 continue;
             }
             let (from, to) = (t.from as usize, t.to as usize);
@@ -495,10 +786,68 @@ impl<'g> Simulation<'g> {
                 left[to].union_from(&right[0])
             };
             self.bump_known(t.to, added);
+            if added > 0 {
+                self.refresh_tracked(t.to);
+            }
             total_added += added;
         }
+        self.transfer_scratch = effective;
         total_added
     }
+}
+
+/// Applies one receiver's computed payload to the live state and maintains
+/// the derived bookkeeping: the knowledge counter, the fully-informed mask
+/// and count, and the tracked rumor. Returns how many messages were newly
+/// learned. Shared by the eager and the batch commit paths — the payload is
+/// always computed from begin-of-step states, so applying it is
+/// order-independent across receivers.
+#[allow(clippy::too_many_arguments)]
+fn commit_payload(
+    states: &mut [MessageSet],
+    known: &mut [u32],
+    full: &mut BitSet,
+    fully_informed: &mut usize,
+    tracked: &mut Option<TrackedRumor>,
+    pools: &mut UpdatePools,
+    to: NodeId,
+    payload: UpdatePayload,
+) -> usize {
+    let added = match payload {
+        UpdatePayload::Sparse(entries) => {
+            // In-place commit: OR the candidate words into the live state,
+            // counting actual news (duplicates across senders deduplicate
+            // against the already-updated words).
+            let state = &mut states[to as usize];
+            let mut added = 0usize;
+            for &(wi, bits) in &entries {
+                added += state.or_word_counting(wi as usize, bits);
+            }
+            pools.entries.push(entries);
+            added
+        }
+        UpdatePayload::Replace { added, mut state } => {
+            // O(1) commit: the computed buffer becomes the state, the old
+            // state becomes a pool buffer.
+            std::mem::swap(&mut states[to as usize], &mut state);
+            pools.states.push(state);
+            added
+        }
+    };
+    if added > 0 {
+        known[to as usize] += added as u32;
+        if known[to as usize] as usize == states.len() {
+            full.set(to as usize);
+            *fully_informed += 1;
+        }
+        if let Some(t) = tracked {
+            if !t.knowers.get(to as usize) && states[to as usize].contains(t.id) {
+                t.knowers.set(to as usize);
+                t.count += 1;
+            }
+        }
+    }
+    added
 }
 
 #[cfg(test)]
@@ -531,6 +880,8 @@ mod tests {
         let sim = Simulation::new(&g, 1);
         assert!(sim.gossip_complete());
         assert_eq!(sim.fully_informed_count(), 1);
+        assert_eq!(sim.participating_count(), 1);
+        assert_eq!(sim.participating_informed_count(), 1);
     }
 
     #[test]
@@ -681,6 +1032,7 @@ mod tests {
         }
         assert_eq!(sim.fully_informed_count(), 5);
         assert!(sim.gossip_complete());
+        assert_eq!(sim.participating_informed_count(), 5);
     }
 
     #[test]
@@ -691,6 +1043,7 @@ mod tests {
         assert!(!sim.is_present(2));
         assert!(!sim.is_participating(2));
         assert_eq!(sim.present_count(), 3);
+        assert_eq!(sim.participating_count(), 3);
         // A departed node opens no channels and is never selected as a target.
         assert_eq!(sim.open_channel(2), None);
         for _ in 0..50 {
@@ -735,6 +1088,29 @@ mod tests {
         assert!(sim.gossip_complete());
         sim.revive_nodes(&[2]);
         assert!(!sim.gossip_complete(), "rejoined node counts again");
+    }
+
+    #[test]
+    fn all_departed_network_is_vacuously_complete() {
+        // The all-dead presence mask: every word of alive ∧ present is zero,
+        // so the word-parallel completion check finds no uninformed
+        // participant and no channel can be opened.
+        let g = complete(100); // not a multiple of 64: exercises the tail word
+        let mut sim = Simulation::new(&g, 31);
+        let everyone: Vec<NodeId> = (0..100).collect();
+        sim.kill_nodes(&everyone);
+        assert_eq!(sim.present_count(), 0);
+        assert_eq!(sim.participating_count(), 0);
+        assert_eq!(sim.participating_informed_count(), 0);
+        assert!(sim.gossip_complete(), "no participants means nothing left to inform");
+        for v in 0..100u32 {
+            assert_eq!(sim.open_channel(v), None);
+        }
+        assert_eq!(sim.deliver(&[Transfer::new(0, 1)]), 0);
+        assert_eq!(sim.metrics().total_packets(), 0);
+        // Reviving one node makes it a (fully informed? no) participant again.
+        sim.revive_nodes(&[7]);
+        assert!(!sim.gossip_complete());
     }
 
     #[test]
@@ -803,5 +1179,54 @@ mod tests {
         let added = sim.deliver(&[Transfer::new(0, 0)]);
         assert_eq!(added, 0);
         assert_eq!(sim.metrics().total_packets(), 1);
+    }
+
+    #[test]
+    fn tracked_rumor_count_matches_the_scan() {
+        let g = ErdosRenyi::with_expected_degree(150, 10.0).generate(9);
+        let mut sim = Simulation::new(&g, 13);
+        sim.track_message(42);
+        assert_eq!(sim.tracked_message(), Some(42));
+        assert_eq!(sim.tracked_informed_count(), 1);
+        // Drive a few dozen random-ish deterministic steps and compare the
+        // incremental count against the O(n) scan after every one.
+        for round in 0..30u32 {
+            let mut transfers = Vec::new();
+            for v in g.nodes() {
+                let nbrs = g.neighbors(v);
+                if !nbrs.is_empty() {
+                    let u = nbrs[(v as usize + round as usize) % nbrs.len()];
+                    transfers.push(Transfer::new(v, u));
+                    transfers.push(Transfer::new(u, v));
+                }
+            }
+            sim.deliver(&transfers);
+            assert_eq!(
+                sim.tracked_informed_count(),
+                sim.informed_count_of(42),
+                "incremental tracked count diverged at round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracked_rumor_is_maintained_by_absorb_and_immediate_delivery() {
+        let g = complete(5);
+        let mut sim = Simulation::new(&g, 14).with_semantics(DeliverySemantics::Immediate);
+        sim.track_message(0);
+        assert_eq!(sim.tracked_informed_count(), 1);
+        sim.deliver(&[Transfer::new(0, 1), Transfer::new(1, 2)]);
+        assert_eq!(sim.tracked_informed_count(), 3, "immediate chaining spreads the rumor");
+        sim.absorb(4, &MessageSet::singleton(5, 0));
+        assert_eq!(sim.tracked_informed_count(), 4);
+        assert_eq!(sim.tracked_informed_count(), sim.informed_count_of(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no tracked message")]
+    fn tracked_count_without_tracking_panics() {
+        let g = complete(2);
+        let sim = Simulation::new(&g, 1);
+        let _ = sim.tracked_informed_count();
     }
 }

@@ -18,7 +18,7 @@
 //! ```
 //!
 //! `--threads` (default: available parallelism) feeds both the engine's
-//! parallel delivery path (`compute_deltas`) and the scenario `BatchDriver`;
+//! parallel delivery path (`compute_updates`) and the scenario `BatchDriver`;
 //! every reported number is bit-identical for any value.
 //!
 //! Results are printed as Markdown and, when `--out DIR` is given, written as

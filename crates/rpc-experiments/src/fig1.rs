@@ -41,7 +41,7 @@ pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<Fig1Point
 }
 
 /// Like [`run`], but with `threads` engine workers applying each delivery
-/// batch (`rpc_engine::parallel::compute_deltas`). The measured numbers are
+/// batch (`rpc_engine::parallel::compute_updates`). The measured numbers are
 /// bit-identical for every thread count; threads only shorten the wall-clock
 /// time of the big bitset unions.
 pub fn run_threaded(

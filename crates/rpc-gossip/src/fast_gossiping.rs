@@ -20,7 +20,7 @@
 use rand::Rng;
 use rpc_graphs::NodeId;
 
-use rpc_engine::{Simulation, Transfer, Walk, WalkQueues};
+use rpc_engine::{Engine, Simulation, Transfer, Walk, WalkQueues};
 
 use crate::config::FastGossipingConfig;
 use crate::outcome::GossipOutcome;
@@ -50,7 +50,7 @@ impl FastGossiping {
     }
 
     /// Phase I: every node pushes its combined message in every step.
-    fn phase1_distribution(&self, sim: &mut Simulation<'_>) {
+    fn phase1_distribution<E: Engine>(&self, sim: &mut E) {
         let n = sim.num_nodes();
         let mut transfers: Vec<Transfer> = Vec::with_capacity(n);
         for _ in 0..self.config.phase1_steps {
@@ -71,9 +71,9 @@ impl FastGossiping {
     /// the walk's messages into its own state and enqueues the walk (now
     /// carrying the host's combined message), unless the walk has exceeded its
     /// move budget.
-    fn process_walk_arrivals(
+    fn process_walk_arrivals<E: Engine>(
         &self,
-        sim: &mut Simulation<'_>,
+        sim: &mut E,
         queues: &mut WalkQueues,
         arrivals: Vec<(NodeId, Walk)>,
     ) {
@@ -89,7 +89,7 @@ impl FastGossiping {
     }
 
     /// Phase II: random-walk rounds.
-    fn phase2_random_walks(&self, sim: &mut Simulation<'_>) {
+    fn phase2_random_walks<E: Engine>(&self, sim: &mut E) {
         let n = sim.num_nodes();
         let mut queues = WalkQueues::new(n);
         let mut transfers: Vec<Transfer> = Vec::with_capacity(n);
@@ -163,12 +163,10 @@ impl FastGossiping {
     }
 }
 
-impl GossipAlgorithm for FastGossiping {
-    fn name(&self) -> &'static str {
-        "fast-gossiping"
-    }
-
-    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+impl FastGossiping {
+    /// Runs all three phases on any [`Engine`] (see
+    /// [`GossipAlgorithm::run_on`] for the packed entry point).
+    pub fn run_on_engine<E: Engine>(&self, sim: &mut E) -> GossipOutcome {
         self.phase1_distribution(sim);
         self.phase2_random_walks(sim);
         // Phase III: push-pull until the whole graph is informed (the paper's
@@ -182,6 +180,16 @@ impl GossipAlgorithm for FastGossiping {
             0,
             0,
         )
+    }
+}
+
+impl GossipAlgorithm for FastGossiping {
+    fn name(&self) -> &'static str {
+        "fast-gossiping"
+    }
+
+    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+        self.run_on_engine(sim)
     }
 }
 

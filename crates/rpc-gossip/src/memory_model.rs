@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use rpc_graphs::{Graph, NodeId};
 
-use rpc_engine::{sample_failures, ContactLists, Simulation, Transfer};
+use rpc_engine::{sample_failures, ContactLists, Engine, Simulation, Transfer};
 
 use crate::config::MemoryGossipConfig;
 use crate::outcome::GossipOutcome;
@@ -76,7 +76,7 @@ impl MemoryGossip {
         &self.config
     }
 
-    fn pick_leader(&self, sim: &mut Simulation<'_>) -> NodeId {
+    fn pick_leader<E: Engine>(&self, sim: &mut E) -> NodeId {
         use rand::Rng;
         let n = sim.num_nodes() as NodeId;
         self.leader.unwrap_or_else(|| sim.rng_mut().gen_range(0..n))
@@ -85,7 +85,7 @@ impl MemoryGossip {
     /// Phase I: builds one leader-rooted communication tree. Only the leader's
     /// message is (conceptually) transmitted, so node states are not touched;
     /// every packet is still accounted for.
-    fn build_tree(&self, sim: &mut Simulation<'_>, leader: NodeId) -> TreeRecord {
+    fn build_tree<E: Engine>(&self, sim: &mut E, leader: NodeId) -> TreeRecord {
         let n = sim.num_nodes();
         let mut tree = TreeRecord {
             contacts: ContactLists::new(n),
@@ -174,7 +174,7 @@ impl MemoryGossip {
 
     /// Phase II: replays one tree backwards in time so that every covered
     /// node's original messages reach the leader.
-    fn gather(&self, sim: &mut Simulation<'_>, tree: &TreeRecord) {
+    fn gather<E: Engine>(&self, sim: &mut E, tree: &TreeRecord) {
         let n = sim.num_nodes();
         // Group the work by step so each reversed step is O(#contacts of that step).
         let mut pulls_by_step: HashMap<u64, Vec<(NodeId, NodeId)>> = HashMap::new();
@@ -229,7 +229,7 @@ impl MemoryGossip {
     /// Phase III: the leader broadcasts its (now complete) combined message
     /// with the Phase I procedure; this time the payload is delivered into the
     /// node states.
-    fn broadcast_back(&self, sim: &mut Simulation<'_>, leader: NodeId) {
+    fn broadcast_back<E: Engine>(&self, sim: &mut E, leader: NodeId) {
         let n = sim.num_nodes();
         let mut contacts = ContactLists::new(n);
         let mut has_msg = vec![false; n];
@@ -349,12 +349,10 @@ impl MemoryGossip {
     }
 }
 
-impl GossipAlgorithm for MemoryGossip {
-    fn name(&self) -> &'static str {
-        "memory"
-    }
-
-    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+impl MemoryGossip {
+    /// Runs all three phases on any [`Engine`] (see
+    /// [`GossipAlgorithm::run_on`] for the packed entry point).
+    pub fn run_on_engine<E: Engine>(&self, sim: &mut E) -> GossipOutcome {
         let leader = self.pick_leader(sim);
         let trees: Vec<TreeRecord> =
             (0..self.config.trees).map(|_| self.build_tree(sim, leader)).collect();
@@ -372,6 +370,16 @@ impl GossipAlgorithm for MemoryGossip {
             0,
             0,
         )
+    }
+}
+
+impl GossipAlgorithm for MemoryGossip {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+        self.run_on_engine(sim)
     }
 }
 

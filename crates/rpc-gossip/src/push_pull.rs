@@ -10,7 +10,7 @@
 //! convention under which the paper's observation "the number of messages per
 //! node corresponds to the number of rounds" holds.
 
-use rpc_engine::{Simulation, Transfer};
+use rpc_engine::{Engine, Simulation, Transfer};
 
 use crate::config::PushPullConfig;
 use crate::outcome::GossipOutcome;
@@ -30,19 +30,23 @@ impl PushPullGossip {
 
     /// Runs the protocol on an existing simulation (used by other algorithms
     /// that end with a push-pull phase). Returns the number of executed steps.
-    pub fn run_until_complete(sim: &mut Simulation<'_>, max_rounds: usize) -> usize {
-        Self::run_until(sim, max_rounds, Simulation::gossip_complete)
+    pub fn run_until_complete<E: Engine>(sim: &mut E, max_rounds: usize) -> usize {
+        Self::run_until(sim, max_rounds, |sim: &E| sim.gossip_complete())
     }
 
     /// Runs push-pull rounds until `stop` returns `true` (checked before each
     /// round) or `max_rounds` rounds have executed, whichever comes first.
     /// Returns the number of executed steps. This is the step-granular entry
     /// point the scenario engine uses for round-budget and coverage stop
-    /// rules.
-    pub fn run_until<'g>(
-        sim: &mut Simulation<'g>,
+    /// rules (the closure is `FnMut` so callers can record per-round traces
+    /// while evaluating the rule).
+    ///
+    /// Generic over [`Engine`], so the same round body drives the packed
+    /// production simulation and the unpacked reference oracle.
+    pub fn run_until<E: Engine>(
+        sim: &mut E,
         max_rounds: usize,
-        stop: impl Fn(&Simulation<'g>) -> bool,
+        mut stop: impl FnMut(&E) -> bool,
     ) -> usize {
         let n = sim.num_nodes();
         let mut transfers: Vec<Transfer> = Vec::with_capacity(2 * n);
@@ -63,14 +67,10 @@ impl PushPullGossip {
         }
         steps
     }
-}
 
-impl GossipAlgorithm for PushPullGossip {
-    fn name(&self) -> &'static str {
-        "push-pull"
-    }
-
-    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+    /// Runs the protocol to completion on any [`Engine`] (see
+    /// [`GossipAlgorithm::run_on`] for the packed entry point).
+    pub fn run_on_engine<E: Engine>(&self, sim: &mut E) -> GossipOutcome {
         Self::run_until_complete(sim, self.config.max_rounds);
         sim.metrics_mut().mark_phase("push-pull");
         GossipOutcome::from_metrics(
@@ -80,6 +80,16 @@ impl GossipAlgorithm for PushPullGossip {
             0,
             0,
         )
+    }
+}
+
+impl GossipAlgorithm for PushPullGossip {
+    fn name(&self) -> &'static str {
+        "push-pull"
+    }
+
+    fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome {
+        self.run_on_engine(sim)
     }
 }
 

@@ -173,48 +173,47 @@ impl Graph {
                 }
             }
         }
-        let eligible: Vec<NodeId> = nbrs.iter().copied().filter(|u| !avoid.contains(u)).collect();
-        if eligible.is_empty() {
-            None
-        } else {
-            Some(eligible[rng.gen_range(0..eligible.len())])
-        }
+        kth_eligible(nbrs, rng, |u| !avoid.contains(&u))
     }
 
-    /// A uniformly random neighbor of `v` among those with `mask[u] == true`,
-    /// or `None` if no neighbor is eligible.
+    /// A uniformly random neighbor of `v` among those whose bit is set in
+    /// `mask_words`, or `None` if no neighbor is eligible.
     ///
     /// This is the graph-side shim for *dynamic* (churn) scenarios: the CSR
     /// arrays stay immutable, and departed nodes are excluded at selection
-    /// time instead. `mask` must have one entry per node.
+    /// time instead. `mask_words` is a packed bitset with one bit per node
+    /// (bit `u` in word `u / 64` at position `u % 64`, LSB-first) — exactly
+    /// the layout of `rpc_engine::BitSet::words` — so eligibility is a single
+    /// shift-and-mask per candidate and the sampling allocates nothing.
     pub fn random_neighbor_masked<R: Rng + ?Sized>(
         &self,
         v: NodeId,
-        mask: &[bool],
+        mask_words: &[u64],
         rng: &mut R,
     ) -> Option<NodeId> {
-        debug_assert_eq!(mask.len(), self.num_nodes(), "mask must cover every node");
-        self.random_neighbor_where(v, rng, |u| mask[u as usize])
+        debug_assert!(mask_words.len() * 64 >= self.num_nodes(), "mask must cover every node");
+        self.random_neighbor_where(v, rng, |u| mask_bit(mask_words, u))
     }
 
-    /// A uniformly random neighbor of `v` that is present (`mask[u] == true`)
-    /// and not contained in `avoid` — the churn-aware variant of
-    /// [`Self::random_neighbor_avoiding`]. Returns `None` if no neighbor is
-    /// eligible.
+    /// A uniformly random neighbor of `v` that is present (bit set in
+    /// `mask_words`) and not contained in `avoid` — the churn-aware variant
+    /// of [`Self::random_neighbor_avoiding`]. Returns `None` if no neighbor
+    /// is eligible.
     pub fn random_neighbor_masked_avoiding<R: Rng + ?Sized>(
         &self,
         v: NodeId,
         avoid: &[NodeId],
-        mask: &[bool],
+        mask_words: &[u64],
         rng: &mut R,
     ) -> Option<NodeId> {
-        debug_assert_eq!(mask.len(), self.num_nodes(), "mask must cover every node");
-        self.random_neighbor_where(v, rng, |u| mask[u as usize] && !avoid.contains(&u))
+        debug_assert!(mask_words.len() * 64 >= self.num_nodes(), "mask must cover every node");
+        self.random_neighbor_where(v, rng, |u| mask_bit(mask_words, u) && !avoid.contains(&u))
     }
 
     /// Uniform selection among the neighbors satisfying `eligible`: rejection
-    /// sampling while the predicate is likely to hit, then an exact scan so
-    /// the result is correct even when almost every neighbor is excluded.
+    /// sampling while the predicate is likely to hit, then an exact two-pass
+    /// count-and-pick directly over the CSR slice, so even the fallback is
+    /// correct without materializing a filtered neighbor list.
     fn random_neighbor_where<R: Rng + ?Sized>(
         &self,
         v: NodeId,
@@ -231,12 +230,7 @@ impl Graph {
                 return Some(candidate);
             }
         }
-        let pool: Vec<NodeId> = nbrs.iter().copied().filter(|&u| eligible(u)).collect();
-        if pool.is_empty() {
-            None
-        } else {
-            Some(pool[rng.gen_range(0..pool.len())])
-        }
+        kth_eligible(nbrs, rng, eligible)
     }
 
     /// Average degree `2m / n` (0 for the empty graph).
@@ -308,11 +302,46 @@ impl Graph {
     }
 }
 
+/// Whether bit `u` is set in a packed LSB-first mask.
+#[inline]
+fn mask_bit(mask_words: &[u64], u: NodeId) -> bool {
+    mask_words[u as usize / 64] & (1u64 << (u as usize % 64)) != 0
+}
+
+/// Uniform choice among the elements of `pool` satisfying `eligible`, without
+/// materializing the filtered list: count the eligible elements, draw a rank,
+/// scan to it. Draw-for-draw equivalent to collecting the eligible elements
+/// and indexing them uniformly (same single `gen_range` over the same count).
+fn kth_eligible<R: Rng + ?Sized>(
+    pool: &[NodeId],
+    rng: &mut R,
+    eligible: impl Fn(NodeId) -> bool,
+) -> Option<NodeId> {
+    let count = pool.iter().filter(|&&u| eligible(u)).count();
+    if count == 0 {
+        return None;
+    }
+    let k = rng.gen_range(0..count);
+    pool.iter().copied().filter(|&u| eligible(u)).nth(k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    /// Packs a `bool` slice into the LSB-first mask layout the masked
+    /// sampling primitives consume.
+    fn pack_mask(bits: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; bits.len().div_ceil(64)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
 
     fn triangle() -> Graph {
         Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
@@ -396,7 +425,7 @@ mod tests {
     fn random_neighbor_masked_excludes_absent_nodes() {
         let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
         let mut rng = SmallRng::seed_from_u64(11);
-        let mask = [true, false, true, false, true]; // 1 and 3 departed
+        let mask = pack_mask(&[true, false, true, false, true]); // 1 and 3 departed
         let mut seen = std::collections::HashSet::new();
         for _ in 0..300 {
             seen.insert(g.random_neighbor_masked(0, &mask, &mut rng).unwrap());
@@ -408,15 +437,33 @@ mod tests {
     fn random_neighbor_masked_returns_none_when_all_excluded() {
         let g = Graph::from_edges(3, &[(0, 1), (0, 2)]);
         let mut rng = SmallRng::seed_from_u64(13);
-        let mask = [true, false, false];
+        let mask = pack_mask(&[true, false, false]);
         assert_eq!(g.random_neighbor_masked(0, &mask, &mut rng), None);
+    }
+
+    #[test]
+    fn random_neighbor_masked_works_past_the_first_word() {
+        // Nodes above index 63 exercise the second mask word.
+        let n = 130;
+        let edges: Vec<(NodeId, NodeId)> = (1..n).map(|u| (0, u)).collect();
+        let g = Graph::from_edges(n as usize, &edges);
+        let mut alive = vec![false; n as usize];
+        alive[100] = true;
+        alive[129] = true;
+        let mask = pack_mask(&alive);
+        let mut rng = SmallRng::seed_from_u64(29);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(g.random_neighbor_masked(0, &mask, &mut rng).unwrap());
+        }
+        assert_eq!(seen, [100, 129].into_iter().collect());
     }
 
     #[test]
     fn random_neighbor_masked_avoiding_combines_both_filters() {
         let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
         let mut rng = SmallRng::seed_from_u64(17);
-        let mask = [true, true, false, true, true]; // 2 departed
+        let mask = pack_mask(&[true, true, false, true, true]); // 2 departed
         for _ in 0..200 {
             let u = g.random_neighbor_masked_avoiding(0, &[1], &mask, &mut rng).unwrap();
             assert!(u == 3 || u == 4, "got excluded neighbor {u}");

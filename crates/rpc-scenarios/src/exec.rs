@@ -7,11 +7,33 @@
 //! outcome. Everything is a pure function of `(scenario, seed)` — the thread
 //! count only parallelises bitset unions, which are bit-identical in any
 //! configuration.
+//!
+//! The execution core is generic over [`rpc_engine::Engine`], so the same
+//! scheduling, driving and measuring code runs on two engines:
+//!
+//! * [`run_scenario`] / [`run_scenario_traced`] — the packed, word-parallel
+//!   production [`Simulation`];
+//! * [`run_scenario_unpacked`] / [`run_scenario_unpacked_traced`] — the
+//!   [`UnpackedSimulation`] oracle (`Vec<bool>` bookkeeping, O(n) scans).
+//!
+//! Both consume randomness identically, so for any `(scenario, seed)` the two
+//! must produce identical outcomes *and* identical per-round traces; the
+//! property tests in `tests/scenario_props.rs` assert exactly that across the
+//! registry and randomized scenarios.
+//!
+//! Coverage bookkeeping is word-parallel on the packed engine: the tracked
+//! rumor's knower set is maintained incrementally
+//! ([`Simulation::track_message`]), the coverage stop rule reads a
+//! popcount-backed counter instead of scanning all `n` states per round, and
+//! the final participating/informed counts are single popcount passes.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use rpc_engine::{derive_seed, sample_failures, sample_from_pool, Simulation};
+use rpc_engine::{
+    derive_seed, sample_failures, sample_from_pool, Engine, PhaseSnapshot, Simulation,
+    UnpackedSimulation,
+};
 use rpc_gossip::PushPullGossip;
 use rpc_graphs::{Graph, NodeId};
 
@@ -58,44 +80,118 @@ impl ScenarioOutcome {
     }
 }
 
-/// Runs one replication of `scenario`, deterministically in `seed`.
+/// One entry of a step-driven (push-pull) scenario's round-by-round record,
+/// captured every time the stop rule is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Completed rounds at capture time.
+    pub round: u64,
+    /// Nodes knowing all original messages.
+    pub fully_informed: usize,
+    /// Nodes knowing the tracked rumor.
+    pub tracked_informed: usize,
+    /// Cumulative packets sent.
+    pub packets: u64,
+}
+
+/// The full observable trace of one scenario replication: per-round records
+/// for step-driven protocols plus the phase snapshots every protocol marks.
+/// Two engines implementing the same semantics must produce equal traces for
+/// equal `(scenario, seed)` — this is what the packed-vs-unpacked property
+/// tests compare.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScenarioTrace {
+    /// Stop-rule evaluations of the push-pull driver (empty for phase-based
+    /// protocols, which run their phases as a block).
+    pub rounds: Vec<RoundTrace>,
+    /// Phase snapshots recorded in the metrics.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+/// Runs one replication of `scenario` on the packed engine, deterministically
+/// in `seed`.
 ///
 /// `threads` is the engine worker-thread count used for large delivery
 /// batches; the outcome is bit-identical for every value (see
 /// `rpc_engine::parallel`).
 pub fn run_scenario(scenario: &Scenario, seed: u64, threads: usize) -> ScenarioOutcome {
-    let n = scenario.num_nodes();
     let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+    let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
+    run_scenario_core(scenario, &mut sim, &mut env_rng, None)
+}
 
-    let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0))
-        .with_threads(threads)
-        .with_loss_probability(scenario.environment.loss);
-    schedule_environment(scenario, &graph, &mut env_rng, &mut sim);
-    let tracked = place_rumor(scenario.environment.placement, &graph, &mut env_rng);
+/// Like [`run_scenario`], additionally capturing the per-round trace.
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    seed: u64,
+    threads: usize,
+) -> (ScenarioOutcome, ScenarioTrace) {
+    let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
+    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+    let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
+    let mut trace = ScenarioTrace::default();
+    let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace));
+    (outcome, trace)
+}
+
+/// Runs one replication on the unpacked reference oracle
+/// ([`UnpackedSimulation`]). Must agree with [`run_scenario`] bit for bit;
+/// exists for the equivalence tests and the benchmark baseline, not for
+/// production runs.
+pub fn run_scenario_unpacked(scenario: &Scenario, seed: u64) -> ScenarioOutcome {
+    let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
+    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+    let mut sim = UnpackedSimulation::new(&graph, derive_seed(seed, STREAM_RUN, 0));
+    run_scenario_core(scenario, &mut sim, &mut env_rng, None)
+}
+
+/// Like [`run_scenario_unpacked`], additionally capturing the per-round trace.
+pub fn run_scenario_unpacked_traced(
+    scenario: &Scenario,
+    seed: u64,
+) -> (ScenarioOutcome, ScenarioTrace) {
+    let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
+    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+    let mut sim = UnpackedSimulation::new(&graph, derive_seed(seed, STREAM_RUN, 0));
+    let mut trace = ScenarioTrace::default();
+    let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace));
+    (outcome, trace)
+}
+
+/// The engine-generic execution core shared by every entry point above.
+fn run_scenario_core<E: Engine>(
+    scenario: &Scenario,
+    sim: &mut E,
+    env_rng: &mut SmallRng,
+    mut trace: Option<&mut ScenarioTrace>,
+) -> ScenarioOutcome {
+    let n = scenario.num_nodes();
+    sim.set_loss_probability(scenario.environment.loss);
+    schedule_environment(scenario, env_rng, sim);
+    let tracked = place_rumor(scenario.environment.placement, sim.graph(), env_rng);
+    sim.track_message(tracked);
 
     let (completed, rounds) = match scenario.protocol {
-        ProtocolSpec::PushPull => drive_push_pull(scenario, &mut sim, tracked),
+        ProtocolSpec::PushPull => drive_push_pull(scenario, sim, trace.as_deref_mut()),
         ProtocolSpec::FastGossiping | ProtocolSpec::Memory => {
             // Phase-based protocols run their phases as a block; churn, crash
             // and loss still apply through the engine hooks. Validation
             // guarantees the stop rule is `Complete` here.
-            let algorithm = scenario.protocol.build(n);
-            let outcome = algorithm.run_on(&mut sim);
+            let outcome = scenario.protocol.run_on_engine(n, sim);
             (outcome.completed(), outcome.rounds())
         }
     };
+    if let Some(trace) = trace {
+        trace.phases = sim.metrics().phases().to_vec();
+    }
 
-    let participating: Vec<NodeId> =
-        (0..n as NodeId).filter(|&v| sim.is_participating(v)).collect();
-    let fully_informed = participating.iter().filter(|&&v| sim.is_fully_informed(v)).count();
-    let coverage = if participating.is_empty() {
-        0.0
-    } else {
-        fully_informed as f64 / participating.len() as f64
-    };
+    let participating = sim.participating_count();
+    let fully_informed = sim.participating_informed_count();
+    let coverage =
+        if participating == 0 { 0.0 } else { fully_informed as f64 / participating as f64 };
     let tracked_coverage =
-        if n == 0 { 0.0 } else { sim.informed_count_of(tracked) as f64 / n as f64 };
+        if n == 0 { 0.0 } else { sim.tracked_informed_count() as f64 / n as f64 };
 
     ScenarioOutcome {
         completed,
@@ -117,13 +213,8 @@ pub fn run_scenario(scenario: &Scenario, seed: u64, threads: usize) -> ScenarioO
 /// budget can be far below `max_rounds`), and each wave draws exclusively
 /// from nodes that are *up* at its round, so every departed node stays out
 /// for exactly its configured downtime even when `downtime > period`.
-fn schedule_environment(
-    scenario: &Scenario,
-    graph: &Graph,
-    env_rng: &mut SmallRng,
-    sim: &mut Simulation<'_>,
-) {
-    let n = graph.num_nodes();
+fn schedule_environment<E: Engine>(scenario: &Scenario, env_rng: &mut SmallRng, sim: &mut E) {
+    let n = sim.num_nodes();
     let horizon = round_limit(scenario);
     if let Some(churn) = scenario.environment.churn {
         let count = ((churn.fraction * n as f64).round() as usize).min(n);
@@ -180,22 +271,37 @@ fn place_rumor(placement: StartPlacement, graph: &Graph, env_rng: &mut SmallRng)
 /// Drives push-pull one synchronous round at a time, evaluating the stop rule
 /// between rounds. The round body itself is [`PushPullGossip::run_until`], so
 /// scenario runs and plain protocol runs can never diverge in semantics or
-/// accounting.
-fn drive_push_pull(scenario: &Scenario, sim: &mut Simulation<'_>, tracked: NodeId) -> (bool, u64) {
+/// accounting. The coverage rule reads the engine's tracked-rumor counter —
+/// O(1) on the packed engine, a scan on the oracle.
+fn drive_push_pull<E: Engine>(
+    scenario: &Scenario,
+    sim: &mut E,
+    mut trace: Option<&mut ScenarioTrace>,
+) -> (bool, u64) {
     let n = sim.num_nodes();
     let coverage_target = |fraction: f64| (fraction * n as f64).ceil() as usize;
-    let satisfied = |sim: &Simulation<'_>| match scenario.stop {
+    let satisfied = |sim: &E| match scenario.stop {
         StopRule::Complete => sim.gossip_complete(),
         StopRule::Rounds(_) => false, // handled by the round limit
-        StopRule::Coverage(f) => sim.informed_count_of(tracked) >= coverage_target(f),
+        StopRule::Coverage(f) => sim.tracked_informed_count() >= coverage_target(f),
     };
     let limit = round_limit(scenario);
-    let rounds = PushPullGossip::run_until(sim, limit as usize, satisfied) as u64;
+    let rounds = PushPullGossip::run_until(sim, limit as usize, |sim: &E| {
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.rounds.push(RoundTrace {
+                round: sim.metrics().rounds(),
+                fully_informed: sim.fully_informed_count(),
+                tracked_informed: sim.tracked_informed_count(),
+                packets: sim.metrics().total_packets(),
+            });
+        }
+        satisfied(sim)
+    }) as u64;
 
     let completed = match scenario.stop {
         StopRule::Complete => sim.gossip_complete(),
         StopRule::Rounds(r) => rounds == r,
-        StopRule::Coverage(f) => sim.informed_count_of(tracked) >= coverage_target(f),
+        StopRule::Coverage(f) => sim.tracked_informed_count() >= coverage_target(f),
     };
     (completed, rounds)
 }
@@ -316,5 +422,50 @@ mod tests {
         let graph = s.topology.build().generate(derive_seed(11, STREAM_GRAPH, 0));
         let min_deg = graph.nodes().map(|v| graph.degree(v)).min().unwrap();
         assert_eq!(graph.degree(o.tracked_source), min_deg);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_progress() {
+        let s = Scenario::builder("traced", er(128)).loss(0.1).build().unwrap();
+        let plain = run_scenario(&s, 13, 1);
+        let (traced, trace) = run_scenario_traced(&s, 13, 1);
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        // One record per stop-rule evaluation: rounds + the final check.
+        assert_eq!(trace.rounds.len() as u64, traced.rounds + 1);
+        let last = trace.rounds.last().unwrap();
+        assert_eq!(last.round, traced.rounds);
+        assert_eq!(last.packets, traced.total_packets);
+        assert!(trace.rounds.windows(2).all(|w| w[0].fully_informed <= w[1].fully_informed));
+        // Push-pull driving marks no phases.
+        assert!(trace.phases.is_empty());
+    }
+
+    #[test]
+    fn unpacked_oracle_agrees_on_a_hostile_scenario() {
+        let s = Scenario::builder("oracle", er(192))
+            .loss(0.15)
+            .churn(0.1, 3, 4)
+            .crash(5, 12)
+            .placement(StartPlacement::MaxDegree)
+            .build()
+            .unwrap();
+        let (packed, packed_trace) = run_scenario_traced(&s, 21, 1);
+        let (unpacked, unpacked_trace) = run_scenario_unpacked_traced(&s, 21);
+        assert_eq!(packed, unpacked);
+        assert_eq!(packed_trace, unpacked_trace);
+        assert_eq!(run_scenario_unpacked(&s, 21), unpacked);
+    }
+
+    #[test]
+    fn single_node_scenario_is_trivially_complete() {
+        let s = Scenario::builder("one", TopologySpec::Complete { n: 1 }).build().unwrap();
+        for (o, trace) in [run_scenario_traced(&s, 1, 1), run_scenario_unpacked_traced(&s, 1)] {
+            assert!(o.completed);
+            assert_eq!(o.rounds, 0, "a single node has nothing to learn");
+            assert_eq!(o.total_packets, 0);
+            assert_eq!(o.coverage, 1.0);
+            assert_eq!(o.tracked_coverage, 1.0);
+            assert_eq!(trace.rounds.len(), 1, "only the initial stop-rule check runs");
+        }
     }
 }

@@ -40,7 +40,10 @@ pub mod spec;
 pub mod stats;
 
 pub use batch::{BatchDriver, ScenarioReport};
-pub use exec::{run_scenario, ScenarioOutcome};
+pub use exec::{
+    run_scenario, run_scenario_traced, run_scenario_unpacked, run_scenario_unpacked_traced,
+    RoundTrace, ScenarioOutcome, ScenarioTrace,
+};
 pub use spec::{
     ChurnSpec, CrashSpec, EnvironmentSpec, ProtocolSpec, Scenario, ScenarioBuilder, ScenarioError,
     StartPlacement, StopRule, TopologySpec,
@@ -50,7 +53,7 @@ pub use stats::{summarize, SummaryStats};
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::batch::{BatchDriver, ScenarioReport};
-    pub use crate::exec::{run_scenario, ScenarioOutcome};
+    pub use crate::exec::{run_scenario, run_scenario_traced, ScenarioOutcome, ScenarioTrace};
     pub use crate::registry;
     pub use crate::spec::{
         ChurnSpec, CrashSpec, EnvironmentSpec, ProtocolSpec, Scenario, ScenarioError,

@@ -26,6 +26,51 @@
 //! stop = complete             # complete | rounds:N | coverage:F
 //! max-rounds = 400            # safety cap, default 64 * log2(n) + 64
 //! ```
+//!
+//! ### Formal grammar
+//!
+//! The format, in EBNF (terminals quoted; `*` is repetition, `?` is option,
+//! `|` is alternation):
+//!
+//! ```text
+//! file       = block ( blank-line+ block )* ;
+//! block      = line+ ;
+//! line       = ( entry )? comment? newline ;
+//! entry      = key ws? "=" ws? value ;
+//! comment    = "#" ⟨any characters except newline⟩ ;
+//! blank-line = ws? comment? newline ;          (* comment-only lines do NOT
+//!                                                 separate blocks *)
+//!
+//! key        = "name" | "topology" | "n" | "degree" | "protocol" | "loss"
+//!            | "churn" | "crash" | "start" | "stop" | "max-rounds" ;
+//!
+//! value      =                                 (* per key: *)
+//!     ⟨name⟩     : string                      (* non-empty after trimming;
+//!                                                 must not contain "#" or
+//!                                                 line breaks *)
+//!   | ⟨topology⟩ : "erdos-renyi" | "random-regular" | "complete"
+//!   | ⟨n⟩        : uint                        (* required, > 0 *)
+//!   | ⟨degree⟩   : float                       (* for random-regular: a
+//!                                                 positive integer *)
+//!   | ⟨protocol⟩ : "push-pull" | "fast-gossiping" | "memory"
+//!   | ⟨loss⟩     : float                       (* in [0, 1) *)
+//!   | ⟨churn⟩    : float ":" uint ":" uint     (* fraction:period:downtime *)
+//!   | ⟨crash⟩    : uint ":" uint               (* round:count *)
+//!   | ⟨start⟩    : "random" | "min-degree" | "max-degree"
+//!   | ⟨stop⟩     : "complete" | "rounds:" uint | "coverage:" float
+//!   | ⟨max-rounds⟩ : uint ;                    (* ≥ 1; push-pull only *)
+//! ```
+//!
+//! Whitespace around keys and values is trimmed; everything from `#` to the
+//! end of the line is ignored. `name` and `n` are required, every other key
+//! is optional and defaults as documented above; duplicate keys are allowed
+//! and the last occurrence wins. Keys outside the list are rejected —
+//! [`Scenario::parse_str`] collects **all** unrecognized keys of a block and
+//! reports them in one [`ScenarioError::Parse`] so a typo-ridden file is
+//! fixed in a single round trip. Semantic constraints (value ranges, the
+//! push-pull-only stop rules, even `n · degree` for regular graphs, …) are
+//! enforced by [`ScenarioBuilder::build`] after parsing and reported as
+//! [`ScenarioError::Invalid`].
 
 use std::fmt;
 
@@ -149,6 +194,22 @@ impl ProtocolSpec {
             ProtocolSpec::PushPull => Box::new(PushPullGossip::default()),
             ProtocolSpec::FastGossiping => Box::new(FastGossiping::paper(n)),
             ProtocolSpec::Memory => Box::new(MemoryGossip::paper(n)),
+        }
+    }
+
+    /// Runs the algorithm (instantiated exactly as [`Self::build`] does) on
+    /// any [`rpc_engine::Engine`] — the engine-generic entry point the
+    /// scenario executor uses, kept next to `build` so the protocol-to-
+    /// configuration mapping exists in one place.
+    pub fn run_on_engine<E: rpc_engine::Engine>(
+        &self,
+        n: usize,
+        sim: &mut E,
+    ) -> rpc_gossip::GossipOutcome {
+        match self {
+            ProtocolSpec::PushPull => PushPullGossip::default().run_on_engine(sim),
+            ProtocolSpec::FastGossiping => FastGossiping::paper(n).run_on_engine(sim),
+            ProtocolSpec::Memory => MemoryGossip::paper(n).run_on_engine(sim),
         }
     }
 }
@@ -338,6 +399,7 @@ impl Scenario {
         let mut environment = EnvironmentSpec::default();
         let mut stop = StopRule::Complete;
         let mut max_rounds = None;
+        let mut unknown_keys: Vec<String> = Vec::new();
 
         for raw_line in text.lines() {
             let line = raw_line.split('#').next().unwrap_or("").trim();
@@ -411,8 +473,25 @@ impl Scenario {
                     };
                 }
                 "max-rounds" => max_rounds = Some(parse_num::<u64>("max-rounds", value)?),
-                other => return Err(ScenarioError::Parse(format!("unknown key: {other}"))),
+                // Collect every unknown key instead of failing on the first,
+                // so a typo-ridden file is fixed in one round trip. The
+                // roundtrip guarantee depends on this being an error: silently
+                // dropping keys would make parse(to_text(s)) lossy for inputs
+                // the format does not actually support.
+                other => {
+                    if !unknown_keys.iter().any(|k| k == other) {
+                        unknown_keys.push(other.to_string());
+                    }
+                }
             }
+        }
+
+        if !unknown_keys.is_empty() {
+            return Err(ScenarioError::Parse(format!(
+                "unknown key{}: {}",
+                if unknown_keys.len() == 1 { "" } else { "s" },
+                unknown_keys.join(", ")
+            )));
         }
 
         let name = name.ok_or_else(|| ScenarioError::Parse("missing key: name".into()))?;
@@ -757,6 +836,20 @@ mod tests {
             Scenario::parse_str("name = x\nn = 32\nbogus = 1"),
             Err(ScenarioError::Parse(_))
         ));
+        // Every unrecognized key of a block is reported, not just the first,
+        // and duplicates are listed once.
+        match Scenario::parse_str("name = x\nn = 32\nbogus = 1\ntypo = 2\nbogus = 3") {
+            Err(ScenarioError::Parse(msg)) => {
+                assert_eq!(msg, "unknown keys: bogus, typo", "got: {msg}");
+            }
+            other => panic!("expected a parse error listing all unknown keys, got {other:?}"),
+        }
+        match Scenario::parse_str("name = x\nn = 32\nlost = 0.1") {
+            Err(ScenarioError::Parse(msg)) => {
+                assert_eq!(msg, "unknown key: lost", "got: {msg}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
         assert!(matches!(
             Scenario::parse_str("name = x\nn = 32\nloss = banana"),
             Err(ScenarioError::Parse(_))

@@ -3,7 +3,8 @@
 //!
 //! Implements the subset of the `proptest 1` API used by this workspace: the
 //! [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`], [`any`],
-//! integer / float range strategies, `prop::collection::vec`, and
+//! integer / float range strategies, tuple strategies,
+//! [`Strategy::prop_map`], [`option::of`], `prop::collection::vec`, and
 //! [`ProptestConfig`]. There is **no shrinking**: a failing case panics with
 //! the case number and seed in the message instead of a minimized
 //! counterexample. The `PROPTEST_CASES` environment variable caps the case
@@ -55,6 +56,28 @@ pub trait Strategy {
 
     /// Draws one value from this strategy.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps the generated values through `f`, mirroring
+    /// `Strategy::prop_map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -69,6 +92,54 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Strategies over `Option`, mirroring `proptest::option`.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` values from `inner` three quarters of the time and
+    /// `None` otherwise (mirroring real proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
 
 /// Strategy producing any value of `T`, mirroring `proptest::arbitrary::any`.
 pub fn any<T: Arbitrary>() -> Any<T> {
@@ -236,6 +307,27 @@ mod tests {
             let f = Strategy::sample(&(0.0f64..0.25), &mut rng);
             assert!((0.0..0.25).contains(&f));
         }
+    }
+
+    #[test]
+    fn tuple_map_and_option_strategies_compose() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let strategy = (1usize..5, 0.0f64..1.0).prop_map(|(n, f)| (n * 2, f));
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..300 {
+            let (n, f) = Strategy::sample(&strategy, &mut rng);
+            assert!(n % 2 == 0 && (2..10).contains(&n));
+            assert!((0.0..1.0).contains(&f));
+            match Strategy::sample(&crate::option::of(0u32..4), &mut rng) {
+                Some(v) => {
+                    assert!(v < 4);
+                    saw_some = true;
+                }
+                None => saw_none = true,
+            }
+        }
+        assert!(saw_none && saw_some, "option::of must produce both variants");
     }
 
     #[test]
