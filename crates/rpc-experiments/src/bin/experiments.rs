@@ -103,7 +103,8 @@ fn run_fig1(scale: Scale, threads: usize, out: &Option<PathBuf>) {
 
 fn run_scenarios(scale: Scale, threads: usize, out: &Option<PathBuf>) {
     // Scenario graphs use a quarter of the sweep's largest size: the registry
-    // runs 8 scenarios x reps replications, so this keeps `--quick` in CI
+    // runs 12 scenarios x reps replications (all three protocols under
+    // complete/rounds/coverage stop rules), so this keeps `--quick` in CI
     // territory while the default/large scales still exercise real sizes.
     let n = (scale.max_n / 4).max(256);
     let reports = scenario::run(n, scale.repetitions, scale.seed, threads);

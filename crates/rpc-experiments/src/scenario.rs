@@ -21,7 +21,11 @@ pub fn run(n: usize, repetitions: usize, base_seed: u64, threads: usize) -> Vec<
     BatchDriver::new(repetitions, base_seed).with_threads(threads).run(&scenarios)
 }
 
-/// Renders scenario reports as a table (one row per scenario).
+/// Renders scenario reports as a table (one row per scenario). The four
+/// `stopped_*` columns split the replications by why they ended (natural
+/// completion, a spent round budget, a met coverage threshold, or an
+/// exhausted round cap — the last one meaning the stop rule was *not*
+/// satisfied).
 pub fn table(reports: &[ScenarioReport]) -> Table {
     let mut table = Table::new(
         "Scenario registry — Monte Carlo statistics per scenario",
@@ -32,6 +36,10 @@ pub fn table(reports: &[ScenarioReport]) -> Table {
             "n",
             "reps",
             "completed",
+            "stopped_complete",
+            "stopped_rounds",
+            "stopped_coverage",
+            "stopped_max",
             "rounds_min",
             "rounds_p50",
             "rounds_p90",
@@ -50,6 +58,10 @@ pub fn table(reports: &[ScenarioReport]) -> Table {
             r.n.to_string(),
             r.replications.to_string(),
             r.completed_runs.to_string(),
+            r.stopped.complete.to_string(),
+            r.stopped.round_budget.to_string(),
+            r.stopped.coverage.to_string(),
+            r.stopped.max_rounds.to_string(),
             fmt3(r.rounds.min),
             fmt3(r.rounds.p50),
             fmt3(r.rounds.p90),

@@ -74,11 +74,19 @@ fn scenario_quick_is_byte_identical_across_thread_counts() {
 
         let stdout = String::from_utf8(output.stdout).expect("stdout should be UTF-8");
         assert!(stdout.contains("churn-heavy"), "expected registry rows, got:\n{stdout}");
+        assert!(
+            stdout.contains("fast-round-budget") && stdout.contains("memory-coverage-churn"),
+            "expected the phase-protocol stop-rule scenarios, got:\n{stdout}"
+        );
 
         let csv = out_dir.join("scenarios.csv");
         let contents = std::fs::read_to_string(&csv)
             .unwrap_or_else(|e| panic!("expected CSV at {}: {e}", csv.display()));
-        assert!(contents.lines().count() >= 9, "expected 8 scenario rows:\n{contents}");
+        assert!(contents.lines().count() >= 13, "expected 12 scenario rows:\n{contents}");
+        assert!(
+            contents.lines().next().is_some_and(|h| h.contains("stopped_max")),
+            "expected stopped_by columns in the header:\n{contents}"
+        );
         csvs.push(contents);
         std::fs::remove_dir_all(&out_dir).ok();
     }

@@ -24,8 +24,8 @@ use rpc_engine::{Engine, Simulation, Transfer, Walk, WalkQueues};
 
 use crate::config::FastGossipingConfig;
 use crate::outcome::GossipOutcome;
-use crate::push_pull::PushPullGossip;
-use crate::runner::GossipAlgorithm;
+use crate::push_pull::push_pull_round;
+use crate::runner::{run_driver, GossipAlgorithm, ProtocolDriver, StepStatus};
 
 /// Algorithm 1 (fast-gossiping).
 #[derive(Clone, Copy, Debug)]
@@ -49,22 +49,14 @@ impl FastGossiping {
         &self.config
     }
 
-    /// Phase I: every node pushes its combined message in every step.
+    /// Phase I: every node pushes its combined message in every step (test
+    /// helper; the production path is [`FastGossipingDriver`]).
+    #[cfg(test)]
     fn phase1_distribution<E: Engine>(&self, sim: &mut E) {
-        let n = sim.num_nodes();
-        let mut transfers: Vec<Transfer> = Vec::with_capacity(n);
+        let mut driver = FastGossipingDriver::new(*self, sim.num_nodes());
         for _ in 0..self.config.phase1_steps {
-            transfers.clear();
-            for v in 0..n as NodeId {
-                if let Some(u) = sim.open_channel(v) {
-                    transfers.push(Transfer::new(v, u));
-                    sim.metrics_mut().record_exchange(v);
-                }
-            }
-            sim.deliver(&transfers);
-            sim.metrics_mut().finish_round();
+            driver.step(sim);
         }
-        sim.metrics_mut().mark_phase("phase1-distribution");
     }
 
     /// Delivers walk tokens that arrived in the previous step: the host merges
@@ -87,92 +79,230 @@ impl FastGossiping {
             queues.add(host, walk);
         }
     }
+}
 
-    /// Phase II: random-walk rounds.
-    fn phase2_random_walks<E: Engine>(&self, sim: &mut E) {
-        let n = sim.num_nodes();
-        let mut queues = WalkQueues::new(n);
-        let mut transfers: Vec<Transfer> = Vec::with_capacity(n);
+/// Where the [`FastGossipingDriver`] is inside Algorithm 1's schedule. Each
+/// variant corresponds to one kind of synchronous round; the nested loops of
+/// the block formulation become explicit resumable states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FgState {
+    /// Phase I, distribution step `step` of `phase1_steps`.
+    Phase1 { step: usize },
+    /// Phase II round `round`: the coin-flip step that starts random walks.
+    CoinFlip { round: usize },
+    /// Phase II round `round`, walk-forwarding step `step` of `walk_steps`.
+    Forward { round: usize, step: usize },
+    /// Phase II round `round`, broadcast step `step` of `broadcast_steps`.
+    Broadcast { round: usize, step: usize },
+    /// Phase III: closing push-pull steps.
+    Phase3,
+    /// Schedule exhausted.
+    Finished,
+}
 
-        for _ in 0..self.config.phase2_rounds {
-            // Coin flips: with probability ℓ/log n a node starts a random walk
-            // by pushing its combined message to a random neighbour.
-            let mut arrivals: Vec<(NodeId, Walk)> = Vec::new();
-            for v in 0..n as NodeId {
-                let start = sim.rng_mut().gen_bool(self.config.walk_probability);
-                if !start {
-                    continue;
-                }
-                if let Some(u) = sim.open_channel(v) {
-                    sim.metrics_mut().record_packet(v);
-                    sim.metrics_mut().record_exchange(v);
-                    arrivals.push((u, Walk::new(sim.state(v).clone())));
-                }
-            }
-            sim.metrics_mut().finish_round();
-            self.process_walk_arrivals(sim, &mut queues, arrivals);
+/// The resumable [`ProtocolDriver`] for Algorithm 1 (fast-gossiping).
+///
+/// The three phases of the block formulation — and the nested
+/// coin-flip/forward/broadcast loops inside Phase II — are encoded as an
+/// explicit state machine, one state transition per synchronous round, so the
+/// scenario engine can evaluate stop rules and record traces between *any*
+/// two rounds of the protocol. Cross-round protocol state (the walk queues,
+/// the active set of the short broadcasts, the Phase III step counter) lives
+/// in the driver; stepping to exhaustion consumes randomness exactly like
+/// [`FastGossiping::run_on_engine`], which is a thin loop over this driver.
+#[derive(Clone, Debug)]
+pub struct FastGossipingDriver {
+    alg: FastGossiping,
+    state: FgState,
+    queues: WalkQueues,
+    active: Vec<bool>,
+    transfers: Vec<Transfer>,
+    phase3_steps: usize,
+}
 
-            // Walk-forwarding steps: every node holding at least one walk
-            // forwards the oldest one to a random neighbour.
-            for _ in 0..self.config.walk_steps {
-                let mut arrivals: Vec<(NodeId, Walk)> = Vec::new();
-                for v in 0..n as NodeId {
-                    if queues.is_empty(v) || !sim.is_alive(v) {
-                        continue;
-                    }
-                    if let Some(u) = sim.open_channel(v) {
-                        let mut walk = queues.pop(v).expect("queue checked non-empty");
-                        walk.moves += 1;
-                        sim.metrics_mut().record_packet(v);
-                        sim.metrics_mut().record_exchange(v);
-                        arrivals.push((u, walk));
-                    }
-                }
-                sim.metrics_mut().finish_round();
-                self.process_walk_arrivals(sim, &mut queues, arrivals);
-            }
-
-            // Nodes that currently host a walk become active and run a short
-            // broadcast; nodes that receive a message become active as well.
-            let mut active = vec![false; n];
-            for v in queues.nodes_with_walks() {
-                active[v as usize] = true;
-            }
-            for _ in 0..self.config.broadcast_steps {
-                transfers.clear();
-                for v in 0..n as NodeId {
-                    if !active[v as usize] {
-                        continue;
-                    }
-                    if let Some(u) = sim.open_channel(v) {
-                        transfers.push(Transfer::new(v, u));
-                        sim.metrics_mut().record_exchange(v);
-                    }
-                }
-                sim.deliver(&transfers);
-                for t in &transfers {
-                    active[t.to as usize] = true;
-                }
-                sim.metrics_mut().finish_round();
-            }
-            // "All nodes become inactive"; walks are discarded at the end of
-            // the round (their content already lives in the hosts' states).
-            queues.clear();
+impl FastGossipingDriver {
+    /// A driver for `alg` on a network of `n` nodes, positioned before the
+    /// first Phase I round.
+    pub fn new(alg: FastGossiping, n: usize) -> Self {
+        Self {
+            alg,
+            state: FgState::Phase1 { step: 0 },
+            queues: WalkQueues::new(n),
+            active: Vec::new(),
+            transfers: Vec::with_capacity(n),
+            phase3_steps: 0,
         }
-        sim.metrics_mut().mark_phase("phase2-random-walks");
+    }
+
+    /// Crosses every phase/segment boundary the current position has reached:
+    /// marks phase snapshots, prepares segment state (broadcast active set,
+    /// queue clearing) and skips zero-length segments. Draws no randomness.
+    fn advance_boundaries<E: Engine>(&mut self, sim: &mut E) {
+        let cfg = &self.alg.config;
+        loop {
+            match self.state {
+                FgState::Phase1 { step } if step >= cfg.phase1_steps => {
+                    sim.metrics_mut().mark_phase("phase1-distribution");
+                    self.state = FgState::CoinFlip { round: 0 };
+                }
+                FgState::CoinFlip { round } if round >= cfg.phase2_rounds => {
+                    sim.metrics_mut().mark_phase("phase2-random-walks");
+                    self.state = FgState::Phase3;
+                }
+                FgState::Forward { round, step } if step >= cfg.walk_steps => {
+                    // Nodes that currently host a walk become active and run
+                    // a short broadcast.
+                    self.active.clear();
+                    self.active.resize(sim.num_nodes(), false);
+                    for v in self.queues.nodes_with_walks() {
+                        self.active[v as usize] = true;
+                    }
+                    self.state = FgState::Broadcast { round, step: 0 };
+                }
+                FgState::Broadcast { round, step } if step >= cfg.broadcast_steps => {
+                    // "All nodes become inactive"; walks are discarded at the
+                    // end of the round (their content already lives in the
+                    // hosts' states).
+                    self.queues.clear();
+                    self.state = FgState::CoinFlip { round: round + 1 };
+                }
+                FgState::Phase3
+                    if sim.gossip_complete() || self.phase3_steps >= cfg.phase3_max_steps =>
+                {
+                    sim.metrics_mut().mark_phase("phase3-broadcast");
+                    self.state = FgState::Finished;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Coin flips: with probability ℓ/log n a node starts a random walk by
+    /// pushing its combined message to a random neighbour.
+    fn coin_flip_round<E: Engine>(&mut self, sim: &mut E) {
+        let n = sim.num_nodes();
+        let mut arrivals: Vec<(NodeId, Walk)> = Vec::new();
+        for v in 0..n as NodeId {
+            let start = sim.rng_mut().gen_bool(self.alg.config.walk_probability);
+            if !start {
+                continue;
+            }
+            if let Some(u) = sim.open_channel(v) {
+                sim.metrics_mut().record_packet(v);
+                sim.metrics_mut().record_exchange(v);
+                arrivals.push((u, Walk::new(sim.state(v).clone())));
+            }
+        }
+        sim.metrics_mut().finish_round();
+        self.alg.process_walk_arrivals(sim, &mut self.queues, arrivals);
+    }
+
+    /// Walk forwarding: every node holding at least one walk forwards the
+    /// oldest one to a random neighbour.
+    fn forward_round<E: Engine>(&mut self, sim: &mut E) {
+        let n = sim.num_nodes();
+        let mut arrivals: Vec<(NodeId, Walk)> = Vec::new();
+        for v in 0..n as NodeId {
+            if self.queues.is_empty(v) || !sim.is_alive(v) {
+                continue;
+            }
+            if let Some(u) = sim.open_channel(v) {
+                let mut walk = self.queues.pop(v).expect("queue checked non-empty");
+                walk.moves += 1;
+                sim.metrics_mut().record_packet(v);
+                sim.metrics_mut().record_exchange(v);
+                arrivals.push((u, walk));
+            }
+        }
+        sim.metrics_mut().finish_round();
+        self.alg.process_walk_arrivals(sim, &mut self.queues, arrivals);
+    }
+
+    /// One step of the short broadcast seeded by the walk hosts; nodes that
+    /// receive a message become active as well.
+    fn broadcast_round<E: Engine>(&mut self, sim: &mut E) {
+        let n = sim.num_nodes();
+        self.transfers.clear();
+        for v in 0..n as NodeId {
+            if !self.active[v as usize] {
+                continue;
+            }
+            if let Some(u) = sim.open_channel(v) {
+                self.transfers.push(Transfer::new(v, u));
+                sim.metrics_mut().record_exchange(v);
+            }
+        }
+        sim.deliver(&self.transfers);
+        for t in &self.transfers {
+            self.active[t.to as usize] = true;
+        }
+        sim.metrics_mut().finish_round();
+    }
+
+    /// Phase I distribution: every node pushes its combined message.
+    fn phase1_round<E: Engine>(&mut self, sim: &mut E) {
+        let n = sim.num_nodes();
+        self.transfers.clear();
+        for v in 0..n as NodeId {
+            if let Some(u) = sim.open_channel(v) {
+                self.transfers.push(Transfer::new(v, u));
+                sim.metrics_mut().record_exchange(v);
+            }
+        }
+        sim.deliver(&self.transfers);
+        sim.metrics_mut().finish_round();
+    }
+}
+
+impl ProtocolDriver for FastGossipingDriver {
+    fn name(&self) -> &'static str {
+        "fast-gossiping"
+    }
+
+    fn finished<E: Engine>(&self, _sim: &E) -> bool {
+        self.state == FgState::Finished
+    }
+
+    fn step<E: Engine>(&mut self, sim: &mut E) -> StepStatus {
+        self.advance_boundaries(sim);
+        match self.state {
+            FgState::Finished => return StepStatus::Done,
+            FgState::Phase1 { step } => {
+                self.phase1_round(sim);
+                self.state = FgState::Phase1 { step: step + 1 };
+            }
+            FgState::CoinFlip { round } => {
+                self.coin_flip_round(sim);
+                self.state = FgState::Forward { round, step: 0 };
+            }
+            FgState::Forward { round, step } => {
+                self.forward_round(sim);
+                self.state = FgState::Forward { round, step: step + 1 };
+            }
+            FgState::Broadcast { round, step } => {
+                self.broadcast_round(sim);
+                self.state = FgState::Broadcast { round, step: step + 1 };
+            }
+            FgState::Phase3 => {
+                push_pull_round(sim, &mut self.transfers);
+                self.phase3_steps += 1;
+            }
+        }
+        // Cross any boundary this round just reached, so phase markers land
+        // between rounds exactly where the block formulation put them.
+        self.advance_boundaries(sim);
+        StepStatus::Running
     }
 }
 
 impl FastGossiping {
     /// Runs all three phases on any [`Engine`] (see
-    /// [`GossipAlgorithm::run_on`] for the packed entry point).
+    /// [`GossipAlgorithm::run_on`] for the packed entry point): a thin loop
+    /// over [`FastGossipingDriver::step`], bit-identical to stepping the
+    /// driver manually.
     pub fn run_on_engine<E: Engine>(&self, sim: &mut E) -> GossipOutcome {
-        self.phase1_distribution(sim);
-        self.phase2_random_walks(sim);
-        // Phase III: push-pull until the whole graph is informed (the paper's
-        // simulations run the last phase to completion).
-        PushPullGossip::run_until_complete(sim, self.config.phase3_max_steps);
-        sim.metrics_mut().mark_phase("phase3-broadcast");
+        let mut driver = FastGossipingDriver::new(*self, sim.num_nodes());
+        run_driver(&mut driver, sim);
         GossipOutcome::from_metrics(
             sim.metrics(),
             sim.gossip_complete(),

@@ -15,6 +15,13 @@
 //! | Table 1 | [`config`] | per-phase constants |
 //! | Theorems 1–3 reference values | [`theory`] | closed-form bounds |
 //!
+//! Every gossiping protocol is additionally exposed as a resumable
+//! [`ProtocolDriver`] ([`PushPullDriver`], [`FastGossipingDriver`],
+//! [`MemoryDriver`]) executing one synchronous round per step — the interface
+//! the scenario engine uses to apply round budgets, coverage thresholds and
+//! per-round tracing to any algorithm. The block entry points are thin loops
+//! over the drivers, with identical RNG draw sequences.
+//!
 //! ```
 //! use rpc_gossip::prelude::*;
 //! use rpc_graphs::prelude::*;
@@ -42,12 +49,12 @@ pub use broadcast::{BroadcastOutcome, PushBroadcast, PushPullBroadcast};
 pub use config::{
     loglog2n, FastGossipingConfig, LeaderElectionConfig, MemoryGossipConfig, PushPullConfig,
 };
-pub use fast_gossiping::FastGossiping;
+pub use fast_gossiping::{FastGossiping, FastGossipingDriver};
 pub use leader_election::{ElectionOutcome, LeaderElection};
-pub use memory_model::MemoryGossip;
+pub use memory_model::{MemoryDriver, MemoryGossip};
 pub use outcome::GossipOutcome;
-pub use push_pull::PushPullGossip;
-pub use runner::GossipAlgorithm;
+pub use push_pull::{PushPullDriver, PushPullGossip};
+pub use runner::{run_driver, GossipAlgorithm, ProtocolDriver, StepStatus};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
@@ -55,11 +62,11 @@ pub mod prelude {
     pub use crate::config::{
         FastGossipingConfig, LeaderElectionConfig, MemoryGossipConfig, PushPullConfig,
     };
-    pub use crate::fast_gossiping::FastGossiping;
+    pub use crate::fast_gossiping::{FastGossiping, FastGossipingDriver};
     pub use crate::leader_election::{ElectionOutcome, LeaderElection};
-    pub use crate::memory_model::MemoryGossip;
+    pub use crate::memory_model::{MemoryDriver, MemoryGossip};
     pub use crate::outcome::GossipOutcome;
-    pub use crate::push_pull::PushPullGossip;
-    pub use crate::runner::GossipAlgorithm;
+    pub use crate::push_pull::{PushPullDriver, PushPullGossip};
+    pub use crate::runner::{run_driver, GossipAlgorithm, ProtocolDriver, StepStatus};
     pub use rpc_engine::Accounting;
 }

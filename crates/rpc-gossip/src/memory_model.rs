@@ -19,6 +19,12 @@
 //! robustness against random node failures when the tree construction is run
 //! multiple times independently; the experiments of Figures 2, 3 and 5 use
 //! three independent trees and fail nodes between Phase I and Phase II.
+//!
+//! The per-round bodies live in three small private sub-machines —
+//! `TreeBuilder` (Phase I), `GatherReplay` (Phase II), `BroadcastBack`
+//! (Phase III) — shared verbatim by the block entry points (`build_tree` et
+//! al., used by the robustness harness) and the resumable [`MemoryDriver`],
+//! so the stepped and block formulations cannot diverge.
 
 use std::collections::HashMap;
 
@@ -28,7 +34,7 @@ use rpc_engine::{sample_failures, ContactLists, Engine, Simulation, Transfer};
 
 use crate::config::MemoryGossipConfig;
 use crate::outcome::GossipOutcome;
-use crate::runner::GossipAlgorithm;
+use crate::runner::{run_driver, GossipAlgorithm, ProtocolDriver, StepStatus};
 
 /// Algorithm 2 (memory-model gossiping).
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +56,251 @@ struct TreeRecord {
     total_steps: u64,
     /// Which nodes were reached by the tree at all.
     covered: Vec<bool>,
+}
+
+/// In-progress Phase I tree construction: one [`TreeBuilder::push_round`] or
+/// [`TreeBuilder::pull_round`] call per synchronous step.
+#[derive(Clone, Debug)]
+struct TreeBuilder {
+    record: TreeRecord,
+    /// Which nodes hold the leader message.
+    has_msg: Vec<bool>,
+    /// Nodes informed in the previous long-step (active in the current one).
+    active: Vec<NodeId>,
+    /// Nodes newly informed in the current long-step.
+    newly: Vec<NodeId>,
+    /// Pull steps executed so far.
+    pull_step: usize,
+}
+
+impl TreeBuilder {
+    fn new(n: usize, leader: NodeId) -> Self {
+        let mut record = TreeRecord {
+            contacts: ContactLists::new(n),
+            pull_parent: vec![None; n],
+            total_steps: 0,
+            covered: vec![false; n],
+        };
+        record.covered[leader as usize] = true;
+        let mut has_msg = vec![false; n];
+        has_msg[leader as usize] = true;
+        Self { record, has_msg, active: vec![leader], newly: Vec::new(), pull_step: 0 }
+    }
+
+    /// One push step: every node informed in the previous long-step contacts
+    /// its `k`-th avoided neighbour of the current long-step.
+    fn push_round<E: Engine>(&mut self, sim: &mut E, k: usize) {
+        self.record.total_steps += 1;
+        let step = self.record.total_steps;
+        for &v in &self.active {
+            let avoid = self.record.contacts.get(v).addresses();
+            if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                sim.metrics_mut().record_packet(v);
+                sim.metrics_mut().record_exchange(v);
+                self.record.contacts.get_mut(v).store(k, u, step);
+                if sim.is_alive(u) && !self.has_msg[u as usize] {
+                    self.has_msg[u as usize] = true;
+                    self.record.covered[u as usize] = true;
+                    self.newly.push(u);
+                }
+            }
+        }
+        sim.metrics_mut().finish_round();
+    }
+
+    /// Ends a long-step: the nodes informed during it become the active set.
+    fn end_long_step(&mut self) {
+        self.active = std::mem::take(&mut self.newly);
+    }
+
+    /// Whether the pull period may end. The paper runs `⌊2 log log n⌋` pull
+    /// steps; we keep pulling (up to a safety cap) until every alive node
+    /// joined the tree, matching the simulation note that the dissemination
+    /// phases are run to completion.
+    fn pull_done<E: Engine>(&self, sim: &E, config: &MemoryGossipConfig) -> bool {
+        let n = sim.num_nodes();
+        let all_covered = (0..n).all(|v| self.has_msg[v] || !sim.is_alive(v as NodeId));
+        self.pull_step >= config.phase1_pull_steps
+            && (all_covered || self.pull_step >= config.phase3_max_pull_steps)
+    }
+
+    /// One pull step: every node without the leader message opens an avoided
+    /// channel; if the contacted node is informed, the message is pulled.
+    fn pull_round<E: Engine>(&mut self, sim: &mut E) {
+        let n = sim.num_nodes();
+        self.record.total_steps += 1;
+        self.pull_step += 1;
+        let step = self.record.total_steps;
+        let mut newly: Vec<(NodeId, NodeId)> = Vec::new();
+        for v in 0..n as NodeId {
+            if self.has_msg[v as usize] || !sim.is_alive(v) {
+                continue;
+            }
+            let avoid = self.record.contacts.get(v).addresses();
+            if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                self.record.contacts.get_mut(v).store((step % 4) as usize, u, step);
+                if self.has_msg[u as usize] && sim.is_alive(u) {
+                    // u answers the open channel with a pull transmission.
+                    sim.metrics_mut().record_packet(u);
+                    sim.metrics_mut().record_exchange(v);
+                    newly.push((v, u));
+                }
+            }
+        }
+        for (v, u) in newly {
+            self.has_msg[v as usize] = true;
+            self.record.covered[v as usize] = true;
+            self.record.pull_parent[v as usize] = Some((step, u));
+            self.record.contacts.get_mut(v).store(0, u, step);
+        }
+        sim.metrics_mut().finish_round();
+    }
+}
+
+/// Phase II replay bookkeeping for one tree: the tree's contact events
+/// grouped by step, so each reversed step is O(#contacts of that step).
+#[derive(Clone, Debug)]
+struct GatherReplay {
+    pulls_by_step: HashMap<u64, Vec<(NodeId, NodeId)>>,
+    contacts_by_step: HashMap<u64, Vec<(NodeId, NodeId)>>,
+    total_steps: u64,
+}
+
+impl GatherReplay {
+    fn new(tree: &TreeRecord) -> Self {
+        let mut pulls_by_step: HashMap<u64, Vec<(NodeId, NodeId)>> = HashMap::new();
+        for (v, pull) in tree.pull_parent.iter().enumerate() {
+            if let Some((step, parent)) = *pull {
+                pulls_by_step.entry(step).or_default().push((v as NodeId, parent));
+            }
+        }
+        let mut contacts_by_step: HashMap<u64, Vec<(NodeId, NodeId)>> = HashMap::new();
+        for s in 1..=tree.total_steps {
+            let list = tree.contacts.nodes_with_step(s);
+            if !list.is_empty() {
+                contacts_by_step.insert(s, list);
+            }
+        }
+        Self { pulls_by_step, contacts_by_step, total_steps: tree.total_steps }
+    }
+
+    /// Replays reversed step `t` (forward index, `1..=total_steps`; the tree
+    /// step replayed is `total_steps + 1 - t`).
+    fn round<E: Engine>(&self, sim: &mut E, t: u64, transfers: &mut Vec<Transfer>) {
+        let rev = self.total_steps + 1 - t;
+        transfers.clear();
+        // Nodes that pulled the leader message in step `rev` push all
+        // original messages they have to the parent they pulled from.
+        if let Some(pulls) = self.pulls_by_step.get(&rev) {
+            for &(v, parent) in pulls {
+                if !sim.is_alive(v) {
+                    continue;
+                }
+                sim.metrics_mut().record_channel_open(v);
+                sim.metrics_mut().record_exchange(v);
+                transfers.push(Transfer::new(v, parent));
+            }
+        }
+        // Nodes that contacted a neighbour in step `rev` re-open that
+        // channel; the neighbour answers with all original messages it has.
+        if let Some(contacts) = self.contacts_by_step.get(&rev) {
+            for &(v, u) in contacts {
+                if !sim.is_alive(v) {
+                    continue;
+                }
+                sim.metrics_mut().record_channel_open(v);
+                if sim.is_alive(u) {
+                    sim.metrics_mut().record_exchange(v);
+                    transfers.push(Transfer::new(u, v));
+                }
+            }
+        }
+        sim.deliver(transfers);
+        sim.metrics_mut().finish_round();
+    }
+}
+
+/// In-progress Phase III broadcast: the leader re-runs the Phase I procedure,
+/// this time delivering the payload into the node states.
+#[derive(Clone, Debug)]
+struct BroadcastBack {
+    contacts: ContactLists,
+    has_msg: Vec<bool>,
+    active: Vec<NodeId>,
+    newly: Vec<NodeId>,
+    /// Closing pull steps executed so far.
+    pull_steps: usize,
+}
+
+impl BroadcastBack {
+    fn new(n: usize, leader: NodeId) -> Self {
+        let mut has_msg = vec![false; n];
+        has_msg[leader as usize] = true;
+        Self {
+            contacts: ContactLists::new(n),
+            has_msg,
+            active: vec![leader],
+            newly: Vec::new(),
+            pull_steps: 0,
+        }
+    }
+
+    /// One broadcast push step (`k`-th of its long-step), payload delivered.
+    fn push_round<E: Engine>(&mut self, sim: &mut E, k: usize, transfers: &mut Vec<Transfer>) {
+        transfers.clear();
+        for &v in &self.active {
+            let avoid = self.contacts.get(v).addresses();
+            if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                self.contacts.get_mut(v).store(k, u, 0);
+                sim.metrics_mut().record_exchange(v);
+                transfers.push(Transfer::new(v, u));
+                if sim.is_alive(u) && !self.has_msg[u as usize] {
+                    self.has_msg[u as usize] = true;
+                    self.newly.push(u);
+                }
+            }
+        }
+        sim.deliver(transfers);
+        sim.metrics_mut().finish_round();
+    }
+
+    /// Ends a long-step: the nodes informed during it become the active set.
+    fn end_long_step(&mut self) {
+        self.active = std::mem::take(&mut self.newly);
+    }
+
+    /// Whether every alive node has received the broadcast.
+    fn pull_done<E: Engine>(&self, sim: &E) -> bool {
+        let n = sim.num_nodes();
+        (0..n).all(|v| self.has_msg[v] || !sim.is_alive(v as NodeId))
+    }
+
+    /// One closing pull step.
+    fn pull_round<E: Engine>(&mut self, sim: &mut E, transfers: &mut Vec<Transfer>) {
+        let n = sim.num_nodes();
+        transfers.clear();
+        let mut newly: Vec<NodeId> = Vec::new();
+        for v in 0..n as NodeId {
+            if self.has_msg[v as usize] || !sim.is_alive(v) {
+                continue;
+            }
+            let avoid = self.contacts.get(v).addresses();
+            if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                self.contacts.get_mut(v).store(self.pull_steps % 4, u, 0);
+                if self.has_msg[u as usize] && sim.is_alive(u) {
+                    sim.metrics_mut().record_exchange(v);
+                    transfers.push(Transfer::new(u, v));
+                    newly.push(v);
+                }
+            }
+        }
+        sim.deliver(transfers);
+        for v in newly {
+            self.has_msg[v as usize] = true;
+        }
+        sim.metrics_mut().finish_round();
+        self.pull_steps += 1;
+    }
 }
 
 impl MemoryGossip {
@@ -84,212 +335,31 @@ impl MemoryGossip {
 
     /// Phase I: builds one leader-rooted communication tree. Only the leader's
     /// message is (conceptually) transmitted, so node states are not touched;
-    /// every packet is still accounted for.
+    /// every packet is still accounted for. A block loop over the same
+    /// [`TreeBuilder`] rounds the [`MemoryDriver`] steps through.
     fn build_tree<E: Engine>(&self, sim: &mut E, leader: NodeId) -> TreeRecord {
-        let n = sim.num_nodes();
-        let mut tree = TreeRecord {
-            contacts: ContactLists::new(n),
-            pull_parent: vec![None; n],
-            total_steps: 0,
-            covered: vec![false; n],
-        };
-        let mut has_msg = vec![false; n];
-        has_msg[leader as usize] = true;
-        tree.covered[leader as usize] = true;
-
-        // Push long-steps: the leader is active in long-step 0; afterwards the
-        // nodes informed in long-step j are active in long-step j+1.
-        let long_steps = self.config.phase1_push_steps / 4;
-        let mut active: Vec<NodeId> = vec![leader];
-        let mut step: u64 = 0;
-        for _ in 0..long_steps {
-            let mut newly_informed: Vec<NodeId> = Vec::new();
-            for k in 0..4u64 {
-                step += 1;
-                for &v in &active {
-                    let avoid = tree.contacts.get(v).addresses();
-                    if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
-                        sim.metrics_mut().record_packet(v);
-                        sim.metrics_mut().record_exchange(v);
-                        tree.contacts.get_mut(v).store(k as usize, u, step);
-                        if sim.is_alive(u) && !has_msg[u as usize] {
-                            has_msg[u as usize] = true;
-                            tree.covered[u as usize] = true;
-                            newly_informed.push(u);
-                        }
-                    }
-                }
-                sim.metrics_mut().finish_round();
+        let mut builder = TreeBuilder::new(sim.num_nodes(), leader);
+        // Push long-steps: the leader is active in long-step 0; afterwards
+        // the nodes informed in long-step j are active in long-step j+1.
+        for _ in 0..self.config.phase1_push_steps / 4 {
+            for k in 0..4 {
+                builder.push_round(sim, k);
             }
-            active = newly_informed;
-            if active.is_empty() && has_msg.iter().all(|&h| h) {
-                // Everyone already informed; remaining long-steps would be
-                // no-ops, but keep the step counter consistent.
-            }
+            builder.end_long_step();
         }
-
-        // Pull steps: every node without the leader message opens an avoided
-        // channel; if the contacted node is informed, the message is pulled.
-        // The paper runs ⌊2 log log n⌋ such steps; we keep pulling (up to a
-        // safety cap) until every alive node joined the tree, matching the
-        // simulation note that the dissemination phases are run to completion.
-        let mut pull_step = 0usize;
-        loop {
-            let all_covered = (0..n).all(|v| has_msg[v] || !sim.is_alive(v as NodeId));
-            if pull_step >= self.config.phase1_pull_steps
-                && (all_covered || pull_step >= self.config.phase3_max_pull_steps)
-            {
-                break;
-            }
-            step += 1;
-            pull_step += 1;
-            let mut newly: Vec<(NodeId, NodeId)> = Vec::new();
-            for v in 0..n as NodeId {
-                if has_msg[v as usize] || !sim.is_alive(v) {
-                    continue;
-                }
-                let avoid = tree.contacts.get(v).addresses();
-                if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
-                    tree.contacts.get_mut(v).store((step % 4) as usize, u, step);
-                    if has_msg[u as usize] && sim.is_alive(u) {
-                        // u answers the open channel with a pull transmission.
-                        sim.metrics_mut().record_packet(u);
-                        sim.metrics_mut().record_exchange(v);
-                        newly.push((v, u));
-                    }
-                }
-            }
-            for (v, u) in newly {
-                has_msg[v as usize] = true;
-                tree.covered[v as usize] = true;
-                tree.pull_parent[v as usize] = Some((step, u));
-                tree.contacts.get_mut(v).store(0, u, step);
-            }
-            sim.metrics_mut().finish_round();
+        while !builder.pull_done(sim, &self.config) {
+            builder.pull_round(sim);
         }
-
-        tree.total_steps = step;
-        tree
+        builder.record
     }
 
     /// Phase II: replays one tree backwards in time so that every covered
     /// node's original messages reach the leader.
     fn gather<E: Engine>(&self, sim: &mut E, tree: &TreeRecord) {
-        let n = sim.num_nodes();
-        // Group the work by step so each reversed step is O(#contacts of that step).
-        let mut pulls_by_step: HashMap<u64, Vec<(NodeId, NodeId)>> = HashMap::new();
-        for v in 0..n {
-            if let Some((step, parent)) = tree.pull_parent[v] {
-                pulls_by_step.entry(step).or_default().push((v as NodeId, parent));
-            }
-        }
-        let mut contacts_by_step: HashMap<u64, Vec<(NodeId, NodeId)>> = HashMap::new();
-        for s in 1..=tree.total_steps {
-            let list = tree.contacts.nodes_with_step(s);
-            if !list.is_empty() {
-                contacts_by_step.insert(s, list);
-            }
-        }
-
+        let replay = GatherReplay::new(tree);
         let mut transfers: Vec<Transfer> = Vec::new();
-        for t in 1..=tree.total_steps {
-            let rev = tree.total_steps + 1 - t;
-            transfers.clear();
-            // Nodes that pulled the leader message in step `rev` push all
-            // original messages they have to the parent they pulled from.
-            if let Some(pulls) = pulls_by_step.get(&rev) {
-                for &(v, parent) in pulls {
-                    if !sim.is_alive(v) {
-                        continue;
-                    }
-                    sim.metrics_mut().record_channel_open(v);
-                    sim.metrics_mut().record_exchange(v);
-                    transfers.push(Transfer::new(v, parent));
-                }
-            }
-            // Nodes that contacted a neighbour in step `rev` re-open that
-            // channel; the neighbour answers with all original messages it has.
-            if let Some(contacts) = contacts_by_step.get(&rev) {
-                for &(v, u) in contacts {
-                    if !sim.is_alive(v) {
-                        continue;
-                    }
-                    sim.metrics_mut().record_channel_open(v);
-                    if sim.is_alive(u) {
-                        sim.metrics_mut().record_exchange(v);
-                        transfers.push(Transfer::new(u, v));
-                    }
-                }
-            }
-            sim.deliver(&transfers);
-            sim.metrics_mut().finish_round();
-        }
-    }
-
-    /// Phase III: the leader broadcasts its (now complete) combined message
-    /// with the Phase I procedure; this time the payload is delivered into the
-    /// node states.
-    fn broadcast_back<E: Engine>(&self, sim: &mut E, leader: NodeId) {
-        let n = sim.num_nodes();
-        let mut contacts = ContactLists::new(n);
-        let mut has_msg = vec![false; n];
-        has_msg[leader as usize] = true;
-
-        let long_steps = self.config.phase3_push_steps / 4;
-        let mut active: Vec<NodeId> = vec![leader];
-        let mut transfers: Vec<Transfer> = Vec::new();
-        for _ in 0..long_steps {
-            let mut newly_informed: Vec<NodeId> = Vec::new();
-            for k in 0..4usize {
-                transfers.clear();
-                for &v in &active {
-                    let avoid = contacts.get(v).addresses();
-                    if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
-                        contacts.get_mut(v).store(k, u, 0);
-                        sim.metrics_mut().record_exchange(v);
-                        transfers.push(Transfer::new(v, u));
-                        if sim.is_alive(u) && !has_msg[u as usize] {
-                            has_msg[u as usize] = true;
-                            newly_informed.push(u);
-                        }
-                    }
-                }
-                sim.deliver(&transfers);
-                sim.metrics_mut().finish_round();
-            }
-            active = newly_informed;
-        }
-
-        // Closing pull steps, run until every alive node received the
-        // broadcast (capped).
-        let mut steps = 0usize;
-        while steps < self.config.phase3_max_pull_steps {
-            let done = (0..n).all(|v| has_msg[v] || !sim.is_alive(v as NodeId));
-            if done {
-                break;
-            }
-            transfers.clear();
-            let mut newly: Vec<NodeId> = Vec::new();
-            for v in 0..n as NodeId {
-                if has_msg[v as usize] || !sim.is_alive(v) {
-                    continue;
-                }
-                let avoid = contacts.get(v).addresses();
-                if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
-                    contacts.get_mut(v).store(steps % 4, u, 0);
-                    if has_msg[u as usize] && sim.is_alive(u) {
-                        sim.metrics_mut().record_exchange(v);
-                        transfers.push(Transfer::new(u, v));
-                        newly.push(v);
-                    }
-                }
-            }
-            sim.deliver(&transfers);
-            for v in newly {
-                has_msg[v as usize] = true;
-            }
-            sim.metrics_mut().finish_round();
-            steps += 1;
+        for t in 1..=replay.total_steps {
+            replay.round(sim, t, &mut transfers);
         }
     }
 
@@ -349,20 +419,217 @@ impl MemoryGossip {
     }
 }
 
+/// Where the [`MemoryDriver`] is inside Algorithm 2's schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MmState {
+    /// Before the first round; the leader draw happens in the first `step`.
+    Init,
+    /// Phase I, tree `tree`: push step `k` of long-step `long_step`.
+    TreePush { tree: usize, long_step: usize, k: usize },
+    /// Phase I, tree `tree`: pull period.
+    TreePull { tree: usize },
+    /// Phase II, replaying tree `tree`, forward index `t` (1-based).
+    Gather { tree: usize, t: u64 },
+    /// Phase III: broadcast push step `k` of long-step `long_step`.
+    BroadcastPush { long_step: usize, k: usize },
+    /// Phase III: closing pull steps.
+    BroadcastPull,
+    /// Schedule exhausted.
+    Finished,
+}
+
+/// The resumable [`ProtocolDriver`] for Algorithm 2 (memory-model gossiping).
+///
+/// Tree construction, the backwards replay and the closing broadcast become
+/// explicit per-round states; the contact lists, partial tree records and
+/// replay indices live in the driver, so the scenario engine can stop, trace
+/// or budget the protocol between any two rounds. Stepping to exhaustion
+/// consumes randomness exactly like [`MemoryGossip::run_on_engine`], which is
+/// a thin loop over this driver. The leader draw (one RNG value when no
+/// leader is fixed) happens inside the first `step` call, preserving the
+/// block formulation's draw order.
+#[derive(Clone, Debug)]
+pub struct MemoryDriver {
+    alg: MemoryGossip,
+    state: MmState,
+    leader: Option<NodeId>,
+    builder: Option<TreeBuilder>,
+    trees: Vec<TreeRecord>,
+    replay: Option<GatherReplay>,
+    broadcast: Option<BroadcastBack>,
+    transfers: Vec<Transfer>,
+}
+
+impl MemoryDriver {
+    /// A driver for `alg`, positioned before the first Phase I round.
+    pub fn new(alg: MemoryGossip) -> Self {
+        Self {
+            alg,
+            state: MmState::Init,
+            leader: None,
+            builder: None,
+            trees: Vec::new(),
+            replay: None,
+            broadcast: None,
+            transfers: Vec::new(),
+        }
+    }
+
+    /// Crosses every phase boundary the current position has reached: ends
+    /// long-steps, finalises trees, prepares the replay/broadcast machinery,
+    /// marks phase snapshots and skips zero-length segments. Draws no
+    /// randomness.
+    fn advance_boundaries<E: Engine>(&mut self, sim: &mut E) {
+        let config = self.alg.config;
+        let push_long_steps = config.phase1_push_steps / 4;
+        let broadcast_long_steps = config.phase3_push_steps / 4;
+        loop {
+            match self.state {
+                MmState::TreePush { tree, long_step, k } if k >= 4 => {
+                    self.builder.as_mut().expect("builder present during Phase I").end_long_step();
+                    self.state = MmState::TreePush { tree, long_step: long_step + 1, k: 0 };
+                }
+                MmState::TreePush { tree, long_step, k: 0 } if long_step >= push_long_steps => {
+                    self.state = MmState::TreePull { tree };
+                }
+                MmState::TreePull { tree }
+                    if self
+                        .builder
+                        .as_ref()
+                        .expect("builder present during Phase I")
+                        .pull_done(sim, &config) =>
+                {
+                    let builder = self.builder.take().expect("builder present during Phase I");
+                    self.trees.push(builder.record);
+                    let next = tree + 1;
+                    if next < config.trees {
+                        let leader = self.leader.expect("leader picked in the first step");
+                        self.builder = Some(TreeBuilder::new(sim.num_nodes(), leader));
+                        self.state = MmState::TreePush { tree: next, long_step: 0, k: 0 };
+                    } else {
+                        sim.metrics_mut().mark_phase("phase1-trees");
+                        self.replay = Some(GatherReplay::new(&self.trees[0]));
+                        self.state = MmState::Gather { tree: 0, t: 1 };
+                    }
+                }
+                MmState::Gather { tree, t }
+                    if t > self
+                        .replay
+                        .as_ref()
+                        .expect("replay present during Phase II")
+                        .total_steps =>
+                {
+                    let next = tree + 1;
+                    if next < self.trees.len() {
+                        self.replay = Some(GatherReplay::new(&self.trees[next]));
+                        self.state = MmState::Gather { tree: next, t: 1 };
+                    } else {
+                        sim.metrics_mut().mark_phase("phase2-gather");
+                        let leader = self.leader.expect("leader picked in the first step");
+                        self.broadcast = Some(BroadcastBack::new(sim.num_nodes(), leader));
+                        self.state = MmState::BroadcastPush { long_step: 0, k: 0 };
+                    }
+                }
+                MmState::BroadcastPush { long_step, k } if k >= 4 => {
+                    self.broadcast
+                        .as_mut()
+                        .expect("broadcast present during Phase III")
+                        .end_long_step();
+                    self.state = MmState::BroadcastPush { long_step: long_step + 1, k: 0 };
+                }
+                MmState::BroadcastPush { long_step, k: 0 } if long_step >= broadcast_long_steps => {
+                    self.state = MmState::BroadcastPull;
+                }
+                MmState::BroadcastPull
+                    if {
+                        let bc =
+                            self.broadcast.as_ref().expect("broadcast present during Phase III");
+                        bc.pull_steps >= config.phase3_max_pull_steps || bc.pull_done(sim)
+                    } =>
+                {
+                    sim.metrics_mut().mark_phase("phase3-broadcast");
+                    self.state = MmState::Finished;
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+impl ProtocolDriver for MemoryDriver {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn finished<E: Engine>(&self, _sim: &E) -> bool {
+        self.state == MmState::Finished
+    }
+
+    fn step<E: Engine>(&mut self, sim: &mut E) -> StepStatus {
+        if self.state == MmState::Init {
+            let leader = self.alg.pick_leader(sim);
+            self.leader = Some(leader);
+            if self.alg.config.trees == 0 {
+                // Degenerate configuration: no trees, so Phases I and II are
+                // empty and the broadcast starts immediately.
+                sim.metrics_mut().mark_phase("phase1-trees");
+                sim.metrics_mut().mark_phase("phase2-gather");
+                self.broadcast = Some(BroadcastBack::new(sim.num_nodes(), leader));
+                self.state = MmState::BroadcastPush { long_step: 0, k: 0 };
+            } else {
+                self.builder = Some(TreeBuilder::new(sim.num_nodes(), leader));
+                self.state = MmState::TreePush { tree: 0, long_step: 0, k: 0 };
+            }
+        }
+        self.advance_boundaries(sim);
+        match self.state {
+            MmState::Finished => return StepStatus::Done,
+            MmState::Init => unreachable!("Init is resolved above"),
+            MmState::TreePush { tree, long_step, k } => {
+                self.builder.as_mut().expect("builder present during Phase I").push_round(sim, k);
+                self.state = MmState::TreePush { tree, long_step, k: k + 1 };
+            }
+            MmState::TreePull { .. } => {
+                self.builder.as_mut().expect("builder present during Phase I").pull_round(sim);
+            }
+            MmState::Gather { tree, t } => {
+                self.replay.as_ref().expect("replay present during Phase II").round(
+                    sim,
+                    t,
+                    &mut self.transfers,
+                );
+                self.state = MmState::Gather { tree, t: t + 1 };
+            }
+            MmState::BroadcastPush { long_step, k } => {
+                self.broadcast.as_mut().expect("broadcast present during Phase III").push_round(
+                    sim,
+                    k,
+                    &mut self.transfers,
+                );
+                self.state = MmState::BroadcastPush { long_step, k: k + 1 };
+            }
+            MmState::BroadcastPull => {
+                self.broadcast
+                    .as_mut()
+                    .expect("broadcast present during Phase III")
+                    .pull_round(sim, &mut self.transfers);
+            }
+        }
+        // Cross any boundary this round just reached, so phase markers land
+        // between rounds exactly where the block formulation put them.
+        self.advance_boundaries(sim);
+        StepStatus::Running
+    }
+}
+
 impl MemoryGossip {
     /// Runs all three phases on any [`Engine`] (see
-    /// [`GossipAlgorithm::run_on`] for the packed entry point).
+    /// [`GossipAlgorithm::run_on`] for the packed entry point): a thin loop
+    /// over [`MemoryDriver::step`], bit-identical to stepping the driver
+    /// manually.
     pub fn run_on_engine<E: Engine>(&self, sim: &mut E) -> GossipOutcome {
-        let leader = self.pick_leader(sim);
-        let trees: Vec<TreeRecord> =
-            (0..self.config.trees).map(|_| self.build_tree(sim, leader)).collect();
-        sim.metrics_mut().mark_phase("phase1-trees");
-        for tree in &trees {
-            self.gather(sim, tree);
-        }
-        sim.metrics_mut().mark_phase("phase2-gather");
-        self.broadcast_back(sim, leader);
-        sim.metrics_mut().mark_phase("phase3-broadcast");
+        let mut driver = MemoryDriver::new(*self);
+        run_driver(&mut driver, sim);
         GossipOutcome::from_metrics(
             sim.metrics(),
             sim.gossip_complete(),
@@ -441,6 +708,35 @@ mod tests {
         let g = ErdosRenyi::paper_density(n).generate(8);
         let outcome = MemoryGossip::paper(n).with_leader(17).run(&g, 9);
         assert!(outcome.completed());
+    }
+
+    #[test]
+    fn driver_steps_match_the_block_run() {
+        // The block entry point is a thin loop over the driver; stepping
+        // manually — with interleaved read-only queries, as the scenario
+        // engine does — must reproduce it exactly.
+        let n = 256;
+        let g = ErdosRenyi::paper_density(n).generate(15);
+        let block = MemoryGossip::paper(n).run(&g, 16);
+
+        let mut sim = Simulation::new(&g, 16);
+        let mut driver = MemoryDriver::new(MemoryGossip::paper(n));
+        let mut rounds = 0u64;
+        while !driver.finished(&sim) {
+            // Interleave the kind of read-only queries a stop rule performs.
+            let _ = sim.fully_informed_count();
+            match driver.step(&mut sim) {
+                StepStatus::Done => break,
+                StepStatus::Running => rounds += 1,
+            }
+        }
+        assert_eq!(rounds, block.rounds());
+        assert_eq!(sim.metrics().rounds(), block.rounds());
+        assert_eq!(sim.metrics().total_packets(), block.total_packets());
+        assert_eq!(sim.metrics().total_exchanges(), block.total_exchanges());
+        assert!(sim.gossip_complete());
+        let labels: Vec<_> = sim.metrics().phases().iter().map(|p| p.label.clone()).collect();
+        assert_eq!(labels, vec!["phase1-trees", "phase2-gather", "phase3-broadcast"]);
     }
 
     #[test]

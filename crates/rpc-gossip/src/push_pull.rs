@@ -14,12 +14,80 @@ use rpc_engine::{Engine, Simulation, Transfer};
 
 use crate::config::PushPullConfig;
 use crate::outcome::GossipOutcome;
-use crate::runner::GossipAlgorithm;
+use crate::runner::{GossipAlgorithm, ProtocolDriver, StepStatus};
 
 /// The simple Push-Pull gossiping protocol.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PushPullGossip {
     config: PushPullConfig,
+}
+
+/// One push-pull round: every node opens a channel to a random neighbour,
+/// pushes over it and pulls back. Shared by [`PushPullDriver`] and the
+/// fast-gossiping driver's Phase III so the two can never diverge in
+/// semantics or accounting.
+pub(crate) fn push_pull_round<E: Engine>(sim: &mut E, transfers: &mut Vec<Transfer>) {
+    let n = sim.num_nodes();
+    transfers.clear();
+    for v in 0..n as u32 {
+        if let Some(u) = sim.open_channel(v) {
+            // pushpull(m_v): push over the outgoing channel, pull back.
+            transfers.push(Transfer::new(v, u));
+            transfers.push(Transfer::new(u, v));
+            sim.metrics_mut().record_exchange(v);
+        }
+    }
+    sim.deliver(transfers);
+    sim.metrics_mut().finish_round();
+}
+
+/// The resumable [`ProtocolDriver`] for push-pull: each step is one
+/// synchronous push-pull round.
+///
+/// Push-pull has no internal phase schedule — the protocol definition is
+/// "round after round until every node knows every message" — so the driver
+/// keeps producing rounds up to its round budget and reports the natural
+/// termination through [`ProtocolDriver::finished`] (gossip completion).
+/// Callers that want to gossip *past* completion (e.g. a scenario round
+/// budget, which specifies a workload of exactly `r` rounds) may simply keep
+/// stepping: rounds past completion still draw randomness and send packets,
+/// exactly like the block loop under a round budget always has.
+#[derive(Clone, Debug)]
+pub struct PushPullDriver {
+    max_rounds: usize,
+    steps: usize,
+    transfers: Vec<Transfer>,
+}
+
+impl PushPullDriver {
+    /// A driver that produces at most `max_rounds` rounds.
+    pub fn new(max_rounds: usize) -> Self {
+        Self { max_rounds, steps: 0, transfers: Vec::new() }
+    }
+
+    /// Rounds executed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl ProtocolDriver for PushPullDriver {
+    fn name(&self) -> &'static str {
+        "push-pull"
+    }
+
+    fn finished<E: Engine>(&self, sim: &E) -> bool {
+        sim.gossip_complete()
+    }
+
+    fn step<E: Engine>(&mut self, sim: &mut E) -> StepStatus {
+        if self.steps >= self.max_rounds {
+            return StepStatus::Done;
+        }
+        push_pull_round(sim, &mut self.transfers);
+        self.steps += 1;
+        StepStatus::Running
+    }
 }
 
 impl PushPullGossip {
@@ -37,9 +105,9 @@ impl PushPullGossip {
     /// Runs push-pull rounds until `stop` returns `true` (checked before each
     /// round) or `max_rounds` rounds have executed, whichever comes first.
     /// Returns the number of executed steps. This is the step-granular entry
-    /// point the scenario engine uses for round-budget and coverage stop
-    /// rules (the closure is `FnMut` so callers can record per-round traces
-    /// while evaluating the rule).
+    /// point callers use for external stop predicates (the closure is `FnMut`
+    /// so callers can record per-round traces while evaluating it); it is a
+    /// thin loop over [`PushPullDriver::step`].
     ///
     /// Generic over [`Engine`], so the same round body drives the packed
     /// production simulation and the unpacked reference oracle.
@@ -48,24 +116,13 @@ impl PushPullGossip {
         max_rounds: usize,
         mut stop: impl FnMut(&E) -> bool,
     ) -> usize {
-        let n = sim.num_nodes();
-        let mut transfers: Vec<Transfer> = Vec::with_capacity(2 * n);
-        let mut steps = 0usize;
-        while !stop(sim) && steps < max_rounds {
-            transfers.clear();
-            for v in 0..n as u32 {
-                if let Some(u) = sim.open_channel(v) {
-                    // pushpull(m_v): push over the outgoing channel, pull back.
-                    transfers.push(Transfer::new(v, u));
-                    transfers.push(Transfer::new(u, v));
-                    sim.metrics_mut().record_exchange(v);
-                }
+        let mut driver = PushPullDriver::new(max_rounds);
+        while !stop(sim) {
+            if driver.step(sim) == StepStatus::Done {
+                break;
             }
-            sim.deliver(&transfers);
-            sim.metrics_mut().finish_round();
-            steps += 1;
         }
-        steps
+        driver.steps()
     }
 
     /// Runs the protocol to completion on any [`Engine`] (see

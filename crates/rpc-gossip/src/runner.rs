@@ -1,10 +1,81 @@
-//! The [`GossipAlgorithm`] trait: a uniform interface over all gossiping
-//! protocols so that experiments and benchmarks can sweep over them.
+//! The protocol-runner interface: [`GossipAlgorithm`] (run-to-completion over
+//! any graph) and [`ProtocolDriver`] (resumable, one synchronous round per
+//! [`ProtocolDriver::step`] call).
+//!
+//! Experiments and benchmarks sweep over [`GossipAlgorithm`] trait objects;
+//! the scenario engine drives protocols through [`ProtocolDriver`] so that
+//! round budgets, coverage thresholds and per-round traces work uniformly for
+//! every algorithm — including the phase-based ones, whose phase loops become
+//! explicit resumable states in their drivers.
 
-use rpc_engine::Simulation;
+use rpc_engine::{Engine, Simulation};
 use rpc_graphs::Graph;
 
 use crate::outcome::GossipOutcome;
+
+/// What one [`ProtocolDriver::step`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepStatus {
+    /// One synchronous round was executed; the driver can produce more.
+    Running,
+    /// The driver's schedule is exhausted — **no round was executed** by this
+    /// call, and further `step` calls remain no-op `Done`s.
+    Done,
+}
+
+/// A gossiping protocol as a resumable state machine: each [`Self::step`]
+/// call executes exactly one synchronous round (one
+/// [`rpc_engine::Metrics::finish_round`]).
+///
+/// # Resumability contract
+///
+/// A driver owns every piece of cross-round protocol state (phase counters,
+/// walk queues, contact lists, partial trees, …); the only state living in
+/// the engine is what the paper's model puts there (node message sets,
+/// liveness masks, metrics, the RNG). Callers may therefore interleave
+/// `step` calls with arbitrary *read-only* engine queries — stop-rule checks,
+/// coverage counters, trace capture — without perturbing the run.
+///
+/// # RNG-draw preservation contract
+///
+/// Stepping a driver to exhaustion must consume randomness in **exactly** the
+/// same order as the protocol's block entry point (`run_on_engine`), which is
+/// itself implemented as a thin loop over `step`. Consequently, for a fixed
+/// `(graph, seed)` the sequence of per-round engine states observed through
+/// `step` is bit-identical to the block run — this is what lets the
+/// packed-vs-unpacked trace-equivalence suite extend to stepped runs, and
+/// what makes a stepped scenario outcome equal to the legacy block outcome.
+/// Drivers must not draw from the engine RNG outside of `step` (lazy
+/// initialisation, such as the memory model's leader draw, happens inside
+/// the first `step` call).
+pub trait ProtocolDriver {
+    /// Short name used in reports, matching [`GossipAlgorithm::name`].
+    fn name(&self) -> &'static str;
+
+    /// Whether the protocol's *natural termination* has been reached: gossip
+    /// completion for push-pull (whose round loop is otherwise unbounded),
+    /// schedule exhaustion for the phase-based protocols. Read-only; never
+    /// draws randomness.
+    fn finished<E: Engine>(&self, sim: &E) -> bool;
+
+    /// Executes one synchronous round, or returns [`StepStatus::Done`]
+    /// (without executing anything) once the schedule is exhausted.
+    fn step<E: Engine>(&mut self, sim: &mut E) -> StepStatus;
+}
+
+/// Steps `driver` until its schedule is exhausted and returns the number of
+/// rounds executed. The phase-based `run_on_engine` implementations reduce to
+/// this loop; push-pull's reduces to [`crate::PushPullGossip::run_until`],
+/// the same loop with an external stop predicate (its natural termination —
+/// gossip completion — is a property of the simulation, not of the driver's
+/// schedule).
+pub fn run_driver<D: ProtocolDriver, E: Engine>(driver: &mut D, sim: &mut E) -> u64 {
+    let mut rounds = 0;
+    while let StepStatus::Running = driver.step(sim) {
+        rounds += 1;
+    }
+    rounds
+}
 
 /// A gossiping protocol that can be run on any graph with a given seed.
 pub trait GossipAlgorithm {

@@ -9,9 +9,35 @@
 
 use rpc_engine::derive_seed;
 
-use crate::exec::{run_scenario, ScenarioOutcome};
+use crate::exec::{run_scenario, ScenarioOutcome, StoppedBy};
 use crate::spec::Scenario;
 use crate::stats::{summarize, SummaryStats};
+
+/// How many replications of one scenario ended for each
+/// [`StoppedBy`] discriminant. The four counts sum to the replication count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoppedByCounts {
+    /// Runs that ended in natural termination with gossiping complete.
+    pub complete: usize,
+    /// Runs that spent a [`crate::spec::StopRule::Rounds`] budget exactly.
+    pub round_budget: usize,
+    /// Runs that met a [`crate::spec::StopRule::Coverage`] threshold.
+    pub coverage: usize,
+    /// Runs that exhausted `max_rounds` (or a phase schedule) without
+    /// satisfying their stop rule.
+    pub max_rounds: usize,
+}
+
+impl StoppedByCounts {
+    fn record(&mut self, stopped_by: StoppedBy) {
+        match stopped_by {
+            StoppedBy::Complete => self.complete += 1,
+            StoppedBy::RoundBudget => self.round_budget += 1,
+            StoppedBy::CoverageReached => self.coverage += 1,
+            StoppedBy::MaxRoundsExhausted => self.max_rounds += 1,
+        }
+    }
+}
 
 /// Aggregated statistics of all replications of one scenario.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +54,8 @@ pub struct ScenarioReport {
     pub replications: usize,
     /// Replications whose stop rule was satisfied before the round cap.
     pub completed_runs: usize,
+    /// Replications by stop discriminant.
+    pub stopped: StoppedByCounts,
     /// Rounds executed.
     pub rounds: SummaryStats,
     /// Packets sent per node (per-packet accounting).
@@ -117,6 +145,10 @@ fn aggregate(scenario: &Scenario, outcomes: &[ScenarioOutcome]) -> ScenarioRepor
     let n = scenario.num_nodes();
     let collect =
         |f: &dyn Fn(&ScenarioOutcome) -> f64| -> Vec<f64> { outcomes.iter().map(f).collect() };
+    let mut stopped = StoppedByCounts::default();
+    for outcome in outcomes {
+        stopped.record(outcome.stopped_by);
+    }
     ScenarioReport {
         name: scenario.name.clone(),
         topology: scenario.topology.label(),
@@ -124,6 +156,7 @@ fn aggregate(scenario: &Scenario, outcomes: &[ScenarioOutcome]) -> ScenarioRepor
         n,
         replications: outcomes.len(),
         completed_runs: outcomes.iter().filter(|o| o.completed).count(),
+        stopped,
         rounds: summarize(&collect(&|o| o.rounds as f64)),
         packets_per_node: summarize(&collect(&|o| o.packets_per_node(n))),
         coverage: summarize(&collect(&|o| o.coverage)),
@@ -160,8 +193,13 @@ mod tests {
             assert_eq!(report.replications, 4);
             assert_eq!(report.completed_runs, 4);
             assert!(report.rounds.max >= report.rounds.min);
+            let s = report.stopped;
+            assert_eq!(s.complete + s.round_budget + s.coverage + s.max_rounds, 4);
+            assert_eq!(s.max_rounds, 0, "all of these scenarios satisfy their rule");
         }
         assert_eq!(reports[2].rounds.mean, 5.0);
+        assert_eq!(reports[0].stopped.complete, 4);
+        assert_eq!(reports[2].stopped.round_budget, 4);
     }
 
     #[test]

@@ -8,6 +8,18 @@
 //! count only parallelises bitset unions, which are bit-identical in any
 //! configuration.
 //!
+//! ## One stepper for every protocol
+//!
+//! Every protocol — push-pull *and* the phase-based fast-gossiping and
+//! memory-model algorithms — is driven through the resumable
+//! [`rpc_gossip::ProtocolDriver`] interface, one synchronous round per step.
+//! The executor evaluates the stop rule between any two rounds, records one
+//! [`RoundTrace`] row per evaluation, enforces the scenario's `max_rounds`
+//! cap uniformly, and reports *why* the run ended in
+//! [`ScenarioOutcome::stopped_by`]. Because each driver consumes randomness
+//! exactly like its block `run_on_engine` entry point, a stepped run under
+//! [`StopRule::Complete`] is bit-identical to the legacy block run.
+//!
 //! The execution core is generic over [`rpc_engine::Engine`], so the same
 //! scheduling, driving and measuring code runs on two engines:
 //!
@@ -18,8 +30,8 @@
 //!
 //! Both consume randomness identically, so for any `(scenario, seed)` the two
 //! must produce identical outcomes *and* identical per-round traces; the
-//! property tests in `tests/scenario_props.rs` assert exactly that across the
-//! registry and randomized scenarios.
+//! property tests in `tests/packed_vs_unpacked.rs` assert exactly that across
+//! the registry and randomized scenarios.
 //!
 //! Coverage bookkeeping is word-parallel on the packed engine: the tracked
 //! rumor's knower set is maintained incrementally
@@ -34,7 +46,10 @@ use rpc_engine::{
     derive_seed, sample_failures, sample_from_pool, Engine, PhaseSnapshot, Simulation,
     UnpackedSimulation,
 };
-use rpc_gossip::PushPullGossip;
+use rpc_gossip::{
+    FastGossiping, FastGossipingDriver, MemoryDriver, MemoryGossip, ProtocolDriver, PushPullDriver,
+    StepStatus,
+};
 use rpc_graphs::{Graph, NodeId};
 
 use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule};
@@ -45,11 +60,62 @@ const STREAM_GRAPH: u64 = 0x0147_5241;
 const STREAM_ENV: u64 = 0x02e5_56e3;
 const STREAM_RUN: u64 = 0x0375_6e21;
 
+/// The engine seeds a scenario replication derives from `seed`:
+/// `(graph_seed, run_seed)`. Exposed so harnesses that compare a stepped
+/// [`run_scenario`] against a block `run_on_engine` (the `scenario_step`
+/// bench, equivalence tests) can run the block side on **exactly** the graph
+/// and RNG stream the stepped side uses.
+pub fn scenario_engine_seeds(seed: u64) -> (u64, u64) {
+    (derive_seed(seed, STREAM_GRAPH, 0), derive_seed(seed, STREAM_RUN, 0))
+}
+
+/// Why a scenario run ended — the discriminant behind
+/// [`ScenarioOutcome::completed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoppedBy {
+    /// The protocol reached its natural termination with gossiping complete:
+    /// the [`StopRule::Complete`] rule fired, or (under a round budget or a
+    /// coverage threshold) the protocol's own schedule ended fully informed
+    /// before the rule did.
+    Complete,
+    /// A [`StopRule::Rounds`] budget was spent exactly.
+    RoundBudget,
+    /// A [`StopRule::Coverage`] threshold was met by the tracked rumor.
+    CoverageReached,
+    /// The run ended **without** satisfying its stop rule: the scenario's
+    /// `max_rounds` cap was exhausted, or a phase-based protocol's schedule
+    /// ran out first (e.g. gossiping left incomplete by a crash burst, or a
+    /// coverage threshold the rumor never met). Reported honestly instead of
+    /// being conflated with rule satisfaction.
+    MaxRoundsExhausted,
+}
+
+impl StoppedBy {
+    /// Whether the run's stop condition was genuinely satisfied (everything
+    /// except [`StoppedBy::MaxRoundsExhausted`]).
+    pub fn satisfied(self) -> bool {
+        self != StoppedBy::MaxRoundsExhausted
+    }
+
+    /// Short label for reports and CSVs (comma-free).
+    pub fn label(self) -> &'static str {
+        match self {
+            StoppedBy::Complete => "complete",
+            StoppedBy::RoundBudget => "round-budget",
+            StoppedBy::CoverageReached => "coverage",
+            StoppedBy::MaxRoundsExhausted => "max-rounds",
+        }
+    }
+}
+
 /// The measured result of one scenario replication.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioOutcome {
-    /// Whether the stop rule was satisfied before the round cap.
+    /// Whether the stop rule was satisfied before the round cap (equivalent
+    /// to [`StoppedBy::satisfied`] on [`Self::stopped_by`]).
     pub completed: bool,
+    /// Why the run ended.
+    pub stopped_by: StoppedBy,
     /// Rounds executed.
     pub rounds: u64,
     /// Total packets sent (per-packet accounting).
@@ -80,8 +146,9 @@ impl ScenarioOutcome {
     }
 }
 
-/// One entry of a step-driven (push-pull) scenario's round-by-round record,
-/// captured every time the stop rule is evaluated.
+/// One entry of a scenario's round-by-round record, captured every time the
+/// stop rule is evaluated — one row per executed round plus the final
+/// evaluation, for every protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RoundTrace {
     /// Completed rounds at capture time.
@@ -95,16 +162,16 @@ pub struct RoundTrace {
 }
 
 /// The full observable trace of one scenario replication: per-round records
-/// for step-driven protocols plus the phase snapshots every protocol marks.
-/// Two engines implementing the same semantics must produce equal traces for
-/// equal `(scenario, seed)` — this is what the packed-vs-unpacked property
-/// tests compare.
+/// plus the phase snapshots the phase-based protocols mark. Two engines
+/// implementing the same semantics must produce equal traces for equal
+/// `(scenario, seed)` — this is what the packed-vs-unpacked property tests
+/// compare.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ScenarioTrace {
-    /// Stop-rule evaluations of the push-pull driver (empty for phase-based
-    /// protocols, which run their phases as a block).
+    /// Stop-rule evaluations of the unified stepper, for every protocol.
     pub rounds: Vec<RoundTrace>,
-    /// Phase snapshots recorded in the metrics.
+    /// Phase snapshots recorded in the metrics (empty for push-pull, which
+    /// marks no phases when scenario-driven).
     pub phases: Vec<PhaseSnapshot>,
 }
 
@@ -172,14 +239,22 @@ fn run_scenario_core<E: Engine>(
     let tracked = place_rumor(scenario.environment.placement, sim.graph(), env_rng);
     sim.track_message(tracked);
 
-    let (completed, rounds) = match scenario.protocol {
-        ProtocolSpec::PushPull => drive_push_pull(scenario, sim, trace.as_deref_mut()),
-        ProtocolSpec::FastGossiping | ProtocolSpec::Memory => {
-            // Phase-based protocols run their phases as a block; churn, crash
-            // and loss still apply through the engine hooks. Validation
-            // guarantees the stop rule is `Complete` here.
-            let outcome = scenario.protocol.run_on_engine(n, sim);
-            (outcome.completed(), outcome.rounds())
+    // Instantiate the protocol's resumable driver with the same paper
+    // constants [`ProtocolSpec::build`] uses, then hand it to the unified
+    // stepper — protocol dispatch ends here; the stop-rule logic below is
+    // protocol-agnostic.
+    let (stopped_by, rounds) = match scenario.protocol {
+        ProtocolSpec::PushPull => {
+            let mut driver = PushPullDriver::new(scenario.max_rounds as usize);
+            drive(scenario, sim, &mut driver, trace.as_deref_mut())
+        }
+        ProtocolSpec::FastGossiping => {
+            let mut driver = FastGossipingDriver::new(FastGossiping::paper(n), n);
+            drive(scenario, sim, &mut driver, trace.as_deref_mut())
+        }
+        ProtocolSpec::Memory => {
+            let mut driver = MemoryDriver::new(MemoryGossip::paper(n));
+            drive(scenario, sim, &mut driver, trace.as_deref_mut())
         }
     };
     if let Some(trace) = trace {
@@ -194,7 +269,8 @@ fn run_scenario_core<E: Engine>(
         if n == 0 { 0.0 } else { sim.tracked_informed_count() as f64 / n as f64 };
 
     ScenarioOutcome {
-        completed,
+        completed: stopped_by.satisfied(),
+        stopped_by,
         rounds,
         total_packets: sim.metrics().total_packets(),
         total_exchanges: sim.metrics().total_exchanges(),
@@ -204,6 +280,96 @@ fn run_scenario_core<E: Engine>(
         crashed: n - sim.alive_count(),
         departed: n - sim.present_count(),
     }
+}
+
+/// Drives any protocol one synchronous round at a time, evaluating the stop
+/// rule (and recording a trace row) between rounds. Returns why the run
+/// ended and how many rounds it executed.
+///
+/// The rule check order encodes the reporting semantics:
+///
+/// 1. the scenario's stop rule (so a rule firing exactly at the cap wins);
+/// 2. the scenario's `max_rounds` cap, applied uniformly to every protocol;
+/// 3. the driver's own schedule — [`StepStatus::Done`] before the rule fires
+///    is reported as [`StoppedBy::Complete`] when gossiping finished and
+///    [`StoppedBy::MaxRoundsExhausted`] otherwise.
+///
+/// Under a [`StopRule::Rounds`] budget the driver is stepped *past* gossip
+/// completion when necessary — a round budget specifies a workload of exactly
+/// `r` rounds, and those rounds draw randomness and send packets exactly like
+/// the block loop under a budget always has.
+fn drive<E: Engine, D: ProtocolDriver>(
+    scenario: &Scenario,
+    sim: &mut E,
+    driver: &mut D,
+    mut trace: Option<&mut ScenarioTrace>,
+) -> (StoppedBy, u64) {
+    let mut rounds: u64 = 0;
+    let stopped_by = loop {
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.rounds.push(RoundTrace {
+                round: sim.metrics().rounds(),
+                fully_informed: sim.fully_informed_count(),
+                tracked_informed: sim.tracked_informed_count(),
+                packets: sim.metrics().total_packets(),
+            });
+        }
+        match scenario.stop {
+            StopRule::Complete => {
+                if driver.finished(sim) {
+                    break if sim.gossip_complete() {
+                        StoppedBy::Complete
+                    } else {
+                        // A phase-based schedule can end with gossiping
+                        // incomplete (e.g. under crashes); report it honestly.
+                        StoppedBy::MaxRoundsExhausted
+                    };
+                }
+            }
+            StopRule::Rounds(r) => {
+                if rounds == r {
+                    break StoppedBy::RoundBudget;
+                }
+            }
+            StopRule::Coverage(f) => {
+                let target = coverage_target(f, sim.alive_count());
+                // target == 0 only when every node has crashed; a dead
+                // network never "reaches" coverage — let the run end via the
+                // schedule or the cap and report MaxRoundsExhausted honestly.
+                if target > 0 && sim.tracked_informed_count() >= target {
+                    break StoppedBy::CoverageReached;
+                }
+            }
+        }
+        if rounds >= scenario.max_rounds {
+            break StoppedBy::MaxRoundsExhausted;
+        }
+        match driver.step(sim) {
+            StepStatus::Done => {
+                break if sim.gossip_complete() {
+                    StoppedBy::Complete
+                } else {
+                    StoppedBy::MaxRoundsExhausted
+                };
+            }
+            StepStatus::Running => rounds += 1,
+        }
+    };
+    (stopped_by, rounds)
+}
+
+/// The coverage rule's target: the tracked rumor must be known by at least
+/// `⌈f · alive⌉` nodes, where `alive` is the **current, crash-adjusted
+/// population** (churned-out nodes are still alive — they rejoin with state
+/// intact — so they stay in the basis; crashed nodes are permanently gone, so
+/// they leave it). Measuring against the full `n` instead would make a
+/// `Coverage(f)` rule unreachable after a crash burst of more than
+/// `(1 - f) · n` nodes, silently exhausting `max_rounds` on every run.
+/// Informed nodes that crash *after* learning the rumor still count toward
+/// the achieved side, which only makes the rule easier to satisfy. A target
+/// of 0 (possible only when `alive == 0`) never fires — see the caller.
+fn coverage_target(fraction: f64, alive: usize) -> usize {
+    (fraction * alive as f64).ceil() as usize
 }
 
 /// Pre-computes the churn waves and the crash burst and registers them with
@@ -244,11 +410,12 @@ fn schedule_environment<E: Engine>(scenario: &Scenario, env_rng: &mut SmallRng, 
     }
 }
 
-/// The effective round bound of a run: the `rounds:` budget where one is set,
-/// the scenario's hard cap otherwise.
+/// The effective round bound of a run: the `rounds:` budget where one is set
+/// (validation guarantees it does not exceed the hard cap), the scenario's
+/// hard cap otherwise.
 fn round_limit(scenario: &Scenario) -> u64 {
     match scenario.stop {
-        StopRule::Rounds(r) => r.min(scenario.max_rounds),
+        StopRule::Rounds(r) => r,
         _ => scenario.max_rounds,
     }
 }
@@ -268,48 +435,11 @@ fn place_rumor(placement: StartPlacement, graph: &Graph, env_rng: &mut SmallRng)
     }
 }
 
-/// Drives push-pull one synchronous round at a time, evaluating the stop rule
-/// between rounds. The round body itself is [`PushPullGossip::run_until`], so
-/// scenario runs and plain protocol runs can never diverge in semantics or
-/// accounting. The coverage rule reads the engine's tracked-rumor counter —
-/// O(1) on the packed engine, a scan on the oracle.
-fn drive_push_pull<E: Engine>(
-    scenario: &Scenario,
-    sim: &mut E,
-    mut trace: Option<&mut ScenarioTrace>,
-) -> (bool, u64) {
-    let n = sim.num_nodes();
-    let coverage_target = |fraction: f64| (fraction * n as f64).ceil() as usize;
-    let satisfied = |sim: &E| match scenario.stop {
-        StopRule::Complete => sim.gossip_complete(),
-        StopRule::Rounds(_) => false, // handled by the round limit
-        StopRule::Coverage(f) => sim.tracked_informed_count() >= coverage_target(f),
-    };
-    let limit = round_limit(scenario);
-    let rounds = PushPullGossip::run_until(sim, limit as usize, |sim: &E| {
-        if let Some(trace) = trace.as_deref_mut() {
-            trace.rounds.push(RoundTrace {
-                round: sim.metrics().rounds(),
-                fully_informed: sim.fully_informed_count(),
-                tracked_informed: sim.tracked_informed_count(),
-                packets: sim.metrics().total_packets(),
-            });
-        }
-        satisfied(sim)
-    }) as u64;
-
-    let completed = match scenario.stop {
-        StopRule::Complete => sim.gossip_complete(),
-        StopRule::Rounds(r) => rounds == r,
-        StopRule::Coverage(f) => sim.tracked_informed_count() >= coverage_target(f),
-    };
-    (completed, rounds)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::TopologySpec;
+    use proptest::prelude::*;
 
     fn er(n: usize) -> TopologySpec {
         TopologySpec::ErdosRenyiPaper { n }
@@ -320,6 +450,7 @@ mod tests {
         let s = Scenario::builder("clean", er(256)).build().unwrap();
         let o = run_scenario(&s, 1, 1);
         assert!(o.completed);
+        assert_eq!(o.stopped_by, StoppedBy::Complete);
         assert!(o.rounds > 0);
         assert_eq!(o.coverage, 1.0);
         assert_eq!(o.tracked_coverage, 1.0);
@@ -358,7 +489,24 @@ mod tests {
         let s = Scenario::builder("budget", er(128)).stop(StopRule::Rounds(7)).build().unwrap();
         let o = run_scenario(&s, 2, 1);
         assert!(o.completed);
+        assert_eq!(o.stopped_by, StoppedBy::RoundBudget);
         assert_eq!(o.rounds, 7);
+    }
+
+    #[test]
+    fn round_budgets_work_for_every_protocol() {
+        for protocol in [ProtocolSpec::PushPull, ProtocolSpec::FastGossiping, ProtocolSpec::Memory]
+        {
+            let s = Scenario::builder("budget", er(128))
+                .protocol(protocol)
+                .stop(StopRule::Rounds(5))
+                .build()
+                .unwrap();
+            let o = run_scenario(&s, 3, 1);
+            assert_eq!(o.rounds, 5, "{}", protocol.name());
+            assert_eq!(o.stopped_by, StoppedBy::RoundBudget, "{}", protocol.name());
+            assert!(o.total_packets > 0, "{}", protocol.name());
+        }
     }
 
     #[test]
@@ -370,9 +518,76 @@ mod tests {
             .unwrap();
         let o = run_scenario(&s, 4, 1);
         assert!(o.completed);
+        assert_eq!(o.stopped_by, StoppedBy::CoverageReached);
         assert!(o.tracked_coverage >= 0.5);
         let full = Scenario::builder("full", er(512)).build().unwrap();
         assert!(o.rounds < run_scenario(&full, 4, 1).rounds);
+    }
+
+    #[test]
+    fn coverage_stop_works_for_phase_protocols() {
+        for protocol in [ProtocolSpec::FastGossiping, ProtocolSpec::Memory] {
+            let s = Scenario::builder("cov", er(256))
+                .protocol(protocol)
+                .stop(StopRule::Coverage(0.8))
+                .build()
+                .unwrap();
+            let o = run_scenario(&s, 5, 1);
+            assert!(o.completed, "{}", protocol.name());
+            assert_eq!(o.stopped_by, StoppedBy::CoverageReached, "{}", protocol.name());
+            assert!(o.tracked_coverage >= 0.8, "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn coverage_target_follows_the_crash_burst_population() {
+        // 192 of 256 nodes crash at round 1. Against the full population a
+        // 0.95 threshold (244 knowers) would be unreachable — only 64 nodes
+        // stay alive; against the crash-adjusted population the bar is
+        // ⌈0.95 · 64⌉ = 61 knowers, which push-pull reaches.
+        let s = Scenario::builder("crash-cov", er(256))
+            .crash(1, 192)
+            .stop(StopRule::Coverage(0.95))
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 8, 1);
+        assert_eq!(o.crashed, 192);
+        assert_eq!(o.stopped_by, StoppedBy::CoverageReached, "rounds: {}", o.rounds);
+        assert!(o.completed);
+        assert!(o.rounds < s.max_rounds, "rule should fire well before the cap");
+    }
+
+    #[test]
+    fn coverage_never_fires_on_a_fully_crashed_network() {
+        // Every node crashes at round 1, so the alive basis drops to 0 and
+        // the target becomes 0 — which must NOT count as reached: a dead
+        // network has no coverage to report. The run ends at the cap.
+        let s = Scenario::builder("dead", er(64))
+            .crash(1, 64)
+            .stop(StopRule::Coverage(0.9))
+            .max_rounds(5)
+            .build()
+            .unwrap();
+        for o in [run_scenario(&s, 3, 1), run_scenario_unpacked(&s, 3)] {
+            assert_eq!(o.crashed, 64);
+            assert!(!o.completed);
+            assert_eq!(o.stopped_by, StoppedBy::MaxRoundsExhausted);
+        }
+    }
+
+    #[test]
+    fn unreachable_stop_reports_max_rounds_exhausted() {
+        // One round cannot spread the rumor to 90% of 256 nodes, so a tight
+        // cap exhausts without the rule firing — and says so.
+        let s = Scenario::builder("tight", er(256))
+            .stop(StopRule::Coverage(0.9))
+            .max_rounds(1)
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 6, 1);
+        assert!(!o.completed);
+        assert_eq!(o.stopped_by, StoppedBy::MaxRoundsExhausted);
+        assert_eq!(o.rounds, 1);
     }
 
     #[test]
@@ -441,6 +656,21 @@ mod tests {
     }
 
     #[test]
+    fn phase_protocol_traces_record_every_round() {
+        for protocol in [ProtocolSpec::FastGossiping, ProtocolSpec::Memory] {
+            let s = Scenario::builder("traced", er(128)).protocol(protocol).build().unwrap();
+            let plain = run_scenario(&s, 14, 1);
+            let (traced, trace) = run_scenario_traced(&s, 14, 1);
+            assert_eq!(plain, traced, "tracing must not perturb {}", protocol.name());
+            assert_eq!(trace.rounds.len() as u64, traced.rounds + 1, "{}", protocol.name());
+            let last = trace.rounds.last().unwrap();
+            assert_eq!(last.round, traced.rounds);
+            assert_eq!(last.packets, traced.total_packets);
+            assert!(!trace.phases.is_empty(), "{} must mark phases", protocol.name());
+        }
+    }
+
+    #[test]
     fn unpacked_oracle_agrees_on_a_hostile_scenario() {
         let s = Scenario::builder("oracle", er(192))
             .loss(0.15)
@@ -466,6 +696,39 @@ mod tests {
             assert_eq!(o.coverage, 1.0);
             assert_eq!(o.tracked_coverage, 1.0);
             assert_eq!(trace.rounds.len(), 1, "only the initial stop-rule check runs");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The unified stepper under [`StopRule::Complete`] must reproduce
+        /// the legacy block `run_on_engine` outcome bit for bit, for every
+        /// protocol: same graph, same engine seed, same rounds, packets and
+        /// exchanges.
+        #[test]
+        fn stepped_complete_runs_equal_block_run_on_engine(
+            n in 48usize..128,
+            protocol_pick in 0u8..3,
+            seed in 0u64..10_000,
+        ) {
+            let protocol = match protocol_pick {
+                0 => ProtocolSpec::PushPull,
+                1 => ProtocolSpec::FastGossiping,
+                _ => ProtocolSpec::Memory,
+            };
+            let s = Scenario::builder("step-vs-block", er(n)).protocol(protocol).build().unwrap();
+            let stepped = run_scenario(&s, seed, 1);
+
+            // The block run on an identically seeded engine over the same graph.
+            let graph = s.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
+            let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0));
+            let block = s.protocol.run_on_engine(n, &mut sim);
+
+            prop_assert_eq!(stepped.rounds, block.rounds());
+            prop_assert_eq!(stepped.total_packets, block.total_packets());
+            prop_assert_eq!(stepped.total_exchanges, block.total_exchanges());
+            prop_assert_eq!(stepped.completed, block.completed());
         }
     }
 }

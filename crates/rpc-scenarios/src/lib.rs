@@ -8,13 +8,17 @@
 //!   `key = value` text format;
 //! * [`exec`] — deterministic execution of one replication, including dynamic
 //!   churn (nodes departing and rejoining mid-run), per-packet message loss,
-//!   crash bursts, and adversarial rumor placement;
+//!   crash bursts, and adversarial rumor placement; every protocol is driven
+//!   one round at a time through [`rpc_gossip::ProtocolDriver`], so round
+//!   budgets, coverage thresholds and per-round traces work uniformly, and
+//!   [`ScenarioOutcome::stopped_by`] reports why each run ended;
 //! * [`batch`] — the [`BatchDriver`]: a multi-threaded Monte Carlo driver
 //!   fanning seeded replications across a crossbeam thread pool, with results
 //!   bit-identical for any thread count;
 //! * [`stats`] — min/mean/max/percentile aggregation;
-//! * [`registry`] — eight built-in named scenarios covering the paper's
-//!   density/robustness axes plus dynamic workloads.
+//! * [`registry`] — twelve built-in named scenarios covering the paper's
+//!   density/robustness axes plus dynamic workloads, including the
+//!   phase-based protocols under round budgets and coverage thresholds.
 //!
 //! ```
 //! use rpc_scenarios::prelude::*;
@@ -39,10 +43,10 @@ pub mod registry;
 pub mod spec;
 pub mod stats;
 
-pub use batch::{BatchDriver, ScenarioReport};
+pub use batch::{BatchDriver, ScenarioReport, StoppedByCounts};
 pub use exec::{
     run_scenario, run_scenario_traced, run_scenario_unpacked, run_scenario_unpacked_traced,
-    RoundTrace, ScenarioOutcome, ScenarioTrace,
+    scenario_engine_seeds, RoundTrace, ScenarioOutcome, ScenarioTrace, StoppedBy,
 };
 pub use spec::{
     ChurnSpec, CrashSpec, EnvironmentSpec, ProtocolSpec, Scenario, ScenarioBuilder, ScenarioError,
@@ -52,8 +56,10 @@ pub use stats::{summarize, SummaryStats};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
-    pub use crate::batch::{BatchDriver, ScenarioReport};
-    pub use crate::exec::{run_scenario, run_scenario_traced, ScenarioOutcome, ScenarioTrace};
+    pub use crate::batch::{BatchDriver, ScenarioReport, StoppedByCounts};
+    pub use crate::exec::{
+        run_scenario, run_scenario_traced, ScenarioOutcome, ScenarioTrace, StoppedBy,
+    };
     pub use crate::registry;
     pub use crate::spec::{
         ChurnSpec, CrashSpec, EnvironmentSpec, ProtocolSpec, Scenario, ScenarioError,

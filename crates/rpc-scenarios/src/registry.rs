@@ -1,9 +1,12 @@
 //! The built-in scenario registry.
 //!
-//! Eight named scenarios spanning the axes the paper studies (density,
+//! Twelve named scenarios spanning the axes the paper studies (density,
 //! topology, robustness) plus the dynamic workloads the scenario engine adds
-//! (churn, loss, crash bursts, adversarial placement). All of them scale with
-//! a single size parameter so the same registry serves CI smoke runs and
+//! (churn, loss, crash bursts, adversarial placement). The last four pair the
+//! phase-based protocols (fast-gossiping, memory) with step-granular stop
+//! rules — round budgets and coverage thresholds under churn and crash
+//! bursts — which the step-driven executor made possible. All of them scale
+//! with a single size parameter so the same registry serves CI smoke runs and
 //! large sweeps.
 
 use rpc_graphs::log2n;
@@ -11,7 +14,7 @@ use rpc_graphs::log2n;
 use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule, TopologySpec};
 
 /// Names of the built-in scenarios, in registry order.
-pub const BUILTIN_NAMES: [&str; 8] = [
+pub const BUILTIN_NAMES: [&str; 12] = [
     "dense-er",
     "sparse-er",
     "random-regular",
@@ -20,6 +23,10 @@ pub const BUILTIN_NAMES: [&str; 8] = [
     "lossy",
     "crash-burst",
     "adversarial-start",
+    "fast-round-budget",
+    "fast-coverage-crash",
+    "memory-round-budget",
+    "memory-coverage-churn",
 ];
 
 /// Builds the registry for graphs of `n` nodes (`n ≥ 16`; smaller values are
@@ -90,6 +97,46 @@ pub fn builtin(n: usize) -> Vec<Scenario> {
                 .stop(StopRule::Coverage(0.99))
                 .build(),
         ),
+        // Algorithm 1 under heavy churn on a fixed round budget: how far do
+        // the distribution and random-walk phases get in 4 log n rounds when
+        // 10% of the network keeps blinking in and out?
+        build(
+            Scenario::builder("fast-round-budget", TopologySpec::ErdosRenyiPaper { n })
+                .protocol(ProtocolSpec::FastGossiping)
+                .churn(0.1, 4, 8)
+                .stop(StopRule::Rounds(round_budget))
+                .build(),
+        ),
+        // Algorithm 1 racing a coverage threshold after an early crash burst;
+        // the 90% bar is measured against the crash-adjusted population, so
+        // the rule stays reachable.
+        build(
+            Scenario::builder("fast-coverage-crash", TopologySpec::ErdosRenyiPaper { n })
+                .protocol(ProtocolSpec::FastGossiping)
+                .crash(3, crash_count)
+                .stop(StopRule::Coverage(0.9))
+                .build(),
+        ),
+        // Algorithm 2 on a lossy network with a fixed round budget: the
+        // leader tree is built under packet loss and the budget cuts the run
+        // mid-schedule.
+        build(
+            Scenario::builder("memory-round-budget", TopologySpec::ErdosRenyiPaper { n })
+                .protocol(ProtocolSpec::Memory)
+                .loss(0.05)
+                .stop(StopRule::Rounds(round_budget))
+                .build(),
+        ),
+        // Algorithm 2 under churn, stopping once 90% of the network knows
+        // the rumor — the closing broadcast usually fires the rule before the
+        // schedule ends.
+        build(
+            Scenario::builder("memory-coverage-churn", TopologySpec::ErdosRenyiPaper { n })
+                .protocol(ProtocolSpec::Memory)
+                .churn(0.05, 6, 6)
+                .stop(StopRule::Coverage(0.9))
+                .build(),
+        ),
     ]
 }
 
@@ -119,13 +166,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_eight_uniquely_named_scenarios() {
+    fn registry_has_twelve_uniquely_named_scenarios() {
         let scenarios = builtin(1024);
-        assert_eq!(scenarios.len(), 8);
+        assert_eq!(scenarios.len(), 12);
         let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, BUILTIN_NAMES);
         let unique: std::collections::HashSet<_> = names.iter().collect();
-        assert_eq!(unique.len(), 8);
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn registry_covers_every_protocol_and_stop_rule() {
+        use crate::spec::{ProtocolSpec, StopRule};
+        let scenarios = builtin(256);
+        for protocol in [ProtocolSpec::PushPull, ProtocolSpec::FastGossiping, ProtocolSpec::Memory]
+        {
+            for rule_name in ["complete", "rounds", "coverage"] {
+                let covered = scenarios.iter().any(|s| {
+                    s.protocol == protocol
+                        && rule_name
+                            == match s.stop {
+                                StopRule::Complete => "complete",
+                                StopRule::Rounds(_) => "rounds",
+                                StopRule::Coverage(_) => "coverage",
+                            }
+                });
+                assert!(covered, "no registry scenario runs {} with {rule_name}", protocol.name());
+            }
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@
 //!   | ⟨crash⟩    : uint ":" uint               (* round:count *)
 //!   | ⟨start⟩    : "random" | "min-degree" | "max-degree"
 //!   | ⟨stop⟩     : "complete" | "rounds:" uint | "coverage:" float
-//!   | ⟨max-rounds⟩ : uint ;                    (* ≥ 1; push-pull only *)
+//!   | ⟨max-rounds⟩ : uint ;                    (* ≥ 1 *)
 //! ```
 //!
 //! Whitespace around keys and values is trimmed; everything from `#` to the
@@ -67,10 +67,13 @@
 //! and the last occurrence wins. Keys outside the list are rejected —
 //! [`Scenario::parse_str`] collects **all** unrecognized keys of a block and
 //! reports them in one [`ScenarioError::Parse`] so a typo-ridden file is
-//! fixed in a single round trip. Semantic constraints (value ranges, the
-//! push-pull-only stop rules, even `n · degree` for regular graphs, …) are
-//! enforced by [`ScenarioBuilder::build`] after parsing and reported as
-//! [`ScenarioError::Invalid`].
+//! fixed in a single round trip. Semantic constraints (value ranges, a
+//! `rounds:` budget within the `max-rounds` cap, even `n · degree` for
+//! regular graphs, …) are enforced by [`ScenarioBuilder::build`] after
+//! parsing and reported as [`ScenarioError::Invalid`]. Every stop rule and
+//! an explicit `max-rounds` cap are valid for **every** protocol: the
+//! executor drives all of them one round at a time through
+//! [`rpc_gossip::ProtocolDriver`].
 
 use std::fmt;
 
@@ -164,12 +167,12 @@ impl TopologySpec {
     }
 }
 
-/// Which gossiping protocol a scenario runs.
+/// Which gossiping protocol a scenario runs. Every protocol supports every
+/// [`StopRule`] — the executor drives each of them one round at a time
+/// through its [`rpc_gossip::ProtocolDriver`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ProtocolSpec {
-    /// The simple push-pull baseline (Algorithm 4). The only protocol that
-    /// supports step-granular stop rules ([`StopRule::Rounds`],
-    /// [`StopRule::Coverage`]).
+    /// The simple push-pull baseline (Algorithm 4).
     #[default]
     PushPull,
     /// Algorithm 1 (distribution, random walks, broadcast).
@@ -289,10 +292,16 @@ pub enum StopRule {
     /// Run until every participating node knows every message (capped by the
     /// scenario's `max_rounds`).
     Complete,
-    /// Run exactly this many rounds (still capped by `max_rounds`).
+    /// Run exactly this many rounds. Validation rejects a budget above the
+    /// scenario's `max_rounds` cap — a budget the run could never spend is a
+    /// user error, not something to truncate silently.
     Rounds(u64),
-    /// Run until the tracked rumor is known by at least this fraction of all
-    /// nodes, in `(0, 1]` (capped by `max_rounds`).
+    /// Run until the tracked rumor is known by at least this fraction of the
+    /// **alive** (crash-adjusted) population, in `(0, 1]` (capped by
+    /// `max_rounds`). Churned-out nodes stay in the basis — they rejoin with
+    /// state intact — while crashed nodes leave it, so the rule stays
+    /// reachable after a crash burst (see `rpc_scenarios::exec` for the exact
+    /// target arithmetic).
     Coverage(f64),
 }
 
@@ -309,11 +318,11 @@ pub struct Scenario {
     pub environment: EnvironmentSpec,
     /// Termination rule.
     pub stop: StopRule,
-    /// Hard cap on executed rounds of the step-driven (push-pull) executor,
-    /// and the horizon up to which churn waves are pre-sampled. Phase-based
-    /// protocols (fast-gossiping, memory) bound their rounds through their
-    /// own paper configurations instead, so the builder rejects an explicit
-    /// cap for them.
+    /// Hard cap on executed rounds — applied uniformly to every protocol by
+    /// the step-driven executor — and the horizon up to which churn waves are
+    /// pre-sampled. Phase-based protocols (fast-gossiping, memory) are
+    /// additionally bounded by their own paper configurations, whichever ends
+    /// first.
     pub max_rounds: u64,
 }
 
@@ -380,8 +389,7 @@ impl Scenario {
             StopRule::Rounds(r) => out.push_str(&format!("stop = rounds:{r}\n")),
             StopRule::Coverage(f) => out.push_str(&format!("stop = coverage:{f}\n")),
         }
-        // The default cap is derived from n; only a custom cap is spelled out
-        // (phase-based protocols never have one, see the builder).
+        // The default cap is derived from n; only a custom cap is spelled out.
         if self.max_rounds != default_max_rounds(self.topology.num_nodes()) {
             out.push_str(&format!("max-rounds = {}\n", self.max_rounds));
         }
@@ -681,6 +689,10 @@ impl ScenarioBuilder {
                 )));
             }
         }
+        let max_rounds = self.max_rounds.unwrap_or_else(|| default_max_rounds(n));
+        if max_rounds == 0 {
+            return Err(ScenarioError::Invalid("max-rounds must be at least 1".into()));
+        }
         match self.stop {
             StopRule::Coverage(f) if !(f.is_finite() && 0.0 < f && f <= 1.0) => {
                 return Err(ScenarioError::Invalid(format!(
@@ -690,29 +702,17 @@ impl ScenarioBuilder {
             StopRule::Rounds(0) => {
                 return Err(ScenarioError::Invalid("round budget must be at least 1".into()));
             }
+            // A budget above the cap is a user error: the run could never
+            // execute that many rounds, so truncating it silently would make
+            // every outcome report `completed = false` round counts that the
+            // spec never asked for.
+            StopRule::Rounds(r) if r > max_rounds => {
+                return Err(ScenarioError::Invalid(format!(
+                    "round budget {r} exceeds the max-rounds cap {max_rounds}; \
+                     raise max-rounds or lower the budget"
+                )));
+            }
             _ => {}
-        }
-        // Step-granular stop rules need a protocol the executor can drive one
-        // round at a time; the phase-based algorithms run their phases as a
-        // block.
-        if self.protocol != ProtocolSpec::PushPull && !matches!(self.stop, StopRule::Complete) {
-            return Err(ScenarioError::Invalid(format!(
-                "stop rule {:?} requires the push-pull protocol",
-                self.stop
-            )));
-        }
-        // An explicit round cap is equally step-granular: the phase-based
-        // protocols run their phases as a block and would silently ignore it.
-        if self.protocol != ProtocolSpec::PushPull && self.max_rounds.is_some() {
-            return Err(ScenarioError::Invalid(
-                "an explicit max-rounds cap requires the push-pull protocol; \
-                 fast-gossiping and memory bound their rounds via their configs"
-                    .into(),
-            ));
-        }
-        let max_rounds = self.max_rounds.unwrap_or_else(|| default_max_rounds(n));
-        if max_rounds == 0 {
-            return Err(ScenarioError::Invalid("max-rounds must be at least 1".into()));
         }
         Ok(Scenario {
             name: self.name,
@@ -871,19 +871,49 @@ mod tests {
         assert!(base().stop(StopRule::Coverage(0.0)).build().is_err());
         assert!(base().stop(StopRule::Rounds(0)).build().is_err());
         assert!(matches!(
-            base().protocol(ProtocolSpec::Memory).stop(StopRule::Rounds(5)).build(),
-            Err(ScenarioError::Invalid(_))
-        ));
-        assert!(matches!(
             Scenario::builder("x", TopologySpec::RandomRegular { n: 9, degree: 3 }).build(),
             Err(ScenarioError::Invalid(_))
         ));
-        // An explicit round cap is step-granular and push-pull-only.
+        assert!(base().max_rounds(5).build().is_ok());
+    }
+
+    #[test]
+    fn every_stop_rule_is_valid_for_every_protocol() {
+        // The step-driven executor removed the push-pull-only restriction:
+        // round budgets, coverage thresholds and explicit caps now validate
+        // for the phase-based protocols too.
+        for protocol in [ProtocolSpec::PushPull, ProtocolSpec::FastGossiping, ProtocolSpec::Memory]
+        {
+            for stop in [StopRule::Complete, StopRule::Rounds(5), StopRule::Coverage(0.9)] {
+                let built = Scenario::builder("x", TopologySpec::ErdosRenyiPaper { n: 64 })
+                    .protocol(protocol)
+                    .stop(stop)
+                    .build();
+                assert!(built.is_ok(), "{} + {:?} rejected", protocol.name(), stop);
+            }
+            let capped = Scenario::builder("x", TopologySpec::ErdosRenyiPaper { n: 64 })
+                .protocol(protocol)
+                .max_rounds(40)
+                .build();
+            assert!(capped.is_ok(), "{} + explicit cap rejected", protocol.name());
+        }
+    }
+
+    #[test]
+    fn round_budgets_above_the_cap_are_rejected_not_clamped() {
+        let base = || Scenario::builder("x", TopologySpec::ErdosRenyiPaper { n: 64 });
+        // Against an explicit cap...
         assert!(matches!(
-            base().protocol(ProtocolSpec::FastGossiping).max_rounds(5).build(),
+            base().max_rounds(10).stop(StopRule::Rounds(11)).build(),
             Err(ScenarioError::Invalid(_))
         ));
-        assert!(base().max_rounds(5).build().is_ok());
+        assert!(base().max_rounds(10).stop(StopRule::Rounds(10)).build().is_ok());
+        // ...and against the derived default cap.
+        let over = default_max_rounds(64) + 1;
+        assert!(matches!(
+            base().stop(StopRule::Rounds(over)).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -891,9 +921,31 @@ mod tests {
         let named =
             |name: &str| Scenario::builder(name, TopologySpec::ErdosRenyiPaper { n: 64 }).build();
         assert!(named("ok-name with spaces").is_ok());
-        for bad in ["", " padded ", "has#comment", "two\nlines"] {
+        for bad in ["", " padded ", "has#comment", "two\nlines", "cr\rname"] {
             assert!(matches!(named(bad), Err(ScenarioError::Invalid(_))), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn name_roundtrip_regression() {
+        // Legal-but-tricky names survive `parse_str(to_text(s)) == s` byte
+        // for byte — including '=' and ':' characters, which only have
+        // special meaning left of the first '=' of a line.
+        for name in ["spaces in name", "equals = inside", "colons:everywhere", "ends-with-dash-"] {
+            let s =
+                Scenario::builder(name, TopologySpec::ErdosRenyiPaper { n: 64 }).build().unwrap();
+            assert_eq!(Scenario::parse_str(&s.to_text()).unwrap().name, name);
+        }
+        // A '#' in a name *value* is a comment per the grammar, so parsing
+        // yields the truncated pre-'#' part — the builder therefore refuses
+        // to construct a name that `to_text` could never round-trip, which is
+        // what upholds the documented guarantee.
+        let parsed = Scenario::parse_str("name = a#b\nn = 64").unwrap();
+        assert_eq!(parsed.name, "a");
+        assert!(matches!(
+            Scenario::builder("a#b", TopologySpec::ErdosRenyiPaper { n: 64 }).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -911,6 +963,18 @@ mod tests {
             .unwrap();
         assert!(!phase.to_text().contains("max-rounds"));
         assert_eq!(Scenario::parse_str(&phase.to_text()).unwrap(), phase);
+
+        // Phase-based protocols now accept explicit caps and step-granular
+        // stop rules; both must survive the text format.
+        let capped_mem = Scenario::builder("mem-capped", TopologySpec::ErdosRenyiPaper { n: 128 })
+            .protocol(ProtocolSpec::Memory)
+            .stop(StopRule::Rounds(9))
+            .max_rounds(9)
+            .build()
+            .unwrap();
+        assert!(capped_mem.to_text().contains("max-rounds = 9"));
+        assert!(capped_mem.to_text().contains("stop = rounds:9"));
+        assert_eq!(Scenario::parse_str(&capped_mem.to_text()).unwrap(), capped_mem);
     }
 
     #[test]

@@ -1,16 +1,20 @@
-//! Packed-vs-unpacked equivalence (ISSUE 3 tentpole guarantee).
+//! Packed-vs-unpacked equivalence (ISSUE 3 tentpole guarantee, extended to
+//! the step-driven executor of ISSUE 4).
 //!
 //! The packed, word-parallel engine (`rpc_engine::Simulation`) and the
 //! unpacked reference oracle (`rpc_engine::reference::UnpackedSimulation`)
 //! must be observationally identical: for any `(scenario, seed)` both produce
 //! the same [`ScenarioOutcome`] *and* the same per-round [`ScenarioTrace`].
-//! This file asserts that
+//! Every protocol — push-pull and the phase-based fast-gossiping and
+//! memory-model algorithms — is stepped one round at a time, so the traces
+//! now carry a row per round for all of them. This file asserts equivalence
 //!
-//! 1. for every scenario in the 8-entry registry (all three protocols, all
-//!    stop rules, churn/loss/crash environments), at several seeds and for
-//!    one and several delivery worker threads;
+//! 1. for every scenario in the 12-entry registry (all three protocols under
+//!    complete/rounds/coverage stop rules, churn/loss/crash environments),
+//!    at several seeds and for one and several delivery worker threads;
 //! 2. property-based, for randomized scenarios drawn across topology,
-//!    protocol, environment and stop-rule space.
+//!    protocol, environment and stop-rule space — the stop-rule dimension
+//!    covers the phase-based protocols too.
 
 use proptest::prelude::*;
 
@@ -36,10 +40,12 @@ fn every_registry_scenario_traces_identically_on_both_engines() {
                     scenario.name
                 );
             }
-            // Sanity: the traces actually carry information.
-            assert!(
-                !unpacked_trace.rounds.is_empty() || !unpacked_trace.phases.is_empty(),
-                "{} produced an empty trace",
+            // Every protocol is step-driven: one row per round plus the
+            // final stop-rule evaluation.
+            assert_eq!(
+                unpacked_trace.rounds.len() as u64,
+                unpacked.rounds + 1,
+                "{} trace rows do not match its rounds",
                 scenario.name
             );
         }
@@ -111,7 +117,8 @@ proptest! {
     }
 
     /// Random phase-based (fast-gossiping / memory) scenarios under hostile
-    /// environments: outcomes and phase traces must be identical.
+    /// environments and **all three stop rules**: outcomes, per-round traces
+    /// and phase traces must be identical on both engines.
     #[test]
     fn random_phase_scenarios_trace_identically(
         n in 24usize..80,
@@ -120,6 +127,9 @@ proptest! {
         loss in 0.0f64..0.2,
         crash in proptest::option::of((0u64..4, 1usize..10)),
         churn in proptest::option::of((0.02f64..0.2, 2u64..5, 2u64..6)),
+        stop in 0u8..3,
+        coverage in 0.3f64..1.0,
+        budget in 1u64..60,
     ) {
         let protocol = if protocol_pick == 0 {
             ProtocolSpec::FastGossiping
@@ -128,7 +138,12 @@ proptest! {
         };
         let mut builder = Scenario::builder("prop-phase", TopologySpec::ErdosRenyiPaper { n })
             .protocol(protocol)
-            .loss(loss);
+            .loss(loss)
+            .stop(match stop {
+                0 => StopRule::Complete,
+                1 => StopRule::Rounds(budget),
+                _ => StopRule::Coverage(coverage),
+            });
         if let Some((round, count)) = crash {
             builder = builder.crash(round, count);
         }
@@ -138,8 +153,18 @@ proptest! {
         let scenario = builder.build().unwrap();
         let (packed, packed_trace) = run_scenario_traced(&scenario, seed, 2);
         let (unpacked, unpacked_trace) = run_scenario_unpacked_traced(&scenario, seed);
-        prop_assert_eq!(packed, unpacked);
+        prop_assert_eq!(&packed, &unpacked);
         prop_assert_eq!(&packed_trace, &unpacked_trace);
         prop_assert!(!packed_trace.phases.is_empty(), "phase protocols must mark phases");
+        // The step-driven executor records one row per round plus the final
+        // stop-rule evaluation, for phase protocols too.
+        prop_assert_eq!(packed_trace.rounds.len() as u64, packed.rounds + 1);
+        // A round budget within the schedule is spent exactly.
+        if let StopRule::Rounds(r) = scenario.stop {
+            prop_assert!(packed.rounds <= r);
+            if packed.stopped_by == StoppedBy::RoundBudget {
+                prop_assert_eq!(packed.rounds, r);
+            }
+        }
     }
 }
