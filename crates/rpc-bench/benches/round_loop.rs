@@ -1,17 +1,20 @@
-//! Criterion benches for the push-pull round loop — packed engine vs.
+//! Criterion benches for the protocol round loops — packed engine vs.
 //! unpacked reference oracle.
 //!
 //! These guard the word-parallel hot path against regressions at sizes that
-//! finish quickly under criterion; the tracked large-scale baseline
-//! (n up to 100 000, all topologies) is produced by the
-//! `round_loop_baseline` binary and recorded in `BENCH_round_loop.json`.
+//! finish quickly under criterion: the push-pull baseline on every topology,
+//! plus the phase-based fast-gossiping and memory-model loops (whose absorb/
+//! open-avoid/walk traffic exercises different engine primitives than plain
+//! push-pull). The tracked large-scale baseline (n up to 100 000) is
+//! produced by the `round_loop_baseline` binary and recorded in
+//! `BENCH_round_loop.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use rpc_bench::round_loop::build_topology;
 use rpc_engine::{Engine, Simulation, UnpackedSimulation};
-use rpc_gossip::PushPullGossip;
+use rpc_gossip::{FastGossiping, MemoryGossip, PushPullGossip};
 
 const SEED: u64 = 0xC0FFEE;
 const MAX_ROUNDS: usize = 10_000;
@@ -40,6 +43,55 @@ fn bench_round_loop(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fast_gossiping_round_loop(c: &mut Criterion) {
+    // Algorithm 1 on the paper's er-sparse working point: distribution
+    // rounds, random walks and the closing broadcast drive absorb and the
+    // walk queues — primitives push-pull never touches.
+    let n = 1 << 10;
+    let graph = build_topology("er-sparse", n, SEED);
+    let mut group = c.benchmark_group("fast_gossiping_round_loop");
+    group.sample_size(10);
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(black_box(&graph), SEED);
+            FastGossiping::paper(n).run_on_engine(&mut sim);
+            black_box(sim.metrics().rounds())
+        })
+    });
+    group.bench_function("unpacked", |b| {
+        b.iter(|| {
+            let mut sim = UnpackedSimulation::new(black_box(&graph), SEED);
+            FastGossiping::paper(n).run_on_engine(&mut sim);
+            black_box(sim.metrics().rounds())
+        })
+    });
+    group.finish();
+}
+
+fn bench_memory_model_round_loop(c: &mut Criterion) {
+    // Algorithm 2: leader-tree building with open-avoid sampling, gather
+    // and broadcast-back phases.
+    let n = 1 << 10;
+    let graph = build_topology("er-sparse", n, SEED);
+    let mut group = c.benchmark_group("memory_model_round_loop");
+    group.sample_size(10);
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(black_box(&graph), SEED);
+            MemoryGossip::paper(n).run_on_engine(&mut sim);
+            black_box(sim.metrics().rounds())
+        })
+    });
+    group.bench_function("unpacked", |b| {
+        b.iter(|| {
+            let mut sim = UnpackedSimulation::new(black_box(&graph), SEED);
+            MemoryGossip::paper(n).run_on_engine(&mut sim);
+            black_box(sim.metrics().rounds())
+        })
+    });
+    group.finish();
+}
+
 fn bench_round_loop_churny(c: &mut Criterion) {
     // The masked-sampling path: a scenario with a permanent 20% hole in the
     // presence mask exercises random_neighbor_masked every round.
@@ -59,5 +111,11 @@ fn bench_round_loop_churny(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_loop, bench_round_loop_churny);
+criterion_group!(
+    benches,
+    bench_round_loop,
+    bench_fast_gossiping_round_loop,
+    bench_memory_model_round_loop,
+    bench_round_loop_churny
+);
 criterion_main!(benches);

@@ -1,9 +1,12 @@
 //! Emits the tracked round-loop baseline (`BENCH_round_loop.json`).
 //!
-//! Measures the push-pull round loop to gossip completion on the packed
-//! production engine and the unpacked reference oracle across the standard
-//! topology/size matrix, and writes a machine-readable JSON document so the
-//! repository's perf trajectory is recorded per PR.
+//! Measures protocol round loops to natural termination on the packed
+//! production engine and the unpacked reference oracle, and writes a
+//! machine-readable JSON document so the repository's perf trajectory is
+//! recorded per PR. Push-pull runs across the standard topology/size matrix;
+//! the phase-based protocols (fast-gossiping, memory) are tracked on the
+//! paper's `er-sparse` working point at n ∈ {1000, 10 000}, where their walk
+//! and tree machinery still measures in seconds.
 //!
 //! ```text
 //! round_loop_baseline [--quick] [--out PATH] [--seed S] [--reps R]
@@ -19,12 +22,31 @@
 use std::io::Write as _;
 
 use rpc_bench::round_loop::{
-    build_topology, measure_both, speedup_at, to_json, RoundLoopMeasurement, TOPOLOGIES,
+    build_topology, measure_both, speedup_at, to_json, RoundLoopMeasurement, PROTOCOLS, TOPOLOGIES,
 };
 
 /// The complete graph stores `n (n-1)` adjacency entries; cap it where that
 /// is still a few hundred MB.
 const COMPLETE_MAX_N: usize = 10_000;
+
+/// The phase protocols' tracking point: `er-sparse` up to this size. Their
+/// random-walk / tree phases make 100k-node runs minutes-long — too slow for
+/// a per-PR baseline without adding information about the delivery hot path.
+const PHASE_MAX_N: usize = 10_000;
+
+/// Default repetitions per cell, scaled inversely with cell cost: small
+/// cells finish in milliseconds, so a median over 5 samples can be swallowed
+/// whole by one multi-second host stall (this benchmark runs on shared VMs);
+/// more repetitions there cost almost nothing and make the median robust.
+/// Large cells take seconds each, where a stall can only skew a minority of
+/// samples anyway.
+fn default_reps(n: usize) -> usize {
+    match n {
+        _ if n <= 1_000 => 60,
+        _ if n <= 10_000 => 9,
+        _ => 5,
+    }
+}
 
 fn main() {
     let mut quick = false;
@@ -63,21 +85,29 @@ fn main() {
                 eprintln!("skip  {topology} n={n}: quadratic adjacency exceeds the memory budget");
                 continue;
             }
-            let reps = reps_override.unwrap_or(if quick { 2 } else { 5 });
-            eprintln!("graph {topology} n={n} …");
+            let reps = reps_override.unwrap_or(if quick { 2 } else { default_reps(n) });
             let graph = build_topology(topology, n, seed);
-            // The engines' repetitions are interleaved so host-level noise
-            // (shared VM, frequency drift) biases neither engine's median.
-            let (unpacked, packed) = measure_both(&graph, topology, seed, reps);
-            for m in [unpacked, packed] {
-                eprintln!(
-                    "  {:>8}: {} rounds, {:>12.1} ns/round, {:>14.1} msgs/s",
-                    m.engine, m.rounds, m.median_ns_per_round, m.messages_per_sec
-                );
-                results.push(m);
-            }
-            if let Some(speedup) = speedup_at(&results, topology, n) {
-                eprintln!("  speedup : {speedup:.2}x");
+            for protocol in PROTOCOLS {
+                // Phase protocols are tracked on the er-sparse working point
+                // at moderate sizes only (see PHASE_MAX_N).
+                if protocol != "push-pull" && (topology != "er-sparse" || n > PHASE_MAX_N) {
+                    continue;
+                }
+                eprintln!("graph {topology} n={n} protocol {protocol} …");
+                // The engines' repetitions are interleaved so host-level
+                // noise (shared VM, frequency drift) biases neither engine's
+                // median.
+                let (unpacked, packed) = measure_both(&graph, topology, protocol, seed, reps);
+                for m in [unpacked, packed] {
+                    eprintln!(
+                        "  {:>8}: {} rounds, {:>12.1} ns/round, {:>14.1} msgs/s",
+                        m.engine, m.rounds, m.median_ns_per_round, m.messages_per_sec
+                    );
+                    results.push(m);
+                }
+                if let Some(speedup) = speedup_at(&results, topology, protocol, n) {
+                    eprintln!("  speedup : {speedup:.2}x");
+                }
             }
         }
     }

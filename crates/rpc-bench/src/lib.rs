@@ -3,18 +3,44 @@
 //!
 //! The criterion benchmarks live in `benches/`; this library crate exposes
 //! the utilities they share so the bench files stay readable and the helpers
-//! themselves are unit-testable. The [`round_loop`] module additionally backs
-//! the `round_loop_baseline` binary, which measures the push-pull round loop
-//! on the packed production engine and the unpacked reference oracle across
-//! the standard topology/size matrix and emits the machine-readable
-//! `BENCH_round_loop.json` that records the repository's perf trajectory.
+//! themselves are unit-testable. Two modules additionally back tracked
+//! baseline binaries that record the repository's perf trajectory as
+//! machine-readable JSON:
+//!
+//! * [`round_loop`] → `round_loop_baseline` → `BENCH_round_loop.json`:
+//!   protocol round loops on the packed production engine vs. the unpacked
+//!   reference oracle across the topology/size matrix;
+//! * [`scenario_batch`] → `batch_baseline` → `BENCH_scenario_batch.json`:
+//!   Monte Carlo scenario repetitions, fresh allocation vs. per-worker
+//!   arena reuse (bit-identical outcomes, asserted per repetition).
 
 use rpc_graphs::prelude::*;
+
+pub mod scenario_batch;
 
 /// Standard benchmark topologies: the paper-density Erdős–Rényi graph and the
 /// complete graph of the same size, generated deterministically.
 pub fn benchmark_graphs(n: usize, seed: u64) -> (Graph, Graph) {
     (ErdosRenyi::paper_density(n).generate(seed), CompleteGraph::new(n).generate(seed))
+}
+
+/// The benchmark protocol keys, in reporting order: the push-pull baseline
+/// plus the paper's two phase-based algorithms. Shared by both tracked
+/// baselines so they can never disagree on what a "protocol" cell is.
+pub const PROTOCOLS: [&str; 3] = ["push-pull", "fast-gossiping", "memory"];
+
+/// Median of a timing sample (sorts in place; mean of the middle pair for
+/// even lengths). Shared by both tracked baselines.
+pub(crate) fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let mid = values.len() / 2;
+    if values.is_empty() {
+        0.0
+    } else if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
 }
 
 /// The tracked round-loop baseline: reproducible throughput measurements of
@@ -23,7 +49,7 @@ pub mod round_loop {
     use std::time::Instant;
 
     use rpc_engine::{Engine, Simulation, UnpackedSimulation};
-    use rpc_gossip::PushPullGossip;
+    use rpc_gossip::{FastGossiping, MemoryGossip, PushPullGossip};
     use rpc_graphs::log2n;
     use rpc_graphs::prelude::*;
 
@@ -33,6 +59,27 @@ pub mod round_loop {
 
     /// The benchmark topology keys, in reporting order.
     pub const TOPOLOGIES: [&str; 4] = ["er-dense", "er-sparse", "regular", "complete"];
+
+    /// The benchmark protocol keys (the crate-level canonical list).
+    pub use crate::PROTOCOLS;
+
+    /// Runs one protocol to its natural end on any engine, with the same
+    /// paper constants the scenario layer uses.
+    fn run_protocol<E: Engine>(protocol: &str, sim: &mut E) {
+        let n = sim.num_nodes();
+        match protocol {
+            "push-pull" => {
+                PushPullGossip::run_until_complete(sim, MAX_ROUNDS);
+            }
+            "fast-gossiping" => {
+                FastGossiping::paper(n).run_on_engine(sim);
+            }
+            "memory" => {
+                MemoryGossip::paper(n).run_on_engine(sim);
+            }
+            other => panic!("unknown benchmark protocol: {other}"),
+        }
+    }
 
     /// Builds the graph behind a topology key:
     ///
@@ -68,6 +115,8 @@ pub mod round_loop {
     pub struct RoundLoopMeasurement {
         /// Topology key (see [`TOPOLOGIES`]).
         pub topology: String,
+        /// Protocol key (see [`PROTOCOLS`]).
+        pub protocol: String,
         /// Number of nodes.
         pub n: usize,
         /// `"packed"` (production) or `"unpacked"` (reference baseline).
@@ -86,18 +135,19 @@ pub mod round_loop {
     }
 
     /// Measures the packed engine's round loop on `graph`: `reps` full
-    /// push-pull runs to completion, reporting the median ns/round and
-    /// messages/sec.
+    /// `protocol` runs to their natural end, reporting the median ns/round
+    /// and messages/sec.
     pub fn measure_packed(
         graph: &Graph,
         topology: &str,
+        protocol: &str,
         seed: u64,
         reps: usize,
     ) -> RoundLoopMeasurement {
-        measure_with(topology, graph.num_nodes(), "packed", reps, || {
+        measure_with(topology, protocol, graph.num_nodes(), "packed", reps, || {
             let mut sim = Simulation::new(graph, seed);
             let start = Instant::now();
-            PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+            run_protocol(protocol, &mut sim);
             (start.elapsed(), sim.metrics().rounds(), sim.metrics().total_packets())
         })
     }
@@ -108,13 +158,14 @@ pub mod round_loop {
     pub fn measure_unpacked(
         graph: &Graph,
         topology: &str,
+        protocol: &str,
         seed: u64,
         reps: usize,
     ) -> RoundLoopMeasurement {
-        measure_with(topology, graph.num_nodes(), "unpacked", reps, || {
+        measure_with(topology, protocol, graph.num_nodes(), "unpacked", reps, || {
             let mut sim = UnpackedSimulation::new(graph, seed);
             let start = Instant::now();
-            PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+            run_protocol(protocol, &mut sim);
             (start.elapsed(), sim.metrics().rounds(), sim.metrics().total_packets())
         })
     }
@@ -130,6 +181,7 @@ pub mod round_loop {
     pub fn measure_both(
         graph: &Graph,
         topology: &str,
+        protocol: &str,
         seed: u64,
         reps: usize,
     ) -> (RoundLoopMeasurement, RoundLoopMeasurement) {
@@ -144,19 +196,19 @@ pub mod round_loop {
                 if (engine_pick == 0) == unpacked_first {
                     let mut sim = UnpackedSimulation::new(graph, seed);
                     let start = Instant::now();
-                    PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+                    run_protocol(protocol, &mut sim);
                     unpacked.push(start.elapsed(), &sim);
                 } else {
                     let mut sim = Simulation::new(graph, seed);
                     let start = Instant::now();
-                    PushPullGossip::run_until_complete(&mut sim, MAX_ROUNDS);
+                    run_protocol(protocol, &mut sim);
                     packed.push(start.elapsed(), &sim);
                 }
             }
         }
         (
-            unpacked.finish(topology, graph.num_nodes(), "unpacked", reps),
-            packed.finish(topology, graph.num_nodes(), "packed", reps),
+            unpacked.finish(topology, protocol, graph.num_nodes(), "unpacked", reps),
+            packed.finish(topology, protocol, graph.num_nodes(), "packed", reps),
         )
     }
 
@@ -194,25 +246,28 @@ pub mod round_loop {
         fn finish(
             mut self,
             topology: &str,
+            protocol: &str,
             n: usize,
             engine: &'static str,
             reps: usize,
         ) -> RoundLoopMeasurement {
             RoundLoopMeasurement {
                 topology: topology.to_string(),
+                protocol: protocol.to_string(),
                 n,
                 engine,
                 rounds: self.rounds,
                 total_packets: self.total_packets,
                 reps,
-                median_ns_per_round: median(&mut self.ns_per_round),
-                messages_per_sec: median(&mut self.msgs_per_sec),
+                median_ns_per_round: crate::median(&mut self.ns_per_round),
+                messages_per_sec: crate::median(&mut self.msgs_per_sec),
             }
         }
     }
 
     fn measure_with(
         topology: &str,
+        protocol: &str,
         n: usize,
         engine: &'static str,
         reps: usize,
@@ -224,26 +279,26 @@ pub mod round_loop {
             let (elapsed, r, packets) = run();
             samples.record(elapsed, r, packets);
         }
-        samples.finish(topology, n, engine, reps)
+        samples.finish(topology, protocol, n, engine, reps)
     }
 
-    fn median(values: &mut [f64]) -> f64 {
-        values.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-        let mid = values.len() / 2;
-        if values.len() % 2 == 1 {
-            values[mid]
-        } else {
-            (values[mid - 1] + values[mid]) / 2.0
-        }
-    }
-
-    /// The unpacked-vs-packed round-loop speedup for one (topology, n) cell,
-    /// if both engines were measured.
-    pub fn speedup_at(results: &[RoundLoopMeasurement], topology: &str, n: usize) -> Option<f64> {
+    /// The unpacked-vs-packed round-loop speedup for one
+    /// (topology, protocol, n) cell, if both engines were measured.
+    pub fn speedup_at(
+        results: &[RoundLoopMeasurement],
+        topology: &str,
+        protocol: &str,
+        n: usize,
+    ) -> Option<f64> {
         let find = |engine: &str| {
             results
                 .iter()
-                .find(|m| m.topology == topology && m.n == n && m.engine == engine)
+                .find(|m| {
+                    m.topology == topology
+                        && m.protocol == protocol
+                        && m.n == n
+                        && m.engine == engine
+                })
                 .map(|m| m.median_ns_per_round)
         };
         match (find("unpacked"), find("packed")) {
@@ -260,8 +315,10 @@ pub mod round_loop {
         out.push_str("{\n");
         out.push_str("  \"benchmark\": \"round_loop\",\n");
         out.push_str(
-            "  \"description\": \"Push-pull round loop to gossip completion; \
-             packed = word-parallel production engine, unpacked = pre-optimization \
+            "  \"description\": \"Protocol round loops to natural termination \
+             (push-pull everywhere; fast-gossiping and memory on the paper's \
+             er-sparse working point); packed = word-parallel production engine \
+             with adaptive delivery dispatch, unpacked = pre-optimization \
              reference oracle (identical results, different representation)\",\n",
         );
         out.push_str(&format!("  \"seed\": {seed},\n"));
@@ -271,10 +328,12 @@ pub mod round_loop {
         out.push_str("  \"results\": [\n");
         for (i, m) in results.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"topology\": \"{}\", \"n\": {}, \"engine\": \"{}\", \"rounds\": {}, \
+                "    {{\"topology\": \"{}\", \"protocol\": \"{}\", \"n\": {}, \
+                 \"engine\": \"{}\", \"rounds\": {}, \
                  \"total_packets\": {}, \"reps\": {}, \"median_ns_per_round\": {:.1}, \
                  \"messages_per_sec\": {:.1}}}{}\n",
                 m.topology,
+                m.protocol,
                 m.n,
                 m.engine,
                 m.rounds,
@@ -323,8 +382,8 @@ mod tests {
     #[test]
     fn both_engines_measure_identical_round_and_packet_counts() {
         let g = build_topology("er-sparse", 192, 5);
-        let packed = measure_packed(&g, "er-sparse", 7, 2);
-        let unpacked = measure_unpacked(&g, "er-sparse", 7, 2);
+        let packed = measure_packed(&g, "er-sparse", "push-pull", 7, 2);
+        let unpacked = measure_unpacked(&g, "er-sparse", "push-pull", 7, 2);
         assert!(packed.rounds > 0);
         assert_eq!(packed.rounds, unpacked.rounds, "engines must agree on the run");
         assert_eq!(packed.total_packets, unpacked.total_packets);
@@ -333,35 +392,51 @@ mod tests {
     }
 
     #[test]
+    fn phase_protocols_measure_on_both_engines() {
+        let g = build_topology("er-sparse", 128, 5);
+        for protocol in ["fast-gossiping", "memory"] {
+            let (u, p) = measure_both(&g, "er-sparse", protocol, 9, 2);
+            assert_eq!(u.rounds, p.rounds, "{protocol}: engines must replay the same run");
+            assert_eq!(u.total_packets, p.total_packets, "{protocol}");
+            assert!(u.rounds > 0, "{protocol} executed no rounds");
+            assert_eq!(p.protocol, protocol);
+        }
+    }
+
+    #[test]
     fn interleaved_measurement_agrees_with_the_separate_ones() {
         let g = build_topology("er-sparse", 160, 5);
-        let (u, p) = measure_both(&g, "er-sparse", 7, 3);
+        let (u, p) = measure_both(&g, "er-sparse", "push-pull", 7, 3);
         assert_eq!(u.engine, "unpacked");
         assert_eq!(p.engine, "packed");
         assert_eq!(u.rounds, p.rounds, "both engines must replay the same run");
         assert_eq!(u.total_packets, p.total_packets);
         assert_eq!(u.reps, 3);
         assert!(u.median_ns_per_round > 0.0 && p.median_ns_per_round > 0.0);
-        assert!(speedup_at(&[u, p], "er-sparse", 160).is_some());
+        assert!(speedup_at(&[u, p], "er-sparse", "push-pull", 160).is_some());
     }
 
     #[test]
     fn json_document_is_well_formed_and_speedup_is_computed() {
         let g = build_topology("complete", 96, 3);
-        let results =
-            vec![measure_unpacked(&g, "complete", 3, 2), measure_packed(&g, "complete", 3, 2)];
+        let results = vec![
+            measure_unpacked(&g, "complete", "push-pull", 3, 2),
+            measure_packed(&g, "complete", "push-pull", 3, 2),
+        ];
         let json = to_json(&results, 3);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"benchmark\": \"round_loop\""));
         assert!(json.contains("\"engine\": \"packed\""));
         assert!(json.contains("\"engine\": \"unpacked\""));
+        assert!(json.contains("\"protocol\": \"push-pull\""));
         assert_eq!(json.matches("\"topology\"").count(), 2);
         // Balanced braces/brackets (a cheap structural sanity check since the
         // offline environment has no JSON parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(speedup_at(&results, "complete", 96).unwrap() > 0.0);
-        assert_eq!(speedup_at(&results, "er-dense", 96), None);
+        assert!(speedup_at(&results, "complete", "push-pull", 96).unwrap() > 0.0);
+        assert_eq!(speedup_at(&results, "er-dense", "push-pull", 96), None);
+        assert_eq!(speedup_at(&results, "complete", "memory", 96), None);
     }
 }

@@ -99,6 +99,23 @@ impl BitSet {
         was
     }
 
+    /// Reinitializes the set to `len` all-ones bits, reusing the allocation —
+    /// the in-place counterpart of [`BitSet::new_full`].
+    pub fn reset_full(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), u64::MAX);
+        self.mask_tail();
+    }
+
+    /// Reinitializes the set to `len` all-zeros bits, reusing the allocation —
+    /// the in-place counterpart of [`BitSet::new`].
+    pub fn reset_empty(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+    }
+
     /// Sets every bit.
     pub fn set_all(&mut self) {
         self.words.iter_mut().for_each(|w| *w = u64::MAX);

@@ -74,7 +74,7 @@ pub use message::{MessageId, MessageSet};
 pub use metrics::{Accounting, Metrics, PhaseSnapshot};
 pub use reference::UnpackedSimulation;
 pub use seeding::{derive_seed, splitmix64};
-pub use sim::{DeliverySemantics, Simulation, Transfer};
+pub use sim::{DeliverySemantics, Simulation, SimulationArena, Transfer};
 pub use walks::{Walk, WalkQueues};
 
 /// Commonly used items, re-exported for convenient glob import.
@@ -87,6 +87,6 @@ pub mod prelude {
     pub use crate::metrics::{Accounting, Metrics};
     pub use crate::reference::UnpackedSimulation;
     pub use crate::seeding::{derive_seed, splitmix64};
-    pub use crate::sim::{DeliverySemantics, Simulation, Transfer};
+    pub use crate::sim::{DeliverySemantics, Simulation, SimulationArena, Transfer};
     pub use crate::walks::{Walk, WalkQueues};
 }

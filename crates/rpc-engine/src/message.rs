@@ -153,6 +153,20 @@ impl MessageSet {
         self.summary.copy_from_slice(&other.summary);
     }
 
+    /// Reinitializes the set to the singleton `{id}` over `universe`,
+    /// reusing the allocations — the in-place counterpart of
+    /// [`MessageSet::singleton`], used by the simulation reset path so a
+    /// reused state table never reallocates when the universe is unchanged.
+    pub(crate) fn reset_singleton(&mut self, universe: usize, id: MessageId) {
+        let num_words = universe.div_ceil(WORD_BITS);
+        self.universe = universe;
+        self.words.clear();
+        self.words.resize(num_words, 0);
+        self.summary.clear();
+        self.summary.resize(num_words.div_ceil(WORD_BITS), 0);
+        self.insert(id);
+    }
+
     /// Removes every element, keeping the allocation.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);

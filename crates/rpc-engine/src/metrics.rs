@@ -59,6 +59,20 @@ impl Metrics {
         self.packets_per_node.len()
     }
 
+    /// Resets every counter for a fresh run over `n` nodes, reusing the
+    /// per-node allocations — equivalent to `*self = Metrics::new(n)`.
+    pub fn reset(&mut self, n: usize) {
+        self.rounds = 0;
+        self.channels_opened = 0;
+        self.total_packets = 0;
+        self.total_exchanges = 0;
+        self.packets_per_node.clear();
+        self.packets_per_node.resize(n, 0);
+        self.exchanges_per_node.clear();
+        self.exchanges_per_node.resize(n, 0);
+        self.phases.clear();
+    }
+
     /// Marks the end of one synchronous step/round.
     pub fn finish_round(&mut self) {
         self.rounds += 1;

@@ -54,6 +54,44 @@ impl ConfigurationModel {
         self
     }
 
+    /// Samples a pairing into the caller's stub and edge buffers (both
+    /// cleared first). Shared by [`GraphGenerator::generate`] and
+    /// [`GraphGenerator::generate_into`] so the two entry points draw the
+    /// exact same random pairing.
+    fn sample_edges(&self, seed: u64, stubs: &mut Vec<NodeId>, edges: &mut Vec<(NodeId, NodeId)>) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x853c_49e6_748f_ea9b);
+        let total_stubs = self.n * self.d;
+        // stubs[i] = owning node of stub i; we shuffle and pair consecutive
+        // stubs, which is a uniformly random perfect matching.
+        stubs.clear();
+        stubs.reserve(total_stubs);
+        for v in 0..self.n as NodeId {
+            for _ in 0..self.d {
+                stubs.push(v);
+            }
+        }
+        // Fisher–Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        edges.clear();
+        edges.reserve(total_stubs / 2);
+        for pair in stubs.chunks_exact(2) {
+            edges.push((pair[0], pair[1]));
+        }
+        if self.policy == MultiEdgePolicy::Erase {
+            edges.retain(|&(u, v)| u != v);
+            edges.iter_mut().for_each(|e| {
+                if e.0 > e.1 {
+                    *e = (e.1, e.0);
+                }
+            });
+            edges.sort_unstable();
+            edges.dedup();
+        }
+    }
+
     /// Convenience constructor matching the paper's minimum density
     /// requirement: `d = ceil(log^{2+eps} n)`, adjusted by one if needed to
     /// keep `n·d` even.
@@ -77,36 +115,19 @@ impl GraphGenerator for ConfigurationModel {
     }
 
     fn generate(&self, seed: u64) -> Graph {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x853c_49e6_748f_ea9b);
-        let total_stubs = self.n * self.d;
-        // stubs[i] = owning node of stub i; we shuffle and pair consecutive stubs,
-        // which is a uniformly random perfect matching.
-        let mut stubs: Vec<NodeId> = Vec::with_capacity(total_stubs);
-        for v in 0..self.n as NodeId {
-            for _ in 0..self.d {
-                stubs.push(v);
-            }
-        }
-        // Fisher–Yates shuffle.
-        for i in (1..stubs.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            stubs.swap(i, j);
-        }
-        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(total_stubs / 2);
-        for pair in stubs.chunks_exact(2) {
-            edges.push((pair[0], pair[1]));
-        }
-        if self.policy == MultiEdgePolicy::Erase {
-            edges.retain(|&(u, v)| u != v);
-            edges.iter_mut().for_each(|e| {
-                if e.0 > e.1 {
-                    *e = (e.1, e.0);
-                }
-            });
-            edges.sort_unstable();
-            edges.dedup();
-        }
+        let mut stubs = Vec::new();
+        let mut edges = Vec::new();
+        self.sample_edges(seed, &mut stubs, &mut edges);
         Graph::from_edges(self.n, &edges)
+    }
+
+    fn generate_into(&self, seed: u64, arena: &mut crate::arena::GraphArena) {
+        let (mut stubs, mut edges) =
+            (std::mem::take(&mut arena.stubs), std::mem::take(&mut arena.edges));
+        self.sample_edges(seed, &mut stubs, &mut edges);
+        arena.stubs = stubs;
+        arena.edges = edges;
+        arena.rebuild_from_edges(self.n);
     }
 
     fn label(&self) -> String {

@@ -81,6 +81,89 @@ impl Graph {
         graph
     }
 
+    /// Rebuilds this graph in place from a list of undirected edges, reusing
+    /// the existing CSR allocations — the write-into-caller-buffers
+    /// counterpart of [`Graph::from_edges`], used by
+    /// [`crate::arena::GraphArena`] so Monte Carlo batch workloads regenerate
+    /// graphs without allocating. `scratch` is caller-provided degree/cursor
+    /// storage whose previous content is irrelevant.
+    ///
+    /// The result is identical to `Graph::from_edges(n, edges)`. Panics if an
+    /// endpoint is `>= n`.
+    pub fn rebuild_from_edges(
+        &mut self,
+        n: usize,
+        edges: &[(NodeId, NodeId)],
+        scratch: &mut Vec<usize>,
+    ) {
+        self.rebuild_scatter(n, edges, scratch);
+        self.sort_adjacency();
+    }
+
+    /// Like [`Graph::rebuild_from_edges`] but *skips the per-node sort*: the
+    /// caller guarantees the edge emission order already scatters into
+    /// sorted adjacency lists (checked in debug builds). The property to
+    /// prove for an emission order is that every node's smaller neighbors
+    /// are appended (ascending) before its larger neighbors (ascending).
+    /// Both Erdős–Rényi sampler branches satisfy it — the geometric-skip
+    /// `p < 1` branch groups edges by larger endpoint ascending (a node's
+    /// own group appends its smaller neighbors in order; later groups append
+    /// its larger neighbors in order), and the dense `p ≥ 1` branch groups
+    /// by smaller endpoint ascending (earlier groups append the smaller
+    /// neighbors in order; the node's own group appends its larger neighbors
+    /// in order) — which makes the sort, a third of the CSR build cost, pure
+    /// overhead.
+    pub(crate) fn rebuild_from_edges_presorted(
+        &mut self,
+        n: usize,
+        edges: &[(NodeId, NodeId)],
+        scratch: &mut Vec<usize>,
+    ) {
+        self.rebuild_scatter(n, edges, scratch);
+        debug_assert!(
+            (0..n).all(|v| self.neighbors(v as NodeId).windows(2).all(|w| w[0] <= w[1])),
+            "edge emission order did not scatter into sorted adjacency"
+        );
+    }
+
+    /// The shared build core: degree count, prefix offsets, scatter.
+    fn rebuild_scatter(&mut self, n: usize, edges: &[(NodeId, NodeId)], scratch: &mut Vec<usize>) {
+        scratch.clear();
+        scratch.resize(n, 0);
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            scratch[u as usize] += 1;
+            scratch[v as usize] += 1;
+        }
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        let mut acc = 0usize;
+        self.offsets.push(0);
+        for &d in scratch.iter() {
+            acc += d;
+            self.offsets.push(acc);
+        }
+        // The degree counters become the per-node write cursors.
+        scratch.copy_from_slice(&self.offsets[..n]);
+        self.neighbors.clear();
+        self.neighbors.resize(acc, 0);
+        for &(u, v) in edges {
+            self.neighbors[scratch[u as usize]] = v;
+            scratch[u as usize] += 1;
+            self.neighbors[scratch[v as usize]] = u;
+            scratch[v as usize] += 1;
+        }
+    }
+
+    /// Raw CSR storage for in-crate generators that fill the adjacency
+    /// directly (e.g. the complete graph, whose neighbor lists need no edge
+    /// list or sorting pass). Callers must leave the arrays in a valid CSR
+    /// state: monotone offsets with `offsets[0] == 0`, sorted symmetric
+    /// adjacency.
+    pub(crate) fn storage_mut(&mut self) -> (&mut Vec<usize>, &mut Vec<NodeId>) {
+        (&mut self.offsets, &mut self.neighbors)
+    }
+
     fn sort_adjacency(&mut self) {
         for v in 0..self.num_nodes() {
             let (a, b) = (self.offsets[v], self.offsets[v + 1]);

@@ -62,26 +62,15 @@ impl ErdosRenyi {
     pub fn p(&self) -> f64 {
         self.p
     }
-}
 
-impl GraphGenerator for ErdosRenyi {
-    fn num_nodes(&self) -> usize {
-        self.n
-    }
-
-    fn expected_degree(&self) -> f64 {
-        if self.n == 0 {
-            0.0
-        } else {
-            self.p * (self.n as f64 - 1.0)
-        }
-    }
-
-    fn generate(&self, seed: u64) -> Graph {
+    /// Samples the edge list into `edges` (cleared first). Shared by
+    /// [`GraphGenerator::generate`] and [`GraphGenerator::generate_into`] so
+    /// the two entry points can never diverge in their RNG draw sequence.
+    fn sample_edges(&self, seed: u64, edges: &mut Vec<(NodeId, NodeId)>) {
+        edges.clear();
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let n = self.n;
         let p = self.p;
-        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
         if n >= 2 && p > 0.0 {
             edges.reserve((p * (n as f64) * (n as f64 - 1.0) / 2.0) as usize + 16);
             if p >= 1.0 {
@@ -110,7 +99,38 @@ impl GraphGenerator for ErdosRenyi {
                 }
             }
         }
-        Graph::from_edges(n, &edges)
+    }
+}
+
+impl GraphGenerator for ErdosRenyi {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn expected_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.p * (self.n as f64 - 1.0)
+        }
+    }
+
+    fn generate(&self, seed: u64) -> Graph {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        self.sample_edges(seed, &mut edges);
+        Graph::from_edges(self.n, &edges)
+    }
+
+    fn generate_into(&self, seed: u64, arena: &mut crate::arena::GraphArena) {
+        let mut edges = std::mem::take(&mut arena.edges);
+        self.sample_edges(seed, &mut edges);
+        arena.edges = edges;
+        // Both sampler branches emit an order whose CSR scatter appends each
+        // node's smaller neighbors (ascending) before its larger neighbors
+        // (ascending) — the p < 1 branch groups edges by larger endpoint
+        // ascending, the p ≥ 1 branch by smaller endpoint ascending — so the
+        // adjacency lands pre-sorted and the per-node sort can be skipped.
+        arena.rebuild_from_edges_presorted(self.n);
     }
 
     fn label(&self) -> String {

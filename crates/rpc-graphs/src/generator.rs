@@ -1,5 +1,6 @@
 //! The [`GraphGenerator`] trait shared by all graph models.
 
+use crate::arena::GraphArena;
 use crate::csr::Graph;
 
 /// A deterministic, seedable graph generator.
@@ -17,6 +18,20 @@ pub trait GraphGenerator {
 
     /// Generates a graph. The same `seed` always yields the same graph.
     fn generate(&self, seed: u64) -> Graph;
+
+    /// Generates a graph into `arena`'s reusable storage (read the result
+    /// with [`GraphArena::graph`]).
+    ///
+    /// Contract: the resulting graph equals [`GraphGenerator::generate`] with
+    /// the same seed, bit for bit, regardless of what the arena held before —
+    /// only the allocation behaviour differs. The default implementation
+    /// simply generates fresh and moves the result into the arena; the
+    /// models in this crate override it to write straight into the arena's
+    /// edge and CSR buffers, so a warmed-up arena regenerates graphs without
+    /// allocating.
+    fn generate_into(&self, seed: u64, arena: &mut GraphArena) {
+        *arena.graph_mut() = self.generate(seed);
+    }
 
     /// Short human-readable label used in experiment reports
     /// (e.g. `"G(n, log^2 n / n)"`, `"complete"`, `"config-model(d=400)"`).

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod complete;
 pub mod config_model;
 pub mod csr;
@@ -43,6 +44,7 @@ pub mod regular;
 pub mod stubs;
 pub mod topology;
 
+pub use arena::GraphArena;
 pub use complete::CompleteGraph;
 pub use config_model::ConfigurationModel;
 pub use csr::{Graph, NodeId};
@@ -52,6 +54,7 @@ pub use regular::RandomRegular;
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
+    pub use crate::arena::GraphArena;
     pub use crate::complete::CompleteGraph;
     pub use crate::config_model::ConfigurationModel;
     pub use crate::csr::{Graph, NodeId};

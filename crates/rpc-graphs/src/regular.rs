@@ -63,6 +63,23 @@ impl GraphGenerator for RandomRegular {
             .generate(seed.wrapping_mul(31).wrapping_add(7))
     }
 
+    fn generate_into(&self, seed: u64, arena: &mut crate::arena::GraphArena) {
+        // Same attempt sequence (and therefore the same accepted pairing or
+        // erased fallback) as `generate`, but every attempt reuses the
+        // arena's buffers.
+        let base = ConfigurationModel::new(self.n, self.d);
+        for attempt in 0..self.max_attempts as u64 {
+            base.generate_into(seed.wrapping_add(attempt.wrapping_mul(0x9e37_79b9)), arena);
+            let g = arena.graph();
+            if g.num_self_loops() == 0 && g.num_parallel_edges() == 0 {
+                return;
+            }
+        }
+        base.clone()
+            .with_policy(MultiEdgePolicy::Erase)
+            .generate_into(seed.wrapping_mul(31).wrapping_add(7), arena);
+    }
+
     fn label(&self) -> String {
         format!("random-regular(n={}, d={})", self.n, self.d)
     }

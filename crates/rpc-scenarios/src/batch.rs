@@ -6,10 +6,16 @@
 //! — and each replication is itself deterministic, so the aggregated
 //! [`ScenarioReport`]s are bit-identical for **any** thread count: threading
 //! only changes which worker computes a cell, never what the cell contains.
+//!
+//! Each worker runs its repetitions through one private
+//! [`crate::exec::ScenarioArena`], so graph generation and simulation state
+//! are allocation-free in steady state; the arena path is bit-identical to
+//! fresh allocation (see `rpc-scenarios/tests/arena_vs_fresh.rs`), so reuse
+//! never affects the reports.
 
 use rpc_engine::derive_seed;
 
-use crate::exec::{run_scenario, ScenarioOutcome, StoppedBy};
+use crate::exec::{run_scenario_in, ScenarioArena, ScenarioOutcome, StoppedBy};
 use crate::spec::Scenario;
 use crate::stats::{summarize, SummaryStats};
 
@@ -118,20 +124,37 @@ impl BatchDriver {
         let cells: Vec<(usize, usize)> = (0..scenarios.len())
             .flat_map(|s| (0..self.replications).map(move |r| (s, r)))
             .collect();
-        let run_cell = |&(s, r): &(usize, usize)| {
+        // Every worker owns one ScenarioArena for its whole chunk, so graph
+        // storage, simulation state tables and delivery pools are allocated
+        // once per worker and reused across repetitions. The arena path is
+        // bit-identical to fresh allocation, so the any-thread-count
+        // determinism contract is unchanged.
+        let run_cell = |arena: &mut ScenarioArena, &(s, r): &(usize, usize)| {
             // Inner simulations run single-threaded: the batch dimension is
             // where the parallelism is, and nesting pools would oversubscribe.
-            run_scenario(&scenarios[s], derive_seed(self.base_seed, s as u64, r as u64), 1)
+            run_scenario_in(
+                arena,
+                &scenarios[s],
+                derive_seed(self.base_seed, s as u64, r as u64),
+                1,
+            )
         };
         let threads = self.threads.min(cells.len().max(1));
         if threads <= 1 {
-            return cells.iter().map(run_cell).collect();
+            let mut arena = ScenarioArena::default();
+            return cells.iter().map(|cell| run_cell(&mut arena, cell)).collect();
         }
         let chunk_size = cells.len().div_ceil(threads);
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = cells
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move |_| chunk.iter().map(run_cell).collect::<Vec<_>>()))
+                .map(|chunk| {
+                    let run_cell = &run_cell;
+                    scope.spawn(move |_| {
+                        let mut arena = ScenarioArena::default();
+                        chunk.iter().map(|cell| run_cell(&mut arena, cell)).collect::<Vec<_>>()
+                    })
+                })
                 .collect();
             // Joining in spawn order keeps the grid in cell order regardless
             // of which worker finishes first.
@@ -210,6 +233,20 @@ mod tests {
         let many = BatchDriver::new(3, 7).with_threads(64).run(&scenarios);
         assert_eq!(one, four);
         assert_eq!(one, many);
+    }
+
+    #[test]
+    fn batch_cells_equal_fresh_scenario_runs() {
+        // The driver's arena-reused cells must aggregate to exactly what
+        // per-cell fresh `run_scenario` calls produce.
+        let scenarios = scenarios();
+        let reports = BatchDriver::new(3, 42).with_threads(2).run(&scenarios);
+        for (s_idx, scenario) in scenarios.iter().enumerate() {
+            let fresh: Vec<ScenarioOutcome> = (0..3)
+                .map(|r| crate::exec::run_scenario(scenario, derive_seed(42, s_idx as u64, r), 1))
+                .collect();
+            assert_eq!(reports[s_idx], aggregate(scenario, &fresh), "{}", scenario.name);
+        }
     }
 
     #[test]

@@ -44,13 +44,13 @@ use rand::{Rng, SeedableRng};
 
 use rpc_engine::{
     derive_seed, sample_failures, sample_from_pool, Engine, PhaseSnapshot, Simulation,
-    UnpackedSimulation,
+    SimulationArena, UnpackedSimulation,
 };
 use rpc_gossip::{
     FastGossiping, FastGossipingDriver, MemoryDriver, MemoryGossip, ProtocolDriver, PushPullDriver,
     StepStatus,
 };
-use rpc_graphs::{Graph, NodeId};
+use rpc_graphs::{Graph, GraphArena, NodeId};
 
 use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule};
 
@@ -200,6 +200,69 @@ pub fn run_scenario_traced(
     let mut trace = ScenarioTrace::default();
     let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace));
     (outcome, trace)
+}
+
+/// Reusable per-worker storage for [`run_scenario_in`]: the graph-generation
+/// buffers ([`GraphArena`]) plus the simulation backing storage
+/// ([`SimulationArena`]).
+///
+/// A Monte Carlo batch gives every worker thread one arena and runs all of
+/// its repetitions through it; after the first repetition both the graph
+/// generation and the simulation are allocation-free in steady state (the
+/// buffers only grow when a later scenario is larger). Results are
+/// bit-identical to the fresh-allocation [`run_scenario`] path for any
+/// sequence of scenarios and seeds — the property tests pin this across
+/// protocols, stop rules and thread counts.
+#[derive(Debug, Default)]
+pub struct ScenarioArena {
+    graph: GraphArena,
+    sim: SimulationArena,
+}
+
+/// Runs one replication of `scenario` through `arena`'s reusable storage —
+/// the allocation-free counterpart of [`run_scenario`], with bit-identical
+/// results for any prior arena use.
+pub fn run_scenario_in(
+    arena: &mut ScenarioArena,
+    scenario: &Scenario,
+    seed: u64,
+    threads: usize,
+) -> ScenarioOutcome {
+    run_scenario_arena_core(arena, scenario, seed, threads, None)
+}
+
+/// Like [`run_scenario_in`], additionally capturing the per-round trace
+/// (the arena counterpart of [`run_scenario_traced`]).
+pub fn run_scenario_traced_in(
+    arena: &mut ScenarioArena,
+    scenario: &Scenario,
+    seed: u64,
+    threads: usize,
+) -> (ScenarioOutcome, ScenarioTrace) {
+    let mut trace = ScenarioTrace::default();
+    let outcome = run_scenario_arena_core(arena, scenario, seed, threads, Some(&mut trace));
+    (outcome, trace)
+}
+
+/// Shared arena entry point: generate the graph into the arena's buffers,
+/// check a simulation out of the arena, run, recycle. Seed derivation is
+/// identical to [`run_scenario`], so outcomes and traces must match the
+/// fresh path bit for bit.
+fn run_scenario_arena_core(
+    arena: &mut ScenarioArena,
+    scenario: &Scenario,
+    seed: u64,
+    threads: usize,
+    trace: Option<&mut ScenarioTrace>,
+) -> ScenarioOutcome {
+    let ScenarioArena { graph, sim } = arena;
+    scenario.topology.build().generate_into(derive_seed(seed, STREAM_GRAPH, 0), graph);
+    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+    let mut engine =
+        sim.checkout(graph.graph(), derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
+    let outcome = run_scenario_core(scenario, &mut engine, &mut env_rng, trace);
+    sim.recycle(engine);
+    outcome
 }
 
 /// Runs one replication on the unpacked reference oracle
@@ -667,6 +730,25 @@ mod tests {
             assert_eq!(last.round, traced.rounds);
             assert_eq!(last.packets, traced.total_packets);
             assert!(!trace.phases.is_empty(), "{} must mark phases", protocol.name());
+        }
+    }
+
+    #[test]
+    fn arena_run_matches_fresh_run_on_a_hostile_scenario() {
+        let s = Scenario::builder("arena", er(192))
+            .loss(0.15)
+            .churn(0.1, 3, 4)
+            .crash(5, 12)
+            .placement(StartPlacement::MaxDegree)
+            .build()
+            .unwrap();
+        let mut arena = ScenarioArena::default();
+        for seed in [1u64, 21, 77] {
+            let (fresh, fresh_trace) = run_scenario_traced(&s, seed, 1);
+            let (reused, reused_trace) = run_scenario_traced_in(&mut arena, &s, seed, 1);
+            assert_eq!(fresh, reused, "outcome diverged at seed {seed}");
+            assert_eq!(fresh_trace, reused_trace, "trace diverged at seed {seed}");
+            assert_eq!(run_scenario_in(&mut arena, &s, seed, 1), fresh);
         }
     }
 

@@ -45,8 +45,9 @@ pub mod stats;
 
 pub use batch::{BatchDriver, ScenarioReport, StoppedByCounts};
 pub use exec::{
-    run_scenario, run_scenario_traced, run_scenario_unpacked, run_scenario_unpacked_traced,
-    scenario_engine_seeds, RoundTrace, ScenarioOutcome, ScenarioTrace, StoppedBy,
+    run_scenario, run_scenario_in, run_scenario_traced, run_scenario_traced_in,
+    run_scenario_unpacked, run_scenario_unpacked_traced, scenario_engine_seeds, RoundTrace,
+    ScenarioArena, ScenarioOutcome, ScenarioTrace, StoppedBy,
 };
 pub use spec::{
     ChurnSpec, CrashSpec, EnvironmentSpec, ProtocolSpec, Scenario, ScenarioBuilder, ScenarioError,
@@ -58,7 +59,8 @@ pub use stats::{summarize, SummaryStats};
 pub mod prelude {
     pub use crate::batch::{BatchDriver, ScenarioReport, StoppedByCounts};
     pub use crate::exec::{
-        run_scenario, run_scenario_traced, ScenarioOutcome, ScenarioTrace, StoppedBy,
+        run_scenario, run_scenario_in, run_scenario_traced, run_scenario_traced_in, ScenarioArena,
+        ScenarioOutcome, ScenarioTrace, StoppedBy,
     };
     pub use crate::registry;
     pub use crate::spec::{
