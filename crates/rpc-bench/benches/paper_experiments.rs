@@ -88,8 +88,23 @@ fn bench_fig4_fastgossip_detail(c: &mut Criterion) {
 fn bench_fig5_robustness_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_robustness_runs");
     group.sample_size(10);
+    let spec = robustness::loss_ratio_spec(
+        "fig5-bench",
+        512,
+        &[0, 32],
+        3,
+        SEED,
+        rpc_scenarios::RepPolicy::fixed(3),
+    );
     group.bench_function("thresholds_n512_f32_runs3", |b| {
-        b.iter(|| black_box(robustness::loss_thresholds(512, &[0, 32], 3, 3, SEED)))
+        b.iter(|| {
+            black_box(
+                rpc_scenarios::SweepRunner::new()
+                    .with_threads(1)
+                    .run(black_box(&spec))
+                    .total_reps(),
+            )
+        })
     });
     group.finish();
 }
@@ -130,8 +145,17 @@ fn bench_broadcast_vs_gossip(c: &mut Criterion) {
 fn bench_fig1_harness(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_harness");
     group.sample_size(10);
-    group
-        .bench_function("sweep_256_512", |b| b.iter(|| black_box(fig1::run(&[256, 512], 1, SEED))));
+    let spec = fig1::spec(&[256, 512], SEED, rpc_scenarios::RepPolicy::fixed(1));
+    group.bench_function("sweep_256_512", |b| {
+        b.iter(|| {
+            black_box(
+                rpc_scenarios::SweepRunner::new()
+                    .with_threads(1)
+                    .run(black_box(&spec))
+                    .total_reps(),
+            )
+        })
+    });
     group.finish();
 }
 

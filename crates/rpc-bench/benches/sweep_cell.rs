@@ -1,0 +1,68 @@
+//! `sweep_cell`: the adaptive sweep engine's per-cell overhead.
+//!
+//! The sweep engine wraps every measured repetition in seed derivation,
+//! metric extraction, Welford-prefix stop evaluation and (optionally) cache
+//! bookkeeping. These benches pin that overhead against the raw cell
+//! executor, so regressions in the orchestration layer — as opposed to the
+//! simulation itself — show up isolated:
+//!
+//! * `run_cell` — one scenario repetition through the arena-backed cell
+//!   executor, the unit the runner schedules;
+//! * `runner_fixed` — a small fixed-rep sweep (2 sizes × 2 reps) through
+//!   [`SweepRunner`] on one thread: the same four simulations plus the full
+//!   engine path (keying, seeding, batching, aggregation);
+//! * `runner_adaptive` — the identical grid under a CI stop rule that
+//!   converges at the 2-rep minimum, measuring what the adaptive machinery
+//!   adds over the fixed policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rpc_scenarios::prelude::*;
+use rpc_scenarios::{SweepRunner, SweepSpec};
+
+const SEED: u64 = 0xC0FFEE;
+
+fn grid(policy: RepPolicy) -> SweepSpec {
+    SweepSpec::grid("bench", SEED, policy)
+        .axis("n", [1usize << 9, 1 << 10])
+        .cells(|point| {
+            Some(CellJob::scenario(
+                Scenario::builder("bench", TopologySpec::ErdosRenyiPaper { n: point.parse("n") })
+                    .build()
+                    .expect("bench scenario must validate"),
+            ))
+        })
+        .expect("bench grid must validate")
+}
+
+fn bench_sweep_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_cell");
+    group.sample_size(10);
+
+    let scenario = Scenario::builder("bench", TopologySpec::ErdosRenyiPaper { n: 1 << 10 })
+        .build()
+        .expect("bench scenario must validate");
+    let job = CellJob::scenario(scenario);
+    let mut arena = ScenarioArena::default();
+    group.bench_function("run_cell", |b| {
+        b.iter(|| black_box(run_cell(&mut arena, black_box(&job), SEED).metrics.len()))
+    });
+
+    let fixed = grid(RepPolicy::fixed(2));
+    group.bench_function("runner_fixed", |b| {
+        b.iter(|| black_box(SweepRunner::new().with_threads(1).run(black_box(&fixed)).total_reps()))
+    });
+
+    let adaptive = grid(RepPolicy::adaptive(2, 8, CiStopRule::relative("rounds", 0.5)));
+    group.bench_function("runner_adaptive", |b| {
+        b.iter(|| {
+            black_box(SweepRunner::new().with_threads(1).run(black_box(&adaptive)).total_reps())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_cell);
+criterion_main!(benches);

@@ -73,7 +73,7 @@ pub use memory::{Contact, ContactLists, ContactMemory, MEMORY_SLOTS};
 pub use message::{MessageId, MessageSet};
 pub use metrics::{Accounting, Metrics, PhaseSnapshot};
 pub use reference::UnpackedSimulation;
-pub use seeding::{derive_seed, splitmix64};
+pub use seeding::{derive_seed, hash_key, splitmix64};
 pub use sim::{DeliverySemantics, Simulation, SimulationArena, Transfer};
 pub use walks::{Walk, WalkQueues};
 
@@ -86,7 +86,7 @@ pub mod prelude {
     pub use crate::message::{MessageId, MessageSet};
     pub use crate::metrics::{Accounting, Metrics};
     pub use crate::reference::UnpackedSimulation;
-    pub use crate::seeding::{derive_seed, splitmix64};
+    pub use crate::seeding::{derive_seed, hash_key, splitmix64};
     pub use crate::sim::{DeliverySemantics, Simulation, SimulationArena, Transfer};
     pub use crate::walks::{Walk, WalkQueues};
 }

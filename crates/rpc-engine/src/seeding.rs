@@ -27,6 +27,25 @@ pub fn derive_seed(base_seed: u64, scenario_idx: u64, replication_idx: u64) -> u
     splitmix64(splitmix64(splitmix64(base_seed) ^ scenario_idx) ^ replication_idx)
 }
 
+/// Hashes an arbitrary byte string to one well-mixed 64-bit value (FNV-1a
+/// folded through [`splitmix64`]).
+///
+/// Sweep harnesses key their cells by stable *names* (`"fig1/n=1024/…"`)
+/// rather than by grid position, so that inserting or caching cells never
+/// reassigns seeds; this helper turns such a key into the `scenario_idx`
+/// coordinate of [`derive_seed`]. Like `derive_seed` it is a pure function of
+/// its input — no global state, no platform dependence.
+pub fn hash_key(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(h)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +77,13 @@ mod tests {
         assert_eq!(derive_seed(7, 3, 9), derive_seed(7, 3, 9));
         assert_ne!(derive_seed(7, 3, 9), derive_seed(7, 9, 3), "coordinates must not commute");
         assert_ne!(derive_seed(7, 0, 0), derive_seed(8, 0, 0));
+    }
+
+    #[test]
+    fn key_hashes_are_stable_and_distinct() {
+        assert_eq!(hash_key(b"fig1/n=1024"), hash_key(b"fig1/n=1024"));
+        let keys = ["", "a", "b", "ab", "ba", "fig1/n=1024", "fig1/n=2048"];
+        let hashed: HashSet<u64> = keys.iter().map(|k| hash_key(k.as_bytes())).collect();
+        assert_eq!(hashed.len(), keys.len(), "collisions among distinct keys");
     }
 }

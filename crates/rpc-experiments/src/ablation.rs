@@ -3,163 +3,105 @@
 //! The paper's abstract: "our simulations illustrate that by tuning the
 //! parameters of our algorithms, we can significantly reduce the communication
 //! overhead compared to the traditional push-pull approach". This module makes
-//! that tuning measurable: it sweeps the random-walk probability and the
-//! per-round broadcast length around the Table 1 values and reports the
-//! resulting overhead, plus a comparison of the two delivery semantics of the
-//! engine (faithful deferred timing vs optimistic immediate forwarding).
+//! that tuning measurable: a sweep grid over the random-walk probability
+//! (as multiples of the Table 1 value `1/log n`) and the per-round broadcast
+//! length, each cell a [`CellJob::FastTuned`] run.
 
-use rpc_engine::Accounting;
-use rpc_gossip::prelude::*;
-use rpc_graphs::prelude::*;
+use rpc_scenarios::{CellJob, RepPolicy, SweepReport, SweepSpec};
 
-use crate::report::{fmt3, Table};
-use crate::sweep::seeds;
+use crate::report::{sweep_table, Table};
 
-/// One measured point of the parameter ablation.
-#[derive(Clone, Debug)]
-pub struct AblationPoint {
-    /// Graph size.
-    pub n: usize,
-    /// Multiplier applied to the Table 1 walk probability.
-    pub walk_probability_factor: f64,
-    /// Broadcast steps per round.
-    pub broadcast_steps: usize,
-    /// Average packets per node.
-    pub packets_per_node: f64,
-    /// Average rounds.
-    pub rounds: f64,
-    /// Fraction of completed runs.
-    pub completion_rate: f64,
-}
-
-/// Sweeps the walk probability (as multiples of the Table 1 value `1/log n`)
-/// and the per-round broadcast step count.
-pub fn run(
+/// The ablation sweep: `walk_prob_factor × broadcast_steps` at one size.
+pub fn spec(
     n: usize,
     probability_factors: &[f64],
     broadcast_steps: &[usize],
-    repetitions: usize,
-    base_seed: u64,
-) -> Vec<AblationPoint> {
-    let generator = ErdosRenyi::paper_density(n);
-    let baseline = FastGossipingConfig::paper_defaults(n);
-    let mut points = Vec::new();
-    for &factor in probability_factors {
-        for &steps in broadcast_steps {
-            let config = FastGossipingConfig {
-                walk_probability: (baseline.walk_probability * factor).min(1.0),
-                broadcast_steps: steps,
-                ..baseline
-            };
-            let algorithm = FastGossiping::new(config);
-            let mut packets = 0.0;
-            let mut rounds = 0.0;
-            let mut completed = 0usize;
-            let run_seeds = seeds(base_seed, repetitions);
-            for (i, &seed) in run_seeds.iter().enumerate() {
-                let graph = generator.generate(seed ^ ((i as u64) << 32));
-                let outcome = algorithm.run(&graph, seed);
-                packets += outcome.messages_per_node(Accounting::PerPacket);
-                rounds += outcome.rounds() as f64;
-                completed += usize::from(outcome.completed());
-            }
-            let reps = repetitions.max(1) as f64;
-            points.push(AblationPoint {
-                n,
-                walk_probability_factor: factor,
-                broadcast_steps: steps,
-                packets_per_node: packets / reps,
-                rounds: rounds / reps,
-                completion_rate: completed as f64 / reps,
-            });
-        }
-    }
-    points
+    seed: u64,
+    policy: RepPolicy,
+) -> SweepSpec {
+    SweepSpec::grid("ablation", seed, policy)
+        .axis("n", [n])
+        .axis("walk_prob_factor", probability_factors.iter().copied())
+        .axis("broadcast_steps", broadcast_steps.iter().copied())
+        .cells(|point| {
+            Some(CellJob::FastTuned {
+                n: point.parse("n"),
+                walk_probability_factor: point.parse("walk_prob_factor"),
+                broadcast_steps: point.parse("broadcast_steps"),
+            })
+        })
+        .expect("ablation grid is well-formed")
 }
 
-/// Renders the ablation points as a table.
-pub fn table(points: &[AblationPoint]) -> Table {
-    let mut table = Table::new(
-        "Ablation — fast-gossiping parameter tuning",
-        &[
-            "n",
-            "walk_prob_factor",
-            "broadcast_steps",
-            "packets_per_node",
-            "rounds",
-            "completion_rate",
-        ],
-    );
-    for p in points {
-        table.push_row(vec![
-            p.n.to_string(),
-            fmt3(p.walk_probability_factor),
-            p.broadcast_steps.to_string(),
-            fmt3(p.packets_per_node),
-            fmt3(p.rounds),
-            fmt3(p.completion_rate),
-        ]);
-    }
-    table
-}
-
-/// Compares the engine's two delivery semantics on the Push-Pull baseline:
-/// the faithful deferred timing versus optimistic in-step forwarding. Returns
-/// `(deferred_rounds, immediate_rounds)` averaged over `repetitions`.
-pub fn delivery_semantics_rounds(n: usize, repetitions: usize, base_seed: u64) -> (f64, f64) {
-    use rpc_engine::{DeliverySemantics, Simulation};
-
-    let generator = ErdosRenyi::paper_density(n);
-    let mut totals = (0.0f64, 0.0f64);
-    for (i, &seed) in seeds(base_seed, repetitions).iter().enumerate() {
-        let graph = generator.generate(seed ^ ((i as u64) << 32));
-        for (idx, semantics) in
-            [DeliverySemantics::Deferred, DeliverySemantics::Immediate].into_iter().enumerate()
-        {
-            let mut sim = Simulation::new(&graph, seed).with_semantics(semantics);
-            let steps = PushPullGossip::run_until_complete(&mut sim, 10_000);
-            if idx == 0 {
-                totals.0 += steps as f64;
-            } else {
-                totals.1 += steps as f64;
-            }
-        }
-    }
-    let reps = repetitions.max(1) as f64;
-    (totals.0 / reps, totals.1 / reps)
+/// Renders the ablation sweep as a table.
+pub fn table(report: &SweepReport) -> Table {
+    sweep_table("Ablation — fast-gossiping parameter tuning", report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpc_scenarios::SweepRunner;
 
     #[test]
-    fn sweep_produces_one_point_per_combination() {
-        let points = run(256, &[0.5, 1.0], &[1, 2], 1, 3);
-        assert_eq!(points.len(), 4);
-        assert!(points.iter().all(|p| p.completion_rate == 1.0));
-        assert_eq!(table(&points).len(), 4);
+    fn sweep_produces_one_cell_per_combination() {
+        let report =
+            SweepRunner::new().run(&spec(256, &[0.5, 1.0], &[1, 2], 3, RepPolicy::fixed(1)));
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.cells.iter().all(|c| c.mean("completed") == Some(1.0)));
+        assert_eq!(table(&report).len(), 4);
     }
 
     #[test]
     fn walk_probability_sweep_always_completes_and_adds_walk_packets() {
-        let points = run(512, &[1.0, 4.0], &[2], 2, 5);
-        let base = points.iter().find(|p| p.walk_probability_factor == 1.0).unwrap();
-        let heavy = points.iter().find(|p| p.walk_probability_factor == 4.0).unwrap();
-        assert_eq!(base.completion_rate, 1.0);
-        assert_eq!(heavy.completion_rate, 1.0);
+        let report = SweepRunner::new().run(&spec(512, &[1.0, 4.0], &[2], 5, RepPolicy::fixed(2)));
+        let get = |factor: &str| {
+            report.cells.iter().find(|c| c.axis("walk_prob_factor") == Some(factor)).unwrap()
+        };
+        let base = get("1");
+        let heavy = get("4");
+        assert_eq!(base.mean("completed"), Some(1.0));
+        assert_eq!(heavy.mean("completed"), Some(1.0));
         // More walks add walk packets, though a faster phase II can claw some
         // of that back in phase III — allow a generous margin.
-        assert!(heavy.packets_per_node >= base.packets_per_node * 0.75);
+        let (b, h) =
+            (base.mean("packets_per_node").unwrap(), heavy.mean("packets_per_node").unwrap());
+        assert!(h >= b * 0.75, "heavy {h:.2} vs base {b:.2}");
     }
 
     #[test]
     fn immediate_semantics_never_needs_more_rounds() {
-        let (deferred, immediate) = delivery_semantics_rounds(512, 2, 7);
-        assert!(deferred > 0.0 && immediate > 0.0);
+        // A comparison of the engine's two delivery semantics on the Push-Pull
+        // baseline — kept as a test-only oracle; the sweeps always use the
+        // faithful deferred timing.
+        use rpc_engine::{derive_seed, DeliverySemantics, Simulation};
+        use rpc_gossip::prelude::*;
+        use rpc_graphs::prelude::*;
+
+        let n = 512;
+        let generator = ErdosRenyi::paper_density(n);
+        let mut totals = (0.0f64, 0.0f64);
+        for i in 0..2u64 {
+            let seed = derive_seed(7, 0, i);
+            let graph = generator.generate(seed ^ (i << 32));
+            for (idx, semantics) in
+                [DeliverySemantics::Deferred, DeliverySemantics::Immediate].into_iter().enumerate()
+            {
+                let mut sim = Simulation::new(&graph, seed).with_semantics(semantics);
+                let steps = PushPullGossip::run_until_complete(&mut sim, 10_000);
+                if idx == 0 {
+                    totals.0 += steps as f64;
+                } else {
+                    totals.1 += steps as f64;
+                }
+            }
+        }
+        assert!(totals.0 > 0.0 && totals.1 > 0.0);
         assert!(
-            immediate <= deferred + 1e-9,
-            "immediate ({immediate}) should not be slower than deferred ({deferred})"
+            totals.1 <= totals.0 + 1e-9,
+            "immediate ({}) should not be slower than deferred ({})",
+            totals.1,
+            totals.0
         );
     }
 }

@@ -1,8 +1,9 @@
 //! Command-line entry point that regenerates the paper's figures and tables.
 //!
 //! ```text
-//! experiments <subcommand> [--quick|--large] [--max-n N] [--reps K] [--seed S]
-//!             [--threads T] [--out DIR]
+//! experiments <subcommand> [--quick|--large] [--max-n N] [--reps K]
+//!             [--max-reps K] [--ci-rel T] [--seed S] [--threads T]
+//!             [--out DIR] [--cache FILE] [--only NAME]...
 //!
 //! subcommands:
 //!   table1      Table 1  — simulation constants
@@ -13,234 +14,242 @@
 //!   fig5        Figure 5 — loss thresholds
 //!   theory      Theorems 1 & 2 shape check
 //!   separation  Broadcast-vs-gossip density contrast
-//!   scenario    Built-in scenario registry via the Monte Carlo batch driver
-//!   all         Everything above
+//!   ablation    Fast-gossiping parameter tuning
+//!   phases      Per-phase packet breakdown
+//!   scenario    Built-in scenario registry as one sweep
+//!   sweep       Every sweep-backed experiment above (respects --only)
+//!   all         sweep + separation
 //! ```
 //!
-//! `--threads` (default: available parallelism) feeds both the engine's
-//! parallel delivery path (`compute_updates`) and the scenario `BatchDriver`;
-//! every reported number is bit-identical for any value.
+//! Every simulation experiment is a declarative `SweepSpec` executed by the
+//! adaptive sweep engine: repetitions per cell run until a 95% CI stop rule on
+//! the experiment's headline metric is met (or `--reps K` forces a fixed
+//! budget), `--cache FILE` makes interrupted runs resume from finished cells,
+//! and all reported numbers are bit-identical for any `--threads` value.
 //!
 //! Results are printed as Markdown and, when `--out DIR` is given, written as
-//! one CSV file per experiment.
+//! one CSV file per experiment plus a JSON sweep report (same stem) carrying
+//! the per-cell CI aggregates.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rpc_experiments::{
-    ablation, fig1, fig4, phases, report::Table, robustness, scenario, separation, sweep, table1,
-    theory_check, Scale,
+    ablation, fig1, fig4, phases, report::Table, robustness, scenario, separation, table1,
+    theory_check, RunOpts,
+};
+use rpc_scenarios::{
+    arithmetic_failure_sweep, dense_size_sweep, failure_sweep, size_sweep, SweepReport,
 };
 
-struct Options {
-    command: String,
-    scale: Scale,
-    threads: usize,
-    out_dir: Option<PathBuf>,
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-}
-
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
-    let command = args.next().unwrap_or_else(|| "help".to_string());
-    let mut scale = Scale::default_scale();
-    let mut threads = default_threads();
-    let mut out_dir = None;
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => scale = Scale::quick(),
-            "--large" => scale = Scale::large(),
-            "--max-n" => {
-                let value = args.next().ok_or("--max-n needs a value")?;
-                scale.max_n = value.parse().map_err(|_| format!("invalid --max-n: {value}"))?;
-            }
-            "--reps" => {
-                let value = args.next().ok_or("--reps needs a value")?;
-                scale.repetitions =
-                    value.parse().map_err(|_| format!("invalid --reps: {value}"))?;
-            }
-            "--seed" => {
-                let value = args.next().ok_or("--seed needs a value")?;
-                scale.seed = value.parse().map_err(|_| format!("invalid --seed: {value}"))?;
-            }
-            "--threads" => {
-                let value = args.next().ok_or("--threads needs a value")?;
-                threads = value
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&t| t >= 1)
-                    .ok_or(format!("invalid --threads: {value}"))?;
-            }
-            "--out" => {
-                let value = args.next().ok_or("--out needs a directory")?;
-                out_dir = Some(PathBuf::from(value));
-            }
-            other => return Err(format!("unknown option: {other}")),
-        }
-    }
-    Ok(Options { command, scale, threads, out_dir })
-}
-
-fn emit(table: &Table, file: &str, out_dir: &Option<PathBuf>) {
+/// Prints the table as Markdown and, with `--out`, writes `<stem>.csv` plus —
+/// for sweep-backed experiments — the `<stem>.json` report.
+fn emit(table: &Table, stem: &str, report: Option<&SweepReport>, opts: &RunOpts) {
     println!("{}", table.to_markdown());
-    if let Some(dir) = out_dir {
-        let path = dir.join(file);
-        match table.write_csv(&path) {
-            Ok(()) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    if let Some(dir) = &opts.out_dir {
+        let csv = dir.join(format!("{stem}.csv"));
+        match table.write_csv(&csv) {
+            Ok(()) => eprintln!("wrote {}", csv.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", csv.display()),
+        }
+        if let Some(report) = report {
+            let json = dir.join(format!("{stem}.json"));
+            match std::fs::write(&json, report.to_json()) {
+                Ok(()) => eprintln!("wrote {}", json.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", json.display()),
+            }
         }
     }
 }
 
-fn run_fig1(scale: Scale, threads: usize, out: &Option<PathBuf>) {
-    let sizes = sweep::size_sweep(scale.min_n, scale.max_n);
-    let points = fig1::run_threaded(&sizes, scale.repetitions, scale.seed, threads);
-    emit(&fig1::table(&points), "fig1_overhead.csv", out);
+fn run_table1(opts: &RunOpts) {
+    emit(&table1::run(&[1_000, 10_000, 100_000, 1_000_000]), "table1_constants", None, opts);
 }
 
-fn run_scenarios(scale: Scale, threads: usize, out: &Option<PathBuf>) {
-    // Scenario graphs use a quarter of the sweep's largest size: the registry
-    // runs 12 scenarios x reps replications (all three protocols under
-    // complete/rounds/coverage stop rules), so this keeps `--quick` in CI
-    // territory while the default/large scales still exercise real sizes.
-    let n = (scale.max_n / 4).max(256);
-    let reports = scenario::run(n, scale.repetitions, scale.seed, threads);
-    emit(&scenario::table(&reports), "scenarios.csv", out);
+fn run_fig1(opts: &RunOpts) {
+    let sizes = size_sweep(opts.scale.min_n, opts.scale.max_n);
+    let spec = fig1::spec(&sizes, opts.scale.seed, opts.policy("packets_per_node"));
+    let report = opts.runner().run(&spec);
+    emit(&fig1::table(&report), "fig1_overhead", Some(&report), opts);
 }
 
-fn run_fig2(scale: Scale, out: &Option<PathBuf>) {
+fn run_fig2(opts: &RunOpts) {
     // The paper uses n = 10^6; we use the largest size of the configured scale.
-    let n = scale.max_n;
-    let failures = sweep::failure_sweep((n / 1000).max(2), n / 10);
-    let points = robustness::loss_ratio(n, &failures, 3, scale.repetitions, scale.seed);
-    emit(
-        &robustness::loss_ratio_table(
-            &format!("Figure 2 — additional loss ratio, n = {n}"),
-            &points,
-        ),
-        "fig2_robustness.csv",
-        out,
+    let n = opts.scale.max_n;
+    let failures = failure_sweep((n / 1000).max(2), n / 10);
+    let spec = robustness::loss_ratio_spec(
+        "fig2",
+        n,
+        &failures,
+        3,
+        opts.scale.seed,
+        opts.policy("loss_ratio"),
     );
+    let report = opts.runner().run(&spec);
+    let title = format!("Figure 2 — additional loss ratio, n = {n}");
+    emit(&robustness::loss_ratio_table(&title, &report), "fig2_robustness", Some(&report), opts);
 }
 
-fn run_fig3(scale: Scale, out: &Option<PathBuf>) {
-    for (idx, n) in [scale.max_n / 8, scale.max_n / 2].into_iter().enumerate() {
+fn run_fig3(opts: &RunOpts) {
+    for (idx, n) in [opts.scale.max_n / 8, opts.scale.max_n / 2].into_iter().enumerate() {
         let n = n.max(512);
-        let failures = sweep::failure_sweep((n / 1000).max(2), n / 10);
-        let points = robustness::loss_ratio(n, &failures, 3, scale.repetitions, scale.seed);
+        let failures = failure_sweep((n / 1000).max(2), n / 10);
+        let spec = robustness::loss_ratio_spec(
+            &format!("fig3-n{n}"),
+            n,
+            &failures,
+            3,
+            opts.scale.seed,
+            opts.policy("loss_ratio"),
+        );
+        let report = opts.runner().run(&spec);
+        let title = format!("Figure 3.{} — additional loss ratio, n = {n}", idx + 1);
         emit(
-            &robustness::loss_ratio_table(
-                &format!("Figure 3.{} — additional loss ratio, n = {n}", idx + 1),
-                &points,
-            ),
-            &format!("fig3_robustness_n{n}.csv"),
-            out,
+            &robustness::loss_ratio_table(&title, &report),
+            &format!("fig3_robustness_n{n}"),
+            Some(&report),
+            opts,
         );
     }
 }
 
-fn run_fig4(scale: Scale, out: &Option<PathBuf>) {
-    let sizes = sweep::dense_size_sweep(scale.max_n / 8, scale.max_n);
-    let points = fig4::run(&sizes, scale.repetitions, scale.seed);
-    emit(&fig4::table(&points), "fig4_fastgossip_detail.csv", out);
+fn run_fig4(opts: &RunOpts) {
+    let sizes = dense_size_sweep(opts.scale.max_n / 8, opts.scale.max_n);
+    let spec = fig4::spec(&sizes, opts.scale.seed, opts.policy("packets_per_node"));
+    let report = opts.runner().run(&spec);
+    emit(&fig4::table(&report), "fig4_fastgossip_detail", Some(&report), opts);
 }
 
-fn run_fig5(scale: Scale, out: &Option<PathBuf>) {
-    for (idx, n) in [scale.max_n / 8, scale.max_n / 2].into_iter().enumerate() {
+fn run_fig5(opts: &RunOpts) {
+    for (idx, n) in [opts.scale.max_n / 8, opts.scale.max_n / 2].into_iter().enumerate() {
         let n = n.max(512);
         let step = (n / 20).max(1);
-        let failures = sweep::arithmetic_failure_sweep(step, n / 4);
-        let runs = scale.repetitions.max(5);
-        let points = robustness::loss_thresholds(n, &failures, 3, runs, scale.seed);
+        let failures = arithmetic_failure_sweep(step, n / 4);
+        // At least five runs per point so the exceedance percentages resolve.
+        let spec = robustness::loss_ratio_spec(
+            &format!("fig5-n{n}"),
+            n,
+            &failures,
+            3,
+            opts.scale.seed,
+            opts.policy_with_min(5, "lost_messages"),
+        );
+        let report = opts.runner().run(&spec);
+        let title = format!("Figure 5.{} — runs losing more than T messages, n = {n}", idx + 1);
         emit(
-            &robustness::loss_thresholds_table(
-                &format!("Figure 5.{} — runs losing more than T messages, n = {n}", idx + 1),
-                &points,
-            ),
-            &format!("fig5_thresholds_n{n}.csv"),
-            out,
+            &robustness::loss_thresholds_table(&title, &report),
+            &format!("fig5_thresholds_n{n}"),
+            Some(&report),
+            opts,
         );
     }
 }
 
-fn run_ablation(scale: Scale, out: &Option<PathBuf>) {
-    let n = (scale.max_n / 4).max(1024);
-    let points = ablation::run(n, &[0.5, 1.0, 2.0, 4.0], &[1, 2, 3], scale.repetitions, scale.seed);
-    emit(&ablation::table(&points), "ablation_fast_gossiping.csv", out);
-    let (deferred, immediate) =
-        ablation::delivery_semantics_rounds(n, scale.repetitions, scale.seed);
-    println!(
-        "delivery semantics at n = {n}: deferred = {deferred:.2} rounds, immediate = {immediate:.2} rounds\n"
+fn run_theory(opts: &RunOpts) {
+    let sizes = size_sweep(opts.scale.min_n, opts.scale.max_n.min(1 << 14));
+    let spec = theory_check::spec(&sizes, opts.scale.seed, opts.policy("packets_per_node"));
+    let report = opts.runner().run(&spec);
+    emit(&theory_check::table(&report), "theory_shape_check", Some(&report), opts);
+}
+
+fn run_separation(opts: &RunOpts) {
+    let sizes = size_sweep(opts.scale.min_n, opts.scale.max_n.min(1 << 14));
+    let points = separation::run(&sizes, opts.scale.repetitions, opts.scale.seed);
+    emit(&separation::table(&points), "separation_broadcast_vs_gossip", None, opts);
+}
+
+fn run_ablation(opts: &RunOpts) {
+    let n = (opts.scale.max_n / 4).max(1024);
+    let spec = ablation::spec(
+        n,
+        &[0.5, 1.0, 2.0, 4.0],
+        &[1, 2, 3],
+        opts.scale.seed,
+        opts.policy("packets_per_node"),
     );
+    let report = opts.runner().run(&spec);
+    emit(&ablation::table(&report), "ablation_fast_gossiping", Some(&report), opts);
 }
 
-fn run_phases(scale: Scale, out: &Option<PathBuf>) {
-    let n = (scale.max_n / 4).max(1024);
-    let points = phases::run(n, scale.repetitions, scale.seed);
-    emit(&phases::table(&points), "phase_breakdown.csv", out);
+fn run_phases(opts: &RunOpts) {
+    let n = (opts.scale.max_n / 4).max(1024);
+    let spec = phases::spec(n, opts.scale.seed, opts.policy("packets_per_node"));
+    let report = opts.runner().run(&spec);
+    emit(&phases::table(&report), "phase_breakdown", Some(&report), opts);
 }
 
-fn run_table1(out: &Option<PathBuf>) {
-    let table = table1::run(&[1_000, 10_000, 100_000, 1_000_000]);
-    emit(&table, "table1_constants.csv", out);
+fn run_scenarios(opts: &RunOpts) {
+    // Scenario graphs use a quarter of the sweep's largest size: the registry
+    // runs 12 scenarios (all three protocols under complete/rounds/coverage
+    // stop rules), so this keeps `--quick` in CI territory while the
+    // default/large scales still exercise real sizes.
+    let n = (opts.scale.max_n / 4).max(256);
+    let spec = scenario::spec(n, opts.scale.seed, opts.policy("rounds"));
+    let report = opts.runner().run(&spec);
+    emit(&scenario::table(&report), "scenarios", Some(&report), opts);
 }
 
-fn run_theory(scale: Scale, out: &Option<PathBuf>) {
-    let sizes = sweep::size_sweep(scale.min_n, scale.max_n.min(1 << 14));
-    let points = theory_check::run(&sizes, scale.repetitions, scale.seed);
-    emit(&theory_check::table(&points), "theory_shape_check.csv", out);
-}
+/// The sweep-backed experiments in `sweep`/`all` execution order. `table1`
+/// rides along (constants only, no spec); `separation` is the one simulation
+/// experiment outside the engine and runs only under `all` or its own
+/// subcommand.
+type NamedExperiment = (&'static str, fn(&RunOpts));
 
-fn run_separation(scale: Scale, out: &Option<PathBuf>) {
-    let sizes = sweep::size_sweep(scale.min_n, scale.max_n.min(1 << 14));
-    let points = separation::run(&sizes, scale.repetitions, scale.seed);
-    emit(&separation::table(&points), "separation_broadcast_vs_gossip.csv", out);
+const SWEEP_EXPERIMENTS: &[NamedExperiment] = &[
+    ("table1", run_table1),
+    ("fig1", run_fig1),
+    ("fig2", run_fig2),
+    ("fig3", run_fig3),
+    ("fig4", run_fig4),
+    ("fig5", run_fig5),
+    ("theory", run_theory),
+    ("ablation", run_ablation),
+    ("phases", run_phases),
+    ("scenario", run_scenarios),
+];
+
+fn run_sweep(opts: &RunOpts) {
+    for (name, run) in SWEEP_EXPERIMENTS {
+        if opts.should_run(name) {
+            run(opts);
+        }
+    }
 }
 
 fn main() -> ExitCode {
-    let options = match parse_args() {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "help".to_string());
+    let opts = match RunOpts::parse(args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let scale = options.scale;
-    let threads = options.threads;
-    let out = options.out_dir;
-    match options.command.as_str() {
-        "table1" => run_table1(&out),
-        "fig1" => run_fig1(scale, threads, &out),
-        "fig2" => run_fig2(scale, &out),
-        "fig3" => run_fig3(scale, &out),
-        "fig4" => run_fig4(scale, &out),
-        "fig5" => run_fig5(scale, &out),
-        "theory" => run_theory(scale, &out),
-        "separation" => run_separation(scale, &out),
-        "ablation" => run_ablation(scale, &out),
-        "phases" => run_phases(scale, &out),
-        "scenario" => run_scenarios(scale, threads, &out),
+    match command.as_str() {
+        "table1" => run_table1(&opts),
+        "fig1" => run_fig1(&opts),
+        "fig2" => run_fig2(&opts),
+        "fig3" => run_fig3(&opts),
+        "fig4" => run_fig4(&opts),
+        "fig5" => run_fig5(&opts),
+        "theory" => run_theory(&opts),
+        "separation" => run_separation(&opts),
+        "ablation" => run_ablation(&opts),
+        "phases" => run_phases(&opts),
+        "scenario" => run_scenarios(&opts),
+        "sweep" => run_sweep(&opts),
         "all" => {
-            run_table1(&out);
-            run_fig1(scale, threads, &out);
-            run_fig2(scale, &out);
-            run_fig3(scale, &out);
-            run_fig4(scale, &out);
-            run_fig5(scale, &out);
-            run_theory(scale, &out);
-            run_separation(scale, &out);
-            run_ablation(scale, &out);
-            run_phases(scale, &out);
-            run_scenarios(scale, threads, &out);
+            run_sweep(&opts);
+            if opts.should_run("separation") {
+                run_separation(&opts);
+            }
         }
         "help" | "--help" | "-h" => {
             println!(
                 "usage: experiments \
-                 <table1|fig1|fig2|fig3|fig4|fig5|theory|separation|ablation|phases|scenario|all> \
-                 [--quick|--large] [--max-n N] [--reps K] [--seed S] [--threads T] [--out DIR]"
+                 <table1|fig1|fig2|fig3|fig4|fig5|theory|separation|ablation|phases|scenario|sweep|all> \
+                 [--quick|--large] [--max-n N] [--reps K] [--max-reps K] [--ci-rel T] \
+                 [--seed S] [--threads T] [--out DIR] [--cache FILE] [--only NAME]..."
             );
         }
         other => {

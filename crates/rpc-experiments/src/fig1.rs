@@ -8,141 +8,82 @@
 //! * fast-gossiping grows like `log n / log log n` and an **increasing gap**
 //!   to Push-Pull opens as `n` grows,
 //! * the memory model stays bounded by a small constant (the paper reports 5).
+//!
+//! The experiment is a [`SweepSpec`] grid `n × algorithm`; the adaptive CI
+//! stop watches `packets_per_node`, the figure's y-axis.
 
-use rpc_engine::{Accounting, Simulation};
-use rpc_gossip::prelude::*;
-use rpc_graphs::prelude::*;
+use rpc_scenarios::{AxisPoint, TopologySpec};
+use rpc_scenarios::{CellJob, ProtocolSpec, RepPolicy, Scenario, SweepReport, SweepSpec};
 
-use crate::report::{fmt3, Table};
-use crate::sweep::seeds;
+use crate::report::{sweep_table, Table};
 
-/// One measured point of Figure 1.
-#[derive(Clone, Debug)]
-pub struct Fig1Point {
-    /// Graph size.
-    pub n: usize,
-    /// Algorithm label.
-    pub algorithm: &'static str,
-    /// Average messages per node (per-channel-exchange accounting, the
-    /// convention of the figure).
-    pub messages_per_node: f64,
-    /// Average messages per node under per-packet accounting.
-    pub packets_per_node: f64,
-    /// Average number of rounds.
-    pub rounds: f64,
-    /// Fraction of runs that completed gossiping.
-    pub completion_rate: f64,
-}
+/// The three algorithm labels of the figure, in plot order.
+pub const ALGORITHMS: [&str; 3] = ["push-pull", "fast-gossiping", "memory"];
 
-/// Runs the Figure 1 experiment for the given sizes, averaging over
-/// `repetitions` seeded runs per point. Single-threaded; see [`run_threaded`].
-pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<Fig1Point> {
-    run_threaded(sizes, repetitions, base_seed, 1)
-}
-
-/// Like [`run`], but with `threads` engine workers applying each delivery
-/// batch (`rpc_engine::parallel::compute_updates`). The measured numbers are
-/// bit-identical for every thread count; threads only shorten the wall-clock
-/// time of the big bitset unions.
-pub fn run_threaded(
-    sizes: &[usize],
-    repetitions: usize,
-    base_seed: u64,
-    threads: usize,
-) -> Vec<Fig1Point> {
-    let mut points = Vec::new();
-    for &n in sizes {
-        let generator = ErdosRenyi::paper_density(n);
-        let algorithms: Vec<Box<dyn GossipAlgorithm>> = vec![
-            Box::new(PushPullGossip::default()),
-            Box::new(FastGossiping::paper(n)),
-            Box::new(MemoryGossip::paper(n)),
-        ];
-        for algorithm in &algorithms {
-            let mut messages = 0.0;
-            let mut packets = 0.0;
-            let mut rounds = 0.0;
-            let mut completed = 0usize;
-            let run_seeds = seeds(base_seed, repetitions);
-            for (i, &seed) in run_seeds.iter().enumerate() {
-                let graph = generator.generate(seed ^ (i as u64) << 32);
-                let mut sim = Simulation::new(&graph, seed).with_threads(threads);
-                let outcome = algorithm.run_on(&mut sim);
-                messages += outcome.messages_per_node(Accounting::PerChannelExchange);
-                packets += outcome.messages_per_node(Accounting::PerPacket);
-                rounds += outcome.rounds() as f64;
-                completed += usize::from(outcome.completed());
-            }
-            let reps = repetitions.max(1) as f64;
-            points.push(Fig1Point {
-                n,
-                algorithm: algorithm.name(),
-                messages_per_node: messages / reps,
-                packets_per_node: packets / reps,
-                rounds: rounds / reps,
-                completion_rate: completed as f64 / reps,
-            });
-        }
+/// Resolves an `algorithm` axis value to its protocol.
+pub(crate) fn protocol_for(label: &str) -> ProtocolSpec {
+    match label {
+        "push-pull" => ProtocolSpec::PushPull,
+        "fast-gossiping" => ProtocolSpec::FastGossiping,
+        "memory" => ProtocolSpec::Memory,
+        other => panic!("unknown algorithm axis value `{other}`"),
     }
-    points
 }
 
-/// Renders Figure 1 points as a table (one row per `(n, algorithm)` pair).
-pub fn table(points: &[Fig1Point]) -> Table {
-    let mut table = Table::new(
-        "Figure 1 — average messages per node on G(n, log^2 n / n)",
-        &["n", "algorithm", "messages_per_node", "packets_per_node", "rounds", "completion_rate"],
-    );
-    for p in points {
-        table.push_row(vec![
-            p.n.to_string(),
-            p.algorithm.to_string(),
-            fmt3(p.messages_per_node),
-            fmt3(p.packets_per_node),
-            fmt3(p.rounds),
-            fmt3(p.completion_rate),
-        ]);
-    }
-    table
+/// Builds a scenario cell for one `(n, algorithm)` grid point.
+pub(crate) fn algorithm_cell(name: &str, point: &AxisPoint) -> CellJob {
+    let n: usize = point.parse("n");
+    CellJob::scenario(
+        Scenario::builder(name, TopologySpec::ErdosRenyiPaper { n })
+            .protocol(protocol_for(point.get("algorithm")))
+            .build()
+            .expect("paper-density scenario is valid"),
+    )
+}
+
+/// The Figure 1 sweep: every size crossed with every algorithm.
+pub fn spec(sizes: &[usize], seed: u64, policy: RepPolicy) -> SweepSpec {
+    SweepSpec::grid("fig1", seed, policy)
+        .axis("n", sizes.iter().copied())
+        .axis("algorithm", ALGORITHMS)
+        .cells(|point| Some(algorithm_cell("fig1", point)))
+        .expect("fig1 grid is well-formed")
+}
+
+/// Renders the sweep report as the Figure 1 table (one row per
+/// `(n, algorithm)` cell).
+pub fn table(report: &SweepReport) -> Table {
+    sweep_table("Figure 1 — average messages per node on G(n, log^2 n / n)", report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpc_scenarios::SweepRunner;
 
     #[test]
-    fn produces_one_point_per_size_and_algorithm() {
-        let points = run(&[128, 256], 1, 1);
-        assert_eq!(points.len(), 6);
-        assert!(points.iter().all(|p| p.completion_rate == 1.0));
-        let t = table(&points);
+    fn produces_one_cell_per_size_and_algorithm() {
+        let report = SweepRunner::new().run(&spec(&[128, 256], 1, RepPolicy::fixed(1)));
+        assert_eq!(report.cells.len(), 6);
+        assert!(report.cells.iter().all(|c| c.mean("completed") == Some(1.0)));
+        let t = table(&report);
         assert_eq!(t.len(), 6);
         assert!(t.to_csv().contains("push-pull"));
-    }
-
-    #[test]
-    fn threaded_run_is_bit_identical_to_single_threaded() {
-        let single = run(&[256], 2, 5);
-        let multi = run_threaded(&[256], 2, 5, 4);
-        assert_eq!(single.len(), multi.len());
-        for (a, b) in single.iter().zip(&multi) {
-            assert_eq!(a.messages_per_node, b.messages_per_node, "{}", a.algorithm);
-            assert_eq!(a.packets_per_node, b.packets_per_node, "{}", a.algorithm);
-            assert_eq!(a.rounds, b.rounds, "{}", a.algorithm);
-        }
+        assert!(t.columns.contains(&"stopped_complete".to_string()));
     }
 
     #[test]
     fn figure_shape_holds_at_small_scale() {
         // Even at n = 1024 the ordering of the three curves must match the
         // figure: memory < fast-gossiping < push-pull (packet accounting).
-        let points = run(&[1024], 2, 3);
+        let report = SweepRunner::new().run(&spec(&[1024], 3, RepPolicy::fixed(2)));
         let get = |name: &str| {
-            points
+            report
+                .cells
                 .iter()
-                .find(|p| p.algorithm == name)
+                .find(|c| c.axis("algorithm") == Some(name))
+                .and_then(|c| c.mean("packets_per_node"))
                 .unwrap_or_else(|| panic!("missing {name}"))
-                .packets_per_node
         };
         let push_pull = get("push-pull");
         let fast = get("fast-gossiping");

@@ -5,89 +5,75 @@
 //! gains an extra step (the phase lengths are discrete functions of `n`), and
 //! a *decrease* between jumps because the relative number of random walks,
 //! `1/log n` per node, shrinks while the step counts stay constant.
+//!
+//! The sweep runs fast-gossiping with the per-phase probe enabled, so each
+//! cell carries `{phase}_ppn` metrics; the configured phase lengths are
+//! appended as derived columns.
 
-use rpc_engine::Accounting;
-use rpc_gossip::prelude::*;
-use rpc_graphs::prelude::*;
+use rpc_gossip::FastGossipingConfig;
+use rpc_scenarios::{CellJob, ProtocolSpec, RepPolicy, Scenario, SweepReport, SweepSpec};
+use rpc_scenarios::{CellResult, TopologySpec};
 
-use crate::report::{fmt3, Table};
-use crate::sweep::seeds;
+use crate::report::{sweep_table_with, Table};
 
-/// One measured point of Figure 4.
-#[derive(Clone, Debug)]
-pub struct Fig4Point {
-    /// Graph size.
-    pub n: usize,
-    /// Average messages per node (per-packet accounting).
-    pub packets_per_node: f64,
-    /// Phase I step count used at this size.
-    pub phase1_steps: usize,
-    /// Phase II round count used at this size.
-    pub phase2_rounds: usize,
-    /// Packets per node spent in the random-walk phase only.
-    pub phase2_packets_per_node: f64,
+/// The Figure 4 sweep: fast-gossiping across a dense size grid, traced
+/// per phase.
+pub fn spec(sizes: &[usize], seed: u64, policy: RepPolicy) -> SweepSpec {
+    SweepSpec::grid("fig4", seed, policy)
+        .axis("n", sizes.iter().copied())
+        .cells(|point| {
+            let n: usize = point.parse("n");
+            Some(CellJob::scenario_with_phases(
+                Scenario::builder("fig4", TopologySpec::ErdosRenyiPaper { n })
+                    .protocol(ProtocolSpec::FastGossiping)
+                    .build()
+                    .expect("paper-density scenario is valid"),
+            ))
+        })
+        .expect("fig4 grid is well-formed")
 }
 
-/// Runs the Figure 4 experiment on the given (dense) size grid.
-pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<Fig4Point> {
-    let mut points = Vec::new();
-    for &n in sizes {
-        let config = FastGossipingConfig::paper_defaults(n);
-        let algorithm = FastGossiping::new(config);
-        let generator = ErdosRenyi::paper_density(n);
-        let mut packets = 0.0;
-        let mut phase2_packets = 0.0;
-        let run_seeds = seeds(base_seed, repetitions);
-        for (i, &seed) in run_seeds.iter().enumerate() {
-            let graph = generator.generate(seed ^ ((i as u64) << 32));
-            let outcome = algorithm.run(&graph, seed);
-            packets += outcome.messages_per_node(Accounting::PerPacket);
-            phase2_packets +=
-                outcome.packets_in_phase("phase2-random-walks").unwrap_or(0) as f64 / n as f64;
-        }
-        let reps = repetitions.max(1) as f64;
-        points.push(Fig4Point {
-            n,
-            packets_per_node: packets / reps,
-            phase1_steps: config.phase1_steps,
-            phase2_rounds: config.phase2_rounds,
-            phase2_packets_per_node: phase2_packets / reps,
-        });
-    }
-    points
+fn cell_n(cell: &CellResult) -> usize {
+    cell.axis("n").and_then(|v| v.parse().ok()).expect("fig4 cells carry an `n` axis")
 }
 
-/// Renders Figure 4 points as a table.
-pub fn table(points: &[Fig4Point]) -> Table {
-    let mut table = Table::new(
+/// Renders the sweep report as the Figure 4 table, with the deterministic
+/// phase lengths (`phase1_steps`, `phase2_rounds`) derived from each cell's
+/// size.
+pub fn table(report: &SweepReport) -> Table {
+    let phase1 = |cell: &CellResult| {
+        FastGossipingConfig::paper_defaults(cell_n(cell)).phase1_steps.to_string()
+    };
+    let phase2 = |cell: &CellResult| {
+        FastGossipingConfig::paper_defaults(cell_n(cell)).phase2_rounds.to_string()
+    };
+    sweep_table_with(
         "Figure 4 — fast-gossiping messages per node (detail)",
-        &["n", "packets_per_node", "phase1_steps", "phase2_rounds", "phase2_packets_per_node"],
-    );
-    for p in points {
-        table.push_row(vec![
-            p.n.to_string(),
-            fmt3(p.packets_per_node),
-            p.phase1_steps.to_string(),
-            p.phase2_rounds.to_string(),
-            fmt3(p.phase2_packets_per_node),
-        ]);
-    }
-    table
+        report,
+        &[("phase1_steps", &phase1), ("phase2_rounds", &phase2)],
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpc_scenarios::SweepRunner;
 
     #[test]
     fn records_phase_parameters_alongside_measurements() {
-        let points = run(&[256, 512], 1, 5);
-        assert_eq!(points.len(), 2);
-        for p in &points {
-            assert!(p.packets_per_node > 0.0);
-            assert!(p.phase2_packets_per_node <= p.packets_per_node);
-            assert!(p.phase1_steps >= 1 && p.phase2_rounds >= 1);
+        let report = SweepRunner::new().run(&spec(&[256, 512], 5, RepPolicy::fixed(1)));
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            let total = cell.mean("packets_per_node").unwrap();
+            let walks = cell.mean("phase2-random-walks_ppn").unwrap();
+            assert!(total > 0.0);
+            assert!(walks <= total);
         }
-        assert_eq!(table(&points).len(), 2);
+        let t = table(&report);
+        assert_eq!(t.len(), 2);
+        let p1 = t.columns.iter().position(|c| c == "phase1_steps").unwrap();
+        for row in &t.rows {
+            assert!(row[p1].parse::<usize>().unwrap() >= 1);
+        }
     }
 }

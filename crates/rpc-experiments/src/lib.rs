@@ -2,8 +2,13 @@
 //!
 //! The experiment harness that regenerates every figure and table of the
 //! paper's evaluation (Section 5 and Appendix C), plus shape checks for the
-//! analytical results. Each experiment is a module returning plain data
-//! points and a [`report::Table`] renderable as Markdown or CSV:
+//! analytical results. Each simulation experiment is a thin pair of
+//! functions: a `spec(...)` building a declarative
+//! [`rpc_scenarios::SweepSpec`] (which axes, which cells, which repetition
+//! policy) and a `table(...)` post-processing the executed
+//! [`rpc_scenarios::SweepReport`] into a [`report::Table`] renderable as
+//! Markdown or CSV. All grid iteration, seeding, adaptive CI stopping,
+//! threading and caching lives in the sweep engine:
 //!
 //! | paper artefact | module | CLI subcommand |
 //! |---|---|---|
@@ -19,6 +24,11 @@
 //! | Per-phase packet breakdown | [`phases`] | `phases` |
 //! | Scenario registry (churn/loss/crash workloads) | [`scenario`] | `scenario` |
 //!
+//! The `sweep` subcommand runs every sweep-backed experiment in one go,
+//! sharing a cell cache so interrupted runs resume where they stopped.
+//! [`table1`] samples no randomness (constants only) and [`separation`] drives
+//! a protocol without a stepper, so those two stay outside the sweep engine.
+//!
 //! The default sizes are scaled to laptop hardware (the paper used four
 //! 64-core machines with 512 GB–1 TB of RAM and graphs up to 10⁶ nodes; see
 //! DESIGN.md for the substitution argument). Every experiment takes the sizes
@@ -29,15 +39,16 @@
 pub mod ablation;
 pub mod fig1;
 pub mod fig4;
+pub mod opts;
 pub mod phases;
 pub mod report;
 pub mod robustness;
 pub mod scenario;
 pub mod separation;
-pub mod sweep;
 pub mod table1;
 pub mod theory_check;
 
+pub use opts::RunOpts;
 pub use report::Table;
 
 /// Scale of an experiment run: how large the graphs are and how many
@@ -73,6 +84,7 @@ impl Scale {
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::opts::RunOpts;
     pub use crate::report::Table;
     pub use crate::Scale;
 }

@@ -5,96 +5,64 @@
 //! the tree / gather / broadcast split. This experiment reports how the
 //! measured packets distribute over the phases, which is the first thing to
 //! look at when the aggregate numbers drift from the paper's.
+//!
+//! The sweep enables the per-phase probe ([`rpc_scenarios::Probe::Phases`])
+//! so each cell
+//! carries one `{phase}_ppn` metric per recorded phase; the table is wide
+//! (one column pair per phase), with blanks where an algorithm lacks a phase.
 
-use rpc_gossip::prelude::*;
-use rpc_graphs::prelude::*;
+use rpc_scenarios::{CellJob, RepPolicy, Scenario, SweepReport, SweepSpec, TopologySpec};
 
-use crate::report::{fmt3, Table};
-use crate::sweep::seeds;
+use crate::fig1::protocol_for;
+use crate::report::{sweep_table, Table};
 
-/// Packets per node spent in one phase of one algorithm.
-#[derive(Clone, Debug)]
-pub struct PhaseBreakdownPoint {
-    /// Graph size.
-    pub n: usize,
-    /// Algorithm label.
-    pub algorithm: &'static str,
-    /// Phase label as recorded by the algorithm.
-    pub phase: String,
-    /// Average packets per node spent in this phase.
-    pub packets_per_node: f64,
-    /// Share of the algorithm's total packets spent in this phase.
-    pub share: f64,
+/// The phase-breakdown sweep: the two phase-based algorithms at one size,
+/// traced per phase.
+pub fn spec(n: usize, seed: u64, policy: RepPolicy) -> SweepSpec {
+    SweepSpec::grid("phases", seed, policy)
+        .axis("n", [n])
+        .axis("algorithm", ["fast-gossiping", "memory"])
+        .cells(|point| {
+            Some(CellJob::scenario_with_phases(
+                Scenario::builder("phases", TopologySpec::ErdosRenyiPaper { n: point.parse("n") })
+                    .protocol(protocol_for(point.get("algorithm")))
+                    .build()
+                    .expect("paper-density scenario is valid"),
+            ))
+        })
+        .expect("phases grid is well-formed")
 }
 
-/// Measures the per-phase packet breakdown for fast-gossiping and the memory
-/// model at one size.
-pub fn run(n: usize, repetitions: usize, base_seed: u64) -> Vec<PhaseBreakdownPoint> {
-    let generator = ErdosRenyi::paper_density(n);
-    let algorithms: Vec<Box<dyn GossipAlgorithm>> =
-        vec![Box::new(FastGossiping::paper(n)), Box::new(MemoryGossip::paper(n))];
-    let mut points: Vec<PhaseBreakdownPoint> = Vec::new();
-    for algorithm in &algorithms {
-        // phase label -> accumulated packets
-        let mut phase_packets: Vec<(String, f64)> = Vec::new();
-        let mut total = 0.0f64;
-        let run_seeds = seeds(base_seed, repetitions);
-        for (i, &seed) in run_seeds.iter().enumerate() {
-            let graph = generator.generate(seed ^ ((i as u64) << 32));
-            let outcome = algorithm.run(&graph, seed);
-            total += outcome.total_packets() as f64;
-            for phase in outcome.phases() {
-                let delta = outcome.packets_in_phase(&phase.label).unwrap_or(0) as f64;
-                match phase_packets.iter_mut().find(|(label, _)| *label == phase.label) {
-                    Some((_, acc)) => *acc += delta,
-                    None => phase_packets.push((phase.label.clone(), delta)),
-                }
-            }
-        }
-        let reps = repetitions.max(1) as f64;
-        for (label, packets) in phase_packets {
-            points.push(PhaseBreakdownPoint {
-                n,
-                algorithm: algorithm.name(),
-                phase: label,
-                packets_per_node: packets / reps / n as f64,
-                share: if total > 0.0 { packets / total } else { 0.0 },
-            });
-        }
-    }
-    points
-}
-
-/// Renders the phase breakdown as a table.
-pub fn table(points: &[PhaseBreakdownPoint]) -> Table {
-    let mut table = Table::new(
-        "Per-phase packet breakdown",
-        &["n", "algorithm", "phase", "packets_per_node", "share_of_total"],
-    );
-    for p in points {
-        table.push_row(vec![
-            p.n.to_string(),
-            p.algorithm.to_string(),
-            p.phase.clone(),
-            fmt3(p.packets_per_node),
-            fmt3(p.share),
-        ]);
-    }
-    table
+/// Renders the phase breakdown as a (wide) table.
+pub fn table(report: &SweepReport) -> Table {
+    sweep_table("Per-phase packet breakdown", report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpc_scenarios::SweepRunner;
 
     #[test]
-    fn shares_sum_to_one_per_algorithm() {
-        let points = run(256, 1, 11);
-        for name in ["fast-gossiping", "memory"] {
-            let share: f64 = points.iter().filter(|p| p.algorithm == name).map(|p| p.share).sum();
-            assert!((share - 1.0).abs() < 1e-9, "{name} shares sum to {share}");
+    fn phase_packets_sum_to_the_total_per_algorithm() {
+        let report = SweepRunner::new().run(&spec(256, 11, RepPolicy::fixed(1)));
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            let total = cell.mean("packets_per_node").unwrap();
+            let phase_sum: f64 = cell
+                .metrics
+                .iter()
+                .filter(|m| m.name.ends_with("_ppn"))
+                .map(|m| m.stats.mean)
+                .sum();
+            assert!(
+                (phase_sum - total).abs() < 1e-9 * total.max(1.0),
+                "{}: phases sum to {phase_sum}, total {total}",
+                cell.key
+            );
         }
-        assert!(points.iter().any(|p| p.phase == "phase2-random-walks"));
-        assert_eq!(table(&points).len(), points.len());
+        let t = table(&report);
+        assert!(t.columns.iter().any(|c| c == "phase2-random-walks_ppn_mean"));
+        assert_eq!(t.len(), 2);
     }
 }

@@ -3,11 +3,19 @@
 //! Every experiment returns a [`Table`]; the CLI prints it as Markdown and can
 //! additionally write it as CSV, which is the format the paper's gnuplot
 //! figures would be regenerated from.
+//!
+//! [`sweep_table`] is the single report pipeline of the sweep-based
+//! experiments: it renders a [`SweepReport`] with one row per cell — axis
+//! columns, the repetition count, the four `stopped_*` discriminant counts,
+//! and a `_mean`/`_ci95` column pair per metric. [`sweep_table_with`] appends
+//! experiment-specific derived columns computed from each [`CellResult`].
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+use rpc_scenarios::{CellResult, SweepReport};
 
 /// A simple rectangular table of strings with a title and column headers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +98,66 @@ impl Table {
 /// Formats a float with three decimal places for table cells.
 pub fn fmt3(x: f64) -> String {
     format!("{x:.3}")
+}
+
+/// An extra derived column for [`sweep_table_with`]: header plus a renderer
+/// over each cell.
+pub type ExtraColumn<'a> = (&'a str, &'a dyn Fn(&CellResult) -> String);
+
+/// Renders a sweep report in the standard layout: the cells' axis columns,
+/// `reps`, the four `stopped_*` discriminant counts, then `_mean` and `_ci95`
+/// columns for every metric (blank where a cell lacks the metric — phase
+/// metrics differ between protocols).
+pub fn sweep_table(title: impl Into<String>, report: &SweepReport) -> Table {
+    sweep_table_with(title, report, &[])
+}
+
+/// Like [`sweep_table`], with extra derived columns appended on the right.
+pub fn sweep_table_with(
+    title: impl Into<String>,
+    report: &SweepReport,
+    extras: &[ExtraColumn<'_>],
+) -> Table {
+    let axes: Vec<String> = report
+        .cells
+        .first()
+        .map(|cell| cell.axes.iter().map(|(axis, _)| axis.clone()).collect())
+        .unwrap_or_default();
+    let metrics: Vec<String> = report.metric_names().iter().map(|m| m.to_string()).collect();
+    let mut columns = axes.clone();
+    columns.extend(
+        ["reps", "stopped_complete", "stopped_rounds", "stopped_coverage", "stopped_max"]
+            .map(String::from),
+    );
+    for metric in &metrics {
+        columns.push(format!("{metric}_mean"));
+        columns.push(format!("{metric}_ci95"));
+    }
+    columns.extend(extras.iter().map(|(name, _)| name.to_string()));
+
+    let mut table = Table { title: title.into(), columns, rows: Vec::new() };
+    for cell in &report.cells {
+        let mut row: Vec<String> =
+            axes.iter().map(|axis| cell.axis(axis).unwrap_or("").to_string()).collect();
+        row.push(cell.reps.to_string());
+        let s = cell.stopped;
+        row.extend([s.complete, s.round_budget, s.coverage, s.max_rounds].map(|c| c.to_string()));
+        for metric in &metrics {
+            match cell.metric(metric) {
+                Some(m) => {
+                    row.push(fmt3(m.stats.mean));
+                    row.push(fmt3(m.ci_half));
+                }
+                None => {
+                    row.push(String::new());
+                    row.push(String::new());
+                }
+            }
+        }
+        row.extend(extras.iter().map(|(_, render)| render(cell)));
+        table.push_row(row);
+    }
+    table
 }
 
 #[cfg(test)]

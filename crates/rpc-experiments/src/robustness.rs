@@ -9,185 +9,97 @@
 //!   y = percentage of runs in which more than `T ∈ {0, 10, 100}` additional
 //!   messages were lost.
 //!
-//! The experiments here take the graph size as a parameter so the same code
-//! regenerates Figure 2 (one large size) and Figure 3 (two smaller sizes); the
-//! default CLI sizes are scaled down to laptop scale (see DESIGN.md).
+//! All three share one [`SweepSpec`] shape built by [`loss_ratio_spec`] — one
+//! [`CellJob::MemoryFailure`] cell per failure count — and differ only in the
+//! failure grid, the repetition policy, and the rendered columns. The cells'
+//! `lost_gt{0,10,100}` indicator metrics make the Figure 5 exceedance
+//! percentages plain means (× 100).
 
-use rpc_gossip::prelude::*;
-use rpc_graphs::prelude::*;
+use rpc_scenarios::{CellJob, CellResult, RepPolicy, SweepReport, SweepSpec};
 
-use crate::report::{fmt3, Table};
-use crate::sweep::seeds;
+use crate::report::{fmt3, sweep_table, sweep_table_with, Table};
 
-/// One measured point of the loss-ratio experiments (Figures 2 and 3).
-#[derive(Clone, Debug)]
-pub struct LossRatioPoint {
-    /// Graph size.
-    pub n: usize,
-    /// Number of failed nodes `F`.
-    pub failures: usize,
-    /// Mean ratio of additionally lost healthy messages to `F`.
-    pub loss_ratio: f64,
-    /// Mean number of additionally lost healthy messages.
-    pub lost_messages: f64,
-    /// Number of repetitions averaged.
-    pub repetitions: usize,
-}
-
-/// Runs the loss-ratio experiment (Figures 2/3) for one graph size over the
-/// given failure counts, with `trees` independent distribution trees.
-pub fn loss_ratio(
+/// Builds the robustness sweep for one graph size: one memory-model cell per
+/// failure count, with `trees` independent distribution trees and failures
+/// injected between Phase I and Phase II.
+pub fn loss_ratio_spec(
+    name: &str,
     n: usize,
     failure_counts: &[usize],
     trees: usize,
-    repetitions: usize,
-    base_seed: u64,
-) -> Vec<LossRatioPoint> {
-    let generator = ErdosRenyi::paper_density(n);
-    let algorithm = MemoryGossip::new(MemoryGossipConfig::paper_defaults(n).with_trees(trees));
-    let mut points = Vec::new();
+    seed: u64,
+    policy: RepPolicy,
+) -> SweepSpec {
+    let mut spec = SweepSpec::new(name, seed, policy);
     for &failures in failure_counts {
-        let mut ratio_sum = 0.0;
-        let mut lost_sum = 0.0;
-        let run_seeds = seeds(base_seed ^ failures as u64, repetitions);
-        for (i, &seed) in run_seeds.iter().enumerate() {
-            let graph = generator.generate(seed ^ ((i as u64) << 32));
-            let outcome = algorithm.run_with_failures(&graph, seed, failures);
-            lost_sum += outcome.lost_messages() as f64;
-            ratio_sum += outcome.additional_loss_ratio().unwrap_or(0.0);
-        }
-        let reps = repetitions.max(1) as f64;
-        points.push(LossRatioPoint {
-            n,
-            failures,
-            loss_ratio: ratio_sum / reps,
-            lost_messages: lost_sum / reps,
-            repetitions,
-        });
+        spec.push_cell(
+            vec![
+                ("n".into(), n.to_string()),
+                ("failed_nodes".into(), failures.to_string()),
+                ("trees".into(), trees.to_string()),
+            ],
+            CellJob::MemoryFailure { n, failures, trees },
+        )
+        .expect("robustness cell is valid");
     }
-    points
+    spec
 }
 
-/// Renders loss-ratio points as a table.
-pub fn loss_ratio_table(title: &str, points: &[LossRatioPoint]) -> Table {
-    let mut table =
-        Table::new(title, &["n", "failed_nodes", "loss_ratio", "lost_messages", "repetitions"]);
-    for p in points {
-        table.push_row(vec![
-            p.n.to_string(),
-            p.failures.to_string(),
-            fmt3(p.loss_ratio),
-            fmt3(p.lost_messages),
-            p.repetitions.to_string(),
-        ]);
-    }
-    table
+/// Renders a robustness sweep as the Figures 2/3 table (loss ratio and lost
+/// messages per failure count).
+pub fn loss_ratio_table(title: &str, report: &SweepReport) -> Table {
+    sweep_table(title, report)
 }
 
-/// One measured point of the Figure 5 experiment.
-#[derive(Clone, Debug)]
-pub struct ThresholdPoint {
-    /// Graph size.
-    pub n: usize,
-    /// Number of failed nodes `F`.
-    pub failures: usize,
-    /// Percentage of runs with more than 0 additional lost messages.
-    pub percent_above_0: f64,
-    /// Percentage of runs with more than 10 additional lost messages.
-    pub percent_above_10: f64,
-    /// Percentage of runs with more than 100 additional lost messages.
-    pub percent_above_100: f64,
-    /// Number of runs per point.
-    pub runs: usize,
-}
-
-/// Runs the Figure 5 experiment: for each failure count, the percentage of
-/// runs losing more than `T ∈ {0, 10, 100}` additional messages.
-pub fn loss_thresholds(
-    n: usize,
-    failure_counts: &[usize],
-    trees: usize,
-    runs: usize,
-    base_seed: u64,
-) -> Vec<ThresholdPoint> {
-    let generator = ErdosRenyi::paper_density(n);
-    let algorithm = MemoryGossip::new(MemoryGossipConfig::paper_defaults(n).with_trees(trees));
-    let mut points = Vec::new();
-    for &failures in failure_counts {
-        let mut above = [0usize; 3];
-        let run_seeds = seeds(base_seed ^ (failures as u64).rotate_left(17), runs);
-        for (i, &seed) in run_seeds.iter().enumerate() {
-            let graph = generator.generate(seed ^ ((i as u64) << 32));
-            let outcome = algorithm.run_with_failures(&graph, seed, failures);
-            let lost = outcome.lost_messages();
-            if lost > 0 {
-                above[0] += 1;
-            }
-            if lost > 10 {
-                above[1] += 1;
-            }
-            if lost > 100 {
-                above[2] += 1;
-            }
-        }
-        let pct = |count: usize| 100.0 * count as f64 / runs.max(1) as f64;
-        points.push(ThresholdPoint {
-            n,
-            failures,
-            percent_above_0: pct(above[0]),
-            percent_above_10: pct(above[1]),
-            percent_above_100: pct(above[2]),
-            runs,
-        });
-    }
-    points
-}
-
-/// Renders Figure 5 points as a table.
-pub fn loss_thresholds_table(title: &str, points: &[ThresholdPoint]) -> Table {
-    let mut table = Table::new(
+/// Renders a robustness sweep as the Figure 5 table: the percentage of runs
+/// losing more than `T ∈ {0, 10, 100}` additional messages, derived from the
+/// cells' exceedance-indicator metrics.
+pub fn loss_thresholds_table(title: &str, report: &SweepReport) -> Table {
+    let pct = |metric: &'static str| {
+        move |cell: &CellResult| fmt3(100.0 * cell.mean(metric).unwrap_or(0.0))
+    };
+    let (gt0, gt10, gt100) = (pct("lost_gt0"), pct("lost_gt10"), pct("lost_gt100"));
+    sweep_table_with(
         title,
-        &["n", "failed_nodes", "pct_runs_gt0", "pct_runs_gt10", "pct_runs_gt100", "runs"],
-    );
-    for p in points {
-        table.push_row(vec![
-            p.n.to_string(),
-            p.failures.to_string(),
-            fmt3(p.percent_above_0),
-            fmt3(p.percent_above_10),
-            fmt3(p.percent_above_100),
-            p.runs.to_string(),
-        ]);
-    }
-    table
+        report,
+        &[("pct_runs_gt0", &gt0), ("pct_runs_gt10", &gt10), ("pct_runs_gt100", &gt100)],
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpc_scenarios::SweepRunner;
 
     #[test]
     fn loss_ratio_is_zero_without_failures_and_bounded_with_failures() {
-        let points = loss_ratio(512, &[0, 20], 3, 2, 1);
-        assert_eq!(points.len(), 2);
-        assert_eq!(points[0].loss_ratio, 0.0);
-        assert_eq!(points[0].lost_messages, 0.0);
+        let spec = loss_ratio_spec("fig2-test", 512, &[0, 20], 3, 1, RepPolicy::fixed(2));
+        let report = SweepRunner::new().run(&spec);
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].mean("loss_ratio"), Some(0.0));
+        assert_eq!(report.cells[0].mean("lost_messages"), Some(0.0));
         // With 20 failed nodes out of 512 the additional loss ratio stays small.
-        assert!(points[1].loss_ratio < 4.0, "ratio {:.2}", points[1].loss_ratio);
-        let table = loss_ratio_table("fig2-test", &points);
+        let ratio = report.cells[1].mean("loss_ratio").unwrap();
+        assert!(ratio < 4.0, "ratio {ratio:.2}");
+        let table = loss_ratio_table("fig2-test", &report);
         assert_eq!(table.len(), 2);
+        assert!(table.columns.contains(&"loss_ratio_mean".to_string()));
     }
 
     #[test]
     fn thresholds_are_monotone() {
-        let points = loss_thresholds(512, &[0, 40], 3, 3, 2);
-        for p in &points {
-            assert!(p.percent_above_0 >= p.percent_above_10);
-            assert!(p.percent_above_10 >= p.percent_above_100);
-            assert!(p.percent_above_0 <= 100.0);
-        }
-        assert_eq!(points[0].percent_above_0, 0.0, "no failures => nothing lost");
-        let table = loss_thresholds_table("fig5-test", &points);
+        let spec = loss_ratio_spec("fig5-test", 512, &[0, 40], 3, 2, RepPolicy::fixed(3));
+        let report = SweepRunner::new().run(&spec);
+        let table = loss_thresholds_table("fig5-test", &report);
         assert!(table.to_markdown().contains("pct_runs_gt10"));
+        let col = |name: &str| table.columns.iter().position(|c| c == name).unwrap();
+        let (c0, c10, c100) = (col("pct_runs_gt0"), col("pct_runs_gt10"), col("pct_runs_gt100"));
+        for row in &table.rows {
+            let p0: f64 = row[c0].parse().unwrap();
+            let p10: f64 = row[c10].parse().unwrap();
+            let p100: f64 = row[c100].parse().unwrap();
+            assert!(p0 >= p10 && p10 >= p100 && p0 <= 100.0);
+        }
+        assert_eq!(table.rows[0][c0], fmt3(0.0), "no failures => nothing lost");
     }
 }

@@ -1,32 +1,43 @@
-//! The `scenario` experiment: the built-in scenario registry executed by the
-//! Monte Carlo batch driver.
+//! The `scenario` experiment: the built-in scenario registry executed as one
+//! sweep.
 //!
-//! Unlike the figure experiments — each a bespoke harness for one paper
-//! artefact — this experiment runs every scenario in
-//! [`rpc_scenarios::registry`] (static and dynamic topologies, loss, churn,
-//! crash bursts, adversarial placement) and reports the aggregated
-//! round/message/coverage statistics in the repository's standard
-//! Markdown/CSV table format. Output is bit-identical for any `--threads`
-//! value, making the CSV a cheap cross-machine determinism check.
+//! This experiment runs every scenario in [`rpc_scenarios::registry`] (static
+//! and dynamic topologies, loss, churn, crash bursts, adversarial placement)
+//! and reports the aggregated round/message/coverage statistics. Each registry
+//! entry is one sweep cell keyed by its name, so the results are cached and
+//! resumable like every other experiment, and output is bit-identical for any
+//! `--threads` value — the CSV doubles as a cheap cross-machine determinism
+//! check.
 
 use rpc_scenarios::registry;
-use rpc_scenarios::{BatchDriver, ScenarioReport};
+use rpc_scenarios::{CellJob, RepPolicy, SweepReport, SweepSpec};
 
 use crate::report::{fmt3, Table};
 
-/// Runs all built-in scenarios at size `n` with `repetitions` replications
-/// each, fanned across `threads` workers.
-pub fn run(n: usize, repetitions: usize, base_seed: u64, threads: usize) -> Vec<ScenarioReport> {
-    let scenarios = registry::builtin(n);
-    BatchDriver::new(repetitions, base_seed).with_threads(threads).run(&scenarios)
+/// The registry sweep: one cell per built-in scenario at size `n`.
+pub fn spec(n: usize, seed: u64, policy: RepPolicy) -> SweepSpec {
+    let mut spec = SweepSpec::new("scenario", seed, policy);
+    for s in registry::builtin(n) {
+        let axes = vec![
+            ("scenario".to_string(), s.name.clone()),
+            // Labels may contain spaces ("regular(n=128 d=8)"), which axis
+            // tokens forbid; underscores keep them CSV- and key-safe.
+            ("topology".to_string(), s.topology.label().replace(' ', "_")),
+            ("protocol".to_string(), s.protocol.name().to_string()),
+            ("n".to_string(), s.topology.num_nodes().to_string()),
+        ];
+        spec.push_cell(axes, CellJob::scenario(s)).expect("registry scenario is a valid cell");
+    }
+    spec
 }
 
-/// Renders scenario reports as a table (one row per scenario). The four
-/// `stopped_*` columns split the replications by why they ended (natural
-/// completion, a spent round budget, a met coverage threshold, or an
+/// Renders the registry sweep as a table (one row per scenario), preserving
+/// the richer layout of this report: rounds quantiles next to the means, and
+/// the four `stopped_*` columns splitting the replications by why they ended
+/// (natural completion, a spent round budget, a met coverage threshold, or an
 /// exhausted round cap — the last one meaning the stop rule was *not*
 /// satisfied).
-pub fn table(reports: &[ScenarioReport]) -> Table {
+pub fn table(report: &SweepReport) -> Table {
     let mut table = Table::new(
         "Scenario registry — Monte Carlo statistics per scenario",
         &[
@@ -45,31 +56,36 @@ pub fn table(reports: &[ScenarioReport]) -> Table {
             "rounds_p90",
             "rounds_max",
             "rounds_mean",
+            "rounds_ci95",
             "packets_per_node_mean",
             "coverage_mean",
             "rumor_coverage_mean",
         ],
     );
-    for r in reports {
+    for cell in &report.cells {
+        let rounds = cell.metric("rounds").expect("scenario cells record rounds");
+        let completed_runs =
+            (cell.mean("completed").unwrap_or(0.0) * cell.reps as f64).round() as usize;
         table.push_row(vec![
-            r.name.clone(),
-            r.topology.clone(),
-            r.protocol.to_string(),
-            r.n.to_string(),
-            r.replications.to_string(),
-            r.completed_runs.to_string(),
-            r.stopped.complete.to_string(),
-            r.stopped.round_budget.to_string(),
-            r.stopped.coverage.to_string(),
-            r.stopped.max_rounds.to_string(),
-            fmt3(r.rounds.min),
-            fmt3(r.rounds.p50),
-            fmt3(r.rounds.p90),
-            fmt3(r.rounds.max),
-            fmt3(r.rounds.mean),
-            fmt3(r.packets_per_node.mean),
-            fmt3(r.coverage.mean),
-            fmt3(r.tracked_coverage.mean),
+            cell.axis("scenario").unwrap_or("").to_string(),
+            cell.axis("topology").unwrap_or("").to_string(),
+            cell.axis("protocol").unwrap_or("").to_string(),
+            cell.axis("n").unwrap_or("").to_string(),
+            cell.reps.to_string(),
+            completed_runs.to_string(),
+            cell.stopped.complete.to_string(),
+            cell.stopped.round_budget.to_string(),
+            cell.stopped.coverage.to_string(),
+            cell.stopped.max_rounds.to_string(),
+            fmt3(rounds.stats.min),
+            fmt3(rounds.stats.p50),
+            fmt3(rounds.stats.p90),
+            fmt3(rounds.stats.max),
+            fmt3(rounds.stats.mean),
+            fmt3(rounds.ci_half),
+            fmt3(cell.mean("packets_per_node").unwrap_or(0.0)),
+            fmt3(cell.mean("coverage").unwrap_or(0.0)),
+            fmt3(cell.mean("rumor_coverage").unwrap_or(0.0)),
         ]);
     }
     table
@@ -78,13 +94,14 @@ pub fn table(reports: &[ScenarioReport]) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpc_scenarios::SweepRunner;
 
     #[test]
     fn produces_one_row_per_registry_scenario() {
-        let reports = run(128, 1, 1, 2);
-        assert_eq!(reports.len(), registry::BUILTIN_NAMES.len());
-        let t = table(&reports);
-        assert_eq!(t.len(), reports.len());
+        let report = SweepRunner::new().with_threads(2).run(&spec(128, 1, RepPolicy::fixed(1)));
+        assert_eq!(report.cells.len(), registry::BUILTIN_NAMES.len());
+        let t = table(&report);
+        assert_eq!(t.len(), report.cells.len());
         let csv = t.to_csv();
         for name in registry::BUILTIN_NAMES {
             assert!(csv.contains(name), "missing scenario {name} in CSV");
@@ -93,8 +110,9 @@ mod tests {
 
     #[test]
     fn csv_is_identical_across_thread_counts() {
-        let one = table(&run(128, 2, 7, 1)).to_csv();
-        let four = table(&run(128, 2, 7, 4)).to_csv();
+        let s = spec(128, 7, RepPolicy::fixed(2));
+        let one = table(&SweepRunner::new().with_threads(1).run(&s)).to_csv();
+        let four = table(&SweepRunner::new().with_threads(4).run(&s)).to_csv();
         assert_eq!(one, four, "scenario CSV must not depend on --threads");
     }
 }

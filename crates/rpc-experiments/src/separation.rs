@@ -10,13 +10,22 @@
 //! This experiment measures both, per topology, so the contrast can be read
 //! off one table: the broadcast ratio (random / complete) grows with `n`,
 //! while the gossiping ratio stays near 1.
+//!
+//! This is the one simulation experiment *not* expressed as a sweep spec:
+//! [`PushPullBroadcast`] has no [`rpc_gossip::ProtocolDriver`], so its runs go
+//! through the block-run oracle API rather than the scenario stepper, and the
+//! whole experiment stays a bespoke loop with its own seed schedule.
 
-use rpc_engine::Accounting;
+use rpc_engine::{derive_seed, Accounting};
 use rpc_gossip::prelude::*;
 use rpc_graphs::prelude::*;
 
 use crate::report::{fmt3, Table};
-use crate::sweep::seeds;
+
+/// The per-repetition seed schedule of this experiment.
+fn seeds(base_seed: u64, repetitions: usize) -> Vec<u64> {
+    (0..repetitions as u64).map(|i| derive_seed(base_seed, 0, i)).collect()
+}
 
 /// One measured point of the separation experiment.
 #[derive(Clone, Debug)]

@@ -3,7 +3,9 @@
 //! This experiment does not run anything; it prints, for a range of graph
 //! sizes, the phase lengths that [`FastGossipingConfig::paper_defaults`] and
 //! [`MemoryGossipConfig::paper_defaults`] derive from Table 1, making it easy
-//! to compare the constants against the paper.
+//! to compare the constants against the paper. Because it samples no
+//! randomness there is no repetition loop and hence no sweep spec — it is the
+//! only `sweep` subcommand member without one.
 
 use rpc_gossip::prelude::*;
 

@@ -8,32 +8,20 @@
 //!   series (and a random/complete ratio near 1) confirms the shape.
 //! * **Theorem 2**: memory-model gossiping needs `O(n)` transmissions; the
 //!   normalised column divides by `n` and must stay constant.
+//!
+//! The sweep is a grid `n × topology × algorithm`; the normalised columns are
+//! derived from each cell's `packets_per_node` mean and the theory-module
+//! bounds.
 
-use rpc_engine::Accounting;
-use rpc_gossip::{prelude::*, theory};
-use rpc_graphs::prelude::*;
+use rpc_gossip::theory;
+use rpc_scenarios::TopologySpec;
+use rpc_scenarios::{CellJob, CellResult, RepPolicy, Scenario, SweepReport, SweepSpec};
 
-use crate::report::{fmt3, Table};
-use crate::sweep::seeds;
+use crate::fig1::{protocol_for, ALGORITHMS};
+use crate::report::{fmt3, sweep_table_with, Table};
 
-/// One measured point of the theorem shape check.
-#[derive(Clone, Debug)]
-pub struct TheoryPoint {
-    /// Graph size.
-    pub n: usize,
-    /// Topology label (`"G(n,p)"` or `"complete"`).
-    pub topology: &'static str,
-    /// Algorithm label.
-    pub algorithm: &'static str,
-    /// Measured packets (per-packet accounting).
-    pub packets: f64,
-    /// Packets normalised by the theorem's bound.
-    pub normalised_packets: f64,
-    /// Measured rounds.
-    pub rounds: f64,
-    /// Rounds normalised by the theorem's bound.
-    pub normalised_rounds: f64,
-}
+/// The two topology axis values of the shape check.
+pub const TOPOLOGIES: [&str; 2] = ["er-paper", "complete"];
 
 fn predicted_packets(algorithm: &str, n: usize) -> f64 {
     match algorithm {
@@ -51,86 +39,80 @@ fn predicted_rounds(algorithm: &str, n: usize) -> f64 {
     }
 }
 
-/// Runs the shape check over the given sizes on both topologies.
-pub fn run(sizes: &[usize], repetitions: usize, base_seed: u64) -> Vec<TheoryPoint> {
-    let mut points = Vec::new();
-    for &n in sizes {
-        let topologies: Vec<(&'static str, Box<dyn GraphGenerator>)> = vec![
-            ("G(n,p)", Box::new(ErdosRenyi::paper_density(n))),
-            ("complete", Box::new(CompleteGraph::new(n))),
-        ];
-        for (label, generator) in &topologies {
-            let algorithms: Vec<Box<dyn GossipAlgorithm>> = vec![
-                Box::new(PushPullGossip::default()),
-                Box::new(FastGossiping::paper(n)),
-                Box::new(MemoryGossip::paper(n)),
-            ];
-            for algorithm in &algorithms {
-                let mut packets = 0.0;
-                let mut rounds = 0.0;
-                let run_seeds = seeds(base_seed, repetitions);
-                for (i, &seed) in run_seeds.iter().enumerate() {
-                    let graph = generator.generate(seed ^ ((i as u64) << 32));
-                    let outcome = algorithm.run(&graph, seed);
-                    packets += outcome.total_transmissions(Accounting::PerPacket) as f64;
-                    rounds += outcome.rounds() as f64;
-                }
-                let reps = repetitions.max(1) as f64;
-                let packets = packets / reps;
-                let rounds = rounds / reps;
-                points.push(TheoryPoint {
-                    n,
-                    topology: label,
-                    algorithm: algorithm.name(),
-                    packets,
-                    normalised_packets: packets / predicted_packets(algorithm.name(), n),
-                    rounds,
-                    normalised_rounds: rounds / predicted_rounds(algorithm.name(), n),
-                });
-            }
-        }
-    }
-    points
+/// The shape-check sweep: every size on both topologies with all three
+/// algorithms.
+pub fn spec(sizes: &[usize], seed: u64, policy: RepPolicy) -> SweepSpec {
+    SweepSpec::grid("theory", seed, policy)
+        .axis("n", sizes.iter().copied())
+        .axis("topology", TOPOLOGIES)
+        .axis("algorithm", ALGORITHMS)
+        .cells(|point| {
+            let n: usize = point.parse("n");
+            let topology = match point.get("topology") {
+                "complete" => TopologySpec::Complete { n },
+                _ => TopologySpec::ErdosRenyiPaper { n },
+            };
+            Some(CellJob::scenario(
+                Scenario::builder("theory", topology)
+                    .protocol(protocol_for(point.get("algorithm")))
+                    .build()
+                    .expect("shape-check scenario is valid"),
+            ))
+        })
+        .expect("theory grid is well-formed")
 }
 
-/// Renders the shape-check points as a table.
-pub fn table(points: &[TheoryPoint]) -> Table {
-    let mut table = Table::new(
+fn cell_shape(cell: &CellResult) -> (usize, String, f64) {
+    let n: usize = cell.axis("n").and_then(|v| v.parse().ok()).expect("theory cells carry `n`");
+    let algorithm = cell.axis("algorithm").expect("theory cells carry `algorithm`").to_string();
+    let packets = cell.mean("packets_per_node").unwrap_or(0.0) * n as f64;
+    (n, algorithm, packets)
+}
+
+/// Renders the shape-check sweep with total packets and the bound-normalised
+/// columns derived per cell.
+pub fn table(report: &SweepReport) -> Table {
+    let packets = |cell: &CellResult| fmt3(cell_shape(cell).2);
+    let packets_norm = |cell: &CellResult| {
+        let (n, algorithm, packets) = cell_shape(cell);
+        fmt3(packets / predicted_packets(&algorithm, n))
+    };
+    let rounds_norm = |cell: &CellResult| {
+        let (n, algorithm, _) = cell_shape(cell);
+        fmt3(cell.mean("rounds").unwrap_or(0.0) / predicted_rounds(&algorithm, n))
+    };
+    sweep_table_with(
         "Theorems 1 & 2 — transmissions/rounds normalised by the predicted bounds",
-        &["n", "topology", "algorithm", "packets", "packets/bound", "rounds", "rounds/bound"],
-    );
-    for p in points {
-        table.push_row(vec![
-            p.n.to_string(),
-            p.topology.to_string(),
-            p.algorithm.to_string(),
-            fmt3(p.packets),
-            fmt3(p.normalised_packets),
-            fmt3(p.rounds),
-            fmt3(p.normalised_rounds),
-        ]);
-    }
-    table
+        report,
+        &[
+            ("packets", &packets),
+            ("packets_per_bound", &packets_norm),
+            ("rounds_per_bound", &rounds_norm),
+        ],
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpc_scenarios::SweepRunner;
 
     #[test]
     fn random_and_complete_graphs_behave_alike_for_fast_gossiping() {
         // The core claim: no significant density separation for gossiping.
-        let points = run(&[512], 1, 9);
+        let report = SweepRunner::new().run(&spec(&[512], 9, RepPolicy::fixed(1)));
         let get = |topology: &str| {
-            points
+            report
+                .cells
                 .iter()
-                .find(|p| p.topology == topology && p.algorithm == "fast-gossiping")
+                .find(|c| {
+                    c.axis("topology") == Some(topology)
+                        && c.axis("algorithm") == Some("fast-gossiping")
+                })
+                .map(|c| cell_shape(c).2)
                 .unwrap()
-                .packets
         };
-        let random = get("G(n,p)");
-        let complete = get("complete");
-        let ratio = random / complete;
+        let ratio = get("er-paper") / get("complete");
         assert!(
             (0.5..=2.0).contains(&ratio),
             "fast-gossiping on G(n,p) vs K_n differs by {ratio:.2}x"
@@ -139,10 +121,13 @@ mod tests {
 
     #[test]
     fn normalised_values_are_order_one() {
-        let points = run(&[256], 1, 10);
-        for p in &points {
-            assert!(p.normalised_packets > 0.0 && p.normalised_packets < 10.0, "{p:?}");
+        let report = SweepRunner::new().run(&spec(&[256], 10, RepPolicy::fixed(1)));
+        let t = table(&report);
+        assert_eq!(t.len(), report.cells.len());
+        let norm = t.columns.iter().position(|c| c == "packets_per_bound").unwrap();
+        for row in &t.rows {
+            let v: f64 = row[norm].parse().unwrap();
+            assert!(v > 0.0 && v < 10.0, "normalised packets {v} out of range in {row:?}");
         }
-        assert_eq!(table(&points).len(), points.len());
     }
 }

@@ -43,7 +43,7 @@ fn table1_quick_emits_markdown_and_csv() {
 fn fig1_quick_emits_markdown_and_csv() {
     let out_dir = scratch_dir("fig1");
     let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
-        .args(["fig1", "--quick", "--out"])
+        .args(["fig1", "--quick", "--reps", "1", "--out"])
         .arg(&out_dir)
         .output()
         .expect("experiments binary should spawn");
@@ -56,6 +56,17 @@ fn fig1_quick_emits_markdown_and_csv() {
     let contents = std::fs::read_to_string(&csv)
         .unwrap_or_else(|e| panic!("expected CSV at {}: {e}", csv.display()));
     assert!(contents.lines().count() >= 2, "CSV should have header and data:\n{contents}");
+    assert!(
+        contents.lines().next().is_some_and(|h| h.contains("stopped_complete")),
+        "expected stopped_by columns in the header:\n{contents}"
+    );
+
+    // Sweep-backed experiments also emit the JSON report next to the CSV.
+    let json = out_dir.join("fig1_overhead.json");
+    let report = std::fs::read_to_string(&json)
+        .unwrap_or_else(|e| panic!("expected JSON at {}: {e}", json.display()));
+    assert!(report.trim_start().starts_with('{'), "expected a JSON object:\n{report}");
+    assert!(report.contains("\"cells\""), "expected per-cell results:\n{report}");
 
     std::fs::remove_dir_all(&out_dir).ok();
 }
@@ -66,7 +77,7 @@ fn scenario_quick_is_byte_identical_across_thread_counts() {
     for threads in ["1", "4"] {
         let out_dir = scratch_dir(&format!("scenario-t{threads}"));
         let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
-            .args(["scenario", "--quick", "--threads", threads, "--out"])
+            .args(["scenario", "--quick", "--reps", "1", "--threads", threads, "--out"])
             .arg(&out_dir)
             .output()
             .expect("experiments binary should spawn");

@@ -376,9 +376,18 @@ impl MemoryGossip {
     /// Figures 2 and 3.
     pub fn run_with_failures(&self, graph: &Graph, seed: u64, failures: usize) -> GossipOutcome {
         let mut sim = Simulation::new(graph, seed);
-        let leader = self.pick_leader(&mut sim);
+        self.run_with_failures_on(&mut sim, failures)
+    }
+
+    /// [`Self::run_with_failures`] on a caller-prepared simulation — the
+    /// entry point arena-backed sweep drivers use (the simulation may be
+    /// checked out of a [`rpc_engine::SimulationArena`]). Consumes randomness
+    /// identically to `run_with_failures`, so both produce bit-identical
+    /// outcomes for the same `(graph, seed)`.
+    pub fn run_with_failures_on(&self, sim: &mut Simulation<'_>, failures: usize) -> GossipOutcome {
+        let leader = self.pick_leader(sim);
         let trees: Vec<TreeRecord> =
-            (0..self.config.trees).map(|_| self.build_tree(&mut sim, leader)).collect();
+            (0..self.config.trees).map(|_| self.build_tree(sim, leader)).collect();
         sim.metrics_mut().mark_phase("phase1-trees");
 
         // Fail `failures` random non-leader nodes.
@@ -394,7 +403,7 @@ impl MemoryGossip {
         sim.fail_nodes(&failed);
 
         for tree in &trees {
-            self.gather(&mut sim, tree);
+            self.gather(sim, tree);
         }
         sim.metrics_mut().mark_phase("phase2-gather");
 

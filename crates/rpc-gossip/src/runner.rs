@@ -83,19 +83,24 @@ pub trait GossipAlgorithm {
     /// `"memory"`).
     fn name(&self) -> &'static str;
 
-    /// Runs the protocol on a caller-prepared simulation and returns the
-    /// communication accounting.
+    /// Runs the protocol as one uninterruptible block on a caller-prepared
+    /// simulation and returns the communication accounting.
     ///
-    /// This is the scenario-engine entry point: the caller may have configured
-    /// the simulation with message loss, scheduled churn/crash events, or a
-    /// worker-thread count, and the protocol experiences those conditions
-    /// without any protocol-specific code — the engine primitives apply them.
+    /// **Test-only oracle.** Production harnesses (the scenario executor, the
+    /// sweep engine) drive protocols one round at a time through
+    /// [`ProtocolDriver`], which supports stop rules, round budgets and
+    /// tracing; the block run exists as the reference the stepped path is
+    /// equivalence-tested against (`stepped_complete_runs_equal_block_run_on_engine`
+    /// in `rpc-scenarios`), and for one-off measurements outside the scenario
+    /// stack. The caller may still configure loss, churn/crash schedules or a
+    /// worker-thread count — the engine primitives apply them.
     fn run_on(&self, sim: &mut Simulation<'_>) -> GossipOutcome;
 
     /// Runs the protocol to completion on `graph`, deterministically in
     /// `seed`, and returns the communication accounting. Equivalent to
     /// [`Self::run_on`] with a freshly created, loss- and churn-free
-    /// simulation.
+    /// simulation — and like it a **test-only oracle**; scenario-driven
+    /// stepping is the production path.
     fn run(&self, graph: &Graph, seed: u64) -> GossipOutcome {
         let mut sim = Simulation::new(graph, seed);
         self.run_on(&mut sim)

@@ -35,7 +35,8 @@ pub struct StoppedByCounts {
 }
 
 impl StoppedByCounts {
-    fn record(&mut self, stopped_by: StoppedBy) {
+    /// Adds one run with the given discriminant to the tally.
+    pub fn record(&mut self, stopped_by: StoppedBy) {
         match stopped_by {
             StoppedBy::Complete => self.complete += 1,
             StoppedBy::RoundBudget => self.round_budget += 1,
@@ -43,6 +44,52 @@ impl StoppedByCounts {
             StoppedBy::MaxRoundsExhausted => self.max_rounds += 1,
         }
     }
+
+    /// Total runs tallied.
+    pub fn total(&self) -> usize {
+        self.complete + self.round_budget + self.coverage + self.max_rounds
+    }
+}
+
+/// Fans `tasks` out across up to `threads` workers, each owning one private
+/// [`ScenarioArena`], and returns the results **in task order** regardless of
+/// which worker computed what.
+///
+/// This is the shared execution substrate of [`BatchDriver`] and the sweep
+/// engine ([`crate::sweep::SweepRunner`]): tasks are split into contiguous
+/// chunks (one per worker), every chunk is processed in order on its own
+/// arena, and the chunk results are rejoined in spawn order. Because each
+/// task's result is a pure function of the task itself (arenas are
+/// bit-identical to fresh allocation), the output is independent of the
+/// thread count.
+pub(crate) fn run_on_pool<T, R, F>(tasks: &[T], threads: usize, run_task: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut ScenarioArena, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(tasks.len().max(1));
+    if threads <= 1 {
+        let mut arena = ScenarioArena::default();
+        return tasks.iter().map(|task| run_task(&mut arena, task)).collect();
+    }
+    let chunk_size = tasks.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let run_task = &run_task;
+                scope.spawn(move |_| {
+                    let mut arena = ScenarioArena::default();
+                    chunk.iter().map(|task| run_task(&mut arena, task)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        // Joining in spawn order keeps the results in task order regardless
+        // of which worker finishes first.
+        handles.into_iter().flat_map(|h| h.join().expect("pool worker panicked")).collect()
+    })
+    .expect("crossbeam scope failed")
 }
 
 /// Aggregated statistics of all replications of one scenario.
@@ -124,43 +171,21 @@ impl BatchDriver {
         let cells: Vec<(usize, usize)> = (0..scenarios.len())
             .flat_map(|s| (0..self.replications).map(move |r| (s, r)))
             .collect();
-        // Every worker owns one ScenarioArena for its whole chunk, so graph
-        // storage, simulation state tables and delivery pools are allocated
-        // once per worker and reused across repetitions. The arena path is
-        // bit-identical to fresh allocation, so the any-thread-count
-        // determinism contract is unchanged.
-        let run_cell = |arena: &mut ScenarioArena, &(s, r): &(usize, usize)| {
-            // Inner simulations run single-threaded: the batch dimension is
-            // where the parallelism is, and nesting pools would oversubscribe.
+        // Every pool worker owns one ScenarioArena for its whole chunk, so
+        // graph storage, simulation state tables and delivery pools are
+        // allocated once per worker and reused across repetitions. The arena
+        // path is bit-identical to fresh allocation, so the any-thread-count
+        // determinism contract is unchanged. Inner simulations run
+        // single-threaded: the batch dimension is where the parallelism is,
+        // and nesting pools would oversubscribe.
+        run_on_pool(&cells, self.threads, |arena, &(s, r)| {
             run_scenario_in(
                 arena,
                 &scenarios[s],
                 derive_seed(self.base_seed, s as u64, r as u64),
                 1,
             )
-        };
-        let threads = self.threads.min(cells.len().max(1));
-        if threads <= 1 {
-            let mut arena = ScenarioArena::default();
-            return cells.iter().map(|cell| run_cell(&mut arena, cell)).collect();
-        }
-        let chunk_size = cells.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = cells
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    let run_cell = &run_cell;
-                    scope.spawn(move |_| {
-                        let mut arena = ScenarioArena::default();
-                        chunk.iter().map(|cell| run_cell(&mut arena, cell)).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            // Joining in spawn order keeps the grid in cell order regardless
-            // of which worker finishes first.
-            handles.into_iter().flat_map(|h| h.join().expect("batch worker panicked")).collect()
         })
-        .expect("crossbeam scope failed")
     }
 }
 

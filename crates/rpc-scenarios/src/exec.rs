@@ -47,8 +47,8 @@ use rpc_engine::{
     SimulationArena, UnpackedSimulation,
 };
 use rpc_gossip::{
-    FastGossiping, FastGossipingDriver, MemoryDriver, MemoryGossip, ProtocolDriver, PushPullDriver,
-    StepStatus,
+    FastGossiping, FastGossipingConfig, FastGossipingDriver, MemoryDriver, MemoryGossip,
+    ProtocolDriver, PushPullDriver, StepStatus,
 };
 use rpc_graphs::{Graph, GraphArena, NodeId};
 
@@ -215,8 +215,8 @@ pub fn run_scenario_traced(
 /// protocols, stop rules and thread counts.
 #[derive(Debug, Default)]
 pub struct ScenarioArena {
-    graph: GraphArena,
-    sim: SimulationArena,
+    pub(crate) graph: GraphArena,
+    pub(crate) sim: SimulationArena,
 }
 
 /// Runs one replication of `scenario` through `arena`'s reusable storage —
@@ -290,10 +290,64 @@ pub fn run_scenario_unpacked_traced(
 }
 
 /// The engine-generic execution core shared by every entry point above.
+/// Instantiates the protocol's resumable driver with the same paper constants
+/// [`ProtocolSpec::build`] uses — protocol dispatch ends here — and hands it
+/// to [`run_prepared_core`].
 fn run_scenario_core<E: Engine>(
     scenario: &Scenario,
     sim: &mut E,
     env_rng: &mut SmallRng,
+    trace: Option<&mut ScenarioTrace>,
+) -> ScenarioOutcome {
+    let n = scenario.num_nodes();
+    match scenario.protocol {
+        ProtocolSpec::PushPull => {
+            let mut driver = PushPullDriver::new(scenario.max_rounds as usize);
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace)
+        }
+        ProtocolSpec::FastGossiping => {
+            let mut driver = FastGossipingDriver::new(FastGossiping::paper(n), n);
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace)
+        }
+        ProtocolSpec::Memory => {
+            let mut driver = MemoryDriver::new(MemoryGossip::paper(n));
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace)
+        }
+    }
+}
+
+/// Runs one replication of `scenario` through `arena`, but with fast-gossiping
+/// driven by an explicit [`FastGossipingConfig`] instead of the paper
+/// defaults. The sweep engine's ablation cells use this to tune walk
+/// probability and broadcast length while keeping the scenario machinery
+/// (environment schedule, stop rules, seed derivation) byte-for-byte the same
+/// as [`run_scenario_in`]; with `config == FastGossipingConfig::paper_defaults(n)`
+/// the result is identical to a `ProtocolSpec::FastGossiping` scenario run.
+pub(crate) fn run_fast_tuned_in(
+    arena: &mut ScenarioArena,
+    scenario: &Scenario,
+    config: FastGossipingConfig,
+    seed: u64,
+    threads: usize,
+) -> ScenarioOutcome {
+    let ScenarioArena { graph, sim } = arena;
+    scenario.topology.build().generate_into(derive_seed(seed, STREAM_GRAPH, 0), graph);
+    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+    let mut engine =
+        sim.checkout(graph.graph(), derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
+    let mut driver = FastGossipingDriver::new(FastGossiping::new(config), scenario.num_nodes());
+    let outcome = run_prepared_core(scenario, &mut engine, &mut env_rng, &mut driver, None);
+    sim.recycle(engine);
+    outcome
+}
+
+/// The driver-generic tail of the execution core: environment setup, rumor
+/// placement, the unified stepper, and outcome measurement.
+fn run_prepared_core<E: Engine, D: ProtocolDriver>(
+    scenario: &Scenario,
+    sim: &mut E,
+    env_rng: &mut SmallRng,
+    driver: &mut D,
     mut trace: Option<&mut ScenarioTrace>,
 ) -> ScenarioOutcome {
     let n = scenario.num_nodes();
@@ -302,24 +356,7 @@ fn run_scenario_core<E: Engine>(
     let tracked = place_rumor(scenario.environment.placement, sim.graph(), env_rng);
     sim.track_message(tracked);
 
-    // Instantiate the protocol's resumable driver with the same paper
-    // constants [`ProtocolSpec::build`] uses, then hand it to the unified
-    // stepper — protocol dispatch ends here; the stop-rule logic below is
-    // protocol-agnostic.
-    let (stopped_by, rounds) = match scenario.protocol {
-        ProtocolSpec::PushPull => {
-            let mut driver = PushPullDriver::new(scenario.max_rounds as usize);
-            drive(scenario, sim, &mut driver, trace.as_deref_mut())
-        }
-        ProtocolSpec::FastGossiping => {
-            let mut driver = FastGossipingDriver::new(FastGossiping::paper(n), n);
-            drive(scenario, sim, &mut driver, trace.as_deref_mut())
-        }
-        ProtocolSpec::Memory => {
-            let mut driver = MemoryDriver::new(MemoryGossip::paper(n));
-            drive(scenario, sim, &mut driver, trace.as_deref_mut())
-        }
-    };
+    let (stopped_by, rounds) = drive(scenario, sim, driver, trace.as_deref_mut());
     if let Some(trace) = trace {
         trace.phases = sim.metrics().phases().to_vec();
     }

@@ -18,7 +18,14 @@
 //! * [`stats`] — min/mean/max/percentile aggregation;
 //! * [`registry`] — twelve built-in named scenarios covering the paper's
 //!   density/robustness axes plus dynamic workloads, including the
-//!   phase-based protocols under round budgets and coverage thresholds.
+//!   phase-based protocols under round budgets and coverage thresholds;
+//! * [`cells`] — the unit of sweep work: a [`CellJob`] (scenario, tuned
+//!   fast-gossiping, or memory-model-with-failures) measured into named
+//!   metric samples by [`run_cell`];
+//! * [`sweep`] — the adaptive sweep engine: a declarative [`SweepSpec`]
+//!   (grid of axes × repetition policy) executed by [`SweepRunner`] with
+//!   CI-based early stopping, a persistent cell cache, and per-cell results
+//!   bit-identical across thread counts, batch sizes and cache resume.
 //!
 //! ```
 //! use rpc_scenarios::prelude::*;
@@ -38,12 +45,15 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cells;
 pub mod exec;
 pub mod registry;
 pub mod spec;
 pub mod stats;
+pub mod sweep;
 
 pub use batch::{BatchDriver, ScenarioReport, StoppedByCounts};
+pub use cells::{run_cell, CellJob, Probe, RepOutcome};
 pub use exec::{
     run_scenario, run_scenario_in, run_scenario_traced, run_scenario_traced_in,
     run_scenario_unpacked, run_scenario_unpacked_traced, scenario_engine_seeds, RoundTrace,
@@ -54,10 +64,16 @@ pub use spec::{
     StartPlacement, StopRule, TopologySpec,
 };
 pub use stats::{summarize, SummaryStats};
+pub use sweep::{
+    arithmetic_failure_sweep, dense_size_sweep, failure_sweep, size_sweep, stop_index, AxisPoint,
+    CellResult, CiStopRule, GridBuilder, MetricSummary, RepPolicy, SpecCell, SweepReport,
+    SweepRunner, SweepSpec, DEFAULT_Z,
+};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::batch::{BatchDriver, ScenarioReport, StoppedByCounts};
+    pub use crate::cells::{run_cell, CellJob, Probe, RepOutcome};
     pub use crate::exec::{
         run_scenario, run_scenario_in, run_scenario_traced, run_scenario_traced_in, ScenarioArena,
         ScenarioOutcome, ScenarioTrace, StoppedBy,
@@ -68,4 +84,7 @@ pub mod prelude {
         StartPlacement, StopRule, TopologySpec,
     };
     pub use crate::stats::{summarize, SummaryStats};
+    pub use crate::sweep::{
+        CellResult, CiStopRule, RepPolicy, SweepReport, SweepRunner, SweepSpec,
+    };
 }

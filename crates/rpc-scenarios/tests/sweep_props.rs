@@ -1,0 +1,183 @@
+//! Property tests for the adaptive sweep engine's determinism contract:
+//!
+//! 1. adaptive-stop sweeps are bit-identical across thread counts — the
+//!    per-cell cut `k`, the aggregates, even the executed-rep count;
+//! 2. resuming a sweep from the cell cache reproduces a fresh run's report
+//!    exactly (modulo the `from_cache` provenance flag), both for full and
+//!    partial (grid-grown) resumes;
+//! 3. adaptive stopping actually pays: on a low-variance cell it executes
+//!    fewer repetitions than the fixed-rep budget while matching its numbers.
+
+use proptest::prelude::*;
+
+use rpc_scenarios::prelude::*;
+use rpc_scenarios::{CellResult, SweepReport};
+
+/// A small random mixed-kind sweep: scenario cells across two sizes plus a
+/// memory-model failure cell, so every job kind rides the pool together.
+fn mixed_spec(name: &str, seed: u64, loss: f64, failures: usize, policy: RepPolicy) -> SweepSpec {
+    let mut spec = SweepSpec::new(name, seed, policy);
+    for n in [96usize, 128] {
+        let scenario = Scenario::builder("mixed", TopologySpec::ErdosRenyiPaper { n })
+            .loss(loss)
+            .build()
+            .unwrap();
+        spec.push_cell(
+            vec![("kind".into(), "scenario".into()), ("n".into(), n.to_string())],
+            CellJob::scenario(scenario),
+        )
+        .unwrap();
+    }
+    spec.push_cell(
+        vec![("kind".into(), "memory".into()), ("n".into(), "96".into())],
+        CellJob::MemoryFailure { n: 96, failures, trees: 2 },
+    )
+    .unwrap();
+    spec
+}
+
+/// Strips the provenance flag so cached and fresh results compare equal on
+/// their numbers.
+fn without_provenance(report: &SweepReport) -> Vec<CellResult> {
+    report
+        .cells
+        .iter()
+        .cloned()
+        .map(|mut c| {
+            c.from_cache = false;
+            c
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn adaptive_sweeps_are_bit_identical_across_thread_counts(
+        seed in 0u64..10_000,
+        loss in 0.0f64..0.3,
+        failures in 0usize..24,
+    ) {
+        let policy = RepPolicy::adaptive(2, 8, CiStopRule::relative("rounds", 0.25));
+        let spec = mixed_spec("threads", seed, loss, failures, policy);
+        let one = SweepRunner::new().with_threads(1).run(&spec);
+        let four = SweepRunner::new().with_threads(4).run(&spec);
+        let many = SweepRunner::new().with_threads(64).run(&spec);
+        prop_assert_eq!(&one, &four);
+        prop_assert_eq!(&one, &many);
+    }
+
+    #[test]
+    fn cache_resume_reproduces_a_fresh_run_exactly(
+        seed in 0u64..10_000,
+        loss in 0.0f64..0.3,
+    ) {
+        let policy = RepPolicy::adaptive(2, 6, CiStopRule::relative("packets_per_node", 0.2));
+        let spec = mixed_spec("resume", seed, loss, 8, policy);
+        let fresh = SweepRunner::new().with_threads(2).run(&spec);
+
+        let dir = std::env::temp_dir().join(format!("rpc-sweep-resume-{seed}-{}", std::process::id()));
+        let cache = dir.join("cells.cache");
+        let first = SweepRunner::new().with_threads(2).with_cache(&cache).run(&spec);
+        let resumed = SweepRunner::new().with_threads(3).with_cache(&cache).run(&spec);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Uncached runs are oblivious to the cache machinery…
+        prop_assert_eq!(&first.cells, &fresh.cells);
+        prop_assert_eq!(first.executed_reps, fresh.executed_reps);
+        // …and the resumed run serves every cell from cache, bit-identically.
+        prop_assert_eq!(resumed.cached_cells, spec.cells().len());
+        prop_assert_eq!(resumed.executed_reps, 0);
+        prop_assert!(resumed.cells.iter().all(|c| c.from_cache));
+        prop_assert_eq!(without_provenance(&resumed), without_provenance(&fresh));
+    }
+
+    #[test]
+    fn growing_a_grid_only_computes_the_new_cells(seed in 0u64..10_000) {
+        let policy = RepPolicy::fixed(2);
+        let dir = std::env::temp_dir().join(format!("rpc-sweep-grow-{seed}-{}", std::process::id()));
+        let cache = dir.join("cells.cache");
+        let small = mixed_spec("grow", seed, 0.1, 4, policy.clone());
+        SweepRunner::new().with_threads(2).with_cache(&cache).run(&small);
+
+        let mut grown = small.clone();
+        grown.push_cell(
+            vec![("kind".into(), "memory".into()), ("n".into(), "128".into())],
+            CellJob::MemoryFailure { n: 128, failures: 4, trees: 2 },
+        ).unwrap();
+        let resumed = SweepRunner::new().with_threads(2).with_cache(&cache).run(&grown);
+        let fresh = SweepRunner::new().with_threads(2).run(&grown);
+        std::fs::remove_dir_all(&dir).ok();
+
+        prop_assert_eq!(resumed.cached_cells, small.cells().len());
+        prop_assert_eq!(resumed.executed_reps, 2, "exactly the new cell's reps");
+        prop_assert_eq!(without_provenance(&resumed), without_provenance(&fresh));
+    }
+}
+
+#[test]
+fn adaptive_stopping_executes_fewer_reps_than_the_fixed_budget() {
+    // A clean complete-stop scenario has near-deterministic round counts, so
+    // a loose relative CI on `rounds` converges at the 2-rep minimum while
+    // the fixed policy always pays the full budget.
+    let build = |policy: RepPolicy| {
+        SweepSpec::grid("budget", 9, policy)
+            .axis("n", [96usize, 128])
+            .cells(|point| {
+                let n: usize = point.parse("n");
+                Some(CellJob::scenario(
+                    Scenario::builder("clean", TopologySpec::ErdosRenyiPaper { n })
+                        .build()
+                        .unwrap(),
+                ))
+            })
+            .unwrap()
+    };
+    let fixed = SweepRunner::new().with_threads(2).run(&build(RepPolicy::fixed(8)));
+    let adaptive = SweepRunner::new().with_threads(2).run(&build(RepPolicy::adaptive(
+        2,
+        8,
+        CiStopRule::relative("rounds", 0.5),
+    )));
+    assert_eq!(fixed.executed_reps, 16);
+    assert!(
+        adaptive.executed_reps < fixed.executed_reps,
+        "adaptive spent {} reps, fixed {}",
+        adaptive.executed_reps,
+        fixed.executed_reps
+    );
+    // The cells it did decide are built from the same seeded repetitions: the
+    // first k samples of the fixed run.
+    for (a, f) in adaptive.cells.iter().zip(&fixed.cells) {
+        assert_eq!(a.key, f.key);
+        assert!(a.reps <= f.reps);
+        let (am, fm) = (a.metric("rounds").unwrap(), f.metric("rounds").unwrap());
+        assert!(am.stats.min >= fm.stats.min && am.stats.max <= fm.stats.max);
+    }
+}
+
+#[test]
+fn fixed_sweep_cells_match_standalone_cell_runs() {
+    // The runner adds nothing to the numbers: a cell's aggregate equals what
+    // hand-running `run_cell` with the documented seed derivation produces.
+    use rpc_engine::{derive_seed, hash_key};
+    use rpc_scenarios::{run_cell, ScenarioArena};
+
+    let spec = mixed_spec("oracle", 4, 0.15, 6, RepPolicy::fixed(3));
+    let report = SweepRunner::new().with_threads(2).run(&spec);
+    let mut arena = ScenarioArena::default();
+    for (cell, result) in spec.cells().iter().zip(&report.cells) {
+        assert_eq!(result.reps, 3);
+        let mut stopped = StoppedByCounts::default();
+        let mut rounds = Vec::new();
+        for rep in 0..3u64 {
+            let seed = derive_seed(spec.seed, hash_key(cell.key.as_bytes()), rep);
+            let outcome = run_cell(&mut arena, &cell.job, seed);
+            stopped.record(outcome.stopped_by);
+            rounds.push(outcome.metric("rounds").unwrap());
+        }
+        assert_eq!(result.stopped, stopped, "{}", cell.key);
+        assert_eq!(result.metric("rounds").unwrap().stats, summarize(&rounds), "{}", cell.key);
+    }
+}

@@ -106,14 +106,18 @@ fn robustness_pipeline_reports_bounded_additional_loss() {
 
 #[test]
 fn experiment_harness_runs_at_quick_scale() {
-    let sizes = [256usize, 512];
-    let fig1_points = experiments::fig1::run(&sizes, 1, 1);
-    assert_eq!(fig1_points.len(), sizes.len() * 3);
-    assert!(fig1_points.iter().all(|p| p.completion_rate == 1.0));
+    use gossip_density::scenarios::{RepPolicy, SweepRunner};
 
-    let fig2_points = experiments::robustness::loss_ratio(512, &[0, 16], 3, 1, 2);
-    assert_eq!(fig2_points.len(), 2);
-    assert_eq!(fig2_points[0].loss_ratio, 0.0);
+    let sizes = [256usize, 512];
+    let fig1 = SweepRunner::new().run(&experiments::fig1::spec(&sizes, 1, RepPolicy::fixed(1)));
+    assert_eq!(fig1.cells.len(), sizes.len() * 3);
+    assert!(fig1.cells.iter().all(|c| c.mean("completed") == Some(1.0)));
+
+    let fig2_spec =
+        experiments::robustness::loss_ratio_spec("fig2", 512, &[0, 16], 3, 2, RepPolicy::fixed(1));
+    let fig2 = SweepRunner::new().run(&fig2_spec);
+    assert_eq!(fig2.cells.len(), 2);
+    assert_eq!(fig2.cells[0].mean("loss_ratio"), Some(0.0));
 
     let table = experiments::table1::run(&[1_000_000]);
     assert!(table.to_csv().contains("1000000"));
