@@ -1,0 +1,67 @@
+//! `obs_overhead`: the zero-cost contract of the observability layer, A/B.
+//!
+//! Three arms over the same scenario round loop:
+//!
+//! * `plain`      — [`run_scenario`], the default entry point (internally the
+//!   observed path monomorphized at [`NoopObserver`]);
+//! * `noop`       — [`run_scenario_observed`] with an explicit
+//!   [`NoopObserver`]. The contract is that this is the *same machine code*
+//!   as `plain`: `Observer::ENABLED == false` makes every event construction
+//!   dead code. CI enforces the ≤2% bound with the `obs_overhead_gate`
+//!   binary (criterion runs single-shot there);
+//! * `aggregator` — a real in-memory sink, measuring what attaching a cheap
+//!   observer actually costs (informational, not gated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rpc_obs::{Aggregator, NoopObserver};
+use rpc_scenarios::prelude::*;
+use rpc_scenarios::run_scenario_observed;
+
+const SEED: u64 = 0xC0FFEE;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let n = 1 << 10;
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    for protocol in [ProtocolSpec::PushPull, ProtocolSpec::FastGossiping, ProtocolSpec::Memory] {
+        let scenario = Scenario::builder("bench", TopologySpec::ErdosRenyiPaper { n })
+            .protocol(protocol)
+            .build()
+            .expect("bench scenario must validate");
+        group.bench_with_input(
+            BenchmarkId::new("plain", protocol.name()),
+            &scenario,
+            |b, scenario| b.iter(|| black_box(run_scenario(black_box(scenario), SEED, 1).rounds)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("noop", protocol.name()),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    black_box(
+                        run_scenario_observed(black_box(scenario), SEED, 1, &mut NoopObserver)
+                            .rounds,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("aggregator", protocol.name()),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let mut agg = Aggregator::new();
+                    let rounds =
+                        run_scenario_observed(black_box(scenario), SEED, 1, &mut agg).rounds;
+                    black_box((rounds, agg.total_events()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -73,6 +73,9 @@ pub use memory::{Contact, ContactLists, ContactMemory, MEMORY_SLOTS};
 pub use message::{MessageId, MessageSet};
 pub use metrics::{Accounting, Metrics, PhaseSnapshot};
 pub use reference::UnpackedSimulation;
+// Observability counter types, re-exported so engine users need not name
+// `rpc-obs` for plain diagnostics reads (`Metrics::core_rounds` etc.).
+pub use rpc_obs::{CoreRounds, DeliveryCore, DispatchRecord, PoolStats, ReuseStats};
 pub use seeding::{derive_seed, hash_key, splitmix64};
 pub use sim::{DeliverySemantics, Simulation, SimulationArena, Transfer};
 pub use walks::{Walk, WalkQueues};

@@ -36,6 +36,8 @@ pub struct PhaseSnapshot {
     pub channels_opened: u64,
 }
 
+use rpc_obs::{CoreRounds, DispatchRecord};
+
 /// Per-run communication metrics.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -46,6 +48,8 @@ pub struct Metrics {
     packets_per_node: Vec<u64>,
     exchanges_per_node: Vec<u64>,
     phases: Vec<PhaseSnapshot>,
+    core_rounds: CoreRounds,
+    last_dispatch: Option<DispatchRecord>,
 }
 
 impl Metrics {
@@ -71,6 +75,8 @@ impl Metrics {
         self.exchanges_per_node.clear();
         self.exchanges_per_node.resize(n, 0);
         self.phases.clear();
+        self.core_rounds = CoreRounds::default();
+        self.last_dispatch = None;
     }
 
     /// Marks the end of one synchronous step/round.
@@ -170,6 +176,26 @@ impl Metrics {
     pub fn exchanges_per_node(&self) -> &[u64] {
         &self.exchanges_per_node
     }
+
+    /// Records one adaptive-dispatch decision (delivery core + inputs).
+    ///
+    /// Diagnostics only: the chosen core depends on the configured thread
+    /// count, so these counters are deliberately kept out of the result
+    /// equality the scenario layer checks across thread counts.
+    pub fn record_dispatch(&mut self, record: DispatchRecord) {
+        self.core_rounds.record(record.core);
+        self.last_dispatch = Some(record);
+    }
+
+    /// How many deferred-delivery batches each core executed this run.
+    pub fn core_rounds(&self) -> CoreRounds {
+        self.core_rounds
+    }
+
+    /// The most recent dispatch decision, if any delivery has happened.
+    pub fn last_dispatch(&self) -> Option<DispatchRecord> {
+        self.last_dispatch
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +259,26 @@ mod tests {
     fn empty_metrics_yield_zero_averages() {
         let m = Metrics::new(0);
         assert_eq!(m.messages_per_node(Accounting::PerPacket), 0.0);
+    }
+
+    #[test]
+    fn dispatch_records_accumulate_and_reset() {
+        use rpc_obs::DeliveryCore;
+        let mut m = Metrics::new(4);
+        let record = DispatchRecord {
+            core: DeliveryCore::Eager,
+            n: 4,
+            packets: 9,
+            sparse: false,
+            cache_resident: false,
+            threads: 1,
+        };
+        m.record_dispatch(record);
+        m.record_dispatch(DispatchRecord { core: DeliveryCore::Scalar, ..record });
+        assert_eq!(m.core_rounds(), CoreRounds { scalar: 1, eager: 1, batch: 0 });
+        assert_eq!(m.last_dispatch().unwrap().core, DeliveryCore::Scalar);
+        m.reset(4);
+        assert_eq!(m.core_rounds(), CoreRounds::default());
+        assert!(m.last_dispatch().is_none());
     }
 }

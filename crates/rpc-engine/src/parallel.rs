@@ -39,6 +39,7 @@
 //! these kernels with reader-gated commits.
 
 use rpc_graphs::NodeId;
+use rpc_obs::{DeliveryCore, DispatchRecord, PoolStats};
 
 use crate::message::MessageSet;
 use crate::sim::Transfer;
@@ -84,9 +85,30 @@ pub struct UpdatePools {
     pub(crate) group_of: Vec<u32>,
     /// Scratch for the chain ordering: the processing order (group indices).
     pub(crate) order: Vec<u32>,
+    /// Checkout/fresh/high-water counters, maintained on the sequential
+    /// cores. The batch core's worker-local pools (from the crate-private
+    /// `split_off`) are consumed inside the crossbeam scope and never merged
+    /// back, so their checkouts go uncounted — a documented limitation, kept
+    /// so the hot parallel path stays untouched.
+    pub stats: PoolStats,
 }
 
 impl UpdatePools {
+    /// Pops a reusable entry vector, counting the checkout in [`Self::stats`].
+    pub(crate) fn checkout_entries(&mut self) -> Vec<(u32, u64)> {
+        let popped = self.entries.pop();
+        self.stats.record_checkout(popped.is_none());
+        popped.unwrap_or_default()
+    }
+
+    /// Pops a reusable full-width state buffer (allocating one for `universe`
+    /// if the pool is empty), counting the checkout in [`Self::stats`].
+    pub(crate) fn checkout_state(&mut self, universe: usize) -> MessageSet {
+        let popped = self.states.pop();
+        self.stats.record_checkout(popped.is_none());
+        popped.unwrap_or_else(|| MessageSet::empty(universe))
+    }
+
     fn split_off(&mut self, threads: usize) -> Vec<UpdatePools> {
         let mut pools = Vec::with_capacity(threads);
         let state_share = self.states.len() / threads;
@@ -204,8 +226,39 @@ pub fn compute_updates(
 /// overhead, so the delivery paths fall back to straight receiver order and
 /// batch commits.
 pub(crate) fn cache_resident(states: &[MessageSet]) -> bool {
+    cache_resident_table(states.len(), states.first().map_or(0, |s| s.words().len()))
+}
+
+/// The [`cache_resident`] predicate on raw table dimensions (`rows` states of
+/// `state_words` words each), so the unpacked oracle — which has no
+/// [`MessageSet`] table — can classify dispatch decisions identically.
+pub(crate) fn cache_resident_table(rows: usize, state_words: usize) -> bool {
     const CACHE_BUDGET_BYTES: usize = 8 << 20;
-    states.len() * states.first().map_or(0, |s| s.words().len()) * 8 < CACHE_BUDGET_BYTES
+    rows * state_words * 8 < CACHE_BUDGET_BYTES
+}
+
+/// Classifies one deferred batch onto a delivery core — the single source of
+/// truth for the adaptive dispatch in
+/// [`Simulation::deliver`](crate::Simulation::deliver) and for the unpacked
+/// oracle's mirrored diagnostics. `packets` is the batch size *after* loss,
+/// crash and fully-informed filtering.
+pub(crate) fn classify_dispatch(
+    n: usize,
+    packets: usize,
+    threads: usize,
+    cache_resident: bool,
+) -> DispatchRecord {
+    let sparse = packets * 8 < n;
+    let core = if threads == 1 {
+        if sparse || cache_resident {
+            DeliveryCore::Scalar
+        } else {
+            DeliveryCore::Eager
+        }
+    } else {
+        DeliveryCore::Batch
+    };
+    DispatchRecord { core, n, packets, sparse, cache_resident, threads }
 }
 
 /// Not a pending receiver (or already ordered).
@@ -317,7 +370,7 @@ pub(crate) fn compute_one_update(
         // words — no sender payload is read, and since receivers are
         // nearly full by the time full senders exist, the payload is a
         // handful of words instead of a full-width buffer.
-        let mut entries = pools.entries.pop().unwrap_or_default();
+        let mut entries = pools.checkout_entries();
         entries.clear();
         let recv_words = recv.words();
         let rem = universe % WORD_BITS;
@@ -340,7 +393,7 @@ pub(crate) fn compute_one_update(
     if 32 * sender_bits <= word_count {
         // Early rounds: the senders' sets are tiny relative to the word
         // count — emit only the candidate new words, no buffer at all.
-        let mut entries = pools.entries.pop().unwrap_or_default();
+        let mut entries = pools.checkout_entries();
         entries.clear();
         let recv_words = recv.words();
         for t in group {
@@ -362,7 +415,7 @@ pub(crate) fn compute_one_update(
     } else {
         // Mixing rounds: one fused, branch-free, vectorizable pass
         // building the complete new state.
-        let mut buf = pools.states.pop().unwrap_or_else(|| MessageSet::empty(universe));
+        let mut buf = pools.checkout_state(universe);
         debug_assert_eq!(buf.universe(), universe, "pooled buffer universe mismatch");
         let added = match group {
             [a] => buf.assign_union_counting(recv, &[&states[a.from as usize]]),

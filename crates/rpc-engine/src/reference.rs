@@ -147,6 +147,26 @@ impl<'g> UnpackedSimulation<'g> {
         if effective.is_empty() {
             return 0;
         }
+        // Mirror the packed engine's dispatch diagnostics so the oracle's
+        // per-core counts agree at the sequential thread count it models.
+        // The packed engine classifies *after* dropping crashed and fully
+        // informed receivers, so apply the same predicate to the count (the
+        // delta loop below re-checks `alive` at commit time anyway).
+        let n = self.states.len();
+        let classified = effective
+            .iter()
+            .filter(|t| {
+                self.alive[t.to as usize] && (self.known[t.to as usize] as usize) < n.max(1)
+            })
+            .count();
+        if classified > 0 {
+            self.metrics.record_dispatch(crate::parallel::classify_dispatch(
+                n,
+                classified,
+                1,
+                crate::parallel::cache_resident(&self.states),
+            ));
+        }
         effective.sort_unstable_by_key(|t| t.to);
         let universe = self.states.len();
         let mut deltas: Vec<(NodeId, MessageSet)> = Vec::new();

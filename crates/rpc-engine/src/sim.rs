@@ -60,8 +60,8 @@ use crate::bitset::{any_and2_not, count_and3, BitSet};
 use crate::message::{MessageId, MessageSet};
 use crate::metrics::Metrics;
 use crate::parallel::{
-    cache_resident, chain_order, compute_one_update, compute_updates, group_by_receiver,
-    UpdatePayload, UpdatePools,
+    cache_resident, chain_order, classify_dispatch, compute_one_update, compute_updates,
+    group_by_receiver, UpdatePayload, UpdatePools,
 };
 
 /// How packet deliveries within one synchronous step are applied.
@@ -265,6 +265,7 @@ impl<'g> Simulation<'g> {
         }
         self.tracked = None;
         self.metrics.reset(n);
+        self.update_pools.stats = rpc_obs::PoolStats::default();
         self.rng = SmallRng::seed_from_u64(seed ^ RNG_SEED_SALT);
         self.loss_probability = 0.0;
         self.schedule.clear();
@@ -320,6 +321,13 @@ impl<'g> Simulation<'g> {
     /// Communication metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Buffer-pool counters for this run (reset with the simulation).
+    /// Sequential delivery cores only — the batch core's worker-local pools
+    /// are not merged back (see [`UpdatePools`]).
+    pub fn pool_stats(&self) -> rpc_obs::PoolStats {
+        self.update_pools.stats
     }
 
     /// Mutable access to the metrics (used by algorithms for exchange
@@ -677,7 +685,16 @@ impl<'g> Simulation<'g> {
         // per-round pass — counting-sort buckets, prefix offsets, the eager
         // core's reader/pending tables — is pure overhead then, so sparse
         // batches take O(m log m) / O(m · words) paths instead.
-        let sparse_batch = effective.len() * 8 < n;
+        //
+        // The classification is computed once, up front, as a
+        // `DispatchRecord` and recorded into the metrics — the record *is*
+        // the dispatch (the match below routes on `dispatch.core`), so the
+        // diagnostics the observability layer reports can never drift from
+        // what actually ran.
+        let dispatch =
+            classify_dispatch(n, effective.len(), self.threads, cache_resident(&self.states));
+        self.metrics.record_dispatch(dispatch);
+        let sparse_batch = dispatch.sparse;
         // Group by receiver so each receiver's new state is computed exactly
         // once from the senders' begin-of-step states. Dense batches use a
         // counting sort over the node ids — O(m + n), two linear passes,
@@ -729,14 +746,10 @@ impl<'g> Simulation<'g> {
         //   cache-hot);
         // * multi-threaded → the *batch* core, whose commit barrier the
         //   workers need anyway.
-        let total_added = if self.threads == 1 {
-            if sparse_batch || cache_resident(&self.states) {
-                self.deliver_grouped_scalar()
-            } else {
-                self.deliver_grouped_eager()
-            }
-        } else {
-            self.deliver_grouped_batch()
+        let total_added = match dispatch.core {
+            rpc_obs::DeliveryCore::Scalar => self.deliver_grouped_scalar(),
+            rpc_obs::DeliveryCore::Eager => self.deliver_grouped_eager(),
+            rpc_obs::DeliveryCore::Batch => self.deliver_grouped_batch(),
         };
         self.transfer_scratch = effective;
         total_added
@@ -775,7 +788,7 @@ impl<'g> Simulation<'g> {
                 end += 1;
             }
             let recv = &states[to as usize];
-            let mut buf = update_pools.states.pop().unwrap_or_else(|| MessageSet::empty(universe));
+            let mut buf = update_pools.checkout_state(universe);
             let added = match &grouped[start..end] {
                 [a] => buf.assign_union_counting(recv, &[&states[a.from as usize]]),
                 [a, b, rest @ ..] => {
@@ -995,6 +1008,7 @@ fn commit_payload(
             // state becomes a pool buffer.
             std::mem::swap(&mut states[to as usize], &mut state);
             pools.states.push(state);
+            pools.stats.record_parked(pools.states.len());
             added
         }
     };
@@ -1042,6 +1056,7 @@ fn commit_payload(
 #[derive(Debug, Default)]
 pub struct SimulationArena {
     parked: Option<SimulationStorage>,
+    stats: rpc_obs::ReuseStats,
 }
 
 /// The graph-independent parts of a [`Simulation`] kept alive between runs.
@@ -1069,6 +1084,7 @@ impl SimulationArena {
     /// `Simulation::new(graph, seed)` — default configuration; re-apply
     /// [`Simulation::with_threads`] / loss per run as needed.
     pub fn checkout<'g>(&mut self, graph: &'g Graph, seed: u64) -> Simulation<'g> {
+        self.stats.record(self.parked.is_some());
         let Some(st) = self.parked.take() else {
             return Simulation::new(graph, seed);
         };
@@ -1102,6 +1118,11 @@ impl SimulationArena {
         // placeholder counts above never become observable.
         sim.reset(graph, seed);
         sim
+    }
+
+    /// Reuse-vs-fresh counters over this arena's checkouts.
+    pub fn stats(&self) -> rpc_obs::ReuseStats {
+        self.stats
     }
 
     /// Takes a simulation's storage back for the next [`Self::checkout`].
@@ -1252,6 +1273,68 @@ mod tests {
             assert_eq!(seq.num_known(v), par.num_known(v));
             assert_eq!(seq.state(v), par.state(v));
         }
+    }
+
+    #[test]
+    fn dispatch_diagnostics_track_the_adaptive_core_choice() {
+        // n = 1k: the state table (1024 × 16 words) is far below the cache
+        // budget, so every dense sequential round must take the scalar core;
+        // with worker threads configured the same batch must go to the batch
+        // core. The outcome (who knows what) is identical either way — only
+        // the diagnostics differ.
+        let g = ErdosRenyi::with_expected_degree(1024, 8.0).generate(7);
+        let mut transfers = Vec::new();
+        for v in g.nodes() {
+            if let Some(&u) = g.neighbors(v).first() {
+                transfers.push(Transfer::new(v, u));
+            }
+        }
+        assert!(transfers.len() * 8 >= 1024, "batch must be dense for this test");
+
+        let mut seq = Simulation::new(&g, 11);
+        seq.deliver(&transfers);
+        seq.deliver(&transfers);
+        let cores = seq.metrics().core_rounds();
+        assert_eq!((cores.scalar, cores.eager, cores.batch), (2, 0, 0));
+        let last = seq.metrics().last_dispatch().expect("delivery happened");
+        assert_eq!(last.core, rpc_obs::DeliveryCore::Scalar);
+        assert!(last.cache_resident && !last.sparse);
+        assert_eq!((last.n, last.threads), (1024, 1));
+
+        let mut par = Simulation::new(&g, 11).with_threads(4);
+        par.deliver(&transfers);
+        let cores = par.metrics().core_rounds();
+        assert_eq!((cores.scalar, cores.eager, cores.batch), (0, 0, 1));
+        assert_eq!(par.metrics().last_dispatch().unwrap().core, rpc_obs::DeliveryCore::Batch);
+
+        // A near-empty batch classifies as sparse (still the scalar core).
+        let mut sparse = Simulation::new(&g, 11);
+        sparse.deliver(&transfers[..3]);
+        let last = sparse.metrics().last_dispatch().unwrap();
+        assert!(last.sparse);
+        assert_eq!(last.core, rpc_obs::DeliveryCore::Scalar);
+        assert_eq!(last.packets, 3);
+    }
+
+    #[test]
+    fn pool_and_arena_stats_observe_reuse() {
+        let g = complete(64);
+        let mut arena = SimulationArena::default();
+        for seed in 0..2u64 {
+            let mut sim = arena.checkout(&g, seed);
+            let mut transfers = Vec::new();
+            for v in g.nodes() {
+                for &u in g.neighbors(v).iter().take(2) {
+                    transfers.push(Transfer::new(v, u));
+                }
+            }
+            sim.deliver(&transfers);
+            let stats = sim.pool_stats();
+            assert!(stats.checkouts > 0, "dense delivery must check buffers out");
+            assert!(stats.fresh <= stats.checkouts);
+            arena.recycle(sim);
+        }
+        assert_eq!(arena.stats(), rpc_obs::ReuseStats { reused: 1, fresh: 1 });
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! experiments <subcommand> [--quick|--large] [--max-n N] [--reps K]
 //!             [--max-reps K] [--ci-rel T] [--seed S] [--threads T]
 //!             [--out DIR] [--cache FILE] [--only NAME]...
+//!             [--trace-out FILE] [--profile]
 //!
 //! subcommands:
 //!   table1      Table 1  — simulation constants
@@ -19,7 +20,15 @@
 //!   scenario    Built-in scenario registry as one sweep
 //!   sweep       Every sweep-backed experiment above (respects --only)
 //!   all         sweep + separation
+//!   profile     Aggregate a recorded trace into a per-cell timing table
 //! ```
+//!
+//! `--profile` (or `--trace-out FILE`) streams every sweep's observability
+//! events — dispatch decisions, pool/arena stats, per-repetition wall-clock —
+//! as JSON lines and reports live progress on stderr; `experiments profile`
+//! then folds that trace into a per-cell, per-delivery-core timing table.
+//! Tracing never changes results: observed runs are bit-identical to
+//! unobserved ones (see `rpc-obs`).
 //!
 //! Every simulation experiment is a declarative `SweepSpec` executed by the
 //! adaptive sweep engine: repetitions per cell run until a 95% CI stop rule on
@@ -34,7 +43,7 @@
 use std::process::ExitCode;
 
 use rpc_experiments::{
-    ablation, fig1, fig4, phases, report::Table, robustness, scenario, separation, table1,
+    ablation, fig1, fig4, phases, profile, report::Table, robustness, scenario, separation, table1,
     theory_check, RunOpts,
 };
 use rpc_scenarios::{
@@ -68,7 +77,7 @@ fn run_table1(opts: &RunOpts) {
 fn run_fig1(opts: &RunOpts) {
     let sizes = size_sweep(opts.scale.min_n, opts.scale.max_n);
     let spec = fig1::spec(&sizes, opts.scale.seed, opts.policy("packets_per_node"));
-    let report = opts.runner().run(&spec);
+    let report = opts.run_spec(&spec);
     emit(&fig1::table(&report), "fig1_overhead", Some(&report), opts);
 }
 
@@ -84,7 +93,7 @@ fn run_fig2(opts: &RunOpts) {
         opts.scale.seed,
         opts.policy("loss_ratio"),
     );
-    let report = opts.runner().run(&spec);
+    let report = opts.run_spec(&spec);
     let title = format!("Figure 2 — additional loss ratio, n = {n}");
     emit(&robustness::loss_ratio_table(&title, &report), "fig2_robustness", Some(&report), opts);
 }
@@ -101,7 +110,7 @@ fn run_fig3(opts: &RunOpts) {
             opts.scale.seed,
             opts.policy("loss_ratio"),
         );
-        let report = opts.runner().run(&spec);
+        let report = opts.run_spec(&spec);
         let title = format!("Figure 3.{} — additional loss ratio, n = {n}", idx + 1);
         emit(
             &robustness::loss_ratio_table(&title, &report),
@@ -115,7 +124,7 @@ fn run_fig3(opts: &RunOpts) {
 fn run_fig4(opts: &RunOpts) {
     let sizes = dense_size_sweep(opts.scale.max_n / 8, opts.scale.max_n);
     let spec = fig4::spec(&sizes, opts.scale.seed, opts.policy("packets_per_node"));
-    let report = opts.runner().run(&spec);
+    let report = opts.run_spec(&spec);
     emit(&fig4::table(&report), "fig4_fastgossip_detail", Some(&report), opts);
 }
 
@@ -133,7 +142,7 @@ fn run_fig5(opts: &RunOpts) {
             opts.scale.seed,
             opts.policy_with_min(5, "lost_messages"),
         );
-        let report = opts.runner().run(&spec);
+        let report = opts.run_spec(&spec);
         let title = format!("Figure 5.{} — runs losing more than T messages, n = {n}", idx + 1);
         emit(
             &robustness::loss_thresholds_table(&title, &report),
@@ -147,7 +156,7 @@ fn run_fig5(opts: &RunOpts) {
 fn run_theory(opts: &RunOpts) {
     let sizes = size_sweep(opts.scale.min_n, opts.scale.max_n.min(1 << 14));
     let spec = theory_check::spec(&sizes, opts.scale.seed, opts.policy("packets_per_node"));
-    let report = opts.runner().run(&spec);
+    let report = opts.run_spec(&spec);
     emit(&theory_check::table(&report), "theory_shape_check", Some(&report), opts);
 }
 
@@ -166,14 +175,14 @@ fn run_ablation(opts: &RunOpts) {
         opts.scale.seed,
         opts.policy("packets_per_node"),
     );
-    let report = opts.runner().run(&spec);
+    let report = opts.run_spec(&spec);
     emit(&ablation::table(&report), "ablation_fast_gossiping", Some(&report), opts);
 }
 
 fn run_phases(opts: &RunOpts) {
     let n = (opts.scale.max_n / 4).max(1024);
     let spec = phases::spec(n, opts.scale.seed, opts.policy("packets_per_node"));
-    let report = opts.runner().run(&spec);
+    let report = opts.run_spec(&spec);
     emit(&phases::table(&report), "phase_breakdown", Some(&report), opts);
 }
 
@@ -184,7 +193,7 @@ fn run_scenarios(opts: &RunOpts) {
     // default/large scales still exercise real sizes.
     let n = (opts.scale.max_n / 4).max(256);
     let spec = scenario::spec(n, opts.scale.seed, opts.policy("rounds"));
-    let report = opts.runner().run(&spec);
+    let report = opts.run_spec(&spec);
     emit(&scenario::table(&report), "scenarios", Some(&report), opts);
 }
 
@@ -215,6 +224,45 @@ fn run_sweep(opts: &RunOpts) {
     }
 }
 
+/// Aggregates a JSON-lines trace (from `--profile` / `--trace-out`) into the
+/// per-cell, per-core timing table.
+fn run_profile(opts: &RunOpts) -> Result<(), String> {
+    let path = opts.trace_path().unwrap_or_else(|| {
+        opts.out_dir
+            .as_deref()
+            .map_or_else(|| std::path::PathBuf::from("trace.jsonl"), |dir| dir.join("trace.jsonl"))
+    });
+    let rows = profile::load(&path)?;
+    if rows.is_empty() {
+        return Err(format!("trace {} contains no sweep cells", path.display()));
+    }
+    emit(&profile::table(&rows), "profile", None, opts);
+    if let Some(dir) = &opts.out_dir {
+        let json = dir.join("profile.json");
+        match std::fs::write(&json, profile::to_json(&rows)) {
+            Ok(()) => eprintln!("wrote {}", json.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", json.display()),
+        }
+    }
+    Ok(())
+}
+
+/// With tracing enabled, start every invocation from an empty trace file:
+/// the per-sweep writers append, so without this reruns would accumulate
+/// stale events and the `profile` table would double-count.
+fn truncate_trace(opts: &RunOpts) {
+    if let Some(path) = opts.trace_path() {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+            }
+        }
+        if let Err(e) = std::fs::File::create(&path) {
+            eprintln!("cannot truncate trace {}: {e}", path.display());
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| "help".to_string());
@@ -225,6 +273,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if command != "profile" {
+        truncate_trace(&opts);
+    }
     match command.as_str() {
         "table1" => run_table1(&opts),
         "fig1" => run_fig1(&opts),
@@ -244,12 +295,19 @@ fn main() -> ExitCode {
                 run_separation(&opts);
             }
         }
+        "profile" => {
+            if let Err(e) = run_profile(&opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "help" | "--help" | "-h" => {
             println!(
                 "usage: experiments \
-                 <table1|fig1|fig2|fig3|fig4|fig5|theory|separation|ablation|phases|scenario|sweep|all> \
+                 <table1|fig1|fig2|fig3|fig4|fig5|theory|separation|ablation|phases|scenario|sweep|all|profile> \
                  [--quick|--large] [--max-n N] [--reps K] [--max-reps K] [--ci-rel T] \
-                 [--seed S] [--threads T] [--out DIR] [--cache FILE] [--only NAME]..."
+                 [--seed S] [--threads T] [--out DIR] [--cache FILE] [--only NAME]... \
+                 [--trace-out FILE] [--profile]"
             );
         }
         other => {

@@ -41,6 +41,7 @@ pub mod fig1;
 pub mod fig4;
 pub mod opts;
 pub mod phases;
+pub mod profile;
 pub mod report;
 pub mod robustness;
 pub mod scenario;

@@ -6,9 +6,12 @@
 //! `--ci-rel` tune the adaptive CI stop). The same options drive both the
 //! unified `sweep` subcommand and the per-figure subcommands.
 
+use std::fs::OpenOptions;
+use std::io::BufWriter;
 use std::path::PathBuf;
 
-use rpc_scenarios::{CiStopRule, RepPolicy, SweepRunner};
+use rpc_obs::{ProgressReporter, TraceWriter};
+use rpc_scenarios::{CiStopRule, RepPolicy, SweepReport, SweepRunner, SweepSpec};
 
 use crate::Scale;
 
@@ -31,6 +34,13 @@ pub struct RunOpts {
     pub ci_rel: Option<f64>,
     /// `--only NAME` (repeatable): restrict `sweep`/`all` to these experiments.
     pub only: Vec<String>,
+    /// `--trace-out FILE`: write the observability event stream (JSON lines)
+    /// to this file. Implies tracing even without `--profile`.
+    pub trace_out: Option<PathBuf>,
+    /// `--profile`: trace to the default path (`<out-dir>/trace.jsonl`, or
+    /// `trace.jsonl` without `--out`) and report live sweep progress on
+    /// stderr.
+    pub profile: bool,
 }
 
 impl Default for RunOpts {
@@ -44,6 +54,8 @@ impl Default for RunOpts {
             max_reps: None,
             ci_rel: None,
             only: Vec::new(),
+            trace_out: None,
+            profile: false,
         }
     }
 }
@@ -71,6 +83,10 @@ impl RunOpts {
                     opts.cache = Some(PathBuf::from(required(&arg, args.next())?));
                 }
                 "--only" => opts.only.push(required(&arg, args.next())?),
+                "--trace-out" => {
+                    opts.trace_out = Some(PathBuf::from(required(&arg, args.next())?));
+                }
+                "--profile" => opts.profile = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -114,6 +130,48 @@ impl RunOpts {
     /// Whether `--only` filters allow the named experiment.
     pub fn should_run(&self, name: &str) -> bool {
         self.only.is_empty() || self.only.iter().any(|o| o == name)
+    }
+
+    /// The JSON-lines trace destination, if tracing is enabled:
+    /// `--trace-out` wins, `--profile` alone falls back to
+    /// `<out-dir>/trace.jsonl` (or `trace.jsonl` in the working directory).
+    pub fn trace_path(&self) -> Option<PathBuf> {
+        if let Some(path) = &self.trace_out {
+            return Some(path.clone());
+        }
+        self.profile.then(|| {
+            self.out_dir
+                .as_deref()
+                .map_or_else(|| PathBuf::from("trace.jsonl"), |dir| dir.join("trace.jsonl"))
+        })
+    }
+
+    /// Executes a sweep spec with the configured runner, attaching the
+    /// JSON-lines trace writer and the live stderr progress reporter when
+    /// tracing is enabled. The report is bit-identical either way — observers
+    /// are write-only sinks (see `rpc-obs`).
+    ///
+    /// The trace file is opened in append mode so the experiments of one
+    /// invocation share a single stream; the CLI truncates it once at
+    /// startup.
+    pub fn run_spec(&self, spec: &SweepSpec) -> SweepReport {
+        let runner = self.runner();
+        let Some(path) = self.trace_path() else {
+            return runner.run(spec);
+        };
+        let file = match OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(file) => file,
+            Err(e) => {
+                eprintln!("cannot open trace file {}: {e}; tracing disabled", path.display());
+                return runner.run(spec);
+            }
+        };
+        let mut obs = (TraceWriter::new(BufWriter::new(file)), ProgressReporter::stderr());
+        let report = runner.run_with(spec, &mut obs);
+        if let Err(e) = obs.0.finish() {
+            eprintln!("trace write to {} failed: {e}", path.display());
+        }
+        report
     }
 }
 

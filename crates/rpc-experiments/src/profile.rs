@@ -1,0 +1,268 @@
+//! The `profile` subcommand: aggregate a JSON-lines observability trace into
+//! a per-cell, per-core timing table.
+//!
+//! `experiments sweep --profile` (or any subcommand with `--trace-out`)
+//! streams the sweep's event stream — one flat JSON object per line, written
+//! by `rpc_obs::TraceWriter` — to a file. This module folds that stream back
+//! into one row per sweep cell: repetitions executed and kept, wall-clock
+//! spent, simulated rounds, and the split of delivery work across the three
+//! adaptive cores (scalar / eager / batch). Per-core wall-clock is attributed
+//! proportionally to each repetition's per-core delivery counts, so the table
+//! answers "which core and which cell did the time go to" — the question
+//! every perf PR needs to cite.
+//!
+//! Wall-clock lives only in the trace (it is measured strictly outside the
+//! seeded simulation paths), so profiling is a pure post-processing step:
+//! re-running the sweep with different thread counts changes this table but
+//! never the experiment results.
+
+use std::path::Path;
+
+use rpc_obs::{parse_object, CoreRounds, JsonValue};
+
+use crate::report::{fmt3, Table};
+
+/// Aggregated timing facts of one sweep cell, folded from the trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileRow {
+    /// Sweep (spec) name.
+    pub sweep: String,
+    /// Cell key.
+    pub cell: String,
+    /// Repetitions actually executed (including surplus past the CI cut).
+    pub reps_run: usize,
+    /// Repetitions kept by the cell's stop decision (or served from cache).
+    pub reps_kept: usize,
+    /// Whether the cell was served from the persistent cell cache.
+    pub cached: bool,
+    /// Total simulated rounds across executed repetitions.
+    pub rounds: u64,
+    /// Total wall-clock nanoseconds across executed repetitions.
+    pub wall_nanos: u64,
+    /// Delivery batches per adaptive core across executed repetitions.
+    pub cores: CoreRounds,
+}
+
+impl ProfileRow {
+    /// Wall-clock milliseconds attributed to one core, proportional to its
+    /// share of the cell's delivery batches. Zero when no deliveries ran.
+    pub fn core_ms(&self, core_batches: u64) -> f64 {
+        let total = self.cores.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.wall_nanos as f64 / 1e6 * core_batches as f64 / total as f64
+        }
+    }
+}
+
+fn field<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(fields: &[(String, JsonValue)], key: &str) -> Option<String> {
+    field(fields, key)?.as_str().map(str::to_string)
+}
+
+fn u64_field(fields: &[(String, JsonValue)], key: &str) -> u64 {
+    field(fields, key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// Folds a JSON-lines trace into per-cell rows, in first-appearance order.
+/// Unparseable lines are reported as errors (a trace is machine-written;
+/// corruption should be loud), unknown event kinds are skipped (forward
+/// compatibility with richer traces).
+pub fn aggregate<I: IntoIterator<Item = String>>(lines: I) -> Result<Vec<ProfileRow>, String> {
+    let mut rows: Vec<ProfileRow> = Vec::new();
+    let row = |sweep: String, cell: String, rows: &mut Vec<ProfileRow>| -> usize {
+        match rows.iter().position(|r| r.sweep == sweep && r.cell == cell) {
+            Some(idx) => idx,
+            None => {
+                rows.push(ProfileRow { sweep, cell, ..ProfileRow::default() });
+                rows.len() - 1
+            }
+        }
+    };
+    for (lineno, line) in lines.into_iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_object(&line)
+            .ok_or_else(|| format!("line {}: not a flat JSON object", lineno + 1))?;
+        let Some(kind) = str_field(&fields, "ev") else {
+            return Err(format!("line {}: missing `ev` kind", lineno + 1));
+        };
+        match kind.as_str() {
+            "rep-finished" => {
+                let (Some(sweep), Some(cell)) =
+                    (str_field(&fields, "sweep"), str_field(&fields, "cell"))
+                else {
+                    return Err(format!("line {}: rep-finished without sweep/cell", lineno + 1));
+                };
+                let idx = row(sweep, cell, &mut rows);
+                let r = &mut rows[idx];
+                r.reps_run += 1;
+                r.rounds += u64_field(&fields, "rounds");
+                r.wall_nanos += u64_field(&fields, "wall_nanos");
+                r.cores.scalar += u64_field(&fields, "scalar_rounds");
+                r.cores.eager += u64_field(&fields, "eager_rounds");
+                r.cores.batch += u64_field(&fields, "batch_rounds");
+            }
+            "cell-finished" => {
+                let (Some(sweep), Some(cell)) =
+                    (str_field(&fields, "sweep"), str_field(&fields, "cell"))
+                else {
+                    return Err(format!("line {}: cell-finished without sweep/cell", lineno + 1));
+                };
+                let cached = field(&fields, "cached").and_then(JsonValue::as_bool).unwrap_or(false);
+                let idx = row(sweep, cell, &mut rows);
+                rows[idx].reps_kept = u64_field(&fields, "reps") as usize;
+                rows[idx].cached = cached;
+            }
+            _ => {}
+        }
+    }
+    Ok(rows)
+}
+
+/// Reads and folds the trace file at `path`.
+pub fn load(path: &Path) -> Result<Vec<ProfileRow>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trace {}: {e}", path.display()))?;
+    aggregate(text.lines().map(str::to_string))
+}
+
+/// Renders the per-cell, per-core timing table.
+pub fn table(rows: &[ProfileRow]) -> Table {
+    let mut table = Table::new(
+        "Profile — per-cell wall-clock and delivery-core split",
+        &[
+            "sweep",
+            "cell",
+            "reps_run",
+            "reps_kept",
+            "cached",
+            "wall_ms",
+            "wall_ms_per_rep",
+            "rounds",
+            "scalar_rounds",
+            "eager_rounds",
+            "batch_rounds",
+            "scalar_ms",
+            "eager_ms",
+            "batch_ms",
+        ],
+    );
+    for r in rows {
+        let wall_ms = r.wall_nanos as f64 / 1e6;
+        let per_rep = if r.reps_run == 0 { 0.0 } else { wall_ms / r.reps_run as f64 };
+        table.push_row(vec![
+            r.sweep.clone(),
+            r.cell.clone(),
+            r.reps_run.to_string(),
+            r.reps_kept.to_string(),
+            u8::from(r.cached).to_string(),
+            fmt3(wall_ms),
+            fmt3(per_rep),
+            r.rounds.to_string(),
+            r.cores.scalar.to_string(),
+            r.cores.eager.to_string(),
+            r.cores.batch.to_string(),
+            fmt3(r.core_ms(r.cores.scalar)),
+            fmt3(r.core_ms(r.cores.eager)),
+            fmt3(r.core_ms(r.cores.batch)),
+        ]);
+    }
+    table
+}
+
+/// Renders the rows as a JSON array (beside the CSV, like the sweep reports).
+pub fn to_json(rows: &[ProfileRow]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut sweep = String::new();
+        rpc_obs::escape_into(&mut sweep, &r.sweep);
+        let mut cell = String::new();
+        rpc_obs::escape_into(&mut cell, &r.cell);
+        out.push_str(&format!(
+            "{{\"sweep\":{sweep},\"cell\":{cell},\"reps_run\":{},\"reps_kept\":{},\
+             \"cached\":{},\"wall_nanos\":{},\"rounds\":{},\"scalar_rounds\":{},\
+             \"eager_rounds\":{},\"batch_rounds\":{}}}",
+            r.reps_run,
+            r.reps_kept,
+            r.cached,
+            r.wall_nanos,
+            r.rounds,
+            r.cores.scalar,
+            r.cores.eager,
+            r.cores.batch,
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Vec<String> {
+        vec![
+            r#"{"ev":"sweep-started","sweep":"fig1","cells":2,"threads":4}"#.into(),
+            r#"{"ev":"cell-started","sweep":"fig1","cell":"a","index":0,"target_reps":2}"#.into(),
+            concat!(
+                r#"{"ev":"rep-finished","sweep":"fig1","cell":"a","rep":0,"wall_nanos":3000000,"#,
+                r#""rounds":10,"scalar_rounds":6,"eager_rounds":0,"batch_rounds":4}"#
+            )
+            .into(),
+            concat!(
+                r#"{"ev":"rep-finished","sweep":"fig1","cell":"a","rep":1,"wall_nanos":1000000,"#,
+                r#""rounds":10,"scalar_rounds":10,"eager_rounds":0,"batch_rounds":0}"#
+            )
+            .into(),
+            r#"{"ev":"cell-finished","sweep":"fig1","cell":"a","reps":2,"cached":false}"#.into(),
+            r#"{"ev":"cache-hit","sweep":"fig1","cell":"b","reps":5}"#.into(),
+            r#"{"ev":"cell-finished","sweep":"fig1","cell":"b","reps":5,"cached":true}"#.into(),
+        ]
+    }
+
+    #[test]
+    fn aggregates_reps_and_cores_per_cell() {
+        let rows = aggregate(sample_trace()).unwrap();
+        assert_eq!(rows.len(), 2);
+        let a = &rows[0];
+        assert_eq!((a.sweep.as_str(), a.cell.as_str()), ("fig1", "a"));
+        assert_eq!((a.reps_run, a.reps_kept, a.cached), (2, 2, false));
+        assert_eq!(a.rounds, 20);
+        assert_eq!(a.wall_nanos, 4_000_000);
+        assert_eq!((a.cores.scalar, a.cores.eager, a.cores.batch), (16, 0, 4));
+        // Proportional attribution: 16/20 of 4ms to scalar, 4/20 to batch.
+        assert!((a.core_ms(a.cores.scalar) - 3.2).abs() < 1e-9);
+        assert!((a.core_ms(a.cores.batch) - 0.8).abs() < 1e-9);
+        let b = &rows[1];
+        assert_eq!((b.reps_run, b.reps_kept, b.cached), (0, 5, true));
+        assert_eq!(b.core_ms(b.cores.scalar), 0.0);
+    }
+
+    #[test]
+    fn table_and_json_render_every_row() {
+        let rows = aggregate(sample_trace()).unwrap();
+        let t = table(&rows);
+        assert_eq!(t.len(), 2);
+        assert!(t.to_csv().starts_with("sweep,cell,reps_run"));
+        let json = to_json(&rows);
+        assert!(json.contains("\"cell\":\"a\""));
+        assert!(json.contains("\"cached\":true"));
+    }
+
+    #[test]
+    fn corrupt_lines_are_loud_and_unknown_kinds_are_not() {
+        assert!(aggregate(vec!["not json".to_string()]).is_err());
+        assert!(aggregate(vec![r#"{"sweep":"x"}"#.to_string()]).is_err());
+        let rows = aggregate(vec![r#"{"ev":"dispatch","round":3}"#.to_string()]).unwrap();
+        assert!(rows.is_empty());
+    }
+}

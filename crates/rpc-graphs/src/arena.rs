@@ -17,6 +17,8 @@
 //! sequence of prior arena uses (including larger or smaller graphs). The
 //! tests below pin this for every generator in the crate.
 
+use rpc_obs::ReuseStats;
+
 use crate::csr::{Graph, NodeId};
 
 /// Reusable storage for repeated graph generation: the generated CSR graph
@@ -34,6 +36,8 @@ pub struct GraphArena {
     pub(crate) scratch: Vec<usize>,
     /// Stub buffer for the configuration model's pairing.
     pub(crate) stubs: Vec<NodeId>,
+    /// Reuse-vs-fresh counters over the arena's generations.
+    stats: ReuseStats,
 }
 
 impl Default for GraphArena {
@@ -50,7 +54,20 @@ impl GraphArena {
             edges: Vec::new(),
             scratch: Vec::new(),
             stubs: Vec::new(),
+            stats: ReuseStats::default(),
         }
+    }
+
+    /// Generation counters: the first build per arena counts as *fresh*,
+    /// every later one as *reused* (the buffers carry over). Purely
+    /// diagnostic — the generated graphs are bit-identical either way.
+    pub fn stats(&self) -> ReuseStats {
+        self.stats
+    }
+
+    /// Marks one generation into this arena (called by every build path).
+    fn record_build(&mut self) {
+        self.stats.record(self.stats.total() > 0);
     }
 
     /// The most recently generated graph. Before the first
@@ -62,12 +79,14 @@ impl GraphArena {
 
     /// Mutable access for generators that replace or fill the graph directly.
     pub(crate) fn graph_mut(&mut self) -> &mut Graph {
+        self.record_build();
         &mut self.graph
     }
 
     /// Rebuilds the arena's graph from the edges currently in the edge
     /// buffer (see [`Graph::rebuild_from_edges`]).
     pub(crate) fn rebuild_from_edges(&mut self, n: usize) {
+        self.record_build();
         let Self { graph, edges, scratch, .. } = self;
         graph.rebuild_from_edges(n, edges, scratch);
     }
@@ -75,6 +94,7 @@ impl GraphArena {
     /// Sort-skipping variant for samplers whose emission order scatters into
     /// already-sorted adjacency (see `Graph::rebuild_from_edges_presorted`).
     pub(crate) fn rebuild_from_edges_presorted(&mut self, n: usize) {
+        self.record_build();
         let Self { graph, edges, scratch, .. } = self;
         graph.rebuild_from_edges_presorted(n, edges, scratch);
     }
@@ -178,5 +198,17 @@ mod tests {
     fn empty_arena_graph_has_zero_nodes() {
         let arena = GraphArena::new();
         assert_eq!(arena.graph().num_nodes(), 0);
+        assert_eq!(arena.stats().total(), 0);
+    }
+
+    #[test]
+    fn generation_stats_count_first_build_as_fresh() {
+        let mut arena = GraphArena::new();
+        let gen = ErdosRenyi::with_expected_degree(32, 4.0);
+        gen.generate_into(0, &mut arena);
+        gen.generate_into(1, &mut arena);
+        gen.generate_into(2, &mut arena);
+        let stats = arena.stats();
+        assert_eq!((stats.fresh, stats.reused), (1, 2));
     }
 }

@@ -1,0 +1,142 @@
+//! The in-memory aggregation sink.
+
+use std::collections::BTreeMap;
+
+use crate::event::{ObsEvent, Observer};
+use crate::stats::{CoreRounds, PoolStats, ReuseStats};
+
+/// An [`Observer`] that folds the event stream into summary counters, for
+/// tests and in-process reporting (no I/O).
+#[derive(Clone, Debug, Default)]
+pub struct Aggregator {
+    counts: BTreeMap<&'static str, u64>,
+    reps: u64,
+    rounds: u64,
+    wall_nanos: u64,
+    cores: CoreRounds,
+    pool: PoolStats,
+    graph: ReuseStats,
+    sim: ReuseStats,
+}
+
+impl Aggregator {
+    /// A fresh, empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many events of `kind` (an [`ObsEvent::kind`] label) were seen.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total events seen.
+    pub fn total_events(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Repetitions finished (from `rep-finished` events).
+    pub fn reps(&self) -> u64 {
+        self.reps
+    }
+
+    /// Simulated rounds accumulated across finished repetitions and runs.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Wall-clock nanoseconds accumulated across finished repetitions.
+    pub fn wall_nanos(&self) -> u64 {
+        self.wall_nanos
+    }
+
+    /// Delivery batches per core, accumulated.
+    pub fn cores(&self) -> CoreRounds {
+        self.cores
+    }
+
+    /// Pool counters, folded over every `pool` event (checkouts and fresh
+    /// allocations sum; the high-water mark takes the max).
+    pub fn pool(&self) -> PoolStats {
+        self.pool
+    }
+
+    /// Graph-arena reuse counters, summed.
+    pub fn graph_reuse(&self) -> ReuseStats {
+        self.graph
+    }
+
+    /// Simulation-arena reuse counters, summed.
+    pub fn sim_reuse(&self) -> ReuseStats {
+        self.sim
+    }
+}
+
+impl Observer for Aggregator {
+    fn record(&mut self, event: &ObsEvent<'_>) {
+        *self.counts.entry(event.kind()).or_insert(0) += 1;
+        match *event {
+            ObsEvent::RepFinished { wall_nanos, rounds, cores, .. } => {
+                self.reps += 1;
+                self.wall_nanos += wall_nanos;
+                self.rounds += rounds;
+                self.cores.merge(cores);
+            }
+            ObsEvent::RunFinished { rounds, cores, .. } => {
+                self.rounds += rounds;
+                self.cores.merge(cores);
+            }
+            ObsEvent::Pool { stats } => {
+                self.pool.checkouts += stats.checkouts;
+                self.pool.fresh += stats.fresh;
+                self.pool.high_water = self.pool.high_water.max(stats.high_water);
+            }
+            ObsEvent::Arena { graph, sim } => {
+                self.graph.reused += graph.reused;
+                self.graph.fresh += graph.fresh;
+                self.sim.reused += sim.reused;
+                self.sim.fresh += sim.fresh;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::PoolStats;
+
+    #[test]
+    fn folds_counts_and_totals() {
+        let mut agg = Aggregator::new();
+        agg.record(&ObsEvent::SweepStarted { sweep: "s", cells: 2, threads: 1 });
+        agg.record(&ObsEvent::RepFinished {
+            sweep: "s",
+            cell: "a",
+            rep: 0,
+            wall_nanos: 100,
+            rounds: 7,
+            cores: CoreRounds { scalar: 7, eager: 0, batch: 0 },
+        });
+        agg.record(&ObsEvent::RepFinished {
+            sweep: "s",
+            cell: "a",
+            rep: 1,
+            wall_nanos: 50,
+            rounds: 5,
+            cores: CoreRounds { scalar: 2, eager: 3, batch: 0 },
+        });
+        agg.record(&ObsEvent::Pool { stats: PoolStats { checkouts: 10, fresh: 1, high_water: 4 } });
+        agg.record(&ObsEvent::Pool { stats: PoolStats { checkouts: 5, fresh: 0, high_water: 2 } });
+        assert_eq!(agg.count("sweep-started"), 1);
+        assert_eq!(agg.count("rep-finished"), 2);
+        assert_eq!(agg.count("nope"), 0);
+        assert_eq!(agg.total_events(), 5);
+        assert_eq!(agg.reps(), 2);
+        assert_eq!(agg.rounds(), 12);
+        assert_eq!(agg.wall_nanos(), 150);
+        assert_eq!(agg.cores(), CoreRounds { scalar: 9, eager: 3, batch: 0 });
+        assert_eq!(agg.pool(), PoolStats { checkouts: 15, fresh: 1, high_water: 4 });
+    }
+}

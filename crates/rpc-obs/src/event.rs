@@ -1,0 +1,302 @@
+//! The observer trait and the event taxonomy.
+
+use crate::stats::{CoreRounds, DispatchRecord, PoolStats, ReuseStats};
+
+/// One observable event. Borrowed string fields keep event construction
+/// allocation-free, so a disabled observer costs nothing even where an event
+/// *would* be built.
+///
+/// The taxonomy has three levels:
+///
+/// * **engine events** — [`Dispatch`](ObsEvent::Dispatch) (one adaptive
+///   delivery-core decision with its inputs), [`Round`](ObsEvent::Round)
+///   (per-round progress counters), [`RunFinished`](ObsEvent::RunFinished),
+///   [`Pool`](ObsEvent::Pool) and [`Arena`](ObsEvent::Arena) (buffer/storage
+///   reuse); emitted by the scenario executor from the engine's always-on
+///   counters;
+/// * **sweep lifecycle** — [`SweepStarted`](ObsEvent::SweepStarted) through
+///   [`SweepFinished`](ObsEvent::SweepFinished), emitted by the sweep runner
+///   on its coordinator thread in deterministic task order;
+/// * **timing** — [`RepFinished`](ObsEvent::RepFinished) carries per-rep
+///   wall-clock measured by the worker *around* the deterministic cell run
+///   (never inside a seeded path).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ObsEvent<'a> {
+    /// A sweep began executing.
+    SweepStarted {
+        /// Sweep (spec) name.
+        sweep: &'a str,
+        /// Total cells in the sweep.
+        cells: usize,
+        /// Worker-thread count.
+        threads: usize,
+    },
+    /// A cell entered the pending set (it was not served from the cache).
+    CellStarted {
+        /// Sweep name.
+        sweep: &'a str,
+        /// Cell key.
+        cell: &'a str,
+        /// Cell index within the spec.
+        index: usize,
+        /// Initial repetition target (the policy minimum).
+        target_reps: usize,
+    },
+    /// A cell was served from the persistent cell cache.
+    CacheHit {
+        /// Sweep name.
+        sweep: &'a str,
+        /// Cell key.
+        cell: &'a str,
+        /// Repetitions recorded in the cached entry.
+        reps: usize,
+    },
+    /// One doubling batch of repetitions was scheduled onto the pool.
+    BatchScheduled {
+        /// Sweep name.
+        sweep: &'a str,
+        /// Tasks (repetitions) in this batch, across all undecided cells.
+        tasks: usize,
+    },
+    /// One repetition finished executing on a worker.
+    RepFinished {
+        /// Sweep name.
+        sweep: &'a str,
+        /// Cell key.
+        cell: &'a str,
+        /// Repetition index within the cell.
+        rep: usize,
+        /// Wall-clock nanoseconds the worker spent on this repetition.
+        wall_nanos: u64,
+        /// Simulated rounds the repetition executed.
+        rounds: u64,
+        /// Delivery batches per core during this repetition.
+        cores: CoreRounds,
+    },
+    /// A cell's adaptive CI stop rule fired before the budget ceiling.
+    CiStop {
+        /// Sweep name.
+        sweep: &'a str,
+        /// Cell key.
+        cell: &'a str,
+        /// Repetitions kept by the prefix-stable stop index.
+        reps: usize,
+    },
+    /// A cell's result is final (aggregated or served from cache).
+    CellFinished {
+        /// Sweep name.
+        sweep: &'a str,
+        /// Cell key.
+        cell: &'a str,
+        /// Repetitions behind the aggregate.
+        reps: usize,
+        /// Whether the result came from the cache.
+        cached: bool,
+    },
+    /// The whole sweep finished.
+    SweepFinished {
+        /// Sweep name.
+        sweep: &'a str,
+        /// Total cells.
+        cells: usize,
+        /// Freshly executed repetitions (cache hits excluded).
+        executed_reps: usize,
+        /// Cells served from the cache.
+        cached_cells: usize,
+    },
+    /// One adaptive delivery-core dispatch decision (per simulated round).
+    Dispatch {
+        /// Completed rounds when the decision was taken.
+        round: u64,
+        /// The decision and its inputs.
+        record: DispatchRecord,
+    },
+    /// Per-round progress counters of a scenario run.
+    Round {
+        /// Completed rounds at capture time.
+        round: u64,
+        /// Nodes knowing all original messages.
+        fully_informed: usize,
+        /// Nodes knowing the tracked rumor.
+        tracked_informed: usize,
+        /// Cumulative packets sent.
+        packets: u64,
+    },
+    /// A scenario run completed.
+    RunFinished {
+        /// Rounds executed.
+        rounds: u64,
+        /// Total packets sent.
+        total_packets: u64,
+        /// Delivery batches per core over the whole run.
+        cores: CoreRounds,
+    },
+    /// Buffer-pool counters of the engine that just finished a run.
+    Pool {
+        /// Checkout/fresh/high-water counters.
+        stats: PoolStats,
+    },
+    /// Arena reuse-vs-fresh counters (graph generation and parked
+    /// simulations).
+    Arena {
+        /// Graph arena rebuilds.
+        graph: ReuseStats,
+        /// Simulation checkouts.
+        sim: ReuseStats,
+    },
+}
+
+impl ObsEvent<'_> {
+    /// Stable kind label (the `ev` field of the JSON-lines format).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::SweepStarted { .. } => "sweep-started",
+            ObsEvent::CellStarted { .. } => "cell-started",
+            ObsEvent::CacheHit { .. } => "cache-hit",
+            ObsEvent::BatchScheduled { .. } => "batch-scheduled",
+            ObsEvent::RepFinished { .. } => "rep-finished",
+            ObsEvent::CiStop { .. } => "ci-stop",
+            ObsEvent::CellFinished { .. } => "cell-finished",
+            ObsEvent::SweepFinished { .. } => "sweep-finished",
+            ObsEvent::Dispatch { .. } => "dispatch",
+            ObsEvent::Round { .. } => "round",
+            ObsEvent::RunFinished { .. } => "run-finished",
+            ObsEvent::Pool { .. } => "pool",
+            ObsEvent::Arena { .. } => "arena",
+        }
+    }
+}
+
+/// A sink for [`ObsEvent`]s.
+///
+/// Implementations must be pure sinks: nothing an observer does may flow back
+/// into the observed computation (see the crate docs for the determinism
+/// contract). Instrumented code is generic over `O: Observer`, so with
+/// [`NoopObserver`] the monomorphized result is the uninstrumented code.
+pub trait Observer {
+    /// Whether this observer consumes events at all. Instrumented code
+    /// guards *expensive* event preparation (timing reads, per-rep probes)
+    /// behind `O::ENABLED`; plain event construction needs no guard — it is
+    /// dead code when `record` is an empty inlined body.
+    const ENABLED: bool = true;
+
+    /// Consumes one event.
+    fn record(&mut self, event: &ObsEvent<'_>);
+}
+
+/// The disabled observer: an empty inlined `record` and
+/// [`Observer::ENABLED`]` = false`. Instrumented code monomorphized with this
+/// type compiles to the uninstrumented code.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: &ObsEvent<'_>) {}
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    const ENABLED: bool = O::ENABLED;
+
+    #[inline]
+    fn record(&mut self, event: &ObsEvent<'_>) {
+        (**self).record(event);
+    }
+}
+
+/// Fan-out to two sinks (compose further by nesting tuples).
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn record(&mut self, event: &ObsEvent<'_>) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl Observer for Counter {
+        fn record(&mut self, _event: &ObsEvent<'_>) {
+            self.0 += 1;
+        }
+    }
+
+    // The `ENABLED` associated constants ARE the subject under test here:
+    // the zero-cost contract hinges on their compile-time values.
+    #[allow(clippy::assertions_on_constants)]
+    #[test]
+    fn noop_is_disabled_and_tuples_compose() {
+        assert!(!NoopObserver::ENABLED);
+        assert!(<(NoopObserver, Counter)>::ENABLED);
+        assert!(!<(NoopObserver, NoopObserver)>::ENABLED);
+        let mut pair = (Counter(0), NoopObserver);
+        pair.record(&ObsEvent::Round {
+            round: 1,
+            fully_informed: 2,
+            tracked_informed: 3,
+            packets: 4,
+        });
+        assert_eq!(pair.0 .0, 1);
+    }
+
+    #[allow(clippy::assertions_on_constants)]
+    #[test]
+    fn mut_references_forward() {
+        let mut c = Counter(0);
+        {
+            let mut by_ref = &mut c;
+            assert!(<&mut Counter>::ENABLED);
+            <&mut Counter as Observer>::record(
+                &mut by_ref,
+                &ObsEvent::Pool { stats: Default::default() },
+            );
+        }
+        assert_eq!(c.0, 1);
+    }
+
+    #[test]
+    fn every_event_kind_is_distinct() {
+        use crate::stats::*;
+        let events = [
+            ObsEvent::SweepStarted { sweep: "s", cells: 1, threads: 1 },
+            ObsEvent::CellStarted { sweep: "s", cell: "c", index: 0, target_reps: 2 },
+            ObsEvent::CacheHit { sweep: "s", cell: "c", reps: 2 },
+            ObsEvent::BatchScheduled { sweep: "s", tasks: 4 },
+            ObsEvent::RepFinished {
+                sweep: "s",
+                cell: "c",
+                rep: 0,
+                wall_nanos: 10,
+                rounds: 3,
+                cores: CoreRounds::default(),
+            },
+            ObsEvent::CiStop { sweep: "s", cell: "c", reps: 5 },
+            ObsEvent::CellFinished { sweep: "s", cell: "c", reps: 5, cached: false },
+            ObsEvent::SweepFinished { sweep: "s", cells: 1, executed_reps: 5, cached_cells: 0 },
+            ObsEvent::Dispatch {
+                round: 0,
+                record: DispatchRecord {
+                    core: DeliveryCore::Scalar,
+                    n: 8,
+                    packets: 16,
+                    sparse: false,
+                    cache_resident: true,
+                    threads: 1,
+                },
+            },
+            ObsEvent::Round { round: 0, fully_informed: 0, tracked_informed: 1, packets: 0 },
+            ObsEvent::RunFinished { rounds: 3, total_packets: 9, cores: CoreRounds::default() },
+            ObsEvent::Pool { stats: PoolStats::default() },
+            ObsEvent::Arena { graph: ReuseStats::default(), sim: ReuseStats::default() },
+        ];
+        let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! The live progress sink.
+
+use std::io::Write;
+use std::time::Instant;
+
+use crate::event::{ObsEvent, Observer};
+
+/// An [`Observer`] that prints live sweep progress (cells done, reps
+/// executed, ETA) to a writer — stderr by default, so it never mixes with
+/// report output on stdout.
+///
+/// It reads the wall clock, which is fine by the determinism rule: the
+/// reporter runs on the sweep coordinator thread, strictly outside seeded
+/// code, and nothing it computes flows back into the run.
+///
+/// To keep output proportional to cells (not repetitions), it prints one
+/// line per finished cell plus start/finish banners.
+pub struct ProgressReporter<W: Write> {
+    out: W,
+    started: Instant,
+    cells_total: usize,
+    cells_done: usize,
+    reps_done: u64,
+}
+
+impl ProgressReporter<std::io::Stderr> {
+    /// A reporter writing to stderr.
+    pub fn stderr() -> Self {
+        Self::new(std::io::stderr())
+    }
+}
+
+impl<W: Write> ProgressReporter<W> {
+    /// A reporter writing to `out`.
+    pub fn new(out: W) -> Self {
+        ProgressReporter {
+            out,
+            started: Instant::now(),
+            cells_total: 0,
+            cells_done: 0,
+            reps_done: 0,
+        }
+    }
+
+    /// Cells finished so far.
+    pub fn cells_done(&self) -> usize {
+        self.cells_done
+    }
+
+    fn eta(&self) -> Option<f64> {
+        if self.cells_done == 0 || self.cells_done >= self.cells_total {
+            return None;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let remaining = (self.cells_total - self.cells_done) as f64;
+        Some(elapsed / self.cells_done as f64 * remaining)
+    }
+
+    fn line(&mut self, text: &str) {
+        // Progress output is best-effort; a dead stderr must not kill a sweep.
+        let _ = writeln!(self.out, "{text}");
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: Write> Observer for ProgressReporter<W> {
+    fn record(&mut self, event: &ObsEvent<'_>) {
+        match *event {
+            ObsEvent::SweepStarted { sweep, cells, threads } => {
+                self.started = Instant::now();
+                self.cells_total = cells;
+                self.cells_done = 0;
+                self.reps_done = 0;
+                self.line(&format!("[{sweep}] {cells} cells on {threads} threads"));
+            }
+            ObsEvent::RepFinished { .. } => {
+                self.reps_done += 1;
+            }
+            ObsEvent::CellFinished { sweep, cell, reps, cached } => {
+                self.cells_done += 1;
+                let done = self.cells_done;
+                let total = self.cells_total;
+                let reps_done = self.reps_done;
+                let mut msg = format!(
+                    "[{sweep}] {done}/{total} cells  {reps_done} reps  {cell}: {reps} reps{}",
+                    if cached { " (cached)" } else { "" }
+                );
+                if let Some(eta) = self.eta() {
+                    use std::fmt::Write as _;
+                    let _ = write!(msg, "  eta {eta:.0}s");
+                }
+                self.line(&msg);
+            }
+            ObsEvent::SweepFinished { sweep, cells, executed_reps, cached_cells } => {
+                let secs = self.started.elapsed().as_secs_f64();
+                self.line(&format!(
+                    "[{sweep}] done: {cells} cells, {executed_reps} reps executed, \
+                     {cached_cells} cached, {secs:.1}s"
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_per_cell_lines_and_counts_reps() {
+        let mut rep = ProgressReporter::new(Vec::new());
+        rep.record(&ObsEvent::SweepStarted { sweep: "fig1", cells: 2, threads: 4 });
+        for i in 0..3 {
+            rep.record(&ObsEvent::RepFinished {
+                sweep: "fig1",
+                cell: "a",
+                rep: i,
+                wall_nanos: 1,
+                rounds: 1,
+                cores: Default::default(),
+            });
+        }
+        rep.record(&ObsEvent::CellFinished { sweep: "fig1", cell: "a", reps: 3, cached: false });
+        rep.record(&ObsEvent::CellFinished { sweep: "fig1", cell: "b", reps: 2, cached: true });
+        rep.record(&ObsEvent::SweepFinished {
+            sweep: "fig1",
+            cells: 2,
+            executed_reps: 3,
+            cached_cells: 1,
+        });
+        assert_eq!(rep.cells_done(), 2);
+        let text = String::from_utf8(rep.out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("2 cells on 4 threads"));
+        assert!(lines[1].contains("1/2 cells"));
+        assert!(lines[1].contains("3 reps"));
+        assert!(lines[1].contains("eta"));
+        assert!(lines[2].contains("(cached)"));
+        assert!(lines[3].contains("done: 2 cells, 3 reps executed, 1 cached"));
+    }
+
+    #[test]
+    fn dispatch_events_do_not_print() {
+        let mut rep = ProgressReporter::new(Vec::new());
+        rep.record(&ObsEvent::Round {
+            round: 0,
+            fully_informed: 0,
+            tracked_informed: 0,
+            packets: 0,
+        });
+        assert!(rep.out.is_empty());
+    }
+}

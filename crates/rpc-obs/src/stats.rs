@@ -1,0 +1,214 @@
+//! Plain counter types shared across the workspace layers.
+//!
+//! These are deliberately dumb data: the engine, the graph arena and the
+//! pools update them unconditionally (a handful of integer adds per round —
+//! cheap enough to keep always on), and the generic observer plumbing in the
+//! scenario layer turns them into [`ObsEvent`](crate::ObsEvent)s when an
+//! observer is attached.
+
+/// The delivery core the adaptive dispatch picked for one deferred batch.
+///
+/// The engine chooses per round from the batch shape (see the dispatch
+/// comment in `rpc_engine::Simulation::deliver`): *scalar* for sequential
+/// cache-resident or sparse batches, *eager* for sequential larger-than-cache
+/// dense batches, *batch* whenever worker threads are configured.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeliveryCore {
+    /// Sequential small-n / sparse-batch core.
+    #[default]
+    Scalar,
+    /// Sequential chain-ordered core with reader-gated commits.
+    Eager,
+    /// Multi-threaded compute-then-commit core.
+    Batch,
+}
+
+impl DeliveryCore {
+    /// Stable lower-case label (used in traces and CSV columns).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeliveryCore::Scalar => "scalar",
+            DeliveryCore::Eager => "eager",
+            DeliveryCore::Batch => "batch",
+        }
+    }
+}
+
+/// How many delivery batches each core has executed.
+///
+/// These counts are *diagnostics*, not results: they depend on the configured
+/// thread count (threads > 1 always dispatches to the batch core), so the
+/// scenario layer excludes them from outcome/trace equality.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreRounds {
+    /// Batches taken by the scalar core.
+    pub scalar: u64,
+    /// Batches taken by the eager core.
+    pub eager: u64,
+    /// Batches taken by the batch (multi-threaded) core.
+    pub batch: u64,
+}
+
+impl CoreRounds {
+    /// Counts one batch executed by `core`.
+    pub fn record(&mut self, core: DeliveryCore) {
+        match core {
+            DeliveryCore::Scalar => self.scalar += 1,
+            DeliveryCore::Eager => self.eager += 1,
+            DeliveryCore::Batch => self.batch += 1,
+        }
+    }
+
+    /// Total batches across all cores.
+    pub fn total(self) -> u64 {
+        self.scalar + self.eager + self.batch
+    }
+
+    /// The per-core increments since an earlier snapshot `prev`.
+    pub fn since(self, prev: CoreRounds) -> CoreRounds {
+        CoreRounds {
+            scalar: self.scalar - prev.scalar,
+            eager: self.eager - prev.eager,
+            batch: self.batch - prev.batch,
+        }
+    }
+
+    /// Adds another count set (used when aggregating repetitions).
+    pub fn merge(&mut self, other: CoreRounds) {
+        self.scalar += other.scalar;
+        self.eager += other.eager;
+        self.batch += other.batch;
+    }
+}
+
+/// One adaptive-dispatch decision together with the inputs that drove it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// The chosen core.
+    pub core: DeliveryCore,
+    /// Network size (nodes).
+    pub n: usize,
+    /// Effective packets in the batch (after loss/crash/churn filtering).
+    pub packets: usize,
+    /// Whether the batch was classified as sparse (`packets * 8 < n`).
+    pub sparse: bool,
+    /// Whether the state table was classified as cache-resident.
+    pub cache_resident: bool,
+    /// Configured engine worker threads.
+    pub threads: usize,
+}
+
+/// Buffer-pool counters: checkouts, cold allocations and the pool's
+/// high-water mark. Tracked on the sequential delivery cores (the batch
+/// core's worker-local pools are consumed inside the crossbeam scope and are
+/// not merged back).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer checkouts (pool pops, whether or not the pool could serve).
+    pub checkouts: u64,
+    /// Checkouts the pool could not serve (a fresh buffer was allocated).
+    pub fresh: u64,
+    /// Largest number of parked full-width buffers ever observed.
+    pub high_water: usize,
+}
+
+impl PoolStats {
+    /// Counts one checkout; `fresh` says whether the pool was empty.
+    pub fn record_checkout(&mut self, fresh: bool) {
+        self.checkouts += 1;
+        self.fresh += u64::from(fresh);
+    }
+
+    /// Updates the high-water mark after buffers were returned.
+    pub fn record_parked(&mut self, parked: usize) {
+        self.high_water = self.high_water.max(parked);
+    }
+
+    /// Checkouts served from the pool without allocating.
+    pub fn reused(self) -> u64 {
+        self.checkouts - self.fresh
+    }
+}
+
+/// Reuse-vs-fresh counters for arena-style storage (graph arenas, parked
+/// simulations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Checkouts that reused parked storage.
+    pub reused: u64,
+    /// Checkouts that had to allocate from scratch.
+    pub fresh: u64,
+}
+
+impl ReuseStats {
+    /// Counts one checkout.
+    pub fn record(&mut self, reused: bool) {
+        if reused {
+            self.reused += 1;
+        } else {
+            self.fresh += 1;
+        }
+    }
+
+    /// Total checkouts.
+    pub fn total(self) -> u64 {
+        self.reused + self.fresh
+    }
+
+    /// The increments since an earlier snapshot `prev`.
+    pub fn since(self, prev: ReuseStats) -> ReuseStats {
+        ReuseStats { reused: self.reused - prev.reused, fresh: self.fresh - prev.fresh }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_rounds_record_and_diff() {
+        let mut c = CoreRounds::default();
+        c.record(DeliveryCore::Scalar);
+        c.record(DeliveryCore::Scalar);
+        c.record(DeliveryCore::Batch);
+        assert_eq!(c, CoreRounds { scalar: 2, eager: 0, batch: 1 });
+        assert_eq!(c.total(), 3);
+        let snap = c;
+        c.record(DeliveryCore::Eager);
+        assert_eq!(c.since(snap), CoreRounds { scalar: 0, eager: 1, batch: 0 });
+        let mut sum = snap;
+        sum.merge(c);
+        assert_eq!(sum.total(), snap.total() + c.total());
+    }
+
+    #[test]
+    fn pool_stats_track_fresh_and_high_water() {
+        let mut p = PoolStats::default();
+        p.record_checkout(true);
+        p.record_checkout(false);
+        p.record_parked(3);
+        p.record_parked(1);
+        assert_eq!(p.checkouts, 2);
+        assert_eq!(p.fresh, 1);
+        assert_eq!(p.reused(), 1);
+        assert_eq!(p.high_water, 3);
+    }
+
+    #[test]
+    fn reuse_stats_split_by_outcome() {
+        let mut r = ReuseStats::default();
+        r.record(false);
+        r.record(true);
+        r.record(true);
+        assert_eq!(r, ReuseStats { reused: 2, fresh: 1 });
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.since(ReuseStats { reused: 1, fresh: 1 }), ReuseStats { reused: 1, fresh: 0 });
+    }
+
+    #[test]
+    fn core_labels_are_stable() {
+        assert_eq!(DeliveryCore::Scalar.as_str(), "scalar");
+        assert_eq!(DeliveryCore::Eager.as_str(), "eager");
+        assert_eq!(DeliveryCore::Batch.as_str(), "batch");
+    }
+}

@@ -1,0 +1,283 @@
+//! The JSON-lines trace sink.
+
+use std::io::Write;
+
+use crate::event::{ObsEvent, Observer};
+use crate::json::escape_into;
+use crate::stats::CoreRounds;
+
+/// An [`Observer`] that serializes every event as one flat JSON object per
+/// line (the format `experiments profile` consumes).
+///
+/// I/O errors latch: the first failed write disables the sink and is
+/// reported by [`TraceWriter::error`] / [`TraceWriter::finish`], so the hot
+/// path never panics and never retries a dead file descriptor.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    line: String,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps `out`; every recorded event becomes one line.
+    pub fn new(out: W) -> Self {
+        TraceWriter { out, line: String::with_capacity(256), error: None }
+    }
+
+    /// The first I/O error, if any write failed.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer, or the first latched
+    /// error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn write_line(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.push('\n');
+        if let Err(e) = self.out.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Incrementally builds one flat JSON object in a reused `String`.
+struct Obj<'a> {
+    line: &'a mut String,
+}
+
+impl<'a> Obj<'a> {
+    fn new(line: &'a mut String, kind: &str) -> Self {
+        line.clear();
+        line.push_str("{\"ev\":");
+        escape_into(line, kind);
+        Obj { line }
+    }
+
+    fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.line.push(',');
+        escape_into(self.line, key);
+        self.line.push(':');
+        escape_into(self.line, value);
+        self
+    }
+
+    fn num(&mut self, key: &str, value: u64) -> &mut Self {
+        use std::fmt::Write as _;
+        self.line.push(',');
+        escape_into(self.line, key);
+        let _ = write!(self.line, ":{value}");
+        self
+    }
+
+    fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
+        self.line.push(',');
+        escape_into(self.line, key);
+        self.line.push(':');
+        self.line.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    fn cores(&mut self, cores: CoreRounds) -> &mut Self {
+        self.num("scalar_rounds", cores.scalar)
+            .num("eager_rounds", cores.eager)
+            .num("batch_rounds", cores.batch)
+    }
+
+    fn close(self) {
+        self.line.push('}');
+    }
+}
+
+impl<W: Write> Observer for TraceWriter<W> {
+    fn record(&mut self, event: &ObsEvent<'_>) {
+        let mut obj = Obj::new(&mut self.line, event.kind());
+        match *event {
+            ObsEvent::SweepStarted { sweep, cells, threads } => {
+                obj.str("sweep", sweep).num("cells", cells as u64).num("threads", threads as u64);
+            }
+            ObsEvent::CellStarted { sweep, cell, index, target_reps } => {
+                obj.str("sweep", sweep)
+                    .str("cell", cell)
+                    .num("index", index as u64)
+                    .num("target_reps", target_reps as u64);
+            }
+            ObsEvent::CacheHit { sweep, cell, reps } => {
+                obj.str("sweep", sweep).str("cell", cell).num("reps", reps as u64);
+            }
+            ObsEvent::BatchScheduled { sweep, tasks } => {
+                obj.str("sweep", sweep).num("tasks", tasks as u64);
+            }
+            ObsEvent::RepFinished { sweep, cell, rep, wall_nanos, rounds, cores } => {
+                obj.str("sweep", sweep)
+                    .str("cell", cell)
+                    .num("rep", rep as u64)
+                    .num("wall_nanos", wall_nanos)
+                    .num("rounds", rounds)
+                    .cores(cores);
+            }
+            ObsEvent::CiStop { sweep, cell, reps } => {
+                obj.str("sweep", sweep).str("cell", cell).num("reps", reps as u64);
+            }
+            ObsEvent::CellFinished { sweep, cell, reps, cached } => {
+                obj.str("sweep", sweep)
+                    .str("cell", cell)
+                    .num("reps", reps as u64)
+                    .boolean("cached", cached);
+            }
+            ObsEvent::SweepFinished { sweep, cells, executed_reps, cached_cells } => {
+                obj.str("sweep", sweep)
+                    .num("cells", cells as u64)
+                    .num("executed_reps", executed_reps as u64)
+                    .num("cached_cells", cached_cells as u64);
+            }
+            ObsEvent::Dispatch { round, record } => {
+                obj.num("round", round)
+                    .str("core", record.core.as_str())
+                    .num("n", record.n as u64)
+                    .num("packets", record.packets as u64)
+                    .boolean("sparse", record.sparse)
+                    .boolean("cache_resident", record.cache_resident)
+                    .num("threads", record.threads as u64);
+            }
+            ObsEvent::Round { round, fully_informed, tracked_informed, packets } => {
+                obj.num("round", round)
+                    .num("fully_informed", fully_informed as u64)
+                    .num("tracked_informed", tracked_informed as u64)
+                    .num("packets", packets);
+            }
+            ObsEvent::RunFinished { rounds, total_packets, cores } => {
+                obj.num("rounds", rounds).num("total_packets", total_packets).cores(cores);
+            }
+            ObsEvent::Pool { stats } => {
+                obj.num("checkouts", stats.checkouts)
+                    .num("fresh", stats.fresh)
+                    .num("high_water", stats.high_water as u64);
+            }
+            ObsEvent::Arena { graph, sim } => {
+                obj.num("graph_reused", graph.reused)
+                    .num("graph_fresh", graph.fresh)
+                    .num("sim_reused", sim.reused)
+                    .num("sim_fresh", sim.fresh);
+            }
+        }
+        obj.close();
+        self.write_line();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_object, JsonValue};
+    use crate::stats::{DeliveryCore, DispatchRecord, PoolStats, ReuseStats};
+
+    fn lines_of(events: &[ObsEvent<'_>]) -> Vec<String> {
+        let mut w = TraceWriter::new(Vec::new());
+        for e in events {
+            w.record(e);
+        }
+        let buf = w.finish().expect("no io error on Vec");
+        String::from_utf8(buf).unwrap().lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn every_event_serializes_to_a_parseable_flat_object() {
+        let events = [
+            ObsEvent::SweepStarted { sweep: "fig1", cells: 3, threads: 2 },
+            ObsEvent::CellStarted { sweep: "fig1", cell: "n=1024", index: 0, target_reps: 4 },
+            ObsEvent::CacheHit { sweep: "fig1", cell: "n=2048", reps: 8 },
+            ObsEvent::BatchScheduled { sweep: "fig1", tasks: 12 },
+            ObsEvent::RepFinished {
+                sweep: "fig1",
+                cell: "n=1024",
+                rep: 2,
+                wall_nanos: 1234,
+                rounds: 17,
+                cores: CoreRounds { scalar: 10, eager: 3, batch: 4 },
+            },
+            ObsEvent::CiStop { sweep: "fig1", cell: "n=1024", reps: 6 },
+            ObsEvent::CellFinished { sweep: "fig1", cell: "n=1024", reps: 6, cached: false },
+            ObsEvent::SweepFinished { sweep: "fig1", cells: 3, executed_reps: 14, cached_cells: 1 },
+            ObsEvent::Dispatch {
+                round: 5,
+                record: DispatchRecord {
+                    core: DeliveryCore::Eager,
+                    n: 4096,
+                    packets: 900,
+                    sparse: false,
+                    cache_resident: false,
+                    threads: 1,
+                },
+            },
+            ObsEvent::Round { round: 5, fully_informed: 100, tracked_informed: 4000, packets: 88 },
+            ObsEvent::RunFinished {
+                rounds: 17,
+                total_packets: 5000,
+                cores: CoreRounds { scalar: 17, eager: 0, batch: 0 },
+            },
+            ObsEvent::Pool { stats: PoolStats { checkouts: 40, fresh: 2, high_water: 5 } },
+            ObsEvent::Arena {
+                graph: ReuseStats { reused: 3, fresh: 1 },
+                sim: ReuseStats { reused: 4, fresh: 1 },
+            },
+        ];
+        let lines = lines_of(&events);
+        assert_eq!(lines.len(), events.len());
+        for (line, event) in lines.iter().zip(&events) {
+            let pairs = parse_object(line).unwrap_or_else(|| panic!("unparseable line: {line}"));
+            assert_eq!(pairs[0], ("ev".to_string(), JsonValue::Str(event.kind().to_string())));
+        }
+    }
+
+    #[test]
+    fn dispatch_line_round_trips_exact_fields() {
+        let lines = lines_of(&[ObsEvent::Dispatch {
+            round: 9,
+            record: DispatchRecord {
+                core: DeliveryCore::Batch,
+                n: 1 << 20,
+                packets: 7,
+                sparse: true,
+                cache_resident: false,
+                threads: 8,
+            },
+        }]);
+        let pairs = parse_object(&lines[0]).unwrap();
+        let get = |k: &str| pairs.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone()).unwrap();
+        assert_eq!(get("core").as_str(), Some("batch"));
+        assert_eq!(get("n").as_u64(), Some(1 << 20));
+        assert_eq!(get("packets").as_u64(), Some(7));
+        assert_eq!(get("sparse").as_bool(), Some(true));
+        assert_eq!(get("cache_resident").as_bool(), Some(false));
+        assert_eq!(get("threads").as_u64(), Some(8));
+    }
+
+    #[test]
+    fn io_errors_latch_instead_of_panicking() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = TraceWriter::new(Broken);
+        w.record(&ObsEvent::BatchScheduled { sweep: "s", tasks: 1 });
+        w.record(&ObsEvent::BatchScheduled { sweep: "s", tasks: 2 });
+        assert!(w.error().is_some());
+        assert!(w.finish().is_err());
+    }
+}

@@ -17,11 +17,13 @@
 //! * [`CellJob::MemoryFailure`] — the robustness experiments' memory-model
 //!   run with node failures injected between Phase I and Phase II.
 
+use rpc_engine::PhaseSnapshot;
 use rpc_gossip::{FastGossipingConfig, MemoryGossip, MemoryGossipConfig};
+use rpc_obs::CoreRounds;
 
 use crate::exec::{
-    run_fast_tuned_in, run_scenario_in, run_scenario_traced_in, scenario_engine_seeds,
-    ScenarioArena, ScenarioOutcome, ScenarioTrace, StoppedBy,
+    run_fast_tuned_in, run_scenario_in, scenario_engine_seeds, ScenarioArena, ScenarioOutcome,
+    StoppedBy,
 };
 use crate::spec::{ProtocolSpec, Scenario, ScenarioError, TopologySpec};
 
@@ -32,8 +34,8 @@ pub enum Probe {
     #[default]
     Metrics,
     /// Additionally record per-phase packets-per-node metrics (one
-    /// `<phase-label>_ppn` metric per phase the protocol marks). Adds the
-    /// cost of trace capture to every repetition.
+    /// `<phase-label>_ppn` metric per phase the protocol marks), read from
+    /// the phase snapshots every outcome now carries.
     Phases,
 }
 
@@ -191,26 +193,43 @@ pub(crate) fn tuned_fast_config(
     }
 }
 
+/// Per-repetition execution diagnostics alongside a [`RepOutcome`]: facts a
+/// sweep observer wants per repetition that are not themselves metrics.
+/// Thread-count-dependent (the core counters), so kept out of the seeded
+/// result entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RepMeta {
+    /// Rounds the repetition executed.
+    pub rounds: u64,
+    /// Delivery batches per adaptive core over the repetition.
+    pub cores: CoreRounds,
+}
+
 /// Executes one repetition of `job` with `seed` on `arena` and measures it.
 ///
 /// Runs single-threaded inside: sweep parallelism lives at the repetition
 /// fan-out (see [`crate::sweep::SweepRunner`]), and scenario outcomes are
 /// thread-invariant anyway.
 pub fn run_cell(arena: &mut ScenarioArena, job: &CellJob, seed: u64) -> RepOutcome {
+    run_cell_meta(arena, job, seed).0
+}
+
+/// [`run_cell`] additionally reporting per-repetition diagnostics
+/// ([`RepMeta`]) for sweep observers. The [`RepOutcome`] is identical to
+/// [`run_cell`]'s.
+pub fn run_cell_meta(arena: &mut ScenarioArena, job: &CellJob, seed: u64) -> (RepOutcome, RepMeta) {
     match job {
-        CellJob::Scenario { scenario, probe: Probe::Metrics } => {
+        CellJob::Scenario { scenario, probe } => {
             let outcome = run_scenario_in(arena, scenario, seed, 1);
-            scenario_rep(scenario.num_nodes(), &outcome, None)
-        }
-        CellJob::Scenario { scenario, probe: Probe::Phases } => {
-            let (outcome, trace) = run_scenario_traced_in(arena, scenario, seed, 1);
-            scenario_rep(scenario.num_nodes(), &outcome, Some(&trace))
+            let meta = RepMeta { rounds: outcome.rounds, cores: outcome.core_rounds };
+            (scenario_rep(scenario.num_nodes(), &outcome, *probe == Probe::Phases), meta)
         }
         CellJob::FastTuned { n, walk_probability_factor, broadcast_steps } => {
             let scenario = fast_tuned_scenario(*n);
             let config = tuned_fast_config(*n, *walk_probability_factor, *broadcast_steps);
             let outcome = run_fast_tuned_in(arena, &scenario, config, seed, 1);
-            scenario_rep(*n, &outcome, None)
+            let meta = RepMeta { rounds: outcome.rounds, cores: outcome.core_rounds };
+            (scenario_rep(*n, &outcome, false), meta)
         }
         CellJob::MemoryFailure { n, failures, trees } => {
             run_memory_failure(arena, *n, *failures, *trees, seed)
@@ -228,8 +247,8 @@ fn fast_tuned_scenario(n: usize) -> Scenario {
 }
 
 /// The standard metric vector of a scenario outcome, plus per-phase
-/// packets-per-node metrics when a trace was captured.
-fn scenario_rep(n: usize, outcome: &ScenarioOutcome, trace: Option<&ScenarioTrace>) -> RepOutcome {
+/// packets-per-node metrics when the probe asked for them.
+fn scenario_rep(n: usize, outcome: &ScenarioOutcome, with_phases: bool) -> RepOutcome {
     let nf = n.max(1) as f64;
     let mut metrics = vec![
         ("completed".to_string(), f64::from(u8::from(outcome.completed))),
@@ -239,53 +258,64 @@ fn scenario_rep(n: usize, outcome: &ScenarioOutcome, trace: Option<&ScenarioTrac
         ("coverage".to_string(), outcome.coverage),
         ("rumor_coverage".to_string(), outcome.tracked_coverage),
     ];
-    if let Some(trace) = trace {
-        // Phase snapshots are cumulative; per-phase packets are the deltas.
-        let mut previous = 0u64;
-        for phase in &trace.phases {
-            metrics.push((format!("{}_ppn", phase.label), (phase.packets - previous) as f64 / nf));
-            previous = phase.packets;
-        }
+    if with_phases {
+        push_phase_metrics(&mut metrics, &outcome.phases, nf);
     }
     RepOutcome { stopped_by: outcome.stopped_by, metrics }
+}
+
+/// Appends one `{label}_ppn` metric per phase snapshot. Snapshots are
+/// cumulative; per-phase packets are the deltas.
+fn push_phase_metrics(metrics: &mut Vec<(String, f64)>, phases: &[PhaseSnapshot], nf: f64) {
+    let mut previous = 0u64;
+    for phase in phases {
+        metrics.push((format!("{}_ppn", phase.label), (phase.packets - previous) as f64 / nf));
+        previous = phase.packets;
+    }
 }
 
 /// One repetition of the robustness workload: build the graph and the
 /// simulation from the same seed streams every scenario run uses, then run
 /// the memory model with mid-run failures through its arena entry point.
+///
+/// The memory driver marks its phases in the engine metrics on every run;
+/// these used to be discarded here, leaving the robustness tables without
+/// phase columns. They now ride along as `{phase}_ppn` metrics after the
+/// standard nine, exactly like the scenario path's phase probe.
 fn run_memory_failure(
     arena: &mut ScenarioArena,
     n: usize,
     failures: usize,
     trees: usize,
     seed: u64,
-) -> RepOutcome {
+) -> (RepOutcome, RepMeta) {
     let (graph_seed, run_seed) = scenario_engine_seeds(seed);
     let ScenarioArena { graph, sim } = arena;
     TopologySpec::ErdosRenyiPaper { n }.build().generate_into(graph_seed, graph);
     let mut engine = sim.checkout(graph.graph(), run_seed).with_threads(1);
     let algorithm = MemoryGossip::new(MemoryGossipConfig::paper_defaults(n).with_trees(trees));
     let outcome = algorithm.run_with_failures_on(&mut engine, failures);
+    let cores = engine.metrics().core_rounds();
     sim.recycle(engine);
 
     let nf = n.max(1) as f64;
     let lost = outcome.lost_messages();
     let stopped_by =
         if outcome.completed() { StoppedBy::Complete } else { StoppedBy::MaxRoundsExhausted };
-    RepOutcome {
-        stopped_by,
-        metrics: vec![
-            ("completed".to_string(), f64::from(u8::from(outcome.completed()))),
-            ("rounds".to_string(), outcome.rounds() as f64),
-            ("packets_per_node".to_string(), outcome.total_packets() as f64 / nf),
-            ("messages_per_node".to_string(), outcome.total_exchanges() as f64 / nf),
-            ("lost_messages".to_string(), lost as f64),
-            ("loss_ratio".to_string(), outcome.additional_loss_ratio().unwrap_or(0.0)),
-            ("lost_gt0".to_string(), f64::from(u8::from(lost > 0))),
-            ("lost_gt10".to_string(), f64::from(u8::from(lost > 10))),
-            ("lost_gt100".to_string(), f64::from(u8::from(lost > 100))),
-        ],
-    }
+    let mut metrics = vec![
+        ("completed".to_string(), f64::from(u8::from(outcome.completed()))),
+        ("rounds".to_string(), outcome.rounds() as f64),
+        ("packets_per_node".to_string(), outcome.total_packets() as f64 / nf),
+        ("messages_per_node".to_string(), outcome.total_exchanges() as f64 / nf),
+        ("lost_messages".to_string(), lost as f64),
+        ("loss_ratio".to_string(), outcome.additional_loss_ratio().unwrap_or(0.0)),
+        ("lost_gt0".to_string(), f64::from(u8::from(lost > 0))),
+        ("lost_gt10".to_string(), f64::from(u8::from(lost > 10))),
+        ("lost_gt100".to_string(), f64::from(u8::from(lost > 100))),
+    ];
+    push_phase_metrics(&mut metrics, outcome.phases(), nf);
+    let meta = RepMeta { rounds: outcome.rounds(), cores };
+    (RepOutcome { stopped_by, metrics }, meta)
 }
 
 #[cfg(test)]

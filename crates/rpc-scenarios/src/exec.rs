@@ -51,6 +51,7 @@ use rpc_gossip::{
     ProtocolDriver, PushPullDriver, StepStatus,
 };
 use rpc_graphs::{Graph, GraphArena, NodeId};
+use rpc_obs::{CoreRounds, NoopObserver, ObsEvent, Observer};
 
 use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule};
 
@@ -109,7 +110,12 @@ impl StoppedBy {
 }
 
 /// The measured result of one scenario replication.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality deliberately skips [`Self::core_rounds`]: the chosen delivery
+/// core depends on the configured engine thread count, while everything else
+/// here is bit-identical across thread counts — and the equivalence tests
+/// compare outcomes exactly that way.
+#[derive(Clone, Debug)]
 pub struct ScenarioOutcome {
     /// Whether the stop rule was satisfied before the round cap (equivalent
     /// to [`StoppedBy::satisfied`] on [`Self::stopped_by`]).
@@ -133,6 +139,31 @@ pub struct ScenarioOutcome {
     pub crashed: usize,
     /// Departed (churned-out) nodes at the end of the run.
     pub departed: usize,
+    /// Phase snapshots the protocol marked (empty for push-pull). Previously
+    /// these were only reachable through the traced probe path; surfacing
+    /// them on the outcome lets the plain (untraced) path report per-phase
+    /// costs too.
+    pub phases: Vec<PhaseSnapshot>,
+    /// Delivery batches per adaptive core (scalar/eager/batch) over the run.
+    /// **Diagnostics**: thread-count-dependent, excluded from equality.
+    pub core_rounds: CoreRounds,
+}
+
+impl PartialEq for ScenarioOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        // `core_rounds` excluded — see the type docs.
+        self.completed == other.completed
+            && self.stopped_by == other.stopped_by
+            && self.rounds == other.rounds
+            && self.total_packets == other.total_packets
+            && self.total_exchanges == other.total_exchanges
+            && self.coverage == other.coverage
+            && self.tracked_coverage == other.tracked_coverage
+            && self.tracked_source == other.tracked_source
+            && self.crashed == other.crashed
+            && self.departed == other.departed
+            && self.phases == other.phases
+    }
 }
 
 impl ScenarioOutcome {
@@ -149,7 +180,10 @@ impl ScenarioOutcome {
 /// One entry of a scenario's round-by-round record, captured every time the
 /// stop rule is evaluated — one row per executed round plus the final
 /// evaluation, for every protocol.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Equality deliberately skips [`Self::cores`] (thread-count-dependent
+/// diagnostics), matching [`ScenarioOutcome`]'s convention.
+#[derive(Clone, Copy, Debug)]
 pub struct RoundTrace {
     /// Completed rounds at capture time.
     pub round: u64,
@@ -159,7 +193,22 @@ pub struct RoundTrace {
     pub tracked_informed: usize,
     /// Cumulative packets sent.
     pub packets: u64,
+    /// Cumulative delivery batches per adaptive core at capture time.
+    /// **Diagnostics**: thread-count-dependent, excluded from equality.
+    pub cores: CoreRounds,
 }
+
+impl PartialEq for RoundTrace {
+    fn eq(&self, other: &Self) -> bool {
+        // `cores` excluded — see the type docs.
+        self.round == other.round
+            && self.fully_informed == other.fully_informed
+            && self.tracked_informed == other.tracked_informed
+            && self.packets == other.packets
+    }
+}
+
+impl Eq for RoundTrace {}
 
 /// The full observable trace of one scenario replication: per-round records
 /// plus the phase snapshots the phase-based protocols mark. Two engines
@@ -182,10 +231,7 @@ pub struct ScenarioTrace {
 /// batches; the outcome is bit-identical for every value (see
 /// `rpc_engine::parallel`).
 pub fn run_scenario(scenario: &Scenario, seed: u64, threads: usize) -> ScenarioOutcome {
-    let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
-    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
-    let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
-    run_scenario_core(scenario, &mut sim, &mut env_rng, None)
+    run_scenario_observed(scenario, seed, threads, &mut NoopObserver)
 }
 
 /// Like [`run_scenario`], additionally capturing the per-round trace.
@@ -194,11 +240,48 @@ pub fn run_scenario_traced(
     seed: u64,
     threads: usize,
 ) -> (ScenarioOutcome, ScenarioTrace) {
+    run_scenario_observed_traced(scenario, seed, threads, &mut NoopObserver)
+}
+
+/// [`run_scenario`] with an attached [`Observer`] receiving the engine-level
+/// event stream (per-round progress, dispatch decisions, pool counters).
+///
+/// The zero-cost contract: with [`NoopObserver`] this monomorphizes to
+/// [`run_scenario`] exactly, and with *any* observer the outcome (and trace,
+/// see [`run_scenario_observed_traced`]) is bit-identical to the unobserved
+/// run — observers are write-only sinks outside every seeded path
+/// (property-pinned in `tests/obs_props.rs`).
+pub fn run_scenario_observed<O: Observer>(
+    scenario: &Scenario,
+    seed: u64,
+    threads: usize,
+    obs: &mut O,
+) -> ScenarioOutcome {
+    let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
+    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+    let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
+    let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, None, obs);
+    if O::ENABLED {
+        obs.record(&ObsEvent::Pool { stats: sim.pool_stats() });
+    }
+    outcome
+}
+
+/// [`run_scenario_observed`] additionally capturing the per-round trace.
+pub fn run_scenario_observed_traced<O: Observer>(
+    scenario: &Scenario,
+    seed: u64,
+    threads: usize,
+    obs: &mut O,
+) -> (ScenarioOutcome, ScenarioTrace) {
     let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
     let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
     let mut trace = ScenarioTrace::default();
-    let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace));
+    let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace), obs);
+    if O::ENABLED {
+        obs.record(&ObsEvent::Pool { stats: sim.pool_stats() });
+    }
     (outcome, trace)
 }
 
@@ -228,7 +311,7 @@ pub fn run_scenario_in(
     seed: u64,
     threads: usize,
 ) -> ScenarioOutcome {
-    run_scenario_arena_core(arena, scenario, seed, threads, None)
+    run_scenario_arena_core(arena, scenario, seed, threads, None, &mut NoopObserver)
 }
 
 /// Like [`run_scenario_in`], additionally capturing the per-round trace
@@ -240,27 +323,55 @@ pub fn run_scenario_traced_in(
     threads: usize,
 ) -> (ScenarioOutcome, ScenarioTrace) {
     let mut trace = ScenarioTrace::default();
-    let outcome = run_scenario_arena_core(arena, scenario, seed, threads, Some(&mut trace));
+    let outcome = run_scenario_arena_core(
+        arena,
+        scenario,
+        seed,
+        threads,
+        Some(&mut trace),
+        &mut NoopObserver,
+    );
     (outcome, trace)
+}
+
+/// [`run_scenario_in`] with an attached [`Observer`] — the arena counterpart
+/// of [`run_scenario_observed`]. Also emits [`ObsEvent::Arena`] with the
+/// arena's cumulative reuse counters after the run.
+pub fn run_scenario_observed_in<O: Observer>(
+    arena: &mut ScenarioArena,
+    scenario: &Scenario,
+    seed: u64,
+    threads: usize,
+    obs: &mut O,
+) -> ScenarioOutcome {
+    let outcome = run_scenario_arena_core(arena, scenario, seed, threads, None, obs);
+    if O::ENABLED {
+        obs.record(&ObsEvent::Arena { graph: arena.graph.stats(), sim: arena.sim.stats() });
+    }
+    outcome
 }
 
 /// Shared arena entry point: generate the graph into the arena's buffers,
 /// check a simulation out of the arena, run, recycle. Seed derivation is
 /// identical to [`run_scenario`], so outcomes and traces must match the
 /// fresh path bit for bit.
-fn run_scenario_arena_core(
+fn run_scenario_arena_core<O: Observer>(
     arena: &mut ScenarioArena,
     scenario: &Scenario,
     seed: u64,
     threads: usize,
     trace: Option<&mut ScenarioTrace>,
+    obs: &mut O,
 ) -> ScenarioOutcome {
     let ScenarioArena { graph, sim } = arena;
     scenario.topology.build().generate_into(derive_seed(seed, STREAM_GRAPH, 0), graph);
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
     let mut engine =
         sim.checkout(graph.graph(), derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
-    let outcome = run_scenario_core(scenario, &mut engine, &mut env_rng, trace);
+    let outcome = run_scenario_core(scenario, &mut engine, &mut env_rng, trace, obs);
+    if O::ENABLED {
+        obs.record(&ObsEvent::Pool { stats: engine.pool_stats() });
+    }
     sim.recycle(engine);
     outcome
 }
@@ -273,7 +384,7 @@ pub fn run_scenario_unpacked(scenario: &Scenario, seed: u64) -> ScenarioOutcome 
     let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
     let mut sim = UnpackedSimulation::new(&graph, derive_seed(seed, STREAM_RUN, 0));
-    run_scenario_core(scenario, &mut sim, &mut env_rng, None)
+    run_scenario_core(scenario, &mut sim, &mut env_rng, None, &mut NoopObserver)
 }
 
 /// Like [`run_scenario_unpacked`], additionally capturing the per-round trace.
@@ -285,7 +396,8 @@ pub fn run_scenario_unpacked_traced(
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
     let mut sim = UnpackedSimulation::new(&graph, derive_seed(seed, STREAM_RUN, 0));
     let mut trace = ScenarioTrace::default();
-    let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace));
+    let outcome =
+        run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace), &mut NoopObserver);
     (outcome, trace)
 }
 
@@ -293,25 +405,26 @@ pub fn run_scenario_unpacked_traced(
 /// Instantiates the protocol's resumable driver with the same paper constants
 /// [`ProtocolSpec::build`] uses — protocol dispatch ends here — and hands it
 /// to [`run_prepared_core`].
-fn run_scenario_core<E: Engine>(
+fn run_scenario_core<E: Engine, O: Observer>(
     scenario: &Scenario,
     sim: &mut E,
     env_rng: &mut SmallRng,
     trace: Option<&mut ScenarioTrace>,
+    obs: &mut O,
 ) -> ScenarioOutcome {
     let n = scenario.num_nodes();
     match scenario.protocol {
         ProtocolSpec::PushPull => {
             let mut driver = PushPullDriver::new(scenario.max_rounds as usize);
-            run_prepared_core(scenario, sim, env_rng, &mut driver, trace)
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace, obs)
         }
         ProtocolSpec::FastGossiping => {
             let mut driver = FastGossipingDriver::new(FastGossiping::paper(n), n);
-            run_prepared_core(scenario, sim, env_rng, &mut driver, trace)
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace, obs)
         }
         ProtocolSpec::Memory => {
             let mut driver = MemoryDriver::new(MemoryGossip::paper(n));
-            run_prepared_core(scenario, sim, env_rng, &mut driver, trace)
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace, obs)
         }
     }
 }
@@ -336,19 +449,27 @@ pub(crate) fn run_fast_tuned_in(
     let mut engine =
         sim.checkout(graph.graph(), derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
     let mut driver = FastGossipingDriver::new(FastGossiping::new(config), scenario.num_nodes());
-    let outcome = run_prepared_core(scenario, &mut engine, &mut env_rng, &mut driver, None);
+    let outcome = run_prepared_core(
+        scenario,
+        &mut engine,
+        &mut env_rng,
+        &mut driver,
+        None,
+        &mut NoopObserver,
+    );
     sim.recycle(engine);
     outcome
 }
 
 /// The driver-generic tail of the execution core: environment setup, rumor
 /// placement, the unified stepper, and outcome measurement.
-fn run_prepared_core<E: Engine, D: ProtocolDriver>(
+fn run_prepared_core<E: Engine, D: ProtocolDriver, O: Observer>(
     scenario: &Scenario,
     sim: &mut E,
     env_rng: &mut SmallRng,
     driver: &mut D,
     mut trace: Option<&mut ScenarioTrace>,
+    obs: &mut O,
 ) -> ScenarioOutcome {
     let n = scenario.num_nodes();
     sim.set_loss_probability(scenario.environment.loss);
@@ -356,7 +477,7 @@ fn run_prepared_core<E: Engine, D: ProtocolDriver>(
     let tracked = place_rumor(scenario.environment.placement, sim.graph(), env_rng);
     sim.track_message(tracked);
 
-    let (stopped_by, rounds) = drive(scenario, sim, driver, trace.as_deref_mut());
+    let (stopped_by, rounds) = drive(scenario, sim, driver, trace.as_deref_mut(), obs);
     if let Some(trace) = trace {
         trace.phases = sim.metrics().phases().to_vec();
     }
@@ -367,6 +488,14 @@ fn run_prepared_core<E: Engine, D: ProtocolDriver>(
         if participating == 0 { 0.0 } else { fully_informed as f64 / participating as f64 };
     let tracked_coverage =
         if n == 0 { 0.0 } else { sim.tracked_informed_count() as f64 / n as f64 };
+
+    if O::ENABLED {
+        obs.record(&ObsEvent::RunFinished {
+            rounds,
+            total_packets: sim.metrics().total_packets(),
+            cores: sim.metrics().core_rounds(),
+        });
+    }
 
     ScenarioOutcome {
         completed: stopped_by.satisfied(),
@@ -379,6 +508,8 @@ fn run_prepared_core<E: Engine, D: ProtocolDriver>(
         tracked_source: tracked,
         crashed: n - sim.alive_count(),
         departed: n - sim.present_count(),
+        phases: sim.metrics().phases().to_vec(),
+        core_rounds: sim.metrics().core_rounds(),
     }
 }
 
@@ -398,16 +529,27 @@ fn run_prepared_core<E: Engine, D: ProtocolDriver>(
 /// completion when necessary — a round budget specifies a workload of exactly
 /// `r` rounds, and those rounds draw randomness and send packets exactly like
 /// the block loop under a budget always has.
-fn drive<E: Engine, D: ProtocolDriver>(
+fn drive<E: Engine, D: ProtocolDriver, O: Observer>(
     scenario: &Scenario,
     sim: &mut E,
     driver: &mut D,
     mut trace: Option<&mut ScenarioTrace>,
+    obs: &mut O,
 ) -> (StoppedBy, u64) {
     let mut rounds: u64 = 0;
+    let mut prev_cores = CoreRounds::default();
     let stopped_by = loop {
         if let Some(trace) = trace.as_deref_mut() {
             trace.rounds.push(RoundTrace {
+                round: sim.metrics().rounds(),
+                fully_informed: sim.fully_informed_count(),
+                tracked_informed: sim.tracked_informed_count(),
+                packets: sim.metrics().total_packets(),
+                cores: sim.metrics().core_rounds(),
+            });
+        }
+        if O::ENABLED {
+            obs.record(&ObsEvent::Round {
                 round: sim.metrics().rounds(),
                 fully_informed: sim.fully_informed_count(),
                 tracked_informed: sim.tracked_informed_count(),
@@ -444,7 +586,19 @@ fn drive<E: Engine, D: ProtocolDriver>(
         if rounds >= scenario.max_rounds {
             break StoppedBy::MaxRoundsExhausted;
         }
-        match driver.step(sim) {
+        let status = driver.step(sim);
+        if O::ENABLED {
+            // One dispatch event per round that actually delivered something:
+            // the per-core counters only move when a delivery batch ran.
+            let cores = sim.metrics().core_rounds();
+            if cores != prev_cores {
+                if let Some(record) = sim.metrics().last_dispatch() {
+                    obs.record(&ObsEvent::Dispatch { round: sim.metrics().rounds(), record });
+                }
+                prev_cores = cores;
+            }
+        }
+        match status {
             StepStatus::Done => {
                 break if sim.gossip_complete() {
                     StoppedBy::Complete

@@ -27,6 +27,13 @@
 //!   CI-based early stopping, a persistent cell cache, and per-cell results
 //!   bit-identical across thread counts, batch sizes and cache resume.
 //!
+//! Every layer is instrumented through the zero-cost [`rpc_obs::Observer`]
+//! interface: [`run_scenario_observed`] streams engine-level events (rounds,
+//! dispatch decisions, pool/arena reuse), [`SweepRunner::run_with`] streams
+//! sweep lifecycle events with per-repetition wall-clock. Attaching any
+//! observer never changes a result — wall-clock is read strictly outside
+//! seeded code (property-pinned in `tests/obs_props.rs`).
+//!
 //! ```
 //! use rpc_scenarios::prelude::*;
 //!
@@ -53,9 +60,10 @@ pub mod stats;
 pub mod sweep;
 
 pub use batch::{BatchDriver, ScenarioReport, StoppedByCounts};
-pub use cells::{run_cell, CellJob, Probe, RepOutcome};
+pub use cells::{run_cell, run_cell_meta, CellJob, Probe, RepMeta, RepOutcome};
 pub use exec::{
-    run_scenario, run_scenario_in, run_scenario_traced, run_scenario_traced_in,
+    run_scenario, run_scenario_in, run_scenario_observed, run_scenario_observed_in,
+    run_scenario_observed_traced, run_scenario_traced, run_scenario_traced_in,
     run_scenario_unpacked, run_scenario_unpacked_traced, scenario_engine_seeds, RoundTrace,
     ScenarioArena, ScenarioOutcome, ScenarioTrace, StoppedBy,
 };

@@ -41,9 +41,10 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use rpc_engine::{derive_seed, hash_key};
+use rpc_obs::{NoopObserver, ObsEvent, Observer};
 
 use crate::batch::{run_on_pool, StoppedByCounts};
-use crate::cells::{run_cell, CellJob, RepOutcome};
+use crate::cells::{run_cell_meta, CellJob, RepMeta, RepOutcome};
 use crate::spec::ScenarioError;
 use crate::stats::{summarize, SummaryStats};
 
@@ -834,8 +835,31 @@ impl SweepRunner {
     /// When an adaptive policy targets a metric some cell never produces, or
     /// when the cache file cannot be written.
     pub fn run(&self, spec: &SweepSpec) -> SweepReport {
+        self.run_with(spec, &mut NoopObserver)
+    }
+
+    /// [`SweepRunner::run`] with an attached [`Observer`] receiving the
+    /// sweep's lifecycle event stream: cells started or served from cache,
+    /// batches scheduled, repetitions finished (with per-repetition
+    /// wall-clock), CI stops, and cells finished.
+    ///
+    /// All events are emitted from the coordinator thread in deterministic
+    /// task order; workers only measure wall-clock (and only when the
+    /// observer is enabled), so the report is bit-identical to [`run`]'s —
+    /// wall-clock never feeds back into any seeded path.
+    ///
+    /// [`run`]: SweepRunner::run
+    pub fn run_with<O: Observer>(&self, spec: &SweepSpec, obs: &mut O) -> SweepReport {
         let z = spec.policy.ci_z();
         let mut cache = self.cache_path.as_deref().map(CellCache::load).unwrap_or_default();
+
+        if O::ENABLED {
+            obs.record(&ObsEvent::SweepStarted {
+                sweep: &spec.name,
+                cells: spec.cells.len(),
+                threads: self.threads,
+            });
+        }
 
         let mut results: Vec<Option<CellResult>> = vec![None; spec.cells.len()];
         let mut cached_cells = 0;
@@ -849,10 +873,33 @@ impl SweepRunner {
                 .map(|e| e.to_result(cell, z));
             match served {
                 Some(result) => {
+                    if O::ENABLED {
+                        obs.record(&ObsEvent::CacheHit {
+                            sweep: &spec.name,
+                            cell: &cell.key,
+                            reps: result.reps,
+                        });
+                        obs.record(&ObsEvent::CellFinished {
+                            sweep: &spec.name,
+                            cell: &cell.key,
+                            reps: result.reps,
+                            cached: true,
+                        });
+                    }
                     results[idx] = Some(result);
                     cached_cells += 1;
                 }
-                None => pending.push((idx, Vec::new(), spec.policy.min_reps)),
+                None => {
+                    if O::ENABLED {
+                        obs.record(&ObsEvent::CellStarted {
+                            sweep: &spec.name,
+                            cell: &cell.key,
+                            index: idx,
+                            target_reps: spec.policy.min_reps,
+                        });
+                    }
+                    pending.push((idx, Vec::new(), spec.policy.min_reps));
+                }
             }
         }
 
@@ -866,13 +913,32 @@ impl SweepRunner {
                     (samples.len()..*target).map(move |rep| (slot, *idx, rep))
                 })
                 .collect();
+            if O::ENABLED {
+                obs.record(&ObsEvent::BatchScheduled { sweep: &spec.name, tasks: tasks.len() });
+            }
             let outcomes = run_on_pool(&tasks, self.threads, |arena, &(_, idx, rep)| {
                 let cell = &spec.cells[idx];
                 let seed = derive_seed(spec.seed, hash_key(cell.key.as_bytes()), rep as u64);
-                run_cell(arena, &cell.job, seed)
+                // Wall-clock is measured only when an observer is attached,
+                // and flows only into the event stream — never into results.
+                let started = O::ENABLED.then(std::time::Instant::now);
+                let (outcome, meta) = run_cell_meta(arena, &cell.job, seed);
+                let wall_nanos = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                (outcome, meta, wall_nanos)
             });
             executed_reps += tasks.len();
-            for (&(slot, _, _), outcome) in tasks.iter().zip(outcomes) {
+            for (&(slot, idx, rep), (outcome, meta, wall_nanos)) in tasks.iter().zip(outcomes) {
+                if O::ENABLED {
+                    let RepMeta { rounds, cores } = meta;
+                    obs.record(&ObsEvent::RepFinished {
+                        sweep: &spec.name,
+                        cell: &spec.cells[idx].key,
+                        rep,
+                        wall_nanos,
+                        rounds,
+                        cores,
+                    });
+                }
                 pending[slot].1.push(outcome);
             }
 
@@ -895,6 +961,21 @@ impl SweepRunner {
                 match stop_index(&values, &spec.policy) {
                     Some((k, budget_exhausted)) => {
                         samples.truncate(k);
+                        if O::ENABLED {
+                            if spec.policy.ci.is_some() && !budget_exhausted {
+                                obs.record(&ObsEvent::CiStop {
+                                    sweep: &spec.name,
+                                    cell: &cell.key,
+                                    reps: k,
+                                });
+                            }
+                            obs.record(&ObsEvent::CellFinished {
+                                sweep: &spec.name,
+                                cell: &cell.key,
+                                reps: k,
+                                cached: false,
+                            });
+                        }
                         results[*idx] = Some(finalize(cell, samples, budget_exhausted, z));
                         false
                     }
@@ -930,6 +1011,15 @@ impl SweepRunner {
                 );
             }
             cache.save(path).unwrap_or_else(|e| panic!("cannot write cell cache {path:?}: {e}"));
+        }
+
+        if O::ENABLED {
+            obs.record(&ObsEvent::SweepFinished {
+                sweep: &spec.name,
+                cells: spec.cells.len(),
+                executed_reps,
+                cached_cells,
+            });
         }
 
         SweepReport { spec_name: spec.name.clone(), ci_z: z, cells, executed_reps, cached_cells }

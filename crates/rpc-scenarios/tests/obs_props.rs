@@ -1,0 +1,66 @@
+//! Observer-attachment determinism: the zero-cost contract's observable half.
+//!
+//! Attaching any observer — including the full JSON-lines [`TraceWriter`] —
+//! to a scenario run must leave the outcome and the complete per-round trace
+//! bit-identical to the unobserved run, for every registry scenario and any
+//! thread count. Observers are write-only sinks; nothing they do (formatting,
+//! I/O, buffering) may flow back into the seeded computation.
+
+use proptest::prelude::*;
+
+use rpc_obs::{parse_object, NoopObserver, TraceWriter};
+use rpc_scenarios::exec::{run_scenario_observed_traced, run_scenario_traced};
+use rpc_scenarios::registry;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every registry scenario: the outcome and full trace with the
+    /// JSON-lines observer attached equal the no-op observer's, which equal
+    /// the plain (unobserved) run's — across thread counts.
+    #[test]
+    fn observed_runs_are_bit_identical_to_unobserved(
+        scenario_pick in 0usize..registry::BUILTIN_NAMES.len(),
+        n in 48usize..96,
+        seed in 0u64..10_000,
+        threads in 1usize..5,
+    ) {
+        let scenario = registry::builtin(n)
+            .into_iter()
+            .nth(scenario_pick)
+            .expect("registry index in range");
+
+        let (plain, plain_trace) = run_scenario_traced(&scenario, seed, threads);
+
+        let mut noop = NoopObserver;
+        let (noop_obs, noop_trace) =
+            run_scenario_observed_traced(&scenario, seed, threads, &mut noop);
+        prop_assert_eq!(&plain, &noop_obs, "no-op observer perturbed the run");
+        prop_assert_eq!(&plain_trace, &noop_trace);
+
+        let mut writer = TraceWriter::new(Vec::new());
+        let (written, written_trace) =
+            run_scenario_observed_traced(&scenario, seed, threads, &mut writer);
+        prop_assert_eq!(&plain, &written, "JSON-lines observer perturbed the run");
+        prop_assert_eq!(&plain_trace, &written_trace);
+
+        // The emitted stream is well-formed flat JSON lines, and a run
+        // always emits at least the per-round and run-finished events.
+        let bytes = writer.finish().expect("in-memory trace cannot fail");
+        let text = String::from_utf8(bytes).expect("traces are UTF-8");
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let fields = parse_object(line)
+                .unwrap_or_else(|| panic!("unparseable trace line: {line}"));
+            let kind = fields
+                .iter()
+                .find(|(k, _)| k == "ev")
+                .and_then(|(_, v)| v.as_str())
+                .expect("every event carries its kind");
+            kinds.push(kind.to_string());
+        }
+        prop_assert!(kinds.iter().any(|k| k == "round"));
+        prop_assert!(kinds.iter().any(|k| k == "run-finished"));
+        prop_assert!(kinds.iter().any(|k| k == "pool"));
+    }
+}

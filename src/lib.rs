@@ -14,7 +14,10 @@
 //!   environment specs, dynamic churn and message loss, a multi-threaded
 //!   Monte Carlo batch driver, and a registry of named workloads),
 //! * [`experiments`] — the harness that regenerates every figure and table of
-//!   the paper's evaluation section.
+//!   the paper's evaluation section,
+//! * [`obs`] — the zero-cost observability layer (the `Observer` trait, the
+//!   event taxonomy, trace/aggregation/progress sinks) shared by all of the
+//!   above.
 //!
 //! ## Quickstart
 //!
@@ -33,6 +36,7 @@ pub use rpc_engine as engine;
 pub use rpc_experiments as experiments;
 pub use rpc_gossip as gossip;
 pub use rpc_graphs as graphs;
+pub use rpc_obs as obs;
 pub use rpc_scenarios as scenarios;
 
 /// Convenience re-exports of the most commonly used types.
