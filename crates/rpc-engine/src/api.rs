@@ -116,6 +116,20 @@ pub trait Engine {
     /// Schedules a crash at the start of round `round`.
     fn schedule_crash(&mut self, round: u64, nodes: Vec<NodeId>);
 
+    /// Schedules an edge-churn wave at the start of round `round`: the given
+    /// CSR edge slots go down, replacing any previously down set.
+    fn schedule_edge_outage(&mut self, round: u64, slots: Vec<NodeId>);
+
+    /// Marks the given nodes Byzantine: they open channels and receive
+    /// normally but silently drop every packet they should send.
+    fn set_byzantine(&mut self, nodes: &[NodeId]);
+
+    /// Whether node `v` is Byzantine.
+    fn is_byzantine(&self, v: NodeId) -> bool;
+
+    /// Number of Byzantine nodes.
+    fn byzantine_count(&self) -> usize;
+
     /// Sets the per-packet loss probability (`p ∈ [0, 1)`).
     fn set_loss_probability(&mut self, p: f64);
 
@@ -211,6 +225,18 @@ impl Engine for crate::sim::Simulation<'_> {
     }
     fn schedule_crash(&mut self, round: u64, nodes: Vec<NodeId>) {
         Self::schedule_crash(self, round, nodes)
+    }
+    fn schedule_edge_outage(&mut self, round: u64, slots: Vec<NodeId>) {
+        Self::schedule_edge_outage(self, round, slots)
+    }
+    fn set_byzantine(&mut self, nodes: &[NodeId]) {
+        Self::set_byzantine(self, nodes)
+    }
+    fn is_byzantine(&self, v: NodeId) -> bool {
+        Self::is_byzantine(self, v)
+    }
+    fn byzantine_count(&self) -> usize {
+        Self::byzantine_count(self)
     }
     fn set_loss_probability(&mut self, p: f64) {
         Self::set_loss_probability(self, p)

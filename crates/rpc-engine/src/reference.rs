@@ -51,6 +51,13 @@ pub struct UnpackedSimulation<'g> {
     schedule: Vec<LivenessEvent>,
     next_event: usize,
     scratch_pool: Vec<MessageSet>,
+    /// Behaviour mask mirroring the packed engine's Byzantine bitset.
+    byzantine: Vec<bool>,
+    byzantine_count: usize,
+    /// Edge presence flags over the CSR edge slots, mirroring the packed
+    /// engine's `edge_up` bitset; only consulted while `edge_down_count > 0`.
+    edge_up: Vec<bool>,
+    edge_down_count: usize,
 }
 
 impl<'g> UnpackedSimulation<'g> {
@@ -75,6 +82,10 @@ impl<'g> UnpackedSimulation<'g> {
             schedule: Vec::new(),
             next_event: 0,
             scratch_pool: Vec::new(),
+            byzantine: vec![false; n],
+            byzantine_count: 0,
+            edge_up: Vec::new(),
+            edge_down_count: 0,
         }
     }
 
@@ -102,8 +113,24 @@ impl<'g> UnpackedSimulation<'g> {
                 LivenessKind::Kill => Engine::kill_nodes(self, &nodes),
                 LivenessKind::Revive => Engine::revive_nodes(self, &nodes),
                 LivenessKind::Crash => Engine::fail_nodes(self, &nodes),
+                LivenessKind::EdgeOutage => self.apply_edge_outage(&nodes),
             }
         }
+    }
+
+    /// Mirrors [`crate::Simulation::apply_edge_outage`]: the listed CSR edge
+    /// slots go down, replacing any previously down set.
+    fn apply_edge_outage(&mut self, slots: &[NodeId]) {
+        self.edge_up.clear();
+        self.edge_up.resize(self.graph.num_edge_slots(), true);
+        let mut down = 0usize;
+        for &slot in slots {
+            if self.edge_up[slot as usize] {
+                self.edge_up[slot as usize] = false;
+                down += 1;
+            }
+        }
+        self.edge_down_count = down;
     }
 
     fn bump_known(&mut self, v: NodeId, added: usize) {
@@ -123,6 +150,9 @@ impl<'g> UnpackedSimulation<'g> {
         let mut effective = Vec::with_capacity(transfers.len());
         for &t in transfers {
             if !self.alive[t.from as usize] || !self.present[t.from as usize] {
+                continue;
+            }
+            if self.byzantine_count > 0 && self.byzantine[t.from as usize] {
                 continue;
             }
             if !self.present[t.to as usize] {
@@ -252,6 +282,79 @@ impl<'g> UnpackedSimulation<'g> {
             Some(pool[self.rng.gen_range(0..pool.len())])
         }
     }
+
+    /// Edge-masked sampling, mirroring `Graph::random_neighbor_edge_masked`:
+    /// the eligibility predicate also requires the candidate's CSR edge slot
+    /// to be up, and the node (presence) mask only participates while churn
+    /// is active (`use_node_mask`). Draw sequence: 32 rejection attempts over
+    /// the raw neighbor slice, then one draw over the eligible pool.
+    fn random_neighbor_edge_masked(&mut self, v: NodeId, use_node_mask: bool) -> Option<NodeId> {
+        let nbrs = self.graph.neighbors(v);
+        if nbrs.is_empty() {
+            return None;
+        }
+        let base = self.graph.edge_slot_range(v).start;
+        for _ in 0..32 {
+            let i = self.rng.gen_range(0..nbrs.len());
+            let candidate = nbrs[i];
+            if self.edge_up[base + i] && (!use_node_mask || self.present[candidate as usize]) {
+                return Some(candidate);
+            }
+        }
+        let pool: Vec<NodeId> = nbrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &u)| {
+                self.edge_up[base + i] && (!use_node_mask || self.present[u as usize])
+            })
+            .map(|(_, &u)| u)
+            .collect();
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[self.rng.gen_range(0..pool.len())])
+        }
+    }
+
+    /// Edge-masked `open-avoid` sampling, mirroring
+    /// `Graph::random_neighbor_edge_masked_avoiding`.
+    fn random_neighbor_edge_masked_avoiding(
+        &mut self,
+        v: NodeId,
+        avoid: &[NodeId],
+        use_node_mask: bool,
+    ) -> Option<NodeId> {
+        let nbrs = self.graph.neighbors(v);
+        if nbrs.is_empty() {
+            return None;
+        }
+        let base = self.graph.edge_slot_range(v).start;
+        for _ in 0..32 {
+            let i = self.rng.gen_range(0..nbrs.len());
+            let candidate = nbrs[i];
+            if self.edge_up[base + i]
+                && (!use_node_mask || self.present[candidate as usize])
+                && !avoid.contains(&candidate)
+            {
+                return Some(candidate);
+            }
+        }
+        let pool: Vec<NodeId> = nbrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, &u)| {
+                self.edge_up[base + i]
+                    && (!use_node_mask || self.present[u as usize])
+                    && !avoid.contains(&u)
+            })
+            .map(|(_, &u)| u)
+            .collect();
+        if pool.is_empty() {
+            None
+        } else {
+            Some(pool[self.rng.gen_range(0..pool.len())])
+        }
+    }
 }
 
 impl Engine for UnpackedSimulation<'_> {
@@ -268,7 +371,10 @@ impl Engine for UnpackedSimulation<'_> {
         if !self.alive[v as usize] || !self.present[v as usize] {
             return None;
         }
-        let target = if self.departed_count == 0 {
+        let target = if self.edge_down_count > 0 {
+            let use_node_mask = self.departed_count > 0;
+            self.random_neighbor_edge_masked(v, use_node_mask)?
+        } else if self.departed_count == 0 {
             self.graph.random_neighbor(v, &mut self.rng)?
         } else {
             self.random_neighbor_masked(v)?
@@ -282,7 +388,10 @@ impl Engine for UnpackedSimulation<'_> {
         if !self.alive[v as usize] || !self.present[v as usize] {
             return None;
         }
-        let target = if self.departed_count == 0 {
+        let target = if self.edge_down_count > 0 {
+            let use_node_mask = self.departed_count > 0;
+            self.random_neighbor_edge_masked_avoiding(v, avoid, use_node_mask)?
+        } else if self.departed_count == 0 {
             self.graph.random_neighbor_avoiding(v, avoid, &mut self.rng)?
         } else {
             self.random_neighbor_masked_avoiding(v, avoid)?
@@ -404,6 +513,27 @@ impl Engine for UnpackedSimulation<'_> {
         self.push_event(LivenessEvent { round, kind: LivenessKind::Crash, nodes });
     }
 
+    fn schedule_edge_outage(&mut self, round: u64, slots: Vec<NodeId>) {
+        self.push_event(LivenessEvent { round, kind: LivenessKind::EdgeOutage, nodes: slots });
+    }
+
+    fn set_byzantine(&mut self, nodes: &[NodeId]) {
+        for &v in nodes {
+            if !self.byzantine[v as usize] {
+                self.byzantine[v as usize] = true;
+                self.byzantine_count += 1;
+            }
+        }
+    }
+
+    fn is_byzantine(&self, v: NodeId) -> bool {
+        self.byzantine[v as usize]
+    }
+
+    fn byzantine_count(&self) -> usize {
+        self.byzantine_count
+    }
+
     fn set_loss_probability(&mut self, p: f64) {
         assert!(p.is_finite() && (0.0..1.0).contains(&p), "loss probability must lie in [0, 1)");
         self.loss_probability = p;
@@ -492,6 +622,51 @@ mod tests {
                 unpacked.open_channel_avoiding(v, &avoid),
                 "open-avoid diverged for node {v}"
             );
+        }
+    }
+
+    /// Byzantine senders and a scheduled edge outage exercise the new
+    /// hostile-environment paths in both engines at once; every draw must
+    /// stay in lockstep including the per-slot edge eligibility checks.
+    #[test]
+    fn hostile_dimensions_stay_in_lockstep_across_engines() {
+        let n = 90usize;
+        let g = ErdosRenyi::with_expected_degree(n, 8.0).generate(41);
+        // Take down one directed slot of roughly every fourth edge.
+        let down: Vec<NodeId> = (0..g.num_edge_slots()).step_by(4).map(|s| s as NodeId).collect();
+        let mut packed = Simulation::new(&g, 77).with_loss_probability(0.1);
+        let mut unpacked = UnpackedSimulation::new(&g, 77);
+        unpacked.set_loss_probability(0.1);
+        for sim in [&mut packed as &mut dyn Engine, &mut unpacked as &mut dyn Engine] {
+            sim.set_byzantine(&[3, 4, 5, 6]);
+            sim.schedule_edge_outage(2, down.clone());
+            sim.schedule_kill(4, vec![10, 11]);
+            sim.schedule_edge_outage(6, Vec::new()); // full topology restored
+        }
+        for round in 0..10u64 {
+            let mut transfers = Vec::new();
+            for v in 0..n as NodeId {
+                let a = packed.open_channel(v);
+                let b = unpacked.open_channel(v);
+                assert_eq!(a, b, "channel choice diverged at round {round}, node {v}");
+                if let Some(u) = a {
+                    transfers.push(Transfer::new(v, u));
+                    transfers.push(Transfer::new(u, v));
+                }
+            }
+            assert_eq!(packed.deliver(&transfers), unpacked.deliver(&transfers));
+            packed.metrics_mut().finish_round();
+            unpacked.metrics_mut().finish_round();
+            assert_eq!(packed.metrics().total_packets(), unpacked.metrics().total_packets());
+            assert_eq!(packed.fully_informed_count(), unpacked.fully_informed_count());
+        }
+        for v in 0..n as NodeId {
+            assert_eq!(Engine::state(&packed, v), Engine::state(&unpacked, v), "state of {v}");
+        }
+        // A Byzantine node sent nothing in either engine.
+        for &b in &[3u32, 4, 5, 6] {
+            assert_eq!(packed.metrics().packets_per_node()[b as usize], 0);
+            assert_eq!(unpacked.metrics().packets_per_node()[b as usize], 0);
         }
     }
 

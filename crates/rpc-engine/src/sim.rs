@@ -111,6 +111,11 @@ pub(crate) enum LivenessKind {
     /// Crash: the paper's failure model — the nodes stay addressable but
     /// neither transmit nor store (Section 5).
     Crash,
+    /// Edge-churn wave: the event's `nodes` are CSR edge *slot* indices
+    /// (see `Graph::edge_slot_range`), not node ids. The listed slots go
+    /// down, **replacing** the previously down set — edges from earlier
+    /// waves implicitly come back up.
+    EdgeOutage,
 }
 
 /// A liveness change applied at the start of the given round.
@@ -181,6 +186,17 @@ pub struct Simulation<'g> {
     /// `(receiver, newly-learned count, complete next state)` per receiver,
     /// drained by the swap-commit phase.
     scalar_scratch: Vec<(NodeId, usize, MessageSet)>,
+    /// Behaviour mask: a set bit marks a Byzantine node that silently drops
+    /// every packet it should send while still opening channels and
+    /// receiving normally.
+    byzantine: BitSet,
+    byzantine_count: usize,
+    /// Edge presence mask over the graph's CSR edge slots: a cleared bit
+    /// means the directed slot is down and excluded from channel selection.
+    /// Only consulted while `edge_down_count > 0`, so it is sized lazily by
+    /// [`Self::apply_edge_outage`] and may hold stale bits otherwise.
+    edge_up: BitSet,
+    edge_down_count: usize,
 }
 
 /// XOR salt folded into every engine seed, shared by [`Simulation::new`],
@@ -219,6 +235,10 @@ impl<'g> Simulation<'g> {
             reader_scratch: Vec::new(),
             pending_scratch: Vec::new(),
             scalar_scratch: Vec::new(),
+            byzantine: BitSet::new(n),
+            byzantine_count: 0,
+            edge_up: BitSet::new(0),
+            edge_down_count: 0,
         }
     }
 
@@ -270,6 +290,12 @@ impl<'g> Simulation<'g> {
         self.loss_probability = 0.0;
         self.schedule.clear();
         self.next_event = 0;
+        self.byzantine.reset_empty(n);
+        self.byzantine_count = 0;
+        // `edge_up` is only read while `edge_down_count > 0`, and every
+        // EdgeOutage application rebuilds it at full width first, so stale
+        // contents from a previous run are unobservable.
+        self.edge_down_count = 0;
     }
 
     /// Selects the delivery semantics (default [`DeliverySemantics::Deferred`]).
@@ -507,6 +533,51 @@ impl<'g> Simulation<'g> {
         self.push_event(LivenessEvent { round, kind: LivenessKind::Crash, nodes });
     }
 
+    /// Schedules an edge-churn wave at the start of round `round`: the given
+    /// CSR edge slots (see [`Graph::edge_slot_range`]) go down, replacing any
+    /// previously down set. Passing an empty slot list restores the full
+    /// topology.
+    pub fn schedule_edge_outage(&mut self, round: u64, slots: Vec<NodeId>) {
+        self.push_event(LivenessEvent { round, kind: LivenessKind::EdgeOutage, nodes: slots });
+    }
+
+    /// Takes the given CSR edge slots down immediately, replacing any
+    /// previously down set. Down slots are excluded from channel selection in
+    /// both directions independently (callers pass both directed slots of an
+    /// undirected edge to sever it symmetrically).
+    pub fn apply_edge_outage(&mut self, slots: &[NodeId]) {
+        self.edge_up.reset_full(self.graph.num_edge_slots());
+        let mut down = 0usize;
+        for &slot in slots {
+            if self.edge_up.clear_bit(slot as usize) {
+                down += 1;
+            }
+        }
+        self.edge_down_count = down;
+    }
+
+    /// Marks the given nodes Byzantine: they keep opening channels and
+    /// receiving normally, but silently drop every packet they should send —
+    /// a Byzantine sender never appears in the effective transfer stream and
+    /// its packet counter stays untouched.
+    pub fn set_byzantine(&mut self, nodes: &[NodeId]) {
+        for &v in nodes {
+            if self.byzantine.set(v as usize) {
+                self.byzantine_count += 1;
+            }
+        }
+    }
+
+    /// Whether node `v` is Byzantine (see [`Self::set_byzantine`]).
+    pub fn is_byzantine(&self, v: NodeId) -> bool {
+        self.byzantine.get(v as usize)
+    }
+
+    /// Number of Byzantine nodes.
+    pub fn byzantine_count(&self) -> usize {
+        self.byzantine_count
+    }
+
     fn push_event(&mut self, event: LivenessEvent) {
         self.schedule.push(event);
         // Keep the unapplied suffix sorted by round; the sort is stable, so
@@ -533,6 +604,7 @@ impl<'g> Simulation<'g> {
                 LivenessKind::Kill => self.kill_nodes(&nodes),
                 LivenessKind::Revive => self.revive_nodes(&nodes),
                 LivenessKind::Crash => self.fail_nodes(&nodes),
+                LivenessKind::EdgeOutage => self.apply_edge_outage(&nodes),
             }
         }
     }
@@ -547,7 +619,15 @@ impl<'g> Simulation<'g> {
         if !self.alive.get(v as usize) || !self.present.get(v as usize) {
             return None;
         }
-        let target = if self.departed_count == 0 {
+        let target = if self.edge_down_count > 0 {
+            let node_words = (self.departed_count > 0).then(|| self.present.words());
+            self.graph.random_neighbor_edge_masked(
+                v,
+                node_words,
+                self.edge_up.words(),
+                &mut self.rng,
+            )?
+        } else if self.departed_count == 0 {
             self.graph.random_neighbor(v, &mut self.rng)?
         } else {
             self.graph.random_neighbor_masked(v, self.present.words(), &mut self.rng)?
@@ -564,7 +644,16 @@ impl<'g> Simulation<'g> {
         if !self.alive.get(v as usize) || !self.present.get(v as usize) {
             return None;
         }
-        let target = if self.departed_count == 0 {
+        let target = if self.edge_down_count > 0 {
+            let node_words = (self.departed_count > 0).then(|| self.present.words());
+            self.graph.random_neighbor_edge_masked_avoiding(
+                v,
+                avoid,
+                node_words,
+                self.edge_up.words(),
+                &mut self.rng,
+            )?
+        } else if self.departed_count == 0 {
             self.graph.random_neighbor_avoiding(v, avoid, &mut self.rng)?
         } else {
             self.graph.random_neighbor_masked_avoiding(
@@ -650,6 +739,9 @@ impl<'g> Simulation<'g> {
         for &t in transfers {
             if !self.alive.get(t.from as usize) || !self.present.get(t.from as usize) {
                 continue; // failed nodes do not transmit, departed nodes are gone
+            }
+            if self.byzantine_count > 0 && self.byzantine.get(t.from as usize) {
+                continue; // Byzantine senders silently drop: nothing sent, nothing counted
             }
             if !self.present.get(t.to as usize) {
                 continue; // the connection to a departed node fails silently
@@ -1076,6 +1168,8 @@ struct SimulationStorage {
     pending_scratch: Vec<Option<UpdatePayload>>,
     scalar_scratch: Vec<(NodeId, usize, MessageSet)>,
     schedule: Vec<LivenessEvent>,
+    byzantine: BitSet,
+    edge_up: BitSet,
 }
 
 impl SimulationArena {
@@ -1113,6 +1207,10 @@ impl SimulationArena {
             reader_scratch: st.reader_scratch,
             pending_scratch: st.pending_scratch,
             scalar_scratch: st.scalar_scratch,
+            byzantine: st.byzantine,
+            byzantine_count: 0,
+            edge_up: st.edge_up,
+            edge_down_count: 0,
         };
         // `reset` re-derives every run-dependent field from the graph, so the
         // placeholder counts above never become observable.
@@ -1144,6 +1242,8 @@ impl SimulationArena {
             pending_scratch,
             scalar_scratch,
             mut schedule,
+            byzantine,
+            edge_up,
             ..
         } = sim;
         schedule.clear();
@@ -1162,6 +1262,8 @@ impl SimulationArena {
             pending_scratch,
             scalar_scratch,
             schedule,
+            byzantine,
+            edge_up,
         });
     }
 }

@@ -93,7 +93,7 @@ fn scenario_quick_is_byte_identical_across_thread_counts() {
         let csv = out_dir.join("scenarios.csv");
         let contents = std::fs::read_to_string(&csv)
             .unwrap_or_else(|e| panic!("expected CSV at {}: {e}", csv.display()));
-        assert!(contents.lines().count() >= 13, "expected 12 scenario rows:\n{contents}");
+        assert!(contents.lines().count() >= 18, "expected 17 scenario rows:\n{contents}");
         assert!(
             contents.lines().next().is_some_and(|h| h.contains("stopped_max")),
             "expected stopped_by columns in the header:\n{contents}"

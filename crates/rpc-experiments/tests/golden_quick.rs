@@ -3,7 +3,7 @@
 //! The committed files under `tests/golden/quick/` were produced by
 //!
 //! ```text
-//! experiments sweep --quick --only fig1 --only table1 --out <dir>
+//! experiments sweep --quick --only fig1 --only table1 --only scenario --out <dir>
 //! ```
 //!
 //! and must be reproduced byte for byte: the sweep engine's determinism
@@ -15,7 +15,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-const GOLDEN_FILES: [&str; 2] = ["fig1_overhead.csv", "table1_constants.csv"];
+const GOLDEN_FILES: [&str; 3] = ["fig1_overhead.csv", "table1_constants.csv", "scenarios.csv"];
 
 fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join("quick")
@@ -28,7 +28,8 @@ fn sweep_quick_reproduces_the_committed_goldens() {
         std::fs::remove_dir_all(&out_dir).expect("stale scratch dir should be removable");
     }
     let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
-        .args(["sweep", "--quick", "--only", "fig1", "--only", "table1", "--out"])
+        .args(["sweep", "--quick", "--only", "fig1", "--only", "table1", "--only", "scenario"])
+        .arg("--out")
         .arg(&out_dir)
         .output()
         .expect("experiments binary should spawn");

@@ -293,6 +293,104 @@ impl Graph {
         self.random_neighbor_where(v, rng, |u| mask_bit(mask_words, u) && !avoid.contains(&u))
     }
 
+    /// Total number of directed edge slots: the length of the concatenated
+    /// adjacency (`2m`). Each undirected edge owns two slots, one per
+    /// endpoint; a self-loop owns two consecutive slots at its endpoint.
+    /// Slot indices identify edges for the edge-churn presence masks.
+    pub fn num_edge_slots(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The contiguous range of edge slots belonging to node `v`: slot
+    /// `edge_slot_range(v).start + i` holds `neighbors(v)[i]`.
+    pub fn edge_slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// A uniformly random neighbor of `v` reachable over an *up* edge:
+    /// candidate slot `s` (holding neighbor `u`) is eligible iff bit `s` is
+    /// set in `edge_words` and, when `node_words` is given, bit `u` is set
+    /// there too. Returns `None` if no neighbor is eligible.
+    ///
+    /// This is the graph-side shim for *edge churn* (dynamic topologies):
+    /// the CSR arrays stay immutable and down edges are excluded at
+    /// selection time, exactly like [`Self::random_neighbor_masked`] does
+    /// for departed nodes — but keyed on edge slots
+    /// ([`Self::edge_slot_range`]), so the two directions of one undirected
+    /// edge are two distinct bits that churn together. `edge_words` is a
+    /// packed LSB-first bitset with one bit per slot
+    /// ([`Self::num_edge_slots`] bits). The draw shape matches the node
+    /// variant: up to 32 rejection draws over the full neighbor slice, then
+    /// one exact count-and-pick draw.
+    pub fn random_neighbor_edge_masked<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        node_words: Option<&[u64]>,
+        edge_words: &[u64],
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        debug_assert!(
+            edge_words.len() * 64 >= self.num_edge_slots(),
+            "edge mask must cover every slot"
+        );
+        self.random_neighbor_slot_where(v, rng, |slot, u| {
+            slot_bit(edge_words, slot) && node_words.map_or(true, |words| mask_bit(words, u))
+        })
+    }
+
+    /// The `avoid`-aware variant of [`Self::random_neighbor_edge_masked`],
+    /// for the memory model's `open-avoid` under edge churn. Returns `None`
+    /// if no neighbor is eligible.
+    pub fn random_neighbor_edge_masked_avoiding<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        avoid: &[NodeId],
+        node_words: Option<&[u64]>,
+        edge_words: &[u64],
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        debug_assert!(
+            edge_words.len() * 64 >= self.num_edge_slots(),
+            "edge mask must cover every slot"
+        );
+        self.random_neighbor_slot_where(v, rng, |slot, u| {
+            slot_bit(edge_words, slot)
+                && node_words.map_or(true, |words| mask_bit(words, u))
+                && !avoid.contains(&u)
+        })
+    }
+
+    /// Slot-indexed counterpart of [`Self::random_neighbor_where`]: the
+    /// predicate sees the global edge slot alongside the neighbor it holds.
+    /// Same draw shape — up to 32 rejection draws over the neighbor slice,
+    /// then one exact count-and-pick — so slot-masked and node-masked
+    /// sampling consume identical RNG sequences for identical acceptances.
+    fn random_neighbor_slot_where<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        rng: &mut R,
+        eligible: impl Fn(usize, NodeId) -> bool,
+    ) -> Option<NodeId> {
+        let base = self.offsets[v as usize];
+        let nbrs = self.neighbors(v);
+        if nbrs.is_empty() {
+            return None;
+        }
+        for _ in 0..32 {
+            let i = rng.gen_range(0..nbrs.len());
+            if eligible(base + i, nbrs[i]) {
+                return Some(nbrs[i]);
+            }
+        }
+        let count = nbrs.iter().enumerate().filter(|&(i, &u)| eligible(base + i, u)).count();
+        if count == 0 {
+            return None;
+        }
+        let k = rng.gen_range(0..count);
+        nbrs.iter().enumerate().filter(|&(i, &u)| eligible(base + i, u)).nth(k).map(|(_, &u)| u)
+    }
+
     /// Uniform selection among the neighbors satisfying `eligible`: rejection
     /// sampling while the predicate is likely to hit, then an exact two-pass
     /// count-and-pick directly over the CSR slice, so even the fallback is
@@ -388,7 +486,13 @@ impl Graph {
 /// Whether bit `u` is set in a packed LSB-first mask.
 #[inline]
 fn mask_bit(mask_words: &[u64], u: NodeId) -> bool {
-    mask_words[u as usize / 64] & (1u64 << (u as usize % 64)) != 0
+    slot_bit(mask_words, u as usize)
+}
+
+/// Whether bit `slot` is set in a packed LSB-first mask over edge slots.
+#[inline]
+fn slot_bit(mask_words: &[u64], slot: usize) -> bool {
+    mask_words[slot / 64] & (1u64 << (slot % 64)) != 0
 }
 
 /// Uniform choice among the elements of `pool` satisfying `eligible`, without
@@ -552,6 +656,100 @@ mod tests {
             assert!(u == 3 || u == 4, "got excluded neighbor {u}");
         }
         assert_eq!(g.random_neighbor_masked_avoiding(0, &[1, 3, 4], &mask, &mut rng), None);
+    }
+
+    #[test]
+    fn edge_slot_ranges_tile_the_adjacency() {
+        let g = triangle();
+        assert_eq!(g.num_edge_slots(), 6);
+        let mut covered = 0;
+        for v in g.nodes() {
+            let range = g.edge_slot_range(v);
+            assert_eq!(range.len(), g.degree(v));
+            assert_eq!(range.start, covered);
+            covered = range.end;
+        }
+        assert_eq!(covered, g.num_edge_slots());
+    }
+
+    #[test]
+    fn random_neighbor_edge_masked_excludes_down_slots() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut rng = SmallRng::seed_from_u64(19);
+        // Take down the slots of node 0 holding neighbors 1 and 3.
+        let mut up = vec![true; g.num_edge_slots()];
+        let base = g.edge_slot_range(0).start;
+        for (i, &u) in g.neighbors(0).iter().enumerate() {
+            if u == 1 || u == 3 {
+                up[base + i] = false;
+            }
+        }
+        let edge_mask = pack_mask(&up);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(g.random_neighbor_edge_masked(0, None, &edge_mask, &mut rng).unwrap());
+        }
+        assert_eq!(seen, [2, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn random_neighbor_edge_masked_combines_node_and_edge_masks() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut rng = SmallRng::seed_from_u64(23);
+        // Edge to 1 is down, node 2 is departed: only 3 and 4 remain.
+        let mut up = vec![true; g.num_edge_slots()];
+        let base = g.edge_slot_range(0).start;
+        up[base + g.neighbors(0).iter().position(|&u| u == 1).unwrap()] = false;
+        let edge_mask = pack_mask(&up);
+        let node_mask = pack_mask(&[true, true, false, true, true]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(
+                g.random_neighbor_edge_masked(0, Some(&node_mask), &edge_mask, &mut rng).unwrap(),
+            );
+        }
+        assert_eq!(seen, [3, 4].into_iter().collect());
+        // Avoiding 3 on top leaves only 4.
+        for _ in 0..100 {
+            let u = g
+                .random_neighbor_edge_masked_avoiding(
+                    0,
+                    &[3],
+                    Some(&node_mask),
+                    &edge_mask,
+                    &mut rng,
+                )
+                .unwrap();
+            assert_eq!(u, 4);
+        }
+    }
+
+    #[test]
+    fn random_neighbor_edge_masked_returns_none_when_all_down() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)]);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let edge_mask = pack_mask(&vec![false; g.num_edge_slots()]);
+        assert_eq!(g.random_neighbor_edge_masked(0, None, &edge_mask, &mut rng), None);
+    }
+
+    #[test]
+    fn edge_masked_sampling_matches_node_masked_draw_sequence() {
+        // With an all-up edge mask the slot-masked sampler must consume the
+        // exact same RNG draws as the node-masked sampler — the contract that
+        // keeps traces bit-identical when edge churn is configured but no
+        // wave is currently active.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2)]);
+        let all_up = pack_mask(&vec![true; g.num_edge_slots()]);
+        let node_mask = pack_mask(&[true, true, false, true, false, true]);
+        for seed in 0..50 {
+            let mut a = SmallRng::seed_from_u64(seed);
+            let mut b = SmallRng::seed_from_u64(seed);
+            let via_nodes = g.random_neighbor_masked(0, &node_mask, &mut a);
+            let via_slots = g.random_neighbor_edge_masked(0, Some(&node_mask), &all_up, &mut b);
+            assert_eq!(via_nodes, via_slots);
+            // The generators must have advanced identically too.
+            assert_eq!(a.gen_range(0..u64::MAX), b.gen_range(0..u64::MAX));
+        }
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub enum CellJob {
     /// A declarative scenario run through the stepper path, exactly like
     /// [`run_scenario_in`].
     Scenario {
-        /// The scenario to replicate.
-        scenario: Scenario,
+        /// The scenario to replicate (boxed: a full `Scenario` with its
+        /// hostile-environment dimensions dwarfs the other variants).
+        scenario: Box<Scenario>,
         /// Whether to additionally capture per-phase metrics.
         probe: Probe,
     },
@@ -79,12 +80,12 @@ pub enum CellJob {
 impl CellJob {
     /// A plain scenario cell with the standard metrics.
     pub fn scenario(scenario: Scenario) -> Self {
-        CellJob::Scenario { scenario, probe: Probe::Metrics }
+        CellJob::Scenario { scenario: Box::new(scenario), probe: Probe::Metrics }
     }
 
     /// A scenario cell that additionally records per-phase metrics.
     pub fn scenario_with_phases(scenario: Scenario) -> Self {
-        CellJob::Scenario { scenario, probe: Probe::Phases }
+        CellJob::Scenario { scenario: Box::new(scenario), probe: Probe::Phases }
     }
 
     /// Graph size of the cell's runs.

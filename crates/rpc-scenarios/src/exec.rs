@@ -53,7 +53,7 @@ use rpc_gossip::{
 use rpc_graphs::{Graph, GraphArena, NodeId};
 use rpc_obs::{CoreRounds, NoopObserver, ObsEvent, Observer};
 
-use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule};
+use crate::spec::{zone_members, ProtocolSpec, Scenario, StartPlacement, StopRule};
 
 // Sub-stream indices for [`derive_seed`], so graph generation, environment
 // sampling and the protocol run draw from independent RNG streams.
@@ -586,6 +586,12 @@ fn drive<E: Engine, D: ProtocolDriver, O: Observer>(
         if rounds >= scenario.max_rounds {
             break StoppedBy::MaxRoundsExhausted;
         }
+        // Time-varying loss: re-derive the effective per-packet rate for the
+        // round about to execute (base rate compounded with every active
+        // burst). With no bursts the base rate set once up front stands.
+        if !scenario.environment.loss_bursts.is_empty() {
+            sim.set_loss_probability(scenario.environment.loss_at(sim.metrics().rounds()));
+        }
         let status = driver.step(sim);
         if O::ENABLED {
             // One dispatch event per round that actually delivered something:
@@ -626,42 +632,166 @@ fn coverage_target(fraction: f64, alive: usize) -> usize {
     (fraction * alive as f64).ceil() as usize
 }
 
-/// Pre-computes the churn waves and the crash burst and registers them with
-/// the simulation's event schedule.
+/// Pre-computes every environment perturbation — churn waves, the crash
+/// burst, edge-churn waves, the Byzantine set — and registers it with the
+/// simulation's event schedule.
 ///
 /// Waves are only sampled up to the effective round horizon (a `rounds:`
-/// budget can be far below `max_rounds`), and each wave draws exclusively
-/// from nodes that are *up* at its round, so every departed node stays out
-/// for exactly its configured downtime even when `downtime > period`.
+/// budget can be far below `max_rounds`), and each churn wave draws
+/// exclusively from nodes that are *up* at its round, so every departed node
+/// stays out for exactly its configured downtime even when
+/// `downtime > period`.
+///
+/// ## RNG-draw ordering contract
+///
+/// All sampling comes from the dedicated environment stream (`STREAM_ENV`),
+/// in this fixed order:
+///
+/// 1. node-churn waves, one per period below the horizon — with `zones` set,
+///    each wave first draws its target zone, then samples the wave's nodes
+///    from that zone's eligible members;
+/// 2. the crash burst — from the named zone's members when `@zone` is given,
+///    from the whole population otherwise;
+/// 3. edge-churn waves, one per period below the horizon, each sampling an
+///    undirected edge subset (both directed CSR slots go down together);
+/// 4. the Byzantine set.
+///
+/// Rumor placement draws from the same stream *after* this function. The
+/// benign fast path below is RNG-neutral: a dimension that is absent draws
+/// nothing, so old scenarios' sequences are unchanged by the new dimensions.
 fn schedule_environment<E: Engine>(scenario: &Scenario, env_rng: &mut SmallRng, sim: &mut E) {
+    if !scenario.environment.is_hostile() {
+        // Benign fast path. Safe exactly because `is_hostile` accounts for
+        // every perturbing dimension (pinned in spec.rs tests) and because
+        // a hostile run with no absent-dimension draws consumes the same
+        // stream this early return leaves untouched.
+        return;
+    }
     let n = sim.num_nodes();
     let horizon = round_limit(scenario);
     if let Some(churn) = scenario.environment.churn {
-        let count = ((churn.fraction * n as f64).round() as usize).min(n);
-        if count > 0 {
-            let mut down_until = vec![0u64; n];
-            let mut wave = churn.period;
-            // Events at round == horizon can never fire (the run executes
-            // rounds 0..horizon), so the last sampled wave is at horizon - 1.
-            while wave < horizon {
-                let eligible: Vec<NodeId> =
-                    (0..n as NodeId).filter(|&v| down_until[v as usize] <= wave).collect();
-                let take = count.min(eligible.len());
-                let nodes = sample_from_pool(eligible, take, env_rng);
-                for &v in &nodes {
-                    down_until[v as usize] = wave + churn.downtime;
+        match scenario.environment.zones {
+            None => {
+                let count = ((churn.fraction * n as f64).round() as usize).min(n);
+                if count > 0 {
+                    let mut down_until = vec![0u64; n];
+                    let mut wave = churn.period;
+                    // Events at round == horizon can never fire (the run
+                    // executes rounds 0..horizon), so the last sampled wave
+                    // is at horizon - 1.
+                    while wave < horizon {
+                        let eligible: Vec<NodeId> =
+                            (0..n as NodeId).filter(|&v| down_until[v as usize] <= wave).collect();
+                        let take = count.min(eligible.len());
+                        let nodes = sample_from_pool(eligible, take, env_rng);
+                        for &v in &nodes {
+                            down_until[v as usize] = wave + churn.downtime;
+                        }
+                        sim.schedule_kill(wave, nodes.clone());
+                        sim.schedule_revive(wave + churn.downtime, nodes);
+                        wave += churn.period;
+                    }
                 }
-                sim.schedule_kill(wave, nodes.clone());
-                sim.schedule_revive(wave + churn.downtime, nodes);
-                wave += churn.period;
+            }
+            Some(zones) => {
+                // Correlated churn: each wave takes out a fraction of one
+                // zone (a "rack") instead of a cross-section of the network.
+                let mut down_until = vec![0u64; n];
+                let mut wave = churn.period;
+                while wave < horizon {
+                    let zone = env_rng.gen_range(0..zones);
+                    let members = zone_members(zone, n, zones);
+                    let count = ((churn.fraction * members.len() as f64).round() as usize)
+                        .min(members.len());
+                    let eligible: Vec<NodeId> =
+                        members.filter(|&v| down_until[v as usize] <= wave).collect();
+                    let take = count.min(eligible.len());
+                    let nodes = sample_from_pool(eligible, take, env_rng);
+                    for &v in &nodes {
+                        down_until[v as usize] = wave + churn.downtime;
+                    }
+                    sim.schedule_kill(wave, nodes.clone());
+                    sim.schedule_revive(wave + churn.downtime, nodes);
+                    wave += churn.period;
+                }
             }
         }
     }
     if let Some(crash) = scenario.environment.crash {
         if crash.count > 0 {
-            sim.schedule_crash(crash.round, sample_failures(n, crash.count.min(n), env_rng));
+            let nodes = match crash.zone {
+                // Validation guarantees the zones key is set, the zone index
+                // is in range and the count fits the zone.
+                Some(zone) => {
+                    let zones = scenario.environment.zones.expect("crash zone requires zones");
+                    let members: Vec<NodeId> = zone_members(zone, n, zones).collect();
+                    let take = crash.count.min(members.len());
+                    sample_from_pool(members, take, env_rng)
+                }
+                None => sample_failures(n, crash.count.min(n), env_rng),
+            };
+            sim.schedule_crash(crash.round, nodes);
         }
     }
+    if let Some(edge_churn) = scenario.environment.edge_churn {
+        let pairs = undirected_slot_pairs(sim.graph());
+        let take = ((edge_churn.fraction * pairs.len() as f64).round() as usize).min(pairs.len());
+        if take > 0 {
+            let mut wave = edge_churn.period;
+            while wave < horizon {
+                let picked = sample_from_pool((0..pairs.len() as NodeId).collect(), take, env_rng);
+                let mut slots = Vec::with_capacity(2 * take);
+                for &p in &picked {
+                    let (a, b) = pairs[p as usize];
+                    slots.push(a);
+                    slots.push(b);
+                }
+                sim.schedule_edge_outage(wave, slots);
+                wave += edge_churn.period;
+            }
+        }
+    }
+    if scenario.environment.byzantine > 0.0 {
+        let count = ((scenario.environment.byzantine * n as f64).round() as usize).min(n);
+        if count > 0 {
+            sim.set_byzantine(&sample_failures(n, count, env_rng));
+        }
+    }
+}
+
+/// Enumerates the graph's undirected edges as pairs of directed CSR slot
+/// indices, so an edge-churn wave can take both directions of an edge down
+/// together.
+///
+/// The adjacency is sorted per node, so parallel edges form contiguous runs;
+/// the `k`-th occurrence of `u` in `v`'s list (with `u > v`) pairs with the
+/// `k`-th occurrence of `v` in `u`'s list. Self-loop slots are excluded —
+/// a self-loop carries no information anyway (self-delivery is a no-op).
+fn undirected_slot_pairs(graph: &Graph) -> Vec<(NodeId, NodeId)> {
+    let mut pairs = Vec::new();
+    for v in graph.nodes() {
+        let base = graph.edge_slot_range(v).start;
+        let nbrs = graph.neighbors(v);
+        let mut i = 0usize;
+        while i < nbrs.len() {
+            let u = nbrs[i];
+            let mut j = i + 1;
+            while j < nbrs.len() && nbrs[j] == u {
+                j += 1;
+            }
+            if u > v {
+                let u_base = graph.edge_slot_range(u).start;
+                let u_nbrs = graph.neighbors(u);
+                let first = u_nbrs.partition_point(|&w| w < v);
+                for k in 0..(j - i) {
+                    debug_assert_eq!(u_nbrs.get(first + k), Some(&v), "asymmetric adjacency");
+                    pairs.push(((base + i + k) as NodeId, (u_base + first + k) as NodeId));
+                }
+            }
+            i = j;
+        }
+    }
+    pairs
 }
 
 /// The effective round bound of a run: the `rounds:` budget where one is set
@@ -880,6 +1010,169 @@ mod tests {
             let o = run_scenario(&s, 8, 1);
             assert!(o.rounds > 0, "{} executed no rounds", protocol.name());
             assert_eq!(o.crashed, 16);
+        }
+    }
+
+    /// Satellite regression: a scenario with `loss = 0` and only a
+    /// `loss-burst` must still lose packets — `is_hostile` covers the burst
+    /// dimension, so the benign fast path cannot elide it, and the stepper
+    /// re-derives the per-round rate.
+    #[test]
+    fn loss_burst_only_scenario_still_loses_packets() {
+        let clean = Scenario::builder("clean", er(256)).stop(StopRule::Rounds(12)).build().unwrap();
+        // A 90% burst across the whole window, on an otherwise clean spec.
+        let bursty = Scenario::builder("bursty", er(256))
+            .loss_burst(0, 1000, 0.9)
+            .stop(StopRule::Rounds(12))
+            .build()
+            .unwrap();
+        assert_eq!(bursty.environment.loss, 0.0);
+        assert!(bursty.environment.is_hostile());
+        let a = run_scenario(&clean, 5, 1);
+        let b = run_scenario(&bursty, 5, 1);
+        // Same round budget, but far less information spreads under the burst.
+        assert!(
+            b.coverage < a.coverage,
+            "burst run should spread less: clean {} vs bursty {}",
+            a.coverage,
+            b.coverage
+        );
+        // And the engine really sampled loss draws: same seed, same protocol,
+        // same rounds, yet the effective deliveries diverge.
+        assert_eq!(a.rounds, b.rounds);
+        assert!(b.total_packets > 0);
+    }
+
+    #[test]
+    fn burst_windows_only_perturb_their_rounds() {
+        // A burst strictly after the round budget is inert: outside the
+        // window `loss_at` returns the exact base rate, so the run is
+        // bit-identical to the burst-free scenario.
+        let plain = Scenario::builder("plain", er(128))
+            .loss(0.1)
+            .stop(StopRule::Rounds(8))
+            .build()
+            .unwrap();
+        let late_burst = Scenario::builder("plain", er(128))
+            .loss(0.1)
+            .loss_burst(100, 5, 0.9)
+            .stop(StopRule::Rounds(8))
+            .build()
+            .unwrap();
+        assert_eq!(run_scenario(&plain, 3, 1), run_scenario(&late_burst, 3, 1));
+    }
+
+    /// Satellite: `coverage:F` under a zone crash measures the alive
+    /// population — the bar shrinks with the crashed zone and stays
+    /// reachable.
+    #[test]
+    fn coverage_target_survives_a_zone_crash() {
+        let s = Scenario::builder("zone-cov", er(256))
+            .zones(4)
+            .crash_in_zone(2, 64, 1) // zone 1 (nodes 64..128) fully crashes
+            .stop(StopRule::Coverage(0.95))
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 6, 1);
+        assert_eq!(o.crashed, 64);
+        assert_eq!(o.stopped_by, StoppedBy::CoverageReached, "rounds: {}", o.rounds);
+        assert!(o.completed);
+    }
+
+    /// Zone crashes only hit the named zone: every crashed node lies inside
+    /// it, and nodes outside stay alive.
+    #[test]
+    fn zone_crash_only_hits_the_named_zone() {
+        use crate::spec::zone_members;
+        let (n, zones, zone) = (256usize, 8usize, 5usize);
+        let s = Scenario::builder("zone-only", er(n))
+            .zones(zones)
+            .crash_in_zone(1, 16, zone)
+            .stop(StopRule::Rounds(4))
+            .build()
+            .unwrap();
+        let seed = 9;
+        let graph = s.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
+        let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+        let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0));
+        schedule_environment(&s, &mut env_rng, &mut sim);
+        // Step past the crash round, then inspect liveness per node.
+        for _ in 0..3 {
+            for v in 0..n as NodeId {
+                sim.open_channel(v);
+            }
+            sim.metrics_mut().finish_round();
+        }
+        let members = zone_members(zone, n, zones);
+        let crashed: Vec<NodeId> =
+            (0..n as NodeId).filter(|&v| !Engine::is_alive(&sim, v)).collect();
+        assert_eq!(crashed.len(), 16);
+        for &v in &crashed {
+            assert!(members.contains(&v), "node {v} crashed outside zone {zone}");
+        }
+    }
+
+    /// Satellite: with enough Byzantine mass, completion is unreachable —
+    /// a Byzantine node's own original message never spreads — and the
+    /// executor reports `MaxRoundsExhausted` honestly instead of claiming
+    /// the stop rule fired.
+    #[test]
+    fn byzantine_density_reports_max_rounds_exhausted() {
+        let s = Scenario::builder("byz", er(128)).byzantine(0.2).max_rounds(40).build().unwrap();
+        for o in [run_scenario(&s, 11, 1), run_scenario_unpacked(&s, 11)] {
+            assert!(!o.completed);
+            assert_eq!(o.stopped_by, StoppedBy::MaxRoundsExhausted);
+            assert!(o.coverage < 1.0, "Byzantine originals must stay unknown");
+        }
+    }
+
+    /// Edge churn never strands the stop-rule evaluation: even with most
+    /// edges down every round, the run terminates via its rule or cap on
+    /// both engines with identical outcomes.
+    #[test]
+    fn edge_churn_never_strands_stop_rule_evaluation() {
+        for stop in [StopRule::Complete, StopRule::Rounds(15), StopRule::Coverage(0.7)] {
+            let s = Scenario::builder("edgy", er(128))
+                .edge_churn(0.9, 1)
+                .stop(stop)
+                .max_rounds(60)
+                .build()
+                .unwrap();
+            let packed = run_scenario(&s, 13, 1);
+            let unpacked = run_scenario_unpacked(&s, 13);
+            assert_eq!(packed, unpacked);
+            assert!(packed.rounds <= 60);
+        }
+    }
+
+    #[test]
+    fn undirected_slot_pairs_cover_each_edge_once() {
+        let g = er(96).build().generate(7);
+        let pairs = undirected_slot_pairs(&g);
+        // Both directed slots of a pair point at each other's endpoint, and
+        // no slot appears twice.
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &pairs {
+            assert!(seen.insert(a), "slot {a} paired twice");
+            assert!(seen.insert(b), "slot {b} paired twice");
+        }
+        // Pair count: every non-self-loop undirected edge exactly once.
+        let self_loops: usize =
+            g.nodes().map(|v| g.neighbors(v).iter().filter(|&&u| u == v).count()).sum();
+        assert_eq!(2 * pairs.len(), g.num_edge_slots() - self_loops);
+        // Endpoint consistency: slot a sits in v's range and holds u; slot b
+        // sits in u's range and holds v.
+        for &(a, b) in &pairs {
+            let owner = |slot: NodeId| {
+                g.nodes().find(|&v| g.edge_slot_range(v).contains(&(slot as usize))).unwrap()
+            };
+            let target = |slot: NodeId| {
+                let v = owner(slot);
+                let base = g.edge_slot_range(v).start;
+                g.neighbors(v)[slot as usize - base]
+            };
+            assert_eq!(target(a), owner(b));
+            assert_eq!(target(b), owner(a));
         }
     }
 

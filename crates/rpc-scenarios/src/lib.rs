@@ -16,9 +16,11 @@
 //!   fanning seeded replications across a crossbeam thread pool, with results
 //!   bit-identical for any thread count;
 //! * [`stats`] — min/mean/max/percentile aggregation;
-//! * [`registry`] — twelve built-in named scenarios covering the paper's
-//!   density/robustness axes plus dynamic workloads, including the
-//!   phase-based protocols under round budgets and coverage thresholds;
+//! * [`registry`] — seventeen built-in named scenarios covering the paper's
+//!   density/robustness axes plus dynamic workloads — the phase-based
+//!   protocols under round budgets and coverage thresholds, and the
+//!   correlated hostile dimensions (failure zones, burst loss, edge churn,
+//!   Byzantine senders);
 //! * [`cells`] — the unit of sweep work: a [`CellJob`] (scenario, tuned
 //!   fast-gossiping, or memory-model-with-failures) measured into named
 //!   metric samples by [`run_cell`];
@@ -68,8 +70,8 @@ pub use exec::{
     ScenarioArena, ScenarioOutcome, ScenarioTrace, StoppedBy,
 };
 pub use spec::{
-    ChurnSpec, CrashSpec, EnvironmentSpec, ProtocolSpec, Scenario, ScenarioBuilder, ScenarioError,
-    StartPlacement, StopRule, TopologySpec,
+    zone_members, zone_of, ChurnSpec, CrashSpec, EdgeChurnSpec, EnvironmentSpec, LossBurstSpec,
+    ProtocolSpec, Scenario, ScenarioBuilder, ScenarioError, StartPlacement, StopRule, TopologySpec,
 };
 pub use stats::{summarize, SummaryStats};
 pub use sweep::{
@@ -88,8 +90,8 @@ pub mod prelude {
     };
     pub use crate::registry;
     pub use crate::spec::{
-        ChurnSpec, CrashSpec, EnvironmentSpec, ProtocolSpec, Scenario, ScenarioError,
-        StartPlacement, StopRule, TopologySpec,
+        ChurnSpec, CrashSpec, EdgeChurnSpec, EnvironmentSpec, LossBurstSpec, ProtocolSpec,
+        Scenario, ScenarioError, StartPlacement, StopRule, TopologySpec,
     };
     pub use crate::stats::{summarize, SummaryStats};
     pub use crate::sweep::{

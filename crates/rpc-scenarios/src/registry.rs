@@ -1,20 +1,22 @@
 //! The built-in scenario registry.
 //!
-//! Twelve named scenarios spanning the axes the paper studies (density,
+//! Seventeen named scenarios spanning the axes the paper studies (density,
 //! topology, robustness) plus the dynamic workloads the scenario engine adds
-//! (churn, loss, crash bursts, adversarial placement). The last four pair the
+//! (churn, loss, crash bursts, adversarial placement). Four pair the
 //! phase-based protocols (fast-gossiping, memory) with step-granular stop
 //! rules — round budgets and coverage thresholds under churn and crash
-//! bursts — which the step-driven executor made possible. All of them scale
-//! with a single size parameter so the same registry serves CI smoke runs and
-//! large sweeps.
+//! bursts — which the step-driven executor made possible; the last five
+//! exercise the correlated hostile-environment dimensions (failure zones,
+//! burst loss, edge churn, Byzantine senders, and all of them stacked). All
+//! of them scale with a single size parameter so the same registry serves CI
+//! smoke runs and large sweeps.
 
 use rpc_graphs::log2n;
 
 use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule, TopologySpec};
 
 /// Names of the built-in scenarios, in registry order.
-pub const BUILTIN_NAMES: [&str; 12] = [
+pub const BUILTIN_NAMES: [&str; 17] = [
     "dense-er",
     "sparse-er",
     "random-regular",
@@ -27,6 +29,11 @@ pub const BUILTIN_NAMES: [&str; 12] = [
     "fast-coverage-crash",
     "memory-round-budget",
     "memory-coverage-churn",
+    "zone-crash",
+    "loss-burst",
+    "edge-churn",
+    "byzantine-drop",
+    "hostile-all",
 ];
 
 /// Builds the registry for graphs of `n` nodes (`n ≥ 16`; smaller values are
@@ -137,7 +144,65 @@ pub fn builtin(n: usize) -> Vec<Scenario> {
                 .stop(StopRule::Coverage(0.9))
                 .build(),
         ),
+        // A whole failure domain (one of 8 zones, an eighth of the network)
+        // crashes together at round 3 — the rack-loss version of crash-burst.
+        // Coverage is measured against the crash-adjusted population, so the
+        // 90% bar stays reachable.
+        build(
+            Scenario::builder("zone-crash", TopologySpec::ErdosRenyiPaper { n })
+                .zones(8)
+                .crash_in_zone(3, zone_size(n, 8), 2)
+                .stop(StopRule::Coverage(0.9))
+                .build(),
+        ),
+        // Correlated loss: a clean base rate with two heavy loss episodes —
+        // 50% loss for 4 rounds early on, a 30% aftershock later.
+        build(
+            Scenario::builder("loss-burst", TopologySpec::ErdosRenyiPaper { n })
+                .loss_burst(2, 4, 0.5)
+                .loss_burst(10, 3, 0.3)
+                .build(),
+        ),
+        // Dynamic topology: every 3 rounds a fresh random 20% of the edges
+        // goes down (the previous outage heals), so the graph keeps mutating
+        // under the protocol.
+        build(
+            Scenario::builder("edge-churn", TopologySpec::ErdosRenyiPaper { n })
+                .edge_churn(0.2, 3)
+                .build(),
+        ),
+        // A tenth of the nodes silently drop instead of forwarding. Their
+        // own original messages can never spread, so completion is
+        // unreachable by construction — the run is measured over a fixed
+        // round budget instead.
+        build(
+            Scenario::builder("byzantine-drop", TopologySpec::ErdosRenyiPaper { n })
+                .byzantine(0.1)
+                .stop(StopRule::Rounds(round_budget))
+                .build(),
+        ),
+        // Every hostile dimension stacked: zoned churn waves, a zone crash,
+        // burst loss over a lossy base, edge churn and Byzantine senders,
+        // measured over a fixed round budget.
+        build(
+            Scenario::builder("hostile-all", TopologySpec::ErdosRenyiPaper { n })
+                .loss(0.05)
+                .loss_burst(4, 3, 0.4)
+                .zones(8)
+                .churn(0.2, 4, 6)
+                .crash_in_zone(5, zone_size(n, 8) / 2, 5)
+                .edge_churn(0.1, 4)
+                .byzantine(0.05)
+                .stop(StopRule::Rounds(2 * round_budget))
+                .build(),
+        ),
     ]
+}
+
+/// Size of the smallest zone when `n` nodes split into `zones` contiguous
+/// blocks — a safe crash count for any zone index.
+fn zone_size(n: usize, zones: usize) -> usize {
+    n / zones
 }
 
 /// Looks a built-in scenario up by name at size `n`.
@@ -166,13 +231,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_twelve_uniquely_named_scenarios() {
+    fn registry_has_seventeen_uniquely_named_scenarios() {
         let scenarios = builtin(1024);
-        assert_eq!(scenarios.len(), 12);
+        assert_eq!(scenarios.len(), 17);
         let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, BUILTIN_NAMES);
         let unique: std::collections::HashSet<_> = names.iter().collect();
-        assert_eq!(unique.len(), 12);
+        assert_eq!(unique.len(), 17);
+    }
+
+    #[test]
+    fn hostile_dimension_scenarios_carry_their_dimensions() {
+        let zone_crash = find("zone-crash", 256).unwrap();
+        assert_eq!(zone_crash.environment.zones, Some(8));
+        assert_eq!(zone_crash.environment.crash.unwrap().zone, Some(2));
+        let bursts = find("loss-burst", 256).unwrap();
+        assert_eq!(bursts.environment.loss, 0.0);
+        assert_eq!(bursts.environment.loss_bursts.len(), 2);
+        assert!(find("edge-churn", 256).unwrap().environment.edge_churn.is_some());
+        assert_eq!(find("byzantine-drop", 256).unwrap().environment.byzantine, 0.1);
+        let all = find("hostile-all", 256).unwrap().environment;
+        assert!(
+            !all.loss_bursts.is_empty()
+                && all.churn.is_some()
+                && all.crash.is_some()
+                && all.zones.is_some()
+                && all.edge_churn.is_some()
+                && all.byzantine > 0.0,
+            "hostile-all must stack every dimension"
+        );
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //!
 //! A [`Scenario`] bundles everything one simulated workload needs: a
 //! [`TopologySpec`] (which graph model at which scale), a [`ProtocolSpec`]
-//! (which gossiping algorithm), an [`EnvironmentSpec`] (message loss, churn,
-//! crash bursts, adversarial start placement), and a [`StopRule`]. Scenarios
-//! are built either with the builder API ([`Scenario::builder`]) or parsed
-//! from a simple `key = value` text format ([`Scenario::parse_str`]) that
-//! needs no external dependencies.
+//! (which gossiping algorithm), an [`EnvironmentSpec`] (message loss, loss
+//! bursts, churn, crash bursts, failure zones, edge churn, Byzantine
+//! senders, adversarial start placement), and a [`StopRule`]. Scenarios are
+//! built either with the builder API ([`Scenario::builder`]) or parsed from
+//! a simple `key = value` text format ([`Scenario::parse_str`]) that needs
+//! no external dependencies.
 //!
 //! ## Text format
 //!
@@ -20,8 +21,12 @@
 //! degree = 100                # optional; omitted = paper density log^2 n
 //! protocol = push-pull        # push-pull | fast-gossiping | memory
 //! loss = 0.05                 # per-packet loss probability, default 0
+//! loss-burst = 4:6:0.5        # start:len:prob, repeatable, default none
 //! churn = 0.1:4:8             # fraction:period:downtime, default none
-//! crash = 3:64                # round:count, default none
+//! crash = 3:64                # round:count[@zone], default none
+//! zones = 8                   # number of failure zones, default none
+//! edge-churn = 0.2:4          # fraction:period, default none
+//! byzantine = 0.1             # fraction of silently-dropping nodes, default 0
 //! start = min-degree          # random | min-degree | max-degree
 //! stop = complete             # complete | rounds:N | coverage:F
 //! max-rounds = 400            # safety cap, default 64 * log2(n) + 64
@@ -42,7 +47,8 @@
 //!                                                 separate blocks *)
 //!
 //! key        = "name" | "topology" | "n" | "degree" | "protocol" | "loss"
-//!            | "churn" | "crash" | "start" | "stop" | "max-rounds" ;
+//!            | "loss-burst" | "churn" | "crash" | "zones" | "edge-churn"
+//!            | "byzantine" | "start" | "stop" | "max-rounds" ;
 //!
 //! value      =                                 (* per key: *)
 //!     ⟨name⟩     : string                      (* non-empty after trimming;
@@ -54,8 +60,19 @@
 //!                                                 positive integer *)
 //!   | ⟨protocol⟩ : "push-pull" | "fast-gossiping" | "memory"
 //!   | ⟨loss⟩     : float                       (* in [0, 1) *)
+//!   | ⟨loss-burst⟩ : uint ":" uint ":" float   (* start:len:prob; the only
+//!                                                 repeatable key — each
+//!                                                 occurrence appends one
+//!                                                 burst *)
 //!   | ⟨churn⟩    : float ":" uint ":" uint     (* fraction:period:downtime *)
-//!   | ⟨crash⟩    : uint ":" uint               (* round:count *)
+//!   | ⟨crash⟩    : uint ":" uint ( "@" uint )? (* round:count[@zone]; "@"
+//!                                                 confines the burst to one
+//!                                                 failure zone and requires
+//!                                                 the "zones" key *)
+//!   | ⟨zones⟩    : uint                        (* failure domains, in
+//!                                                 [1, n] *)
+//!   | ⟨edge-churn⟩ : float ":" uint            (* fraction:period *)
+//!   | ⟨byzantine⟩ : float                      (* in [0, 1] *)
 //!   | ⟨start⟩    : "random" | "min-degree" | "max-degree"
 //!   | ⟨stop⟩     : "complete" | "rounds:" uint | "coverage:" float
 //!   | ⟨max-rounds⟩ : uint ;                    (* ≥ 1 *)
@@ -64,7 +81,9 @@
 //! Whitespace around keys and values is trimmed; everything from `#` to the
 //! end of the line is ignored. `name` and `n` are required, every other key
 //! is optional and defaults as documented above; duplicate keys are allowed
-//! and the last occurrence wins. Keys outside the list are rejected —
+//! and the last occurrence wins — except `loss-burst`, which is repeatable
+//! and accumulates one [`LossBurstSpec`] per occurrence (in file order).
+//! Keys outside the list are rejected —
 //! [`Scenario::parse_str`] collects **all** unrecognized keys of a block and
 //! reports them in one [`ScenarioError::Parse`] so a typo-ridden file is
 //! fixed in a single round trip. Semantic constraints (value ranges, a
@@ -232,13 +251,53 @@ pub struct ChurnSpec {
 
 /// A one-shot crash burst: `count` uniformly random nodes crash at the start
 /// of `round` and never recover (the paper's failure model — crashed nodes
-/// remain addressable but neither transmit nor store).
+/// remain addressable but neither transmit nor store). With a `zone`, the
+/// burst is correlated: all crashing nodes are drawn from that failure zone
+/// (see [`EnvironmentSpec::zones`] and [`zone_of`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashSpec {
     /// Round at which the burst fires.
     pub round: u64,
     /// Number of crashing nodes.
     pub count: usize,
+    /// Failure zone the crashing nodes are drawn from; `None` samples from
+    /// the whole population. Requires [`EnvironmentSpec::zones`].
+    pub zone: Option<usize>,
+}
+
+/// A window of elevated message loss: during rounds `start ..= start+len-1`
+/// every packet is additionally dropped with probability `prob`, layered
+/// multiplicatively over the base rate and any other overlapping bursts (a
+/// packet survives a round only if it survives every active loss source; see
+/// [`EnvironmentSpec::loss_at`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossBurstSpec {
+    /// First round of the burst.
+    pub start: u64,
+    /// Number of rounds the burst lasts (≥ 1).
+    pub len: u64,
+    /// Additional per-packet loss probability while active, in `[0, 1)`.
+    pub prob: f64,
+}
+
+impl LossBurstSpec {
+    /// Whether the burst is active at `round`.
+    pub fn active_at(&self, round: u64) -> bool {
+        round >= self.start && round - self.start < self.len
+    }
+}
+
+/// Periodic edge churn (a dynamic topology): every `period` rounds a fresh
+/// uniformly random set of `fraction · m` undirected edges goes down,
+/// replacing the previous wave's set (edges from earlier waves come back
+/// up). A down edge cannot be chosen as a communication channel in either
+/// direction, but delivery on already-open channels is unaffected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeChurnSpec {
+    /// Fraction of undirected edges down per wave, in `[0, 1]`.
+    pub fraction: f64,
+    /// Rounds between consecutive waves (≥ 1).
+    pub period: u64,
 }
 
 /// Where the tracked rumor starts. The scenario engine follows one original
@@ -267,23 +326,85 @@ impl StartPlacement {
 }
 
 /// Environmental conditions of a scenario run.
-#[derive(Clone, Copy, Debug, PartialEq, Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct EnvironmentSpec {
     /// Per-packet message-loss probability in `[0, 1)`.
     pub loss: f64,
+    /// Windows of elevated loss layered over the base rate, if any.
+    pub loss_bursts: Vec<LossBurstSpec>,
     /// Periodic churn, if any.
     pub churn: Option<ChurnSpec>,
     /// One-shot crash burst, if any.
     pub crash: Option<CrashSpec>,
+    /// Number of failure zones the nodes are partitioned into; `None`
+    /// disables zone-correlated failures. With zones, churn waves hit one
+    /// uniformly drawn zone per wave and a crash burst can be confined to a
+    /// named zone via [`CrashSpec::zone`]. The partition is [`zone_of`].
+    pub zones: Option<usize>,
+    /// Periodic edge churn (dynamic topology), if any.
+    pub edge_churn: Option<EdgeChurnSpec>,
+    /// Fraction of Byzantine nodes in `[0, 1]`: a seeded uniformly random
+    /// set of `byzantine · n` nodes silently drops every packet it should
+    /// send (instead of forwarding), while still opening channels and
+    /// receiving normally. Byzantine nodes never appear as senders.
+    pub byzantine: f64,
     /// Placement of the tracked rumor.
     pub placement: StartPlacement,
 }
 
 impl EnvironmentSpec {
-    /// Whether this environment perturbs the run at all.
+    /// Whether this environment perturbs the run at all. The executor skips
+    /// environment scheduling entirely for benign environments, so every
+    /// perturbing dimension must be reflected here — a dimension this method
+    /// misses would be silently elided. (`zones` alone is excluded on
+    /// purpose: it only modulates churn and crash sampling.)
     pub fn is_hostile(&self) -> bool {
-        self.loss > 0.0 || self.churn.is_some() || self.crash.is_some()
+        self.loss > 0.0
+            || !self.loss_bursts.is_empty()
+            || self.churn.is_some()
+            || self.crash.is_some()
+            || self.edge_churn.is_some()
+            || self.byzantine > 0.0
     }
+
+    /// Effective per-packet loss probability at `round`: the base rate and
+    /// every active burst are independent drop sources, so a packet survives
+    /// with probability `(1 - loss) · ∏ (1 - probᵢ)`. All factors are
+    /// positive (validation keeps each probability below 1), so the result
+    /// always stays in `[0, 1)`.
+    pub fn loss_at(&self, round: u64) -> f64 {
+        let mut burst_survive = 1.0f64;
+        for burst in &self.loss_bursts {
+            if burst.active_at(round) {
+                burst_survive *= 1.0 - burst.prob;
+            }
+        }
+        if burst_survive == 1.0 {
+            // Outside every burst the base rate applies *exactly* — no
+            // `1 - (1 - loss)` float round-trip that would perturb the
+            // engine's `gen_bool` threshold relative to a burst-free run.
+            self.loss
+        } else {
+            1.0 - (1.0 - self.loss) * burst_survive
+        }
+    }
+}
+
+/// Failure zone of node `v` when `n` nodes are partitioned into `zones`
+/// contiguous blocks: `⌊v · zones / n⌋`. Blocks differ in size by at most
+/// one node and every zone is non-empty for `zones ≤ n`.
+pub fn zone_of(v: NodeId, n: usize, zones: usize) -> usize {
+    debug_assert!((v as usize) < n && zones >= 1);
+    ((v as u128 * zones as u128) / n as u128) as usize
+}
+
+/// The contiguous node range making up failure zone `zone` under the
+/// [`zone_of`] partition: `⌈zone · n / zones⌉ .. ⌈(zone+1) · n / zones⌉`.
+pub fn zone_members(zone: usize, n: usize, zones: usize) -> std::ops::Range<NodeId> {
+    debug_assert!(zone < zones && zones <= n);
+    let lo = (zone as u128 * n as u128).div_ceil(zones as u128) as NodeId;
+    let hi = ((zone as u128 + 1) * n as u128).div_ceil(zones as u128) as NodeId;
+    lo..hi
 }
 
 /// When a scenario run ends.
@@ -374,6 +495,9 @@ impl Scenario {
         if self.environment.loss > 0.0 {
             out.push_str(&format!("loss = {}\n", self.environment.loss));
         }
+        for burst in &self.environment.loss_bursts {
+            out.push_str(&format!("loss-burst = {}:{}:{}\n", burst.start, burst.len, burst.prob));
+        }
         if let Some(churn) = self.environment.churn {
             out.push_str(&format!(
                 "churn = {}:{}:{}\n",
@@ -381,7 +505,21 @@ impl Scenario {
             ));
         }
         if let Some(crash) = self.environment.crash {
-            out.push_str(&format!("crash = {}:{}\n", crash.round, crash.count));
+            match crash.zone {
+                Some(zone) => {
+                    out.push_str(&format!("crash = {}:{}@{}\n", crash.round, crash.count, zone))
+                }
+                None => out.push_str(&format!("crash = {}:{}\n", crash.round, crash.count)),
+            }
+        }
+        if let Some(zones) = self.environment.zones {
+            out.push_str(&format!("zones = {zones}\n"));
+        }
+        if let Some(ec) = self.environment.edge_churn {
+            out.push_str(&format!("edge-churn = {}:{}\n", ec.fraction, ec.period));
+        }
+        if self.environment.byzantine > 0.0 {
+            out.push_str(&format!("byzantine = {}\n", self.environment.byzantine));
         }
         out.push_str(&format!("start = {}\n", self.environment.placement.name()));
         match self.stop {
@@ -434,6 +572,20 @@ impl Scenario {
                     }
                 }
                 "loss" => environment.loss = parse_num::<f64>("loss", value)?,
+                "loss-burst" => {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    if parts.len() != 3 {
+                        return Err(ScenarioError::Parse(format!(
+                            "loss-burst must be start:len:prob, got {value}"
+                        )));
+                    }
+                    // The one repeatable key: every occurrence appends.
+                    environment.loss_bursts.push(LossBurstSpec {
+                        start: parse_num::<u64>("loss-burst start", parts[0])?,
+                        len: parse_num::<u64>("loss-burst len", parts[1])?,
+                        prob: parse_num::<f64>("loss-burst prob", parts[2])?,
+                    });
+                }
                 "churn" => {
                     let parts: Vec<&str> = value.split(':').collect();
                     if parts.len() != 3 {
@@ -451,14 +603,35 @@ impl Scenario {
                     let parts: Vec<&str> = value.split(':').collect();
                     if parts.len() != 2 {
                         return Err(ScenarioError::Parse(format!(
-                            "crash must be round:count, got {value}"
+                            "crash must be round:count[@zone], got {value}"
                         )));
                     }
+                    let (count_part, zone) = match parts[1].split_once('@') {
+                        Some((count, zone)) => {
+                            (count, Some(parse_num::<usize>("crash zone", zone)?))
+                        }
+                        None => (parts[1], None),
+                    };
                     environment.crash = Some(CrashSpec {
                         round: parse_num::<u64>("crash round", parts[0])?,
-                        count: parse_num::<usize>("crash count", parts[1])?,
+                        count: parse_num::<usize>("crash count", count_part)?,
+                        zone,
                     });
                 }
+                "zones" => environment.zones = Some(parse_num::<usize>("zones", value)?),
+                "edge-churn" => {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    if parts.len() != 2 {
+                        return Err(ScenarioError::Parse(format!(
+                            "edge-churn must be fraction:period, got {value}"
+                        )));
+                    }
+                    environment.edge_churn = Some(EdgeChurnSpec {
+                        fraction: parse_num::<f64>("edge-churn fraction", parts[0])?,
+                        period: parse_num::<u64>("edge-churn period", parts[1])?,
+                    });
+                }
+                "byzantine" => environment.byzantine = parse_num::<f64>("byzantine", value)?,
                 "start" => {
                     environment.placement = match value {
                         "random" => StartPlacement::Random,
@@ -595,9 +768,41 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Appends a loss burst (see [`LossBurstSpec`]); repeatable.
+    pub fn loss_burst(mut self, start: u64, len: u64, prob: f64) -> Self {
+        self.environment.loss_bursts.push(LossBurstSpec { start, len, prob });
+        self
+    }
+
     /// Adds a one-shot crash burst (see [`CrashSpec`]).
     pub fn crash(mut self, round: u64, count: usize) -> Self {
-        self.environment.crash = Some(CrashSpec { round, count });
+        self.environment.crash = Some(CrashSpec { round, count, zone: None });
+        self
+    }
+
+    /// Adds a crash burst confined to one failure zone; requires
+    /// [`ScenarioBuilder::zones`].
+    pub fn crash_in_zone(mut self, round: u64, count: usize, zone: usize) -> Self {
+        self.environment.crash = Some(CrashSpec { round, count, zone: Some(zone) });
+        self
+    }
+
+    /// Partitions the nodes into `zones` failure domains (see
+    /// [`EnvironmentSpec::zones`]).
+    pub fn zones(mut self, zones: usize) -> Self {
+        self.environment.zones = Some(zones);
+        self
+    }
+
+    /// Adds periodic edge churn (see [`EdgeChurnSpec`]).
+    pub fn edge_churn(mut self, fraction: f64, period: u64) -> Self {
+        self.environment.edge_churn = Some(EdgeChurnSpec { fraction, period });
+        self
+    }
+
+    /// Makes a seeded `fraction` of the nodes Byzantine (silent droppers).
+    pub fn byzantine(mut self, fraction: f64) -> Self {
+        self.environment.byzantine = fraction;
         self
     }
 
@@ -681,6 +886,24 @@ impl ScenarioBuilder {
                 ));
             }
         }
+        for burst in &env.loss_bursts {
+            if !burst.prob.is_finite() || !(0.0..1.0).contains(&burst.prob) {
+                return Err(ScenarioError::Invalid(format!(
+                    "loss-burst probability must lie in [0, 1), got {}",
+                    burst.prob
+                )));
+            }
+            if burst.len == 0 {
+                return Err(ScenarioError::Invalid("loss-burst len must be at least 1".into()));
+            }
+        }
+        if let Some(zones) = env.zones {
+            if zones == 0 || zones > n {
+                return Err(ScenarioError::Invalid(format!(
+                    "zones must lie in [1, n]; got {zones} zones for n = {n}"
+                )));
+            }
+        }
         if let Some(crash) = env.crash {
             if crash.count > n {
                 return Err(ScenarioError::Invalid(format!(
@@ -688,6 +911,41 @@ impl ScenarioBuilder {
                     crash.count, n
                 )));
             }
+            if let Some(zone) = crash.zone {
+                let zones = env.zones.ok_or_else(|| {
+                    ScenarioError::Invalid(format!("crash zone @{zone} requires the zones key"))
+                })?;
+                if zone >= zones {
+                    return Err(ScenarioError::Invalid(format!(
+                        "crash zone {zone} out of range for {zones} zones"
+                    )));
+                }
+                let members = zone_members(zone, n, zones);
+                let size = (members.end - members.start) as usize;
+                if crash.count > size {
+                    return Err(ScenarioError::Invalid(format!(
+                        "cannot crash {} of the {} nodes in zone {}",
+                        crash.count, size, zone
+                    )));
+                }
+            }
+        }
+        if let Some(ec) = env.edge_churn {
+            if !ec.fraction.is_finite() || !(0.0..=1.0).contains(&ec.fraction) {
+                return Err(ScenarioError::Invalid(format!(
+                    "edge-churn fraction must lie in [0, 1], got {}",
+                    ec.fraction
+                )));
+            }
+            if ec.period == 0 {
+                return Err(ScenarioError::Invalid("edge-churn period must be at least 1".into()));
+            }
+        }
+        if !env.byzantine.is_finite() || !(0.0..=1.0).contains(&env.byzantine) {
+            return Err(ScenarioError::Invalid(format!(
+                "byzantine fraction must lie in [0, 1], got {}",
+                env.byzantine
+            )));
         }
         let max_rounds = self.max_rounds.unwrap_or_else(|| default_max_rounds(n));
         if max_rounds == 0 {
@@ -772,6 +1030,161 @@ mod tests {
                     Scenario::builder("t", topology.clone()).protocol(protocol).build().unwrap();
                 assert_eq!(Scenario::parse_str(&s.to_text()).unwrap(), s);
             }
+        }
+    }
+
+    fn hostile() -> Scenario {
+        Scenario::builder("hostile", TopologySpec::ErdosRenyiPaper { n: 256 })
+            .loss(0.05)
+            .loss_burst(2, 4, 0.5)
+            .loss_burst(8, 2, 0.25)
+            .churn(0.05, 4, 8)
+            .zones(8)
+            .crash_in_zone(3, 16, 5)
+            .edge_churn(0.2, 4)
+            .byzantine(0.1)
+            .stop(StopRule::Coverage(0.8))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_new_dimension_roundtrips_through_the_text_format() {
+        let s = hostile();
+        let text = s.to_text();
+        for needle in [
+            "loss-burst = 2:4:0.5",
+            "loss-burst = 8:2:0.25",
+            "crash = 3:16@5",
+            "zones = 8",
+            "edge-churn = 0.2:4",
+            "byzantine = 0.1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert_eq!(Scenario::parse_str(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn loss_bursts_accumulate_in_file_order() {
+        let s =
+            Scenario::parse_str("name = x\nn = 64\nloss-burst = 1:2:0.5\nloss-burst = 4:1:0.25\n")
+                .unwrap();
+        assert_eq!(
+            s.environment.loss_bursts,
+            vec![
+                LossBurstSpec { start: 1, len: 2, prob: 0.5 },
+                LossBurstSpec { start: 4, len: 1, prob: 0.25 },
+            ]
+        );
+    }
+
+    #[test]
+    fn loss_at_layers_active_bursts_over_the_base_rate() {
+        let env = hostile().environment;
+        // Outside every burst: base rate only.
+        assert_eq!(env.loss_at(0), 0.05);
+        assert_eq!(env.loss_at(6), 0.05);
+        assert_eq!(env.loss_at(10), 0.05);
+        // Inside the first burst: 1 - 0.95 * 0.5.
+        assert!((env.loss_at(2) - (1.0 - 0.95 * 0.5)).abs() < 1e-12);
+        assert!((env.loss_at(5) - (1.0 - 0.95 * 0.5)).abs() < 1e-12);
+        // Inside the second burst: 1 - 0.95 * 0.75.
+        assert!((env.loss_at(9) - (1.0 - 0.95 * 0.75)).abs() < 1e-12);
+        // Overlapping bursts multiply and stay below 1.
+        let stacked = Scenario::builder("s", TopologySpec::Complete { n: 16 })
+            .loss_burst(0, 10, 0.9)
+            .loss_burst(0, 10, 0.9)
+            .build()
+            .unwrap()
+            .environment;
+        let at = stacked.loss_at(3);
+        assert!((at - (1.0 - 0.01)).abs() < 1e-12);
+        assert!(at < 1.0);
+        // A loss-burst-only environment is hostile even at loss = 0.
+        assert_eq!(stacked.loss, 0.0);
+        assert!(stacked.is_hostile());
+    }
+
+    #[test]
+    fn every_new_dimension_alone_makes_the_environment_hostile() {
+        let base = || Scenario::builder("x", TopologySpec::Complete { n: 64 });
+        assert!(!base().build().unwrap().environment.is_hostile());
+        assert!(!base().zones(4).build().unwrap().environment.is_hostile());
+        assert!(base().loss_burst(1, 2, 0.5).build().unwrap().environment.is_hostile());
+        assert!(base().edge_churn(0.1, 4).build().unwrap().environment.is_hostile());
+        assert!(base().byzantine(0.1).build().unwrap().environment.is_hostile());
+    }
+
+    #[test]
+    fn zone_partition_is_total_contiguous_and_balanced() {
+        for (n, zones) in [(64, 8), (100, 7), (17, 17), (255, 3), (16, 1)] {
+            let mut counted = 0usize;
+            for zone in 0..zones {
+                let members = zone_members(zone, n, zones);
+                assert!(members.end > members.start, "zone {zone} empty for n={n} z={zones}");
+                for v in members.clone() {
+                    assert_eq!(zone_of(v, n, zones), zone);
+                }
+                counted += (members.end - members.start) as usize;
+                let size = (members.end - members.start) as usize;
+                assert!(
+                    size >= n / zones && size <= n.div_ceil(zones),
+                    "zone {zone} has {size} nodes for n={n} z={zones}"
+                );
+            }
+            assert_eq!(counted, n, "partition not total for n={n} z={zones}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_hostile_dimensions() {
+        let base = || Scenario::builder("x", TopologySpec::ErdosRenyiPaper { n: 64 });
+        assert!(matches!(base().loss_burst(0, 2, 1.0).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().loss_burst(0, 0, 0.5).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(
+            base().loss_burst(0, 2, f64::NAN).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(matches!(base().zones(0).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().zones(65).build(), Err(ScenarioError::Invalid(_))));
+        // A zoned crash needs the zones key, a valid zone index, and a count
+        // that fits inside the zone.
+        assert!(matches!(base().crash_in_zone(1, 4, 2).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(
+            base().zones(4).crash_in_zone(1, 4, 4).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(matches!(
+            base().zones(4).crash_in_zone(1, 17, 2).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(base().zones(4).crash_in_zone(1, 16, 2).build().is_ok());
+        assert!(matches!(base().edge_churn(1.5, 4).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().edge_churn(0.2, 0).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().byzantine(1.5).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().byzantine(-0.1).build(), Err(ScenarioError::Invalid(_))));
+        assert!(base().byzantine(1.0).build().is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_hostile_values() {
+        for line in [
+            "loss-burst = 1:2",
+            "loss-burst = 1:2:0.5:9",
+            "loss-burst = a:2:0.5",
+            "crash = 1:2@z",
+            "crash = 1:2@",
+            "edge-churn = 0.5",
+            "edge-churn = 0.5:4:9",
+            "zones = -3",
+            "byzantine = many",
+        ] {
+            let text = format!("name = x\nn = 64\n{line}\n");
+            assert!(
+                matches!(Scenario::parse_str(&text), Err(ScenarioError::Parse(_))),
+                "accepted {line:?}"
+            );
         }
     }
 

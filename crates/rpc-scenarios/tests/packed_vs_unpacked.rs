@@ -9,9 +9,11 @@
 //! memory-model algorithms — is stepped one round at a time, so the traces
 //! now carry a row per round for all of them. This file asserts equivalence
 //!
-//! 1. for every scenario in the 12-entry registry (all three protocols under
-//!    complete/rounds/coverage stop rules, churn/loss/crash environments),
-//!    at several seeds and for one and several delivery worker threads;
+//! 1. for every scenario in the 17-entry registry (all three protocols under
+//!    complete/rounds/coverage stop rules, churn/loss/crash environments,
+//!    plus the hostile dimensions — failure zones, loss bursts, edge churn
+//!    and Byzantine senders), at several seeds and for one and several
+//!    delivery worker threads;
 //! 2. property-based, for randomized scenarios drawn across topology,
 //!    protocol, environment and stop-rule space — the stop-rule dimension
 //!    covers the phase-based protocols too.
