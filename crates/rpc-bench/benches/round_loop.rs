@@ -3,16 +3,18 @@
 //!
 //! These guard the word-parallel hot path against regressions at sizes that
 //! finish quickly under criterion: the push-pull baseline on every topology,
-//! plus the phase-based fast-gossiping and memory-model loops (whose absorb/
-//! open-avoid/walk traffic exercises different engine primitives than plain
-//! push-pull). The tracked large-scale baseline (n up to 100 000) is
+//! a multi-rumor streaming row (16 staggered injections, message universe
+//! decoupled from `n`), plus the phase-based fast-gossiping and memory-model
+//! loops (whose absorb/ open-avoid/walk traffic exercises different engine
+//! primitives than plain push-pull). The tracked large-scale baseline
+//! (n up to 100 000) is
 //! produced by the `round_loop_baseline` binary and recorded in
 //! `BENCH_round_loop.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use rpc_bench::round_loop::build_topology;
+use rpc_bench::round_loop::{build_topology, run_streaming, STREAM_RUMORS};
 use rpc_engine::{Engine, Simulation, UnpackedSimulation};
 use rpc_gossip::{FastGossiping, MemoryGossip, PushPullGossip};
 
@@ -40,6 +42,24 @@ fn bench_round_loop(c: &mut Criterion) {
             })
         });
     }
+    // The multi-rumor streaming row: 16 staggered injections into the
+    // sparse working point, run until every rumor completes. Lives in the
+    // same group so criterion reports it next to the classic loops.
+    let graph = build_topology("er-sparse", n, SEED);
+    group.bench_with_input(BenchmarkId::new("packed", "er-sparse-stream"), &graph, |b, graph| {
+        b.iter(|| {
+            let mut sim = Simulation::new_streaming(black_box(graph), SEED, STREAM_RUMORS);
+            run_streaming(&mut sim);
+            black_box(sim.metrics().rounds())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("unpacked", "er-sparse-stream"), &graph, |b, graph| {
+        b.iter(|| {
+            let mut sim = UnpackedSimulation::new_streaming(black_box(graph), SEED, STREAM_RUMORS);
+            run_streaming(&mut sim);
+            black_box(sim.metrics().rounds())
+        })
+    });
     group.finish();
 }
 

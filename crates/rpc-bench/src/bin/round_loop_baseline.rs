@@ -4,9 +4,11 @@
 //! production engine and the unpacked reference oracle, and writes a
 //! machine-readable JSON document so the repository's perf trajectory is
 //! recorded per PR. Push-pull runs across the standard topology/size matrix;
-//! the phase-based protocols (fast-gossiping, memory) are tracked on the
-//! paper's `er-sparse` working point at n ∈ {1000, 10 000}, where their walk
-//! and tree machinery still measures in seconds.
+//! the phase-based protocols (fast-gossiping, memory) and the multi-rumor
+//! streaming row (`push-pull-stream`: 16 staggered injections, message
+//! universe decoupled from `n`) are tracked on the paper's `er-sparse`
+//! working point at n ∈ {1000, 10 000}, where their walk and tree machinery
+//! still measures in seconds.
 //!
 //! ```text
 //! round_loop_baseline [--quick] [--out PATH] [--seed S] [--reps R]
@@ -22,7 +24,8 @@
 use std::io::Write as _;
 
 use rpc_bench::round_loop::{
-    build_topology, measure_both, speedup_at, to_json, RoundLoopMeasurement, PROTOCOLS, TOPOLOGIES,
+    build_topology, measure_both, speedup_at, to_json, RoundLoopMeasurement, PROTOCOLS,
+    STREAM_PROTOCOL, TOPOLOGIES,
 };
 
 /// The complete graph stores `n (n-1)` adjacency entries; cap it where that
@@ -87,9 +90,10 @@ fn main() {
             }
             let reps = reps_override.unwrap_or(if quick { 2 } else { default_reps(n) });
             let graph = build_topology(topology, n, seed);
-            for protocol in PROTOCOLS {
-                // Phase protocols are tracked on the er-sparse working point
-                // at moderate sizes only (see PHASE_MAX_N).
+            for protocol in PROTOCOLS.into_iter().chain([STREAM_PROTOCOL]) {
+                // Phase protocols and the multi-rumor streaming row are
+                // tracked on the er-sparse working point at moderate sizes
+                // only (see PHASE_MAX_N).
                 if protocol != "push-pull" && (topology != "er-sparse" || n > PHASE_MAX_N) {
                     continue;
                 }

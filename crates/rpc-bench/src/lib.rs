@@ -48,7 +48,7 @@ pub(crate) fn median(values: &mut [f64]) -> f64 {
 pub mod round_loop {
     use std::time::Instant;
 
-    use rpc_engine::{Engine, Simulation, UnpackedSimulation};
+    use rpc_engine::{Engine, MessageId, Simulation, UnpackedSimulation};
     use rpc_gossip::{FastGossiping, MemoryGossip, PushPullGossip};
     use rpc_graphs::log2n;
     use rpc_graphs::prelude::*;
@@ -62,6 +62,17 @@ pub mod round_loop {
 
     /// The benchmark protocol keys (the crate-level canonical list).
     pub use crate::PROTOCOLS;
+
+    /// The protocol key of the multi-rumor streaming row: the push-pull loop
+    /// over [`STREAM_RUMORS`] staggered injections (two rumors per round,
+    /// sources striding the node space), run until every rumor completes.
+    /// The message universe is the rumor count — decoupled from `n` — so
+    /// this row exercises the word-parallel delivery path on a state layout
+    /// no classic single-rumor bench reaches.
+    pub const STREAM_PROTOCOL: &str = "push-pull-stream";
+
+    /// Rumor count (and message universe) of the [`STREAM_PROTOCOL`] row.
+    pub const STREAM_RUMORS: usize = 16;
 
     /// Runs one protocol to its natural end on any engine, with the same
     /// paper constants the scenario layer uses.
@@ -77,7 +88,41 @@ pub mod round_loop {
             "memory" => {
                 MemoryGossip::paper(n).run_on_engine(sim);
             }
+            STREAM_PROTOCOL => run_streaming(sim),
             other => panic!("unknown benchmark protocol: {other}"),
+        }
+    }
+
+    /// Registers the streaming row's deterministic injection schedule (no
+    /// RNG draws — the same staggered arrivals on every engine and rep) and
+    /// runs push-pull until every rumor has completed or the safety cap.
+    pub fn run_streaming<E: Engine>(sim: &mut E) {
+        let n = sim.num_nodes();
+        for m in 0..STREAM_RUMORS {
+            sim.schedule_injection((m / 2) as u64, ((m * 97) % n) as NodeId, m as MessageId);
+        }
+        sim.track_message(0);
+        PushPullGossip::run_until(sim, MAX_ROUNDS, |sim: &E| {
+            (0..STREAM_RUMORS).all(|m| sim.rumor_complete(m as MessageId))
+        });
+    }
+
+    /// Builds the engine a protocol row runs on: streaming rows get a
+    /// rumor-count universe, classic rows the single-rumor layout.
+    fn packed_sim<'g>(graph: &'g Graph, seed: u64, protocol: &str) -> Simulation<'g> {
+        if protocol == STREAM_PROTOCOL {
+            Simulation::new_streaming(graph, seed, STREAM_RUMORS)
+        } else {
+            Simulation::new(graph, seed)
+        }
+    }
+
+    /// [`packed_sim`]'s twin for the unpacked reference oracle.
+    fn unpacked_sim<'g>(graph: &'g Graph, seed: u64, protocol: &str) -> UnpackedSimulation<'g> {
+        if protocol == STREAM_PROTOCOL {
+            UnpackedSimulation::new_streaming(graph, seed, STREAM_RUMORS)
+        } else {
+            UnpackedSimulation::new(graph, seed)
         }
     }
 
@@ -145,7 +190,7 @@ pub mod round_loop {
         reps: usize,
     ) -> RoundLoopMeasurement {
         measure_with(topology, protocol, graph.num_nodes(), "packed", reps, || {
-            let mut sim = Simulation::new(graph, seed);
+            let mut sim = packed_sim(graph, seed, protocol);
             let start = Instant::now();
             run_protocol(protocol, &mut sim);
             (start.elapsed(), sim.metrics().rounds(), sim.metrics().total_packets())
@@ -163,7 +208,7 @@ pub mod round_loop {
         reps: usize,
     ) -> RoundLoopMeasurement {
         measure_with(topology, protocol, graph.num_nodes(), "unpacked", reps, || {
-            let mut sim = UnpackedSimulation::new(graph, seed);
+            let mut sim = unpacked_sim(graph, seed, protocol);
             let start = Instant::now();
             run_protocol(protocol, &mut sim);
             (start.elapsed(), sim.metrics().rounds(), sim.metrics().total_packets())
@@ -194,12 +239,12 @@ pub mod round_loop {
             let unpacked_first = rep % 2 == 0;
             for engine_pick in 0..2 {
                 if (engine_pick == 0) == unpacked_first {
-                    let mut sim = UnpackedSimulation::new(graph, seed);
+                    let mut sim = unpacked_sim(graph, seed, protocol);
                     let start = Instant::now();
                     run_protocol(protocol, &mut sim);
                     unpacked.push(start.elapsed(), &sim);
                 } else {
-                    let mut sim = Simulation::new(graph, seed);
+                    let mut sim = packed_sim(graph, seed, protocol);
                     let start = Instant::now();
                     run_protocol(protocol, &mut sim);
                     packed.push(start.elapsed(), &sim);
@@ -316,8 +361,10 @@ pub mod round_loop {
         out.push_str("  \"benchmark\": \"round_loop\",\n");
         out.push_str(
             "  \"description\": \"Protocol round loops to natural termination \
-             (push-pull everywhere; fast-gossiping and memory on the paper's \
-             er-sparse working point); packed = word-parallel production engine \
+             (push-pull everywhere; fast-gossiping, memory and the \
+             push-pull-stream multi-rumor row — 16 staggered injections, \
+             message universe decoupled from n — on the paper's er-sparse \
+             working point); packed = word-parallel production engine \
              with adaptive delivery dispatch, unpacked = pre-optimization \
              reference oracle (identical results, different representation)\",\n",
         );
@@ -401,6 +448,19 @@ mod tests {
             assert!(u.rounds > 0, "{protocol} executed no rounds");
             assert_eq!(p.protocol, protocol);
         }
+    }
+
+    #[test]
+    fn streaming_row_measures_identically_on_both_engines() {
+        let g = build_topology("er-sparse", 160, 5);
+        let (u, p) = measure_both(&g, "er-sparse", STREAM_PROTOCOL, 7, 2);
+        assert_eq!(u.rounds, p.rounds, "engines must replay the same streaming run");
+        assert_eq!(u.total_packets, p.total_packets);
+        // All 16 rumors arrive two per round, so the run outlives the
+        // injection window and ends by rumor completion, not the cap.
+        assert!(u.rounds >= (STREAM_RUMORS / 2) as u64);
+        assert!(u.rounds < 10_000);
+        assert_eq!(p.protocol, STREAM_PROTOCOL);
     }
 
     #[test]

@@ -32,8 +32,13 @@ pub trait Engine {
     /// The underlying graph.
     fn graph(&self) -> &Graph;
 
-    /// Number of nodes / original messages.
+    /// Number of nodes.
     fn num_nodes(&self) -> usize;
+
+    /// Size of the message universe the node states range over — equal to
+    /// [`Engine::num_nodes`] in the classic gossiping configuration,
+    /// decoupled from it on streaming simulations.
+    fn universe(&self) -> usize;
 
     /// Opens a channel from `v` to a uniformly random (present) neighbour.
     fn open_channel(&mut self, v: NodeId) -> Option<NodeId>;
@@ -98,6 +103,44 @@ pub trait Engine {
     /// [`Engine::track_message`] was never called.
     fn tracked_informed_count(&self) -> usize;
 
+    /// Injects rumor `m` at node `source` immediately; returns whether the
+    /// node newly learned it. Draws nothing from the RNG — callers sample
+    /// sources and timing from their own stream, which keeps both engines in
+    /// RNG lockstep. A TTL-expired rumor is never re-injected.
+    fn inject_rumor(&mut self, source: NodeId, m: MessageId) -> bool;
+
+    /// Expires rumor `m`, removing it from every node's combined message;
+    /// an expired rumor can never reappear.
+    fn expire_rumor(&mut self, m: MessageId);
+
+    /// Schedules rumor `m` to be injected at node `source` at the start of
+    /// round `round`.
+    fn schedule_injection(&mut self, round: u64, source: NodeId, m: MessageId);
+
+    /// Schedules rumor `m` to expire at the start of round `round`.
+    fn schedule_expiry(&mut self, round: u64, m: MessageId);
+
+    /// Number of nodes whose combined message contains rumor `m` (the
+    /// paper's `|I_m(t)|`, per rumor).
+    fn rumor_informed_count(&self, m: MessageId) -> usize;
+
+    /// Whether rumor `m` has been injected. In the classic configuration
+    /// every original message is present from round 0, so this is `true`.
+    fn rumor_injected(&self, m: MessageId) -> bool;
+
+    /// Whether rumor `m` has expired (its TTL ran out).
+    fn rumor_expired(&self, m: MessageId) -> bool;
+
+    /// Whether every participating node knows rumor `m` — the per-rumor
+    /// completion condition. A rumor that was never injected is not
+    /// complete. Default O(n) scan with early exit, identical on both
+    /// engines by construction.
+    fn rumor_complete(&self, m: MessageId) -> bool {
+        self.rumor_injected(m)
+            && (0..self.num_nodes() as NodeId)
+                .all(|v| !self.is_participating(v) || self.knows(v, m))
+    }
+
     /// Crashes the given nodes immediately (paper failure model).
     fn fail_nodes(&mut self, nodes: &[NodeId]);
 
@@ -150,6 +193,9 @@ impl Engine for crate::sim::Simulation<'_> {
     }
     fn num_nodes(&self) -> usize {
         Self::num_nodes(self)
+    }
+    fn universe(&self) -> usize {
+        Self::universe(self)
     }
     fn open_channel(&mut self, v: NodeId) -> Option<NodeId> {
         Self::open_channel(self, v)
@@ -207,6 +253,27 @@ impl Engine for crate::sim::Simulation<'_> {
     }
     fn tracked_informed_count(&self) -> usize {
         Self::tracked_informed_count(self)
+    }
+    fn inject_rumor(&mut self, source: NodeId, m: MessageId) -> bool {
+        Self::inject_rumor(self, source, m)
+    }
+    fn expire_rumor(&mut self, m: MessageId) {
+        Self::expire_rumor(self, m)
+    }
+    fn schedule_injection(&mut self, round: u64, source: NodeId, m: MessageId) {
+        Self::schedule_injection(self, round, source, m)
+    }
+    fn schedule_expiry(&mut self, round: u64, m: MessageId) {
+        Self::schedule_expiry(self, round, m)
+    }
+    fn rumor_informed_count(&self, m: MessageId) -> usize {
+        Self::rumor_informed_count(self, m)
+    }
+    fn rumor_injected(&self, m: MessageId) -> bool {
+        Self::rumor_injected(self, m)
+    }
+    fn rumor_expired(&self, m: MessageId) -> bool {
+        Self::rumor_expired(self, m)
     }
     fn fail_nodes(&mut self, nodes: &[NodeId]) {
         Self::fail_nodes(self, nodes)

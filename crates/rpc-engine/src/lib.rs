@@ -7,8 +7,9 @@
 //! The engine provides the substrate that all gossiping and broadcasting
 //! algorithms of the paper run on:
 //!
-//! * [`message`] — combined messages as dense bitsets over the `n` original
-//!   messages, with cheap unions;
+//! * [`message`] — combined messages as dense bitsets over the message
+//!   universe (the `n` original messages in the classic configuration, an
+//!   arbitrary rumor space in streaming mode), with cheap unions;
 //! * [`bitset`] — the packed per-node [`BitSet`] behind the word-parallel
 //!   hot path (liveness masks, completion checks, coverage popcounts);
 //! * [`sim`] — the synchronous simulation state: per-node knowledge, channel
@@ -37,7 +38,12 @@
 //! ([`Simulation::with_loss_probability`]) and scheduled churn / crash events
 //! ([`Simulation::schedule_kill`], [`Simulation::schedule_revive`],
 //! [`Simulation::schedule_crash`]) that fire at round boundaries without any
-//! cooperation from the algorithm being simulated.
+//! cooperation from the algorithm being simulated. In *streaming* mode
+//! ([`Simulation::new_streaming`]) the rumor space is decoupled from the node
+//! count entirely: rumors are injected mid-run ([`Simulation::inject_rumor`],
+//! [`Simulation::schedule_injection`]) and may expire globally
+//! ([`Simulation::schedule_expiry`]), with per-rumor informed counts
+//! maintained incrementally by the same word-parallel delivery kernels.
 //!
 //! ```
 //! use rpc_engine::prelude::*;

@@ -106,6 +106,20 @@ impl MessageSet {
         newly
     }
 
+    /// Removes `id`; returns `true` if it was present. The conservative
+    /// summary bit is deliberately left set (a stale hint costs one wasted
+    /// visit, clearing it would require re-checking the whole word's
+    /// neighborhood). Panics if `id >= universe`.
+    pub fn remove(&mut self, id: MessageId) -> bool {
+        let id = id as usize;
+        assert!(id < self.universe, "message id {id} outside universe {}", self.universe);
+        let (w, b) = (id / WORD_BITS, id % WORD_BITS);
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
     /// Whether `id` is contained in the set.
     pub fn contains(&self, id: MessageId) -> bool {
         let id = id as usize;
@@ -165,6 +179,18 @@ impl MessageSet {
         self.summary.clear();
         self.summary.resize(num_words.div_ceil(WORD_BITS), 0);
         self.insert(id);
+    }
+
+    /// Reinitializes the set to the empty set over `universe`, reusing the
+    /// allocations — the in-place counterpart of [`MessageSet::empty`], used
+    /// by the streaming reset path (every node starts knowing nothing).
+    pub(crate) fn reset_empty(&mut self, universe: usize) {
+        let num_words = universe.div_ceil(WORD_BITS);
+        self.universe = universe;
+        self.words.clear();
+        self.words.resize(num_words, 0);
+        self.summary.clear();
+        self.summary.resize(num_words.div_ceil(WORD_BITS), 0);
     }
 
     /// Removes every element, keeping the allocation.
@@ -360,6 +386,27 @@ mod tests {
     #[should_panic(expected = "outside universe")]
     fn insert_out_of_range_panics() {
         MessageSet::empty(10).insert(10);
+    }
+
+    #[test]
+    fn remove_clears_the_bit_and_keeps_the_summary_conservative() {
+        let mut s = MessageSet::empty(100);
+        s.insert(7);
+        s.insert(70);
+        assert!(s.remove(7));
+        assert!(!s.remove(7), "second remove reports already-absent");
+        assert!(!s.contains(7));
+        assert!(s.contains(70));
+        assert_eq!(s.len(), 1);
+        assert!(summary_is_conservative(&s));
+        // Semantic equality ignores the stale summary bit left behind.
+        assert_eq!(s, MessageSet::singleton(100, 70));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn remove_out_of_range_panics() {
+        MessageSet::empty(10).remove(10);
     }
 
     #[test]

@@ -39,6 +39,17 @@ pub struct UnpackedSimulation<'g> {
     graph: &'g Graph,
     states: Vec<MessageSet>,
     known: Vec<u32>,
+    /// Size of the message universe; equal to the node count in the classic
+    /// configuration, decoupled from it in streaming mode.
+    universe: usize,
+    /// Whether this simulation was built via [`Self::new_streaming`]. Only
+    /// streaming simulations keep injection/expiry flags, mirroring the
+    /// packed engine's optional `RumorSpace`.
+    streaming: bool,
+    /// Per-rumor injection flags (streaming only; empty otherwise).
+    injected: Vec<bool>,
+    /// Per-rumor expiry flags (streaming only; empty otherwise).
+    expired: Vec<bool>,
     alive: Vec<bool>,
     alive_count: usize,
     present: Vec<bool>,
@@ -70,6 +81,10 @@ impl<'g> UnpackedSimulation<'g> {
             graph,
             states,
             known: vec![1; n],
+            universe: n,
+            streaming: false,
+            injected: Vec::new(),
+            expired: Vec::new(),
             alive: vec![true; n],
             alive_count: n,
             present: vec![true; n],
@@ -87,6 +102,23 @@ impl<'g> UnpackedSimulation<'g> {
             edge_up: Vec::new(),
             edge_down_count: 0,
         }
+    }
+
+    /// Creates an unpacked simulation in the *streaming* start configuration,
+    /// mirroring [`crate::Simulation::new_streaming`]: a `universe`-rumor
+    /// message space decoupled from the node count, every node starting
+    /// empty. Seeding matches bit for bit and nothing extra is drawn.
+    pub fn new_streaming(graph: &'g Graph, seed: u64, universe: usize) -> Self {
+        let n = graph.num_nodes();
+        let mut sim = Self::new(graph, seed);
+        sim.states = (0..n).map(|_| MessageSet::empty(universe)).collect();
+        sim.known = vec![0; n];
+        sim.universe = universe;
+        sim.streaming = true;
+        sim.injected = vec![false; universe];
+        sim.expired = vec![false; universe];
+        sim.fully_informed = if universe == 0 { n } else { 0 };
+        sim
     }
 
     /// Number of original messages node `v` knows.
@@ -114,6 +146,10 @@ impl<'g> UnpackedSimulation<'g> {
                 LivenessKind::Revive => Engine::revive_nodes(self, &nodes),
                 LivenessKind::Crash => Engine::fail_nodes(self, &nodes),
                 LivenessKind::EdgeOutage => self.apply_edge_outage(&nodes),
+                LivenessKind::Inject { source, rumor } => {
+                    Engine::inject_rumor(self, source, rumor);
+                }
+                LivenessKind::Expire { rumor } => Engine::expire_rumor(self, rumor),
             }
         }
     }
@@ -138,7 +174,7 @@ impl<'g> UnpackedSimulation<'g> {
             return;
         }
         self.known[v as usize] += added as u32;
-        if self.known[v as usize] as usize == self.states.len() {
+        if self.known[v as usize] as usize == self.universe {
             self.fully_informed += 1;
         }
     }
@@ -183,10 +219,11 @@ impl<'g> UnpackedSimulation<'g> {
         // informed receivers, so apply the same predicate to the count (the
         // delta loop below re-checks `alive` at commit time anyway).
         let n = self.states.len();
+        let universe = self.universe;
         let classified = effective
             .iter()
             .filter(|t| {
-                self.alive[t.to as usize] && (self.known[t.to as usize] as usize) < n.max(1)
+                self.alive[t.to as usize] && (self.known[t.to as usize] as usize) < universe.max(1)
             })
             .count();
         if classified > 0 {
@@ -198,7 +235,6 @@ impl<'g> UnpackedSimulation<'g> {
             ));
         }
         effective.sort_unstable_by_key(|t| t.to);
-        let universe = self.states.len();
         let mut deltas: Vec<(NodeId, MessageSet)> = Vec::new();
         let mut start = 0usize;
         while start < effective.len() {
@@ -366,6 +402,10 @@ impl Engine for UnpackedSimulation<'_> {
         self.states.len()
     }
 
+    fn universe(&self) -> usize {
+        self.universe
+    }
+
     fn open_channel(&mut self, v: NodeId) -> Option<NodeId> {
         self.poll_events();
         if !self.alive[v as usize] || !self.present[v as usize] {
@@ -443,12 +483,14 @@ impl Engine for UnpackedSimulation<'_> {
     }
 
     fn participating_informed_count(&self) -> usize {
-        let n = self.states.len();
-        (0..n).filter(|&v| self.alive[v] && self.present[v] && self.known[v] as usize == n).count()
+        let u = self.universe;
+        (0..self.states.len())
+            .filter(|&v| self.alive[v] && self.present[v] && self.known[v] as usize == u)
+            .count()
     }
 
     fn is_fully_informed(&self, v: NodeId) -> bool {
-        self.known[v as usize] as usize == self.states.len()
+        self.known[v as usize] as usize == self.universe
     }
 
     fn fully_informed_count(&self) -> usize {
@@ -467,7 +509,7 @@ impl Engine for UnpackedSimulation<'_> {
     }
 
     fn track_message(&mut self, m: MessageId) {
-        assert!((m as usize) < self.states.len(), "message id {m} outside universe");
+        assert!((m as usize) < self.universe, "message id {m} outside universe");
         self.tracked = Some(m);
     }
 
@@ -475,6 +517,79 @@ impl Engine for UnpackedSimulation<'_> {
     fn tracked_informed_count(&self) -> usize {
         let m = self.tracked.expect("no tracked message; call track_message first");
         self.informed_count_of(m)
+    }
+
+    /// Mirrors [`crate::Simulation::inject_rumor`] exactly: the expiry guard
+    /// and injected flag first, then the liveness check, then the insert.
+    fn inject_rumor(&mut self, source: NodeId, m: MessageId) -> bool {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        if self.streaming {
+            if self.expired[m as usize] {
+                return false;
+            }
+            self.injected[m as usize] = true;
+        }
+        if !self.alive[source as usize] || !self.present[source as usize] {
+            return false;
+        }
+        let newly = self.states[source as usize].insert(m);
+        if newly {
+            self.bump_known(source, 1);
+        }
+        newly
+    }
+
+    /// Mirrors [`crate::Simulation::expire_rumor`] with the pre-optimization
+    /// bookkeeping: an O(n) removal scan, no incremental per-rumor counts.
+    fn expire_rumor(&mut self, m: MessageId) {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        if self.streaming {
+            if self.expired[m as usize] {
+                return;
+            }
+            self.expired[m as usize] = true;
+        }
+        for v in 0..self.states.len() {
+            if self.states[v].remove(m) {
+                if self.known[v] as usize == self.universe {
+                    self.fully_informed -= 1;
+                }
+                self.known[v] -= 1;
+            }
+        }
+    }
+
+    fn schedule_injection(&mut self, round: u64, source: NodeId, m: MessageId) {
+        self.push_event(LivenessEvent {
+            round,
+            kind: LivenessKind::Inject { source, rumor: m },
+            nodes: Vec::new(),
+        });
+    }
+
+    fn schedule_expiry(&mut self, round: u64, m: MessageId) {
+        self.push_event(LivenessEvent {
+            round,
+            kind: LivenessKind::Expire { rumor: m },
+            nodes: Vec::new(),
+        });
+    }
+
+    /// The pre-optimization per-rumor coverage query: an O(n) scan, where
+    /// the packed engine answers from an incrementally maintained counter.
+    fn rumor_informed_count(&self, m: MessageId) -> usize {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        self.informed_count_of(m)
+    }
+
+    fn rumor_injected(&self, m: MessageId) -> bool {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        !self.streaming || self.injected[m as usize]
+    }
+
+    fn rumor_expired(&self, m: MessageId) -> bool {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        self.streaming && self.expired[m as usize]
     }
 
     fn fail_nodes(&mut self, nodes: &[NodeId]) {
@@ -668,6 +783,66 @@ mod tests {
             assert_eq!(packed.metrics().packets_per_node()[b as usize], 0);
             assert_eq!(unpacked.metrics().packets_per_node()[b as usize], 0);
         }
+    }
+
+    /// Streaming lockstep: scheduled injections and expiries under loss and
+    /// churn must leave both engines with bit-identical states, per-rumor
+    /// counts and flags — the engine-level half of the injection contract
+    /// (neither engine draws for injections; schedules are data).
+    #[test]
+    fn streaming_injections_stay_in_lockstep_across_engines() {
+        let n = 120usize;
+        let universe = 24usize;
+        let g = ErdosRenyi::with_expected_degree(n, 9.0).generate(29);
+        let mut packed = Simulation::new_streaming(&g, 31, universe).with_loss_probability(0.15);
+        let mut unpacked = UnpackedSimulation::new_streaming(&g, 31, universe);
+        unpacked.set_loss_probability(0.15);
+        for sim in [&mut packed as &mut dyn Engine, &mut unpacked as &mut dyn Engine] {
+            for m in 0..universe as u32 {
+                sim.schedule_injection(m as u64 % 6, ((m * 11) % n as u32) as NodeId, m);
+            }
+            sim.schedule_expiry(5, 2);
+            sim.schedule_expiry(8, 7);
+            sim.schedule_kill(3, vec![4, 5]);
+            sim.schedule_crash(6, vec![9]);
+            sim.track_message(0);
+        }
+        for round in 0..14u64 {
+            let mut transfers = Vec::new();
+            for v in 0..n as NodeId {
+                let a = packed.open_channel(v);
+                let b = unpacked.open_channel(v);
+                assert_eq!(a, b, "channel choice diverged at round {round}, node {v}");
+                if let Some(u) = a {
+                    transfers.push(Transfer::new(v, u));
+                    transfers.push(Transfer::new(u, v));
+                }
+            }
+            assert_eq!(
+                packed.deliver(&transfers),
+                unpacked.deliver(&transfers),
+                "delivery diverged at round {round}"
+            );
+            packed.metrics_mut().finish_round();
+            unpacked.metrics_mut().finish_round();
+            for m in 0..universe as u32 {
+                assert_eq!(
+                    packed.rumor_informed_count(m),
+                    unpacked.rumor_informed_count(m),
+                    "per-rumor count diverged at round {round}, rumor {m}"
+                );
+                assert_eq!(packed.rumor_injected(m), unpacked.rumor_injected(m));
+                assert_eq!(packed.rumor_expired(m), unpacked.rumor_expired(m));
+                assert_eq!(packed.rumor_complete(m), unpacked.rumor_complete(m));
+            }
+            assert_eq!(packed.fully_informed_count(), unpacked.fully_informed_count());
+            assert_eq!(packed.tracked_informed_count(), unpacked.tracked_informed_count());
+        }
+        for v in 0..n as NodeId {
+            assert_eq!(Engine::state(&packed, v), Engine::state(&unpacked, v), "state of {v}");
+        }
+        assert!(packed.rumor_expired(2) && packed.rumor_expired(7));
+        assert_eq!(packed.rumor_informed_count(2), 0, "expired rumor never reappears");
     }
 
     #[test]

@@ -116,6 +116,12 @@ pub(crate) enum LivenessKind {
     /// down, **replacing** the previously down set — edges from earlier
     /// waves implicitly come back up.
     EdgeOutage,
+    /// Rumor injection: `rumor` enters the network at node `source`
+    /// (see [`Simulation::inject_rumor`]). The event's `nodes` list is empty.
+    Inject { source: NodeId, rumor: MessageId },
+    /// Rumor TTL expiry: `rumor` is removed from every node's state
+    /// (see [`Simulation::expire_rumor`]). The event's `nodes` list is empty.
+    Expire { rumor: MessageId },
 }
 
 /// A liveness change applied at the start of the given round.
@@ -124,6 +130,62 @@ pub(crate) struct LivenessEvent {
     pub(crate) round: u64,
     pub(crate) kind: LivenessKind,
     pub(crate) nodes: Vec<NodeId>,
+}
+
+/// Per-rumor bookkeeping of a *streaming* simulation: informed counts
+/// maintained incrementally by every delivery path, plus injection and
+/// expiry flags. Only present on simulations built via
+/// [`Simulation::new_streaming`] / [`SimulationArena::checkout_streaming`];
+/// the classic gossiping configuration pays one `Option` check per commit
+/// and nothing else.
+#[derive(Clone, Debug)]
+pub(crate) struct RumorSpace {
+    /// `counts[m]` = number of node states containing rumor `m` (the paper's
+    /// `|I_m(t)|` per rumor, maintained so coverage queries are O(1)).
+    counts: Vec<u32>,
+    /// Whether rumor `m` has ever been injected.
+    injected: Vec<bool>,
+    /// Whether rumor `m` has expired; an expired rumor is rejected by
+    /// [`Simulation::inject_rumor`] forever.
+    expired: Vec<bool>,
+}
+
+impl RumorSpace {
+    fn new(universe: usize) -> Self {
+        Self {
+            counts: vec![0; universe],
+            injected: vec![false; universe],
+            expired: vec![false; universe],
+        }
+    }
+
+    fn reset(&mut self, universe: usize) {
+        self.counts.clear();
+        self.counts.resize(universe, 0);
+        self.injected.clear();
+        self.injected.resize(universe, false);
+        self.expired.clear();
+        self.expired.resize(universe, false);
+    }
+
+    /// Credits every rumor whose bit is set in `new` but not in `old`
+    /// (one node just gained it). `old` and `new` are the packed words of
+    /// one node's state before and after a union.
+    fn count_gains(&mut self, old: &[u64], new: &[u64]) {
+        for (wi, (&o, &nw)) in old.iter().zip(new.iter()).enumerate() {
+            self.record_word_gain(wi, nw & !o);
+        }
+    }
+
+    /// Credits each rumor in `new_bits` — the bits of packed word `wi` that
+    /// one node newly learned.
+    fn record_word_gain(&mut self, wi: usize, mut new_bits: u64) {
+        while new_bits != 0 {
+            let b = new_bits.trailing_zeros() as usize;
+            new_bits &= new_bits - 1;
+            self.counts[wi * 64 + b] += 1;
+        }
+    }
 }
 
 /// Incrementally maintained knowledge of one tracked original message.
@@ -143,6 +205,17 @@ pub struct Simulation<'g> {
     graph: &'g Graph,
     states: Vec<MessageSet>,
     known: Vec<u32>,
+    /// Size of the message universe the states range over. Equal to the node
+    /// count in the classic gossiping start configuration; decoupled from it
+    /// in streaming mode (see [`Simulation::new_streaming`]).
+    universe: usize,
+    /// Per-rumor informed counts and injection/expiry flags; `Some` exactly
+    /// on streaming simulations.
+    rumors: Option<RumorSpace>,
+    /// Snapshot of one node's packed words taken before a whole-set union so
+    /// the per-rumor counts can be updated from the word diff (streaming
+    /// simulations only).
+    rumor_diff_scratch: Vec<u64>,
     alive: BitSet,
     alive_count: usize,
     /// Churn mask: a cleared bit means the node has departed the network.
@@ -150,8 +223,8 @@ pub struct Simulation<'g> {
     /// excluded from its neighbors' channel selection.
     present: BitSet,
     departed_count: usize,
-    /// Fully informed nodes (`known[v] == n`), maintained by `bump_known` so
-    /// the completion check is word-parallel.
+    /// Fully informed nodes (`known[v] == universe`), maintained by
+    /// `bump_known` so the completion check is word-parallel.
     full: BitSet,
     fully_informed: usize,
     tracked: Option<TrackedRumor>,
@@ -214,12 +287,65 @@ impl<'g> Simulation<'g> {
             graph,
             states,
             known: vec![1; n],
+            universe: n,
+            rumors: None,
+            rumor_diff_scratch: Vec::new(),
             alive: BitSet::new_full(n),
             alive_count: n,
             present: BitSet::new_full(n),
             departed_count: 0,
             full: if n <= 1 { BitSet::new_full(n) } else { BitSet::new(n) },
             fully_informed: if n <= 1 { n } else { 0 },
+            tracked: None,
+            metrics: Metrics::new(n),
+            rng: SmallRng::seed_from_u64(seed ^ RNG_SEED_SALT),
+            semantics: DeliverySemantics::Deferred,
+            threads: 1,
+            loss_probability: 0.0,
+            schedule: Vec::new(),
+            next_event: 0,
+            update_pools: UpdatePools::default(),
+            transfer_scratch: Vec::new(),
+            grouped_scratch: Vec::new(),
+            bucket_scratch: Vec::new(),
+            reader_scratch: Vec::new(),
+            pending_scratch: Vec::new(),
+            scalar_scratch: Vec::new(),
+            byzantine: BitSet::new(n),
+            byzantine_count: 0,
+            edge_up: BitSet::new(0),
+            edge_down_count: 0,
+        }
+    }
+
+    /// Creates a simulation in the *streaming* start configuration: the
+    /// message universe holds `universe` rumors, decoupled from the node
+    /// count, and every node starts knowing nothing. Rumors enter the
+    /// network via [`Self::inject_rumor`] / [`Self::schedule_injection`] and
+    /// spread through the ordinary delivery paths — the word-parallel
+    /// kernels are rumor-agnostic and unchanged. Per-rumor informed counts
+    /// ([`Self::rumor_informed_count`]) are maintained incrementally.
+    ///
+    /// Seeding matches [`Simulation::new`] bit for bit; a streaming
+    /// simulation draws nothing extra from the RNG.
+    pub fn new_streaming(graph: &'g Graph, seed: u64, universe: usize) -> Self {
+        let n = graph.num_nodes();
+        let states = (0..n).map(|_| MessageSet::empty(universe)).collect();
+        Self {
+            graph,
+            states,
+            known: vec![0; n],
+            universe,
+            rumors: Some(RumorSpace::new(universe)),
+            rumor_diff_scratch: Vec::new(),
+            alive: BitSet::new_full(n),
+            alive_count: n,
+            present: BitSet::new_full(n),
+            departed_count: 0,
+            // An empty universe leaves nothing to learn: everyone is
+            // vacuously fully informed from the start.
+            full: if universe == 0 { BitSet::new_full(n) } else { BitSet::new(n) },
+            fully_informed: if universe == 0 { n } else { 0 },
             tracked: None,
             metrics: Metrics::new(n),
             rng: SmallRng::seed_from_u64(seed ^ RNG_SEED_SALT),
@@ -256,27 +382,56 @@ impl<'g> Simulation<'g> {
     /// the loss probability, which resets to `0.0` — like the builders, it is
     /// simply re-applicable per run via [`Self::set_loss_probability`].
     pub fn reset(&mut self, graph: &'g Graph, seed: u64) {
+        self.reset_core(graph, seed, graph.num_nodes(), false);
+    }
+
+    /// Resets the simulation to the streaming start configuration of a fresh
+    /// run, reusing allocations like [`Self::reset`]. Observable behaviour
+    /// after `reset_streaming` is identical to
+    /// `Simulation::new_streaming(graph, seed, universe)`.
+    pub fn reset_streaming(&mut self, graph: &'g Graph, seed: u64, universe: usize) {
+        self.reset_core(graph, seed, universe, true);
+    }
+
+    fn reset_core(&mut self, graph: &'g Graph, seed: u64, universe: usize, streaming: bool) {
         let n = graph.num_nodes();
         self.graph = graph;
-        let same_universe =
-            self.states.len() == n && self.states.first().map_or(true, |s| s.universe() == n);
+        self.universe = universe;
+        let same_universe = self.states.len() == n
+            && self.states.first().map_or(true, |s| s.universe() == universe);
         if same_universe {
             for (v, state) in self.states.iter_mut().enumerate() {
-                state.reset_singleton(n, v as MessageId);
+                if streaming {
+                    state.reset_empty(universe);
+                } else {
+                    state.reset_singleton(universe, v as MessageId);
+                }
             }
         } else {
             self.states.clear();
-            self.states.extend((0..n).map(|v| MessageSet::singleton(n, v as MessageId)));
+            if streaming {
+                self.states.extend((0..n).map(|_| MessageSet::empty(universe)));
+            } else {
+                self.states.extend((0..n).map(|v| MessageSet::singleton(universe, v as MessageId)));
+            }
             // Pooled full-width buffers of the old universe no longer fit.
             self.update_pools.states.clear();
         }
+        let initial_known: u32 = if streaming { 0 } else { 1 };
         self.known.clear();
-        self.known.resize(n, 1);
+        self.known.resize(n, initial_known);
+        if streaming {
+            let mut rs = self.rumors.take().unwrap_or_else(|| RumorSpace::new(universe));
+            rs.reset(universe);
+            self.rumors = Some(rs);
+        } else {
+            self.rumors = None;
+        }
         self.alive.reset_full(n);
         self.alive_count = n;
         self.present.reset_full(n);
         self.departed_count = 0;
-        if n <= 1 {
+        if initial_known as usize == universe {
             self.full.reset_full(n);
             self.fully_informed = n;
         } else {
@@ -339,9 +494,16 @@ impl<'g> Simulation<'g> {
         self.graph
     }
 
-    /// Number of nodes / original messages.
+    /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.states.len()
+    }
+
+    /// Size of the message universe the node states range over. Equal to
+    /// [`Self::num_nodes`] in the classic gossiping configuration, decoupled
+    /// from it on streaming simulations (see [`Self::new_streaming`]).
+    pub fn universe(&self) -> usize {
+        self.universe
     }
 
     /// Communication metrics collected so far.
@@ -383,9 +545,9 @@ impl<'g> Simulation<'g> {
         self.known[v as usize] as usize
     }
 
-    /// Whether node `v` knows all `n` original messages.
+    /// Whether node `v` knows the entire message universe.
     pub fn is_fully_informed(&self, v: NodeId) -> bool {
-        self.known[v as usize] as usize == self.num_nodes()
+        self.known[v as usize] as usize == self.universe
     }
 
     /// Number of nodes (alive or failed) that know all original messages.
@@ -418,7 +580,8 @@ impl<'g> Simulation<'g> {
     /// knower set is computed once from the current states.
     pub fn track_message(&mut self, m: MessageId) {
         let n = self.num_nodes();
-        assert!((m as usize) < n, "message id {m} outside universe {n}");
+        let universe = self.universe;
+        assert!((m as usize) < universe, "message id {m} outside universe {universe}");
         let mut knowers = BitSet::new(n);
         let mut count = 0usize;
         for (v, state) in self.states.iter().enumerate() {
@@ -440,6 +603,93 @@ impl<'g> Simulation<'g> {
     /// was never called.
     pub fn tracked_informed_count(&self) -> usize {
         self.tracked.as_ref().expect("no tracked message; call track_message first").count
+    }
+
+    /// Injects rumor `m` at node `source` immediately: the rumor becomes
+    /// part of `source`'s combined message and spreads through the ordinary
+    /// delivery paths from the next packet on. Returns `true` if the node
+    /// newly learned the rumor. Injection into a crashed or departed node is
+    /// dropped (the arrival is recorded, nothing is stored), and a
+    /// TTL-expired rumor is never re-injected. Draws nothing from the RNG —
+    /// callers sample sources and timing from their own stream, which is
+    /// what keeps both engines in RNG lockstep.
+    pub fn inject_rumor(&mut self, source: NodeId, m: MessageId) -> bool {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        if let Some(rs) = &mut self.rumors {
+            if rs.expired[m as usize] {
+                return false;
+            }
+            rs.injected[m as usize] = true;
+        }
+        if !self.alive.get(source as usize) || !self.present.get(source as usize) {
+            return false;
+        }
+        let newly = self.states[source as usize].insert(m);
+        if newly {
+            if let Some(rs) = &mut self.rumors {
+                rs.counts[m as usize] += 1;
+            }
+            self.bump_known(source, 1);
+            self.refresh_tracked(source);
+        }
+        newly
+    }
+
+    /// Expires rumor `m`: removes it from every node's combined message and
+    /// zeroes its informed count. An expired rumor can never reappear — the
+    /// removal is global, so no copy survives to spread, and subsequent
+    /// [`Self::inject_rumor`] calls for it are rejected. Nodes that were
+    /// fully informed lose that status permanently (the rumor no longer
+    /// exists to be re-learned).
+    pub fn expire_rumor(&mut self, m: MessageId) {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        if let Some(rs) = &mut self.rumors {
+            if rs.expired[m as usize] {
+                return;
+            }
+            rs.expired[m as usize] = true;
+            rs.counts[m as usize] = 0;
+        }
+        let universe = self.universe;
+        for v in 0..self.states.len() {
+            if self.states[v].remove(m) {
+                if self.known[v] as usize == universe && self.full.clear_bit(v) {
+                    self.fully_informed -= 1;
+                }
+                self.known[v] -= 1;
+            }
+        }
+        if let Some(t) = &mut self.tracked {
+            if t.id == m {
+                t.knowers.reset_empty(self.states.len());
+                t.count = 0;
+            }
+        }
+    }
+
+    /// Number of nodes whose combined message contains rumor `m` — the
+    /// paper's `|I_m(t)|`, per rumor. O(1) on streaming simulations (the
+    /// delivery paths maintain the count incrementally); falls back to the
+    /// O(n) scan of [`Self::informed_count_of`] otherwise.
+    pub fn rumor_informed_count(&self, m: MessageId) -> usize {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        match &self.rumors {
+            Some(rs) => rs.counts[m as usize] as usize,
+            None => self.informed_count_of(m),
+        }
+    }
+
+    /// Whether rumor `m` has been injected. In the classic configuration
+    /// every original message is present from round 0, so this is `true`.
+    pub fn rumor_injected(&self, m: MessageId) -> bool {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        self.rumors.as_ref().map_or(true, |rs| rs.injected[m as usize])
+    }
+
+    /// Whether rumor `m` has expired (its TTL ran out).
+    pub fn rumor_expired(&self, m: MessageId) -> bool {
+        assert!((m as usize) < self.universe, "message id {m} outside universe {}", self.universe);
+        self.rumors.as_ref().is_some_and(|rs| rs.expired[m as usize])
     }
 
     /// Whether node `v` is alive (has not failed).
@@ -541,6 +791,28 @@ impl<'g> Simulation<'g> {
         self.push_event(LivenessEvent { round, kind: LivenessKind::EdgeOutage, nodes: slots });
     }
 
+    /// Schedules rumor `m` to be injected at node `source` at the start of
+    /// round `round` (see [`Self::inject_rumor`]). Events scheduled for the
+    /// same round apply in insertion order, so callers that schedule
+    /// environment events first keep them ahead of the injections.
+    pub fn schedule_injection(&mut self, round: u64, source: NodeId, m: MessageId) {
+        self.push_event(LivenessEvent {
+            round,
+            kind: LivenessKind::Inject { source, rumor: m },
+            nodes: Vec::new(),
+        });
+    }
+
+    /// Schedules rumor `m` to expire at the start of round `round`
+    /// (see [`Self::expire_rumor`]).
+    pub fn schedule_expiry(&mut self, round: u64, m: MessageId) {
+        self.push_event(LivenessEvent {
+            round,
+            kind: LivenessKind::Expire { rumor: m },
+            nodes: Vec::new(),
+        });
+    }
+
     /// Takes the given CSR edge slots down immediately, replacing any
     /// previously down set. Down slots are excluded from channel selection in
     /// both directions independently (callers pass both directed slots of an
@@ -605,6 +877,10 @@ impl<'g> Simulation<'g> {
                 LivenessKind::Revive => self.revive_nodes(&nodes),
                 LivenessKind::Crash => self.fail_nodes(&nodes),
                 LivenessKind::EdgeOutage => self.apply_edge_outage(&nodes),
+                LivenessKind::Inject { source, rumor } => {
+                    self.inject_rumor(source, rumor);
+                }
+                LivenessKind::Expire { rumor } => self.expire_rumor(rumor),
             }
         }
     }
@@ -675,7 +951,18 @@ impl<'g> Simulation<'g> {
         if !self.alive.get(v as usize) || !self.present.get(v as usize) {
             return 0;
         }
+        if self.rumors.is_some() {
+            // Snapshot the old words so the per-rumor counts can be updated
+            // from the diff after the union.
+            self.rumor_diff_scratch.clear();
+            self.rumor_diff_scratch.extend_from_slice(self.states[v as usize].words());
+        }
         let added = self.states[v as usize].union_from(set);
+        if added > 0 {
+            if let Some(rs) = &mut self.rumors {
+                rs.count_gains(&self.rumor_diff_scratch, self.states[v as usize].words());
+            }
+        }
         self.bump_known(v, added);
         if added > 0 {
             self.refresh_tracked(v);
@@ -688,7 +975,7 @@ impl<'g> Simulation<'g> {
             return;
         }
         self.known[v as usize] += added as u32;
-        if self.known[v as usize] as usize == self.num_nodes() {
+        if self.known[v as usize] as usize == self.universe {
             self.full.set(v as usize);
             self.fully_informed += 1;
         }
@@ -764,9 +1051,11 @@ impl<'g> Simulation<'g> {
         // fully informed receivers cannot learn anything — drop both before
         // any delta work happens.
         let n = self.num_nodes();
+        let universe = self.universe;
         let (alive, known) = (&self.alive, &self.known);
-        effective
-            .retain(|t| alive.get(t.to as usize) && (known[t.to as usize] as usize) < n.max(1));
+        effective.retain(|t| {
+            alive.get(t.to as usize) && (known[t.to as usize] as usize) < universe.max(1)
+        });
         if effective.is_empty() {
             self.transfer_scratch = effective;
             return 0;
@@ -858,19 +1147,20 @@ impl<'g> Simulation<'g> {
     /// allocation. Payloads are computed exclusively from begin-of-step
     /// states, so the result is identical to the eager and batch cores.
     fn deliver_grouped_scalar(&mut self) -> usize {
+        let universe = self.universe;
         let Simulation {
             states,
             known,
             full,
             fully_informed,
             tracked,
+            rumors,
             update_pools,
             grouped_scratch,
             scalar_scratch,
             ..
         } = self;
         let grouped: &[Transfer] = grouped_scratch;
-        let universe = states.first().map_or(0, |s| s.universe());
         debug_assert!(scalar_scratch.is_empty(), "stale scalar staging list");
         let mut start = 0usize;
         while start < grouped.len() {
@@ -911,6 +1201,8 @@ impl<'g> Simulation<'g> {
                 full,
                 fully_informed,
                 tracked,
+                rumors,
+                universe,
                 update_pools,
                 to,
                 UpdatePayload::Replace { added, state },
@@ -931,12 +1223,14 @@ impl<'g> Simulation<'g> {
     /// keeps two of the ~five full-width streams per receiver in cache in
     /// the memory-bound mixing rounds.
     fn deliver_grouped_eager(&mut self) -> usize {
+        let universe = self.universe;
         let Simulation {
             states,
             known,
             full,
             fully_informed,
             tracked,
+            rumors,
             update_pools,
             grouped_scratch,
             reader_scratch,
@@ -976,6 +1270,8 @@ impl<'g> Simulation<'g> {
                     full,
                     fully_informed,
                     tracked,
+                    rumors,
+                    universe,
                     update_pools,
                     *to,
                     payload,
@@ -994,6 +1290,8 @@ impl<'g> Simulation<'g> {
                             full,
                             fully_informed,
                             tracked,
+                            rumors,
+                            universe,
                             update_pools,
                             t.from,
                             p,
@@ -1020,7 +1318,10 @@ impl<'g> Simulation<'g> {
             self.threads,
             &mut self.update_pools,
         );
-        let Simulation { states, known, full, fully_informed, tracked, update_pools, .. } = self;
+        let universe = self.universe;
+        let Simulation {
+            states, known, full, fully_informed, tracked, rumors, update_pools, ..
+        } = self;
         let mut total_added = 0usize;
         for update in updates {
             total_added += commit_payload(
@@ -1029,6 +1330,8 @@ impl<'g> Simulation<'g> {
                 full,
                 fully_informed,
                 tracked,
+                rumors,
+                universe,
                 update_pools,
                 update.to,
                 update.payload,
@@ -1046,6 +1349,10 @@ impl<'g> Simulation<'g> {
                 continue;
             }
             let (from, to) = (t.from as usize, t.to as usize);
+            if self.rumors.is_some() {
+                self.rumor_diff_scratch.clear();
+                self.rumor_diff_scratch.extend_from_slice(self.states[to].words());
+            }
             // Split the state slice so we can read `from` while writing `to`.
             let added = if from < to {
                 let (left, right) = self.states.split_at_mut(to);
@@ -1054,6 +1361,11 @@ impl<'g> Simulation<'g> {
                 let (left, right) = self.states.split_at_mut(from);
                 left[to].union_from(&right[0])
             };
+            if added > 0 {
+                if let Some(rs) = &mut self.rumors {
+                    rs.count_gains(&self.rumor_diff_scratch, self.states[to].words());
+                }
+            }
             self.bump_known(t.to, added);
             if added > 0 {
                 self.refresh_tracked(t.to);
@@ -1078,6 +1390,8 @@ fn commit_payload(
     full: &mut BitSet,
     fully_informed: &mut usize,
     tracked: &mut Option<TrackedRumor>,
+    rumors: &mut Option<RumorSpace>,
+    universe: usize,
     pools: &mut UpdatePools,
     to: NodeId,
     payload: UpdatePayload,
@@ -1090,6 +1404,9 @@ fn commit_payload(
             let state = &mut states[to as usize];
             let mut added = 0usize;
             for &(wi, bits) in &entries {
+                if let Some(rs) = rumors.as_mut() {
+                    rs.record_word_gain(wi as usize, bits & !state.words()[wi as usize]);
+                }
                 added += state.or_word_counting(wi as usize, bits);
             }
             pools.entries.push(entries);
@@ -1099,6 +1416,11 @@ fn commit_payload(
             // O(1) commit: the computed buffer becomes the state, the old
             // state becomes a pool buffer.
             std::mem::swap(&mut states[to as usize], &mut state);
+            if added > 0 {
+                if let Some(rs) = rumors.as_mut() {
+                    rs.count_gains(state.words(), states[to as usize].words());
+                }
+            }
             pools.states.push(state);
             pools.stats.record_parked(pools.states.len());
             added
@@ -1106,7 +1428,7 @@ fn commit_payload(
     };
     if added > 0 {
         known[to as usize] += added as u32;
-        if known[to as usize] as usize == states.len() {
+        if known[to as usize] as usize == universe {
             full.set(to as usize);
             *fully_informed += 1;
         }
@@ -1156,6 +1478,8 @@ pub struct SimulationArena {
 struct SimulationStorage {
     states: Vec<MessageSet>,
     known: Vec<u32>,
+    rumors: Option<RumorSpace>,
+    rumor_diff_scratch: Vec<u64>,
     alive: BitSet,
     present: BitSet,
     full: BitSet,
@@ -1178,14 +1502,42 @@ impl SimulationArena {
     /// `Simulation::new(graph, seed)` — default configuration; re-apply
     /// [`Simulation::with_threads`] / loss per run as needed.
     pub fn checkout<'g>(&mut self, graph: &'g Graph, seed: u64) -> Simulation<'g> {
+        self.checkout_with(graph, seed, None)
+    }
+
+    /// Builds a *streaming* simulation over `graph` with the given rumor
+    /// universe, reusing parked storage when available — the arena
+    /// counterpart of [`Simulation::new_streaming`], from which the result
+    /// is indistinguishable.
+    pub fn checkout_streaming<'g>(
+        &mut self,
+        graph: &'g Graph,
+        seed: u64,
+        universe: usize,
+    ) -> Simulation<'g> {
+        self.checkout_with(graph, seed, Some(universe))
+    }
+
+    fn checkout_with<'g>(
+        &mut self,
+        graph: &'g Graph,
+        seed: u64,
+        streaming: Option<usize>,
+    ) -> Simulation<'g> {
         self.stats.record(self.parked.is_some());
         let Some(st) = self.parked.take() else {
-            return Simulation::new(graph, seed);
+            return match streaming {
+                Some(universe) => Simulation::new_streaming(graph, seed, universe),
+                None => Simulation::new(graph, seed),
+            };
         };
         let mut sim = Simulation {
             graph,
             states: st.states,
             known: st.known,
+            universe: 0,
+            rumors: st.rumors,
+            rumor_diff_scratch: st.rumor_diff_scratch,
             alive: st.alive,
             alive_count: 0,
             present: st.present,
@@ -1212,9 +1564,12 @@ impl SimulationArena {
             edge_up: st.edge_up,
             edge_down_count: 0,
         };
-        // `reset` re-derives every run-dependent field from the graph, so the
-        // placeholder counts above never become observable.
-        sim.reset(graph, seed);
+        // The reset re-derives every run-dependent field from the graph, so
+        // the placeholder counts above never become observable.
+        match streaming {
+            Some(universe) => sim.reset_streaming(graph, seed, universe),
+            None => sim.reset(graph, seed),
+        }
         sim
     }
 
@@ -1230,6 +1585,8 @@ impl SimulationArena {
         let Simulation {
             states,
             known,
+            rumors,
+            rumor_diff_scratch,
             alive,
             present,
             full,
@@ -1250,6 +1607,8 @@ impl SimulationArena {
         self.parked = Some(SimulationStorage {
             states,
             known,
+            rumors,
+            rumor_diff_scratch,
             alive,
             present,
             full,
@@ -1708,6 +2067,233 @@ mod tests {
         let g = complete(2);
         let sim = Simulation::new(&g, 1);
         let _ = sim.tracked_informed_count();
+    }
+
+    #[test]
+    fn streaming_start_configuration_decouples_universe_from_node_count() {
+        let g = complete(8);
+        let sim = Simulation::new_streaming(&g, 1, 3);
+        assert_eq!(sim.num_nodes(), 8);
+        assert_eq!(sim.universe(), 3);
+        for v in 0..8u32 {
+            assert_eq!(sim.num_known(v), 0);
+            assert!(!sim.is_fully_informed(v));
+        }
+        for m in 0..3u32 {
+            assert_eq!(sim.rumor_informed_count(m), 0);
+            assert!(!sim.rumor_injected(m));
+            assert!(!sim.rumor_expired(m));
+        }
+        assert!(!sim.gossip_complete(), "uninjected rumors still count toward full knowledge");
+    }
+
+    #[test]
+    fn injected_rumors_spread_and_counts_stay_incremental() {
+        let g = complete(6);
+        let mut sim = Simulation::new_streaming(&g, 2, 2);
+        assert!(sim.inject_rumor(0, 0));
+        assert!(!sim.inject_rumor(0, 0), "second injection is a no-op");
+        assert!(sim.rumor_injected(0));
+        assert_eq!(sim.rumor_informed_count(0), 1);
+        sim.deliver(&[Transfer::new(0, 1), Transfer::new(0, 2)]);
+        assert_eq!(sim.rumor_informed_count(0), 3);
+        assert_eq!(sim.rumor_informed_count(0), sim.informed_count_of(0));
+        assert_eq!(sim.rumor_informed_count(1), 0, "uninjected rumor stays unknown");
+        // Injecting the second rumor at a node that already knows the first
+        // completes it on the spot; forwarding completes the receiver too.
+        sim.inject_rumor(1, 1);
+        assert!(sim.is_fully_informed(1));
+        sim.deliver(&[Transfer::new(1, 0)]);
+        assert!(sim.knows(0, 0) && sim.knows(0, 1));
+        assert!(sim.is_fully_informed(0));
+        assert_eq!(sim.fully_informed_count(), 2);
+    }
+
+    #[test]
+    fn injection_into_dead_or_departed_nodes_is_dropped() {
+        let g = complete(4);
+        let mut sim = Simulation::new_streaming(&g, 3, 2);
+        sim.fail_nodes(&[1]);
+        sim.kill_nodes(&[2]);
+        assert!(!sim.inject_rumor(1, 0), "crashed node stores nothing");
+        assert!(!sim.inject_rumor(2, 0), "departed node stores nothing");
+        assert_eq!(sim.rumor_informed_count(0), 0);
+        assert!(sim.rumor_injected(0), "the arrival itself is recorded");
+    }
+
+    #[test]
+    fn expired_rumor_vanishes_globally_and_never_reappears() {
+        let g = complete(5);
+        let mut sim = Simulation::new_streaming(&g, 4, 2);
+        sim.inject_rumor(0, 0);
+        sim.inject_rumor(3, 1);
+        sim.deliver(&[Transfer::new(0, 1), Transfer::new(0, 2), Transfer::new(3, 0)]);
+        assert_eq!(sim.rumor_informed_count(0), 3);
+        sim.expire_rumor(0);
+        assert!(sim.rumor_expired(0));
+        assert_eq!(sim.rumor_informed_count(0), 0);
+        assert_eq!(sim.informed_count_of(0), 0, "no copy survives anywhere");
+        assert!(!sim.inject_rumor(0, 0), "expired rumor is rejected forever");
+        assert_eq!(sim.rumor_informed_count(0), 0);
+        // The other rumor is untouched and keeps spreading.
+        assert_eq!(sim.rumor_informed_count(1), 2);
+        sim.deliver(&[Transfer::new(0, 4)]);
+        assert_eq!(sim.rumor_informed_count(1), 3);
+    }
+
+    #[test]
+    fn expiry_revokes_fully_informed_status() {
+        let g = complete(3);
+        let mut sim = Simulation::new_streaming(&g, 5, 2);
+        sim.inject_rumor(0, 0);
+        sim.inject_rumor(0, 1);
+        assert!(sim.is_fully_informed(0));
+        assert_eq!(sim.fully_informed_count(), 1);
+        sim.expire_rumor(1);
+        assert!(!sim.is_fully_informed(0));
+        assert_eq!(sim.fully_informed_count(), 0);
+        assert_eq!(sim.num_known(0), 1);
+    }
+
+    #[test]
+    fn scheduled_injections_fire_after_environment_events_of_the_same_round() {
+        let g = complete(4);
+        let mut sim = Simulation::new_streaming(&g, 6, 1);
+        // Node 2 crashes at round 1 *before* the same-round injection into it
+        // (stable sort keeps insertion order within a round).
+        sim.schedule_crash(1, vec![2]);
+        sim.schedule_injection(1, 2, 0);
+        sim.metrics_mut().finish_round();
+        sim.deliver(&[]);
+        assert!(!sim.is_alive(2));
+        assert_eq!(sim.rumor_informed_count(0), 0, "injection hit the already-crashed node");
+        assert!(sim.rumor_injected(0));
+    }
+
+    #[test]
+    fn scheduled_expiry_fires_at_its_round() {
+        let g = complete(4);
+        let mut sim = Simulation::new_streaming(&g, 7, 1);
+        sim.inject_rumor(0, 0);
+        sim.schedule_expiry(2, 0);
+        sim.deliver(&[Transfer::new(0, 1)]);
+        sim.metrics_mut().finish_round();
+        assert_eq!(sim.rumor_informed_count(0), 2);
+        sim.metrics_mut().finish_round();
+        sim.deliver(&[Transfer::new(0, 2)]); // poll applies the expiry first
+        assert_eq!(sim.rumor_informed_count(0), 0);
+        assert!(sim.rumor_expired(0));
+    }
+
+    #[test]
+    fn per_rumor_counts_agree_across_delivery_cores() {
+        let g = ErdosRenyi::with_expected_degree(200, 10.0).generate(8);
+        let mut seq = Simulation::new_streaming(&g, 9, 48);
+        let mut par = Simulation::new_streaming(&g, 9, 48).with_threads(4);
+        let mut imm =
+            Simulation::new_streaming(&g, 9, 48).with_semantics(DeliverySemantics::Immediate);
+        for sim in [&mut seq, &mut par, &mut imm] {
+            for m in 0..48u32 {
+                sim.inject_rumor((m * 4) % 200, m);
+            }
+        }
+        for round in 0..12u32 {
+            let mut transfers = Vec::new();
+            for v in g.nodes() {
+                let nbrs = g.neighbors(v);
+                if !nbrs.is_empty() {
+                    let u = nbrs[(v as usize + round as usize) % nbrs.len()];
+                    transfers.push(Transfer::new(v, u));
+                    transfers.push(Transfer::new(u, v));
+                }
+            }
+            seq.deliver(&transfers);
+            par.deliver(&transfers);
+            imm.deliver(&transfers);
+            for m in 0..48u32 {
+                let scan = seq.informed_count_of(m);
+                assert_eq!(seq.rumor_informed_count(m), scan, "seq diverged, rumor {m}");
+                assert_eq!(par.rumor_informed_count(m), scan, "par diverged, rumor {m}");
+                assert_eq!(
+                    imm.rumor_informed_count(m),
+                    imm.informed_count_of(m),
+                    "immediate-mode count diverged, rumor {m}"
+                );
+            }
+        }
+        for v in g.nodes() {
+            assert_eq!(seq.state(v), par.state(v), "state of {v}");
+        }
+    }
+
+    #[test]
+    fn absorb_maintains_per_rumor_counts() {
+        let g = complete(5);
+        let mut sim = Simulation::new_streaming(&g, 10, 4);
+        let mut set = MessageSet::empty(4);
+        set.insert(1);
+        set.insert(3);
+        assert_eq!(sim.absorb(2, &set), 2);
+        assert_eq!(sim.rumor_informed_count(1), 1);
+        assert_eq!(sim.rumor_informed_count(3), 1);
+        assert_eq!(sim.rumor_informed_count(0), 0);
+    }
+
+    #[test]
+    fn reset_streaming_replays_a_fresh_streaming_run_bit_for_bit() {
+        let g = ErdosRenyi::with_expected_degree(120, 9.0).generate(12);
+        let mut reused = Simulation::new_streaming(&g, 1, 16).with_loss_probability(0.2);
+        for m in 0..16u32 {
+            reused.schedule_injection(m as u64 % 5, (m * 7) % 120, m);
+        }
+        reused.schedule_expiry(8, 3);
+        let _ = fingerprint(&mut reused, 6);
+        reused.reset_streaming(&g, 42, 16);
+        let mut fresh = Simulation::new_streaming(&g, 42, 16);
+        for sim in [&mut reused, &mut fresh] {
+            for m in 0..16u32 {
+                sim.schedule_injection(m as u64 % 4, (m * 3) % 120, m);
+            }
+            sim.schedule_expiry(6, 5);
+        }
+        assert_eq!(fingerprint(&mut reused, 8), fingerprint(&mut fresh, 8));
+        for v in g.nodes() {
+            assert_eq!(reused.state(v), fresh.state(v), "state of {v}");
+        }
+        for m in 0..16u32 {
+            assert_eq!(reused.rumor_informed_count(m), fresh.rumor_informed_count(m));
+            assert_eq!(reused.rumor_expired(m), fresh.rumor_expired(m));
+        }
+    }
+
+    #[test]
+    fn arena_checkout_streaming_equals_fresh_construction() {
+        let g = ErdosRenyi::with_expected_degree(100, 8.0).generate(13);
+        let mut arena = SimulationArena::default();
+        // Classic, streaming, streaming with another universe, classic again:
+        // mode switches must never leak stale bookkeeping.
+        for (streaming, seed) in [(None, 1u64), (Some(12), 2), (Some(30), 3), (None, 4)] {
+            let mut sim = match streaming {
+                Some(u) => arena.checkout_streaming(&g, seed, u),
+                None => arena.checkout(&g, seed),
+            };
+            let mut fresh = match streaming {
+                Some(u) => Simulation::new_streaming(&g, seed, u),
+                None => Simulation::new(&g, seed),
+            };
+            if let Some(u) = streaming {
+                for m in 0..u as u32 {
+                    sim.schedule_injection(m as u64 % 3, (m * 5) % 100, m);
+                    fresh.schedule_injection(m as u64 % 3, (m * 5) % 100, m);
+                }
+            }
+            assert_eq!(fingerprint(&mut sim, 6), fingerprint(&mut fresh, 6));
+            assert_eq!(sim.universe(), fresh.universe());
+            for v in g.nodes() {
+                assert_eq!(sim.state(v), fresh.state(v));
+            }
+            arena.recycle(sim);
+        }
     }
 
     /// Drives a deterministic mixed workload and returns the full observable

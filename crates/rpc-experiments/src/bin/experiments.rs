@@ -188,10 +188,11 @@ fn run_phases(opts: &RunOpts) {
 
 fn run_scenarios(opts: &RunOpts) {
     // Scenario graphs use a quarter of the sweep's largest size: the registry
-    // runs 17 scenarios (all three protocols under complete/rounds/coverage
-    // stop rules, plus the hostile-dimension set — zone crashes, loss bursts,
-    // edge churn, Byzantine senders), so this keeps `--quick` in CI territory
-    // while the default/large scales still exercise real sizes.
+    // runs 21 scenarios (all three protocols under complete/rounds/coverage
+    // stop rules, the hostile-dimension set — zone crashes, loss bursts,
+    // edge churn, Byzantine senders — and the multi-rumor streaming set), so
+    // this keeps `--quick` in CI territory while the default/large scales
+    // still exercise real sizes.
     let n = (opts.scale.max_n / 4).max(256);
     let spec = scenario::spec(n, opts.scale.seed, opts.policy("rounds"));
     let report = opts.run_spec(&spec);

@@ -6,7 +6,7 @@
 //!
 //! [`sweep_table`] is the single report pipeline of the sweep-based
 //! experiments: it renders a [`SweepReport`] with one row per cell — axis
-//! columns, the repetition count, the four `stopped_*` discriminant counts,
+//! columns, the repetition count, the five `stopped_*` discriminant counts,
 //! and a `_mean`/`_ci95` column pair per metric. [`sweep_table_with`] appends
 //! experiment-specific derived columns computed from each [`CellResult`].
 
@@ -105,7 +105,7 @@ pub fn fmt3(x: f64) -> String {
 pub type ExtraColumn<'a> = (&'a str, &'a dyn Fn(&CellResult) -> String);
 
 /// Renders a sweep report in the standard layout: the cells' axis columns,
-/// `reps`, the four `stopped_*` discriminant counts, then `_mean` and `_ci95`
+/// `reps`, the five `stopped_*` discriminant counts, then `_mean` and `_ci95`
 /// columns for every metric (blank where a cell lacks the metric — phase
 /// metrics differ between protocols).
 pub fn sweep_table(title: impl Into<String>, report: &SweepReport) -> Table {
@@ -126,8 +126,15 @@ pub fn sweep_table_with(
     let metrics: Vec<String> = report.metric_names().iter().map(|m| m.to_string()).collect();
     let mut columns = axes.clone();
     columns.extend(
-        ["reps", "stopped_complete", "stopped_rounds", "stopped_coverage", "stopped_max"]
-            .map(String::from),
+        [
+            "reps",
+            "stopped_complete",
+            "stopped_rounds",
+            "stopped_coverage",
+            "stopped_all_rumors",
+            "stopped_max",
+        ]
+        .map(String::from),
     );
     for metric in &metrics {
         columns.push(format!("{metric}_mean"));
@@ -141,7 +148,10 @@ pub fn sweep_table_with(
             axes.iter().map(|axis| cell.axis(axis).unwrap_or("").to_string()).collect();
         row.push(cell.reps.to_string());
         let s = cell.stopped;
-        row.extend([s.complete, s.round_budget, s.coverage, s.max_rounds].map(|c| c.to_string()));
+        row.extend(
+            [s.complete, s.round_budget, s.coverage, s.all_rumors, s.max_rounds]
+                .map(|c| c.to_string()),
+        );
         for metric in &metrics {
             match cell.metric(metric) {
                 Some(m) => {

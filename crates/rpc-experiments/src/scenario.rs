@@ -33,10 +33,12 @@ pub fn spec(n: usize, seed: u64, policy: RepPolicy) -> SweepSpec {
 
 /// Renders the registry sweep as a table (one row per scenario), preserving
 /// the richer layout of this report: rounds quantiles next to the means, and
-/// the four `stopped_*` columns splitting the replications by why they ended
-/// (natural completion, a spent round budget, a met coverage threshold, or an
-/// exhausted round cap — the last one meaning the stop rule was *not*
-/// satisfied).
+/// the five `stopped_*` columns splitting the replications by why they ended
+/// (natural completion, a spent round budget, a met coverage threshold, every
+/// streamed rumor settled, or an exhausted round cap — the last one meaning
+/// the stop rule was *not* satisfied). Streaming scenarios additionally
+/// populate the `rumors_completed_mean` column; classic single-rumor rows
+/// report it as zero.
 pub fn table(report: &SweepReport) -> Table {
     let mut table = Table::new(
         "Scenario registry — Monte Carlo statistics per scenario",
@@ -50,6 +52,7 @@ pub fn table(report: &SweepReport) -> Table {
             "stopped_complete",
             "stopped_rounds",
             "stopped_coverage",
+            "stopped_all_rumors",
             "stopped_max",
             "rounds_min",
             "rounds_p50",
@@ -60,6 +63,7 @@ pub fn table(report: &SweepReport) -> Table {
             "packets_per_node_mean",
             "coverage_mean",
             "rumor_coverage_mean",
+            "rumors_completed_mean",
         ],
     );
     for cell in &report.cells {
@@ -76,6 +80,7 @@ pub fn table(report: &SweepReport) -> Table {
             cell.stopped.complete.to_string(),
             cell.stopped.round_budget.to_string(),
             cell.stopped.coverage.to_string(),
+            cell.stopped.all_rumors.to_string(),
             cell.stopped.max_rounds.to_string(),
             fmt3(rounds.stats.min),
             fmt3(rounds.stats.p50),
@@ -86,6 +91,7 @@ pub fn table(report: &SweepReport) -> Table {
             fmt3(cell.mean("packets_per_node").unwrap_or(0.0)),
             fmt3(cell.mean("coverage").unwrap_or(0.0)),
             fmt3(cell.mean("rumor_coverage").unwrap_or(0.0)),
+            fmt3(cell.mean("rumors_completed").unwrap_or(0.0)),
         ]);
     }
     table

@@ -122,6 +122,27 @@ pub enum ObsEvent<'a> {
         /// Cumulative packets sent.
         packets: u64,
     },
+    /// Per-round multi-rumor progress of a streaming scenario run. Emitted
+    /// only when the scenario carries an injection spec.
+    Rumors {
+        /// Completed rounds at capture time.
+        round: u64,
+        /// Rumors injected so far (cumulative).
+        injected: usize,
+        /// Rumors expired so far (cumulative).
+        expired: usize,
+        /// Rumors currently in flight (injected, not expired, not complete).
+        in_flight: usize,
+        /// Rumors that have reached every participating node (cumulative).
+        complete: usize,
+    },
+    /// One rumor reached every participating node in a streaming run.
+    RumorComplete {
+        /// The rumor's message id.
+        rumor: usize,
+        /// Completed rounds when completion was detected.
+        round: u64,
+    },
     /// A scenario run completed.
     RunFinished {
         /// Rounds executed.
@@ -160,6 +181,8 @@ impl ObsEvent<'_> {
             ObsEvent::SweepFinished { .. } => "sweep-finished",
             ObsEvent::Dispatch { .. } => "dispatch",
             ObsEvent::Round { .. } => "round",
+            ObsEvent::Rumors { .. } => "rumors",
+            ObsEvent::RumorComplete { .. } => "rumor-complete",
             ObsEvent::RunFinished { .. } => "run-finished",
             ObsEvent::Pool { .. } => "pool",
             ObsEvent::Arena { .. } => "arena",
@@ -292,6 +315,8 @@ mod tests {
                 },
             },
             ObsEvent::Round { round: 0, fully_informed: 0, tracked_informed: 1, packets: 0 },
+            ObsEvent::Rumors { round: 0, injected: 2, expired: 0, in_flight: 1, complete: 1 },
+            ObsEvent::RumorComplete { rumor: 0, round: 4 },
             ObsEvent::RunFinished { rounds: 3, total_packets: 9, cores: CoreRounds::default() },
             ObsEvent::Pool { stats: PoolStats::default() },
             ObsEvent::Arena { graph: ReuseStats::default(), sim: ReuseStats::default() },

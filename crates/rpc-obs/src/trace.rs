@@ -156,6 +156,16 @@ impl<W: Write> Observer for TraceWriter<W> {
                     .num("tracked_informed", tracked_informed as u64)
                     .num("packets", packets);
             }
+            ObsEvent::Rumors { round, injected, expired, in_flight, complete } => {
+                obj.num("round", round)
+                    .num("injected", injected as u64)
+                    .num("expired", expired as u64)
+                    .num("in_flight", in_flight as u64)
+                    .num("complete", complete as u64);
+            }
+            ObsEvent::RumorComplete { rumor, round } => {
+                obj.num("rumor", rumor as u64).num("round", round);
+            }
             ObsEvent::RunFinished { rounds, total_packets, cores } => {
                 obj.num("rounds", rounds).num("total_packets", total_packets).cores(cores);
             }
@@ -221,6 +231,8 @@ mod tests {
                 },
             },
             ObsEvent::Round { round: 5, fully_informed: 100, tracked_informed: 4000, packets: 88 },
+            ObsEvent::Rumors { round: 5, injected: 8, expired: 1, in_flight: 4, complete: 3 },
+            ObsEvent::RumorComplete { rumor: 2, round: 5 },
             ObsEvent::RunFinished {
                 rounds: 17,
                 total_packets: 5000,

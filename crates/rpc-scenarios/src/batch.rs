@@ -20,7 +20,7 @@ use crate::spec::Scenario;
 use crate::stats::{summarize, SummaryStats};
 
 /// How many replications of one scenario ended for each
-/// [`StoppedBy`] discriminant. The four counts sum to the replication count.
+/// [`StoppedBy`] discriminant. The five counts sum to the replication count.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoppedByCounts {
     /// Runs that ended in natural termination with gossiping complete.
@@ -29,6 +29,9 @@ pub struct StoppedByCounts {
     pub round_budget: usize,
     /// Runs that met a [`crate::spec::StopRule::Coverage`] threshold.
     pub coverage: usize,
+    /// Runs where every injected rumor settled (completed or expired) under
+    /// a [`crate::spec::StopRule::AllRumors`] rule.
+    pub all_rumors: usize,
     /// Runs that exhausted `max_rounds` (or a phase schedule) without
     /// satisfying their stop rule.
     pub max_rounds: usize,
@@ -41,13 +44,14 @@ impl StoppedByCounts {
             StoppedBy::Complete => self.complete += 1,
             StoppedBy::RoundBudget => self.round_budget += 1,
             StoppedBy::CoverageReached => self.coverage += 1,
+            StoppedBy::AllRumorsDone => self.all_rumors += 1,
             StoppedBy::MaxRoundsExhausted => self.max_rounds += 1,
         }
     }
 
     /// Total runs tallied.
     pub fn total(&self) -> usize {
-        self.complete + self.round_budget + self.coverage + self.max_rounds
+        self.complete + self.round_budget + self.coverage + self.all_rumors + self.max_rounds
     }
 }
 
@@ -242,7 +246,7 @@ mod tests {
             assert_eq!(report.completed_runs, 4);
             assert!(report.rounds.max >= report.rounds.min);
             let s = report.stopped;
-            assert_eq!(s.complete + s.round_budget + s.coverage + s.max_rounds, 4);
+            assert_eq!(s.total(), 4);
             assert_eq!(s.max_rounds, 0, "all of these scenarios satisfy their rule");
         }
         assert_eq!(reports[2].rounds.mean, 5.0);

@@ -247,7 +247,8 @@ fn fast_tuned_scenario(n: usize) -> Scenario {
         .expect("the fast-tuned cell scenario must validate")
 }
 
-/// The standard metric vector of a scenario outcome, plus per-phase
+/// The standard metric vector of a scenario outcome, plus per-rumor
+/// streaming metrics when the outcome carries them and per-phase
 /// packets-per-node metrics when the probe asked for them.
 fn scenario_rep(n: usize, outcome: &ScenarioOutcome, with_phases: bool) -> RepOutcome {
     let nf = n.max(1) as f64;
@@ -259,6 +260,13 @@ fn scenario_rep(n: usize, outcome: &ScenarioOutcome, with_phases: bool) -> RepOu
         ("coverage".to_string(), outcome.coverage),
         ("rumor_coverage".to_string(), outcome.tracked_coverage),
     ];
+    if let Some(stats) = &outcome.rumor_stats {
+        metrics.push(("rumors_injected".to_string(), stats.injected as f64));
+        metrics.push(("rumors_completed".to_string(), stats.completed_count() as f64));
+        metrics.push(("rumors_expired".to_string(), stats.expired as f64));
+        metrics.push(("rumor_inflight_high_water".to_string(), stats.inflight_high_water as f64));
+        metrics.push(("rumor_mean_completion_round".to_string(), stats.mean_completion_round()));
+    }
     if with_phases {
         push_phase_metrics(&mut metrics, &outcome.phases, nf);
     }
@@ -342,6 +350,27 @@ mod tests {
         assert_eq!(rep.metric("coverage"), Some(outcome.coverage));
         assert_eq!(rep.metric("rumor_coverage"), Some(outcome.tracked_coverage));
         assert_eq!(rep.metric("no-such-metric"), None);
+    }
+
+    #[test]
+    fn streaming_cells_report_per_rumor_metrics() {
+        let scenario = Scenario::builder("stream-cell", er(128))
+            .inject_poisson(8, 1.0)
+            .stop(StopRule::AllRumors)
+            .build()
+            .unwrap();
+        let mut arena = ScenarioArena::default();
+        let rep = run_cell(&mut arena, &CellJob::scenario(scenario.clone()), 5);
+        let outcome = run_scenario(&scenario, 5, 1);
+        let stats = outcome.rumor_stats.as_ref().unwrap();
+        assert_eq!(rep.metric("rumors_injected"), Some(stats.injected as f64));
+        assert_eq!(rep.metric("rumors_completed"), Some(stats.completed_count() as f64));
+        assert_eq!(rep.metric("rumors_expired"), Some(stats.expired as f64));
+        assert_eq!(rep.metric("rumor_inflight_high_water"), Some(stats.inflight_high_water as f64));
+        assert_eq!(rep.metric("rumor_mean_completion_round"), Some(stats.mean_completion_round()));
+        // A classic cell carries none of the streaming metrics.
+        let classic = CellJob::scenario(Scenario::builder("c", er(96)).build().unwrap());
+        assert_eq!(run_cell(&mut arena, &classic, 5).metric("rumors_injected"), None);
     }
 
     #[test]

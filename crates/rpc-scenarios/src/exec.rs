@@ -38,12 +38,29 @@
 //! ([`Simulation::track_message`]), the coverage stop rule reads a
 //! popcount-backed counter instead of scanning all `n` states per round, and
 //! the final participating/informed counts are single popcount passes.
+//!
+//! ## Multi-rumor streaming
+//!
+//! When the scenario carries an [`InjectionSpec`], the engines run in
+//! *streaming* mode: the message universe is the rumor count `R` (decoupled
+//! from `n`), every node starts empty, and rumors arrive mid-run at scheduled
+//! `(round, source)` coordinates. The RNG-draw ordering contract extends the
+//! environment stream: the classic rumor-placement draw is **always**
+//! consumed first (so classic and streaming runs stay aligned per stream),
+//! then [`sample_injection_schedule`](self) draws the injection schedule —
+//! Poisson arrival counts and uniform sources in round order; hotspot and
+//! explicit patterns draw nothing. The engines replay the schedule as
+//! draw-free liveness events at round boundaries, so the run stream never
+//! shifts. Per-rumor completion rounds and the in-flight high-water mark are
+//! latched between rounds and reported in [`ScenarioOutcome::rumor_stats`];
+//! [`StopRule::AllRumors`] ends the run once every rumor has settled
+//! (completed or expired).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use rpc_engine::{
-    derive_seed, sample_failures, sample_from_pool, Engine, PhaseSnapshot, Simulation,
+    derive_seed, sample_failures, sample_from_pool, Engine, MessageId, PhaseSnapshot, Simulation,
     SimulationArena, UnpackedSimulation,
 };
 use rpc_gossip::{
@@ -53,7 +70,9 @@ use rpc_gossip::{
 use rpc_graphs::{Graph, GraphArena, NodeId};
 use rpc_obs::{CoreRounds, NoopObserver, ObsEvent, Observer};
 
-use crate::spec::{zone_members, ProtocolSpec, Scenario, StartPlacement, StopRule};
+use crate::spec::{
+    zone_members, InjectPattern, InjectionSpec, ProtocolSpec, Scenario, StartPlacement, StopRule,
+};
 
 // Sub-stream indices for [`derive_seed`], so graph generation, environment
 // sampling and the protocol run draw from independent RNG streams.
@@ -81,8 +100,12 @@ pub enum StoppedBy {
     Complete,
     /// A [`StopRule::Rounds`] budget was spent exactly.
     RoundBudget,
-    /// A [`StopRule::Coverage`] threshold was met by the tracked rumor.
+    /// A [`StopRule::Coverage`] threshold was met by the tracked rumor (or,
+    /// in a streaming run, by every injected rumor).
     CoverageReached,
+    /// A [`StopRule::AllRumors`] rule fired: every streaming rumor either
+    /// reached all participating nodes or expired.
+    AllRumorsDone,
     /// The run ended **without** satisfying its stop rule: the scenario's
     /// `max_rounds` cap was exhausted, or a phase-based protocol's schedule
     /// ran out first (e.g. gossiping left incomplete by a crash burst, or a
@@ -104,7 +127,45 @@ impl StoppedBy {
             StoppedBy::Complete => "complete",
             StoppedBy::RoundBudget => "round-budget",
             StoppedBy::CoverageReached => "coverage",
+            StoppedBy::AllRumorsDone => "all-rumors",
             StoppedBy::MaxRoundsExhausted => "max-rounds",
+        }
+    }
+}
+
+/// Per-rumor statistics of a streaming run, measured engine-agnostically by
+/// the executor's per-round rumor watch (so packed and unpacked runs must
+/// agree bit for bit — they are part of [`ScenarioOutcome`] equality).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RumorStats {
+    /// Round at which each rumor first reached every participating node
+    /// (`None`: it never did — not injected in time, expired first, or the
+    /// run ended). Indexed by rumor id; completion is latched, so a rumor
+    /// that completes and later expires keeps its completion round.
+    pub completion_rounds: Vec<Option<u64>>,
+    /// High-water mark of simultaneously in-flight rumors (injected, not
+    /// expired, not yet complete) across all stop-rule evaluations.
+    pub inflight_high_water: usize,
+    /// Rumors injected by the end of the run.
+    pub injected: usize,
+    /// Rumors expired by the end of the run.
+    pub expired: usize,
+}
+
+impl RumorStats {
+    /// Rumors that reached every participating node at some point.
+    pub fn completed_count(&self) -> usize {
+        self.completion_rounds.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Mean completion round over the completed rumors (0 when none
+    /// completed).
+    pub fn mean_completion_round(&self) -> f64 {
+        let done: Vec<u64> = self.completion_rounds.iter().filter_map(|c| *c).collect();
+        if done.is_empty() {
+            0.0
+        } else {
+            done.iter().sum::<u64>() as f64 / done.len() as f64
         }
     }
 }
@@ -144,6 +205,9 @@ pub struct ScenarioOutcome {
     /// them on the outcome lets the plain (untraced) path report per-phase
     /// costs too.
     pub phases: Vec<PhaseSnapshot>,
+    /// Per-rumor statistics of a streaming run; `None` for classic (single
+    /// tracked rumor) scenarios. Engine-agnostic, included in equality.
+    pub rumor_stats: Option<RumorStats>,
     /// Delivery batches per adaptive core (scalar/eager/batch) over the run.
     /// **Diagnostics**: thread-count-dependent, excluded from equality.
     pub core_rounds: CoreRounds,
@@ -163,6 +227,7 @@ impl PartialEq for ScenarioOutcome {
             && self.crashed == other.crashed
             && self.departed == other.departed
             && self.phases == other.phases
+            && self.rumor_stats == other.rumor_stats
     }
 }
 
@@ -259,7 +324,8 @@ pub fn run_scenario_observed<O: Observer>(
 ) -> ScenarioOutcome {
     let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
-    let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
+    let mut sim =
+        new_packed(scenario, &graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
     let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, None, obs);
     if O::ENABLED {
         obs.record(&ObsEvent::Pool { stats: sim.pool_stats() });
@@ -276,7 +342,8 @@ pub fn run_scenario_observed_traced<O: Observer>(
 ) -> (ScenarioOutcome, ScenarioTrace) {
     let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
-    let mut sim = Simulation::new(&graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
+    let mut sim =
+        new_packed(scenario, &graph, derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
     let mut trace = ScenarioTrace::default();
     let outcome = run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace), obs);
     if O::ENABLED {
@@ -366,8 +433,12 @@ fn run_scenario_arena_core<O: Observer>(
     let ScenarioArena { graph, sim } = arena;
     scenario.topology.build().generate_into(derive_seed(seed, STREAM_GRAPH, 0), graph);
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
-    let mut engine =
-        sim.checkout(graph.graph(), derive_seed(seed, STREAM_RUN, 0)).with_threads(threads);
+    let run_seed = derive_seed(seed, STREAM_RUN, 0);
+    let mut engine = match &scenario.injection {
+        Some(inj) => sim.checkout_streaming(graph.graph(), run_seed, inj.rumors),
+        None => sim.checkout(graph.graph(), run_seed),
+    }
+    .with_threads(threads);
     let outcome = run_scenario_core(scenario, &mut engine, &mut env_rng, trace, obs);
     if O::ENABLED {
         obs.record(&ObsEvent::Pool { stats: engine.pool_stats() });
@@ -383,7 +454,7 @@ fn run_scenario_arena_core<O: Observer>(
 pub fn run_scenario_unpacked(scenario: &Scenario, seed: u64) -> ScenarioOutcome {
     let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
-    let mut sim = UnpackedSimulation::new(&graph, derive_seed(seed, STREAM_RUN, 0));
+    let mut sim = new_unpacked(scenario, &graph, derive_seed(seed, STREAM_RUN, 0));
     run_scenario_core(scenario, &mut sim, &mut env_rng, None, &mut NoopObserver)
 }
 
@@ -394,11 +465,29 @@ pub fn run_scenario_unpacked_traced(
 ) -> (ScenarioOutcome, ScenarioTrace) {
     let graph = scenario.topology.build().generate(derive_seed(seed, STREAM_GRAPH, 0));
     let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
-    let mut sim = UnpackedSimulation::new(&graph, derive_seed(seed, STREAM_RUN, 0));
+    let mut sim = new_unpacked(scenario, &graph, derive_seed(seed, STREAM_RUN, 0));
     let mut trace = ScenarioTrace::default();
     let outcome =
         run_scenario_core(scenario, &mut sim, &mut env_rng, Some(&mut trace), &mut NoopObserver);
     (outcome, trace)
+}
+
+/// Fresh packed-engine construction: classic (one rumor per node, universe
+/// `n`) without an injection spec, streaming (empty states over a `rumors`-
+/// sized universe) with one. Seeding is identical in both modes.
+fn new_packed<'g>(scenario: &Scenario, graph: &'g Graph, seed: u64) -> Simulation<'g> {
+    match &scenario.injection {
+        Some(inj) => Simulation::new_streaming(graph, seed, inj.rumors),
+        None => Simulation::new(graph, seed),
+    }
+}
+
+/// Fresh oracle construction, mirroring [`new_packed`].
+fn new_unpacked<'g>(scenario: &Scenario, graph: &'g Graph, seed: u64) -> UnpackedSimulation<'g> {
+    match &scenario.injection {
+        Some(inj) => UnpackedSimulation::new_streaming(graph, seed, inj.rumors),
+        None => UnpackedSimulation::new(graph, seed),
+    }
 }
 
 /// The engine-generic execution core shared by every entry point above.
@@ -474,10 +563,43 @@ fn run_prepared_core<E: Engine, D: ProtocolDriver, O: Observer>(
     let n = scenario.num_nodes();
     sim.set_loss_probability(scenario.environment.loss);
     schedule_environment(scenario, env_rng, sim);
-    let tracked = place_rumor(scenario.environment.placement, sim.graph(), env_rng);
-    sim.track_message(tracked);
+    // The placement draw is consumed in both modes — injection-schedule
+    // draws slot in strictly *after* rumor placement, so classic and
+    // streaming runs share one draw-ordering contract.
+    let placed = place_rumor(scenario.environment.placement, sim.graph(), env_rng);
+    let mut watch: Option<RumorWatch> = None;
+    let tracked = match &scenario.injection {
+        None => {
+            sim.track_message(placed);
+            placed
+        }
+        Some(inj) => {
+            // Sample the whole schedule here, then register draw-free events
+            // with the engine: both engines replay the identical schedule
+            // without touching their own RNG streams.
+            let schedule = sample_injection_schedule(inj, scenario, n, env_rng);
+            for (m, &(round, source)) in schedule.iter().enumerate() {
+                sim.schedule_injection(round, source, m as MessageId);
+                if let Some(ttl) = inj.ttl {
+                    sim.schedule_expiry(round + ttl, m as MessageId);
+                }
+            }
+            // The coverage metric follows rumor 0 — the first id of the
+            // stream — so `tracked_coverage` stays meaningful.
+            sim.track_message(0);
+            watch = Some(RumorWatch::new(inj.rumors));
+            schedule[0].1
+        }
+    };
 
-    let (stopped_by, rounds) = drive(scenario, sim, driver, trace.as_deref_mut(), obs);
+    let (stopped_by, rounds) =
+        drive(scenario, sim, driver, watch.as_mut(), trace.as_deref_mut(), obs);
+    if let Some(watch) = watch.as_mut() {
+        // Latch completions reached by the very last step (a Done/cap break
+        // exits before the next top-of-loop evaluation). Observer-free: the
+        // event stream covers stop-rule evaluations only.
+        watch.latch(sim, sim.metrics().rounds());
+    }
     if let Some(trace) = trace {
         trace.phases = sim.metrics().phases().to_vec();
     }
@@ -509,7 +631,99 @@ fn run_prepared_core<E: Engine, D: ProtocolDriver, O: Observer>(
         crashed: n - sim.alive_count(),
         departed: n - sim.present_count(),
         phases: sim.metrics().phases().to_vec(),
+        rumor_stats: watch.map(|w| w.into_stats(sim)),
         core_rounds: sim.metrics().core_rounds(),
+    }
+}
+
+/// The executor-side bookkeeping of a streaming run: latched per-rumor
+/// completion rounds and the in-flight high-water mark. Reads only the
+/// engine-agnostic [`Engine`] rumor surface, so packed and unpacked runs
+/// observe identical statistics.
+struct RumorWatch {
+    completion_rounds: Vec<Option<u64>>,
+    inflight_high_water: usize,
+}
+
+impl RumorWatch {
+    fn new(rumors: usize) -> Self {
+        RumorWatch { completion_rounds: vec![None; rumors], inflight_high_water: 0 }
+    }
+
+    /// Latches completions visible in the current engine state (a rumor that
+    /// later expires keeps its completion round). Returns the ids completing
+    /// at this evaluation, for event emission.
+    fn latch<E: Engine>(&mut self, sim: &E, round: u64) -> Vec<usize> {
+        let mut fresh = Vec::new();
+        for m in 0..self.completion_rounds.len() {
+            if self.completion_rounds[m].is_none()
+                && !sim.rumor_expired(m as MessageId)
+                && sim.rumor_complete(m as MessageId)
+            {
+                self.completion_rounds[m] = Some(round);
+                fresh.push(m);
+            }
+        }
+        fresh
+    }
+
+    /// One per-evaluation observation: latch completions, update the
+    /// in-flight high-water mark, and emit the rumor events.
+    fn observe<E: Engine, O: Observer>(&mut self, sim: &E, round: u64, obs: &mut O) {
+        let fresh = self.latch(sim, round);
+        let (mut injected, mut expired, mut in_flight) = (0usize, 0usize, 0usize);
+        for m in 0..self.completion_rounds.len() {
+            let inj = sim.rumor_injected(m as MessageId);
+            let exp = sim.rumor_expired(m as MessageId);
+            if inj {
+                injected += 1;
+            }
+            if exp {
+                expired += 1;
+            }
+            if inj && !exp && self.completion_rounds[m].is_none() {
+                in_flight += 1;
+            }
+        }
+        self.inflight_high_water = self.inflight_high_water.max(in_flight);
+        if O::ENABLED {
+            for m in fresh {
+                obs.record(&ObsEvent::RumorComplete { rumor: m, round });
+            }
+            obs.record(&ObsEvent::Rumors {
+                round,
+                injected,
+                expired,
+                in_flight,
+                complete: self.completion_rounds.iter().filter(|c| c.is_some()).count(),
+            });
+        }
+    }
+
+    /// Whether every rumor has either completed (latched) or expired — the
+    /// [`StopRule::AllRumors`] condition.
+    fn all_settled<E: Engine>(&self, sim: &E) -> bool {
+        (0..self.completion_rounds.len())
+            .all(|m| self.completion_rounds[m].is_some() || sim.rumor_expired(m as MessageId))
+    }
+
+    /// Whether every rumor has either expired or been injected *and* reached
+    /// `target` knowers — the per-rumor [`StopRule::Coverage`] condition.
+    fn all_covered<E: Engine>(&self, sim: &E, target: usize) -> bool {
+        (0..self.completion_rounds.len()).all(|m| {
+            let m = m as MessageId;
+            sim.rumor_expired(m) || (sim.rumor_injected(m) && sim.rumor_informed_count(m) >= target)
+        })
+    }
+
+    fn into_stats<E: Engine>(self, sim: &E) -> RumorStats {
+        let rumors = self.completion_rounds.len();
+        RumorStats {
+            completion_rounds: self.completion_rounds,
+            inflight_high_water: self.inflight_high_water,
+            injected: (0..rumors).filter(|&m| sim.rumor_injected(m as MessageId)).count(),
+            expired: (0..rumors).filter(|&m| sim.rumor_expired(m as MessageId)).count(),
+        }
     }
 }
 
@@ -533,6 +747,7 @@ fn drive<E: Engine, D: ProtocolDriver, O: Observer>(
     scenario: &Scenario,
     sim: &mut E,
     driver: &mut D,
+    mut watch: Option<&mut RumorWatch>,
     mut trace: Option<&mut ScenarioTrace>,
     obs: &mut O,
 ) -> (StoppedBy, u64) {
@@ -556,6 +771,9 @@ fn drive<E: Engine, D: ProtocolDriver, O: Observer>(
                 packets: sim.metrics().total_packets(),
             });
         }
+        if let Some(watch) = watch.as_deref_mut() {
+            watch.observe(sim, sim.metrics().rounds(), obs);
+        }
         match scenario.stop {
             StopRule::Complete => {
                 if driver.finished(sim) {
@@ -578,8 +796,26 @@ fn drive<E: Engine, D: ProtocolDriver, O: Observer>(
                 // target == 0 only when every node has crashed; a dead
                 // network never "reaches" coverage — let the run end via the
                 // schedule or the cap and report MaxRoundsExhausted honestly.
-                if target > 0 && sim.tracked_informed_count() >= target {
-                    break StoppedBy::CoverageReached;
+                if target > 0 {
+                    let reached = match watch.as_deref() {
+                        // Streaming: the threshold applies to *every* rumor
+                        // (expired rumors are excused).
+                        Some(watch) => watch.all_covered(sim, target),
+                        None => sim.tracked_informed_count() >= target,
+                    };
+                    if reached {
+                        break StoppedBy::CoverageReached;
+                    }
+                }
+            }
+            StopRule::AllRumors => {
+                // Validation guarantees an injection spec, hence a watch.
+                let settled = watch
+                    .as_deref()
+                    .expect("all-rumors stop rule without an injection spec")
+                    .all_settled(sim);
+                if settled {
+                    break StoppedBy::AllRumorsDone;
                 }
             }
         }
@@ -819,10 +1055,69 @@ fn place_rumor(placement: StartPlacement, graph: &Graph, env_rng: &mut SmallRng)
     }
 }
 
+/// Materialises the injection spec into one `(round, source)` entry per
+/// rumor id, drawing from the environment stream.
+///
+/// Draw order (part of the RNG contract documented on
+/// [`schedule_environment`]): Poisson samples one arrival count per round
+/// (Knuth's sampler) followed by one uniform source per arrival, in round
+/// order; leftover rumors at the horizon draw their sources in id order.
+/// Hotspot and explicit schedules draw nothing. All injections land strictly
+/// below the effective round horizon — an event at `round >= horizon` could
+/// never fire.
+fn sample_injection_schedule(
+    inj: &InjectionSpec,
+    scenario: &Scenario,
+    n: usize,
+    env_rng: &mut SmallRng,
+) -> Vec<(u64, NodeId)> {
+    let last = round_limit(scenario).saturating_sub(1);
+    match &inj.pattern {
+        InjectPattern::Poisson { rate } => {
+            let mut schedule = Vec::with_capacity(inj.rumors);
+            let mut round = 0u64;
+            while schedule.len() < inj.rumors && round < last {
+                let arrivals = poisson_knuth(*rate, env_rng).min(inj.rumors - schedule.len());
+                for _ in 0..arrivals {
+                    schedule.push((round, env_rng.gen_range(0..n) as NodeId));
+                }
+                round += 1;
+            }
+            // Whatever the Poisson stream did not place in time is injected
+            // in the last executable round, so every rumor id exists.
+            while schedule.len() < inj.rumors {
+                schedule.push((last, env_rng.gen_range(0..n) as NodeId));
+            }
+            schedule
+        }
+        InjectPattern::Hotspot { node, count } => {
+            (0..inj.rumors).map(|m| (((m / count) as u64).min(last), *node)).collect()
+        }
+        InjectPattern::Explicit(entries) => {
+            entries.iter().map(|e| (e.round.min(last), e.source)).collect()
+        }
+    }
+}
+
+/// Knuth's Poisson sampler (product of uniforms against `e^-rate`): exact,
+/// dependency-free, and cheap for the small per-round rates scenarios use.
+fn poisson_knuth(rate: f64, rng: &mut SmallRng) -> usize {
+    let l = (-rate).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            break k;
+        }
+        k += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::TopologySpec;
+    use crate::spec::{InjectionEntry, TopologySpec};
     use proptest::prelude::*;
 
     fn er(n: usize) -> TopologySpec {
@@ -1263,6 +1558,100 @@ mod tests {
             assert_eq!(o.tracked_coverage, 1.0);
             assert_eq!(trace.rounds.len(), 1, "only the initial stop-rule check runs");
         }
+    }
+
+    #[test]
+    fn poisson_stream_settles_every_rumor() {
+        let s = Scenario::builder("stream", er(128))
+            .inject_poisson(8, 1.0)
+            .stop(StopRule::AllRumors)
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 3, 1);
+        assert!(o.completed);
+        assert_eq!(o.stopped_by, StoppedBy::AllRumorsDone);
+        let stats = o.rumor_stats.expect("streaming run must report rumor stats");
+        assert_eq!(stats.injected, 8);
+        assert_eq!(stats.expired, 0);
+        assert_eq!(stats.completed_count(), 8, "all-rumors only fires once every rumor settled");
+        assert!(stats.completion_rounds.iter().all(|r| r.is_some()));
+        assert!(stats.inflight_high_water >= 1);
+        assert!(stats.mean_completion_round() > 0.0);
+        assert_eq!(o.coverage, 1.0, "every node ends up knowing all 8 rumors");
+    }
+
+    #[test]
+    fn explicit_injections_complete_no_earlier_than_they_arrive() {
+        let entries: Vec<InjectionEntry> = [(0u64, 0u32), (2, 5), (4, 9)]
+            .iter()
+            .map(|&(round, source)| InjectionEntry { round, source })
+            .collect();
+        let s = Scenario::builder("explicit", er(96))
+            .inject_explicit(entries.clone())
+            .stop(StopRule::AllRumors)
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 11, 1);
+        assert_eq!(o.stopped_by, StoppedBy::AllRumorsDone);
+        let stats = o.rumor_stats.unwrap();
+        for (m, entry) in entries.iter().enumerate() {
+            let done = stats.completion_rounds[m].expect("explicit rumor must complete");
+            assert!(
+                done > entry.round,
+                "rumor {m} reported complete at round {done} but arrived at {}",
+                entry.round
+            );
+        }
+        assert_eq!(o.tracked_source, entries[0].source, "rumor 0's source is the tracked one");
+    }
+
+    #[test]
+    fn short_ttl_expires_slow_rumors() {
+        let s = Scenario::builder("ttl", er(128))
+            .inject_poisson(6, 0.5)
+            .rumor_ttl(2)
+            .stop(StopRule::AllRumors)
+            .build()
+            .unwrap();
+        let o = run_scenario(&s, 7, 1);
+        assert_eq!(o.stopped_by, StoppedBy::AllRumorsDone);
+        let stats = o.rumor_stats.unwrap();
+        assert_eq!(stats.injected, 6);
+        assert!(stats.expired > 0, "a 2-round ttl must cut rumors off mid-spread");
+        // Every rumor settled one way or the other: completed before its
+        // expiry, or expired.
+        for m in 0..6 {
+            assert!(stats.completion_rounds[m].is_some() || stats.expired > 0);
+        }
+        assert!(stats.completed_count() < 6, "nothing spreads network-wide in 2 rounds");
+    }
+
+    #[test]
+    fn streaming_outcome_is_identical_across_engines_arena_and_threads() {
+        let s = Scenario::builder("stream-diff", er(160))
+            .inject_poisson(10, 0.75)
+            .rumor_ttl(12)
+            .loss(0.1)
+            .churn(0.1, 3, 4)
+            .stop(StopRule::AllRumors)
+            .build()
+            .unwrap();
+        let mut arena = ScenarioArena::default();
+        for seed in [2u64, 19] {
+            let (fresh, fresh_trace) = run_scenario_traced(&s, seed, 1);
+            let (oracle, oracle_trace) = run_scenario_unpacked_traced(&s, seed);
+            assert_eq!(fresh, oracle, "oracle diverged at seed {seed}");
+            assert_eq!(fresh_trace, oracle_trace, "oracle trace diverged at seed {seed}");
+            assert_eq!(run_scenario_in(&mut arena, &s, seed, 1), fresh);
+            assert_eq!(run_scenario(&s, seed, 4), fresh, "thread count changed the outcome");
+            assert!(fresh.rumor_stats.is_some());
+        }
+    }
+
+    #[test]
+    fn classic_scenarios_report_no_rumor_stats() {
+        let s = Scenario::builder("classic", er(96)).build().unwrap();
+        assert!(run_scenario(&s, 1, 1).rumor_stats.is_none());
     }
 
     proptest! {

@@ -8,19 +8,23 @@
 //!   `key = value` text format;
 //! * [`exec`] — deterministic execution of one replication, including dynamic
 //!   churn (nodes departing and rejoining mid-run), per-packet message loss,
-//!   crash bursts, and adversarial rumor placement; every protocol is driven
-//!   one round at a time through [`rpc_gossip::ProtocolDriver`], so round
-//!   budgets, coverage thresholds and per-round traces work uniformly, and
+//!   crash bursts, adversarial rumor placement, and multi-rumor streaming
+//!   (scheduled mid-run injection with optional TTL expiry, per-rumor
+//!   completion statistics in [`ScenarioOutcome::rumor_stats`]); every
+//!   protocol is driven one round at a time through
+//!   [`rpc_gossip::ProtocolDriver`], so round budgets, coverage thresholds
+//!   and per-round traces work uniformly, and
 //!   [`ScenarioOutcome::stopped_by`] reports why each run ended;
 //! * [`batch`] — the [`BatchDriver`]: a multi-threaded Monte Carlo driver
 //!   fanning seeded replications across a crossbeam thread pool, with results
 //!   bit-identical for any thread count;
 //! * [`stats`] — min/mean/max/percentile aggregation;
-//! * [`registry`] — seventeen built-in named scenarios covering the paper's
+//! * [`registry`] — twenty-one built-in named scenarios covering the paper's
 //!   density/robustness axes plus dynamic workloads — the phase-based
-//!   protocols under round budgets and coverage thresholds, and the
-//!   correlated hostile dimensions (failure zones, burst loss, edge churn,
-//!   Byzantine senders);
+//!   protocols under round budgets and coverage thresholds, the correlated
+//!   hostile dimensions (failure zones, burst loss, edge churn, Byzantine
+//!   senders), and multi-rumor streaming (Poisson arrivals, hotspot bursts,
+//!   TTL expiry, streaming under fire);
 //! * [`cells`] — the unit of sweep work: a [`CellJob`] (scenario, tuned
 //!   fast-gossiping, or memory-model-with-failures) measured into named
 //!   metric samples by [`run_cell`];
@@ -67,11 +71,12 @@ pub use exec::{
     run_scenario, run_scenario_in, run_scenario_observed, run_scenario_observed_in,
     run_scenario_observed_traced, run_scenario_traced, run_scenario_traced_in,
     run_scenario_unpacked, run_scenario_unpacked_traced, scenario_engine_seeds, RoundTrace,
-    ScenarioArena, ScenarioOutcome, ScenarioTrace, StoppedBy,
+    RumorStats, ScenarioArena, ScenarioOutcome, ScenarioTrace, StoppedBy,
 };
 pub use spec::{
-    zone_members, zone_of, ChurnSpec, CrashSpec, EdgeChurnSpec, EnvironmentSpec, LossBurstSpec,
-    ProtocolSpec, Scenario, ScenarioBuilder, ScenarioError, StartPlacement, StopRule, TopologySpec,
+    zone_members, zone_of, ChurnSpec, CrashSpec, EdgeChurnSpec, EnvironmentSpec, InjectPattern,
+    InjectionEntry, InjectionSpec, LossBurstSpec, ProtocolSpec, Scenario, ScenarioBuilder,
+    ScenarioError, StartPlacement, StopRule, TopologySpec,
 };
 pub use stats::{summarize, SummaryStats};
 pub use sweep::{
@@ -85,13 +90,14 @@ pub mod prelude {
     pub use crate::batch::{BatchDriver, ScenarioReport, StoppedByCounts};
     pub use crate::cells::{run_cell, CellJob, Probe, RepOutcome};
     pub use crate::exec::{
-        run_scenario, run_scenario_in, run_scenario_traced, run_scenario_traced_in, ScenarioArena,
-        ScenarioOutcome, ScenarioTrace, StoppedBy,
+        run_scenario, run_scenario_in, run_scenario_traced, run_scenario_traced_in, RumorStats,
+        ScenarioArena, ScenarioOutcome, ScenarioTrace, StoppedBy,
     };
     pub use crate::registry;
     pub use crate::spec::{
-        ChurnSpec, CrashSpec, EdgeChurnSpec, EnvironmentSpec, LossBurstSpec, ProtocolSpec,
-        Scenario, ScenarioError, StartPlacement, StopRule, TopologySpec,
+        ChurnSpec, CrashSpec, EdgeChurnSpec, EnvironmentSpec, InjectPattern, InjectionEntry,
+        InjectionSpec, LossBurstSpec, ProtocolSpec, Scenario, ScenarioError, StartPlacement,
+        StopRule, TopologySpec,
     };
     pub use crate::stats::{summarize, SummaryStats};
     pub use crate::sweep::{

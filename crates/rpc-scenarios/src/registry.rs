@@ -1,22 +1,24 @@
 //! The built-in scenario registry.
 //!
-//! Seventeen named scenarios spanning the axes the paper studies (density,
+//! Twenty-one named scenarios spanning the axes the paper studies (density,
 //! topology, robustness) plus the dynamic workloads the scenario engine adds
 //! (churn, loss, crash bursts, adversarial placement). Four pair the
 //! phase-based protocols (fast-gossiping, memory) with step-granular stop
 //! rules — round budgets and coverage thresholds under churn and crash
-//! bursts — which the step-driven executor made possible; the last five
-//! exercise the correlated hostile-environment dimensions (failure zones,
-//! burst loss, edge churn, Byzantine senders, and all of them stacked). All
-//! of them scale with a single size parameter so the same registry serves CI
-//! smoke runs and large sweeps.
+//! bursts — which the step-driven executor made possible; five exercise the
+//! correlated hostile-environment dimensions (failure zones, burst loss,
+//! edge churn, Byzantine senders, and all of them stacked); the last four
+//! are multi-rumor streaming workloads (Poisson arrivals, hotspot bursts,
+//! TTL expiry, and streaming under a hostile environment). All of them scale
+//! with a single size parameter so the same registry serves CI smoke runs
+//! and large sweeps.
 
 use rpc_graphs::log2n;
 
 use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule, TopologySpec};
 
 /// Names of the built-in scenarios, in registry order.
-pub const BUILTIN_NAMES: [&str; 17] = [
+pub const BUILTIN_NAMES: [&str; 21] = [
     "dense-er",
     "sparse-er",
     "random-regular",
@@ -34,6 +36,10 @@ pub const BUILTIN_NAMES: [&str; 17] = [
     "edge-churn",
     "byzantine-drop",
     "hostile-all",
+    "poisson-stream",
+    "hotspot-burst",
+    "ttl-expiry",
+    "hostile-stream",
 ];
 
 /// Builds the registry for graphs of `n` nodes (`n ≥ 16`; smaller values are
@@ -196,6 +202,47 @@ pub fn builtin(n: usize) -> Vec<Scenario> {
                 .stop(StopRule::Rounds(2 * round_budget))
                 .build(),
         ),
+        // Streaming baseline: sixteen rumors arrive as a Poisson process
+        // (about one per round) at uniform sources; the run ends once every
+        // rumor has reached the whole network.
+        build(
+            Scenario::builder("poisson-stream", TopologySpec::ErdosRenyiPaper { n })
+                .inject_poisson(16, 1.0)
+                .stop(StopRule::AllRumors)
+                .build(),
+        ),
+        // Hotspot workload: a single producer (node 0) emits twelve rumors
+        // in bursts of four per round — the skewed-source contrast to the
+        // uniform Poisson stream.
+        build(
+            Scenario::builder("hotspot-burst", TopologySpec::ErdosRenyiPaper { n })
+                .inject_hotspot(12, 0, 4)
+                .stop(StopRule::AllRumors)
+                .build(),
+        ),
+        // Expiring rumors: eight Poisson arrivals that each live only log n
+        // rounds, measured over a fixed budget — late arrivals get cut off
+        // mid-spread, so per-rumor completion histograms stay interesting.
+        build(
+            Scenario::builder("ttl-expiry", TopologySpec::ErdosRenyiPaper { n })
+                .inject_poisson(8, 0.5)
+                .rumor_ttl(log2.ceil() as u64)
+                .stop(StopRule::Rounds(2 * round_budget))
+                .build(),
+        ),
+        // Streaming under fire: Poisson arrivals racing burst loss, zoned
+        // churn and Byzantine senders over a fixed round budget.
+        build(
+            Scenario::builder("hostile-stream", TopologySpec::ErdosRenyiPaper { n })
+                .inject_poisson(8, 0.75)
+                .loss(0.05)
+                .loss_burst(4, 3, 0.4)
+                .zones(8)
+                .churn(0.1, 4, 6)
+                .byzantine(0.05)
+                .stop(StopRule::Rounds(2 * round_budget))
+                .build(),
+        ),
     ]
 }
 
@@ -231,13 +278,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_seventeen_uniquely_named_scenarios() {
+    fn registry_has_twenty_one_uniquely_named_scenarios() {
         let scenarios = builtin(1024);
-        assert_eq!(scenarios.len(), 17);
+        assert_eq!(scenarios.len(), 21);
         let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, BUILTIN_NAMES);
         let unique: std::collections::HashSet<_> = names.iter().collect();
-        assert_eq!(unique.len(), 17);
+        assert_eq!(unique.len(), 21);
     }
 
     #[test]
@@ -276,11 +323,37 @@ mod tests {
                                 StopRule::Complete => "complete",
                                 StopRule::Rounds(_) => "rounds",
                                 StopRule::Coverage(_) => "coverage",
+                                StopRule::AllRumors => "all-rumors",
                             }
                 });
                 assert!(covered, "no registry scenario runs {} with {rule_name}", protocol.name());
             }
         }
+    }
+
+    #[test]
+    fn streaming_scenarios_carry_injection_specs() {
+        use crate::spec::InjectPattern;
+        let stream = find("poisson-stream", 256).unwrap();
+        let inj = stream.injection.as_ref().unwrap();
+        assert_eq!(inj.rumors, 16);
+        assert!(matches!(inj.pattern, InjectPattern::Poisson { .. }));
+        assert_eq!(stream.stop, StopRule::AllRumors);
+        let hotspot = find("hotspot-burst", 256).unwrap();
+        assert!(matches!(
+            hotspot.injection.as_ref().unwrap().pattern,
+            InjectPattern::Hotspot { node: 0, count: 4 }
+        ));
+        let ttl = find("ttl-expiry", 256).unwrap();
+        assert!(ttl.injection.as_ref().unwrap().ttl.is_some());
+        let hostile = find("hostile-stream", 256).unwrap();
+        assert!(
+            hostile.injection.is_some()
+                && !hostile.environment.loss_bursts.is_empty()
+                && hostile.environment.churn.is_some()
+                && hostile.environment.byzantine > 0.0,
+            "hostile-stream must compose injection with hostile dimensions"
+        );
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! [`TopologySpec`] (which graph model at which scale), a [`ProtocolSpec`]
 //! (which gossiping algorithm), an [`EnvironmentSpec`] (message loss, loss
 //! bursts, churn, crash bursts, failure zones, edge churn, Byzantine
-//! senders, adversarial start placement), and a [`StopRule`]. Scenarios are
-//! built either with the builder API ([`Scenario::builder`]) or parsed from
-//! a simple `key = value` text format ([`Scenario::parse_str`]) that needs
-//! no external dependencies.
+//! senders, adversarial start placement), an optional [`InjectionSpec`]
+//! (multi-rumor streaming workloads: how many rumors, when and where they
+//! appear, how long they live), and a [`StopRule`]. Scenarios are built
+//! either with the builder API ([`Scenario::builder`]) or parsed from a
+//! simple `key = value` text format ([`Scenario::parse_str`]) that needs no
+//! external dependencies.
 //!
 //! ## Text format
 //!
@@ -27,8 +29,12 @@
 //! zones = 8                   # number of failure zones, default none
 //! edge-churn = 0.2:4          # fraction:period, default none
 //! byzantine = 0.1             # fraction of silently-dropping nodes, default 0
+//! rumors = 16                 # streaming rumor count, default none (classic)
+//! inject = poisson:1.5        # poisson:rate | hotspot:node:count |
+//!                             # round:source (repeatable), default poisson:1
+//! rumor-ttl = 32              # rounds until global expiry, default none
 //! start = min-degree          # random | min-degree | max-degree
-//! stop = complete             # complete | rounds:N | coverage:F
+//! stop = complete             # complete | rounds:N | coverage:F | all-rumors
 //! max-rounds = 400            # safety cap, default 64 * log2(n) + 64
 //! ```
 //!
@@ -48,7 +54,8 @@
 //!
 //! key        = "name" | "topology" | "n" | "degree" | "protocol" | "loss"
 //!            | "loss-burst" | "churn" | "crash" | "zones" | "edge-churn"
-//!            | "byzantine" | "start" | "stop" | "max-rounds" ;
+//!            | "byzantine" | "rumors" | "inject" | "rumor-ttl" | "start"
+//!            | "stop" | "max-rounds" ;
 //!
 //! value      =                                 (* per key: *)
 //!     ⟨name⟩     : string                      (* non-empty after trimming;
@@ -73,8 +80,23 @@
 //!                                                 [1, n] *)
 //!   | ⟨edge-churn⟩ : float ":" uint            (* fraction:period *)
 //!   | ⟨byzantine⟩ : float                      (* in [0, 1] *)
+//!   | ⟨rumors⟩   : uint                        (* ≥ 1; decouples the rumor
+//!                                                 space from n and switches
+//!                                                 the run to streaming mode *)
+//!   | ⟨inject⟩   : "poisson:" float            (* mean arrivals per round *)
+//!                | "hotspot:" uint ":" uint    (* node:count — count rumors
+//!                                                 per round at one node *)
+//!                | uint ":" uint               (* round:source — repeatable
+//!                                                 like loss-burst; each
+//!                                                 occurrence appends one
+//!                                                 explicit entry; explicit
+//!                                                 entries cannot be mixed
+//!                                                 with the sampled forms *)
+//!   | ⟨rumor-ttl⟩ : uint                       (* ≥ 1; rounds from injection
+//!                                                 to global expiry *)
 //!   | ⟨start⟩    : "random" | "min-degree" | "max-degree"
 //!   | ⟨stop⟩     : "complete" | "rounds:" uint | "coverage:" float
+//!                | "all-rumors"
 //!   | ⟨max-rounds⟩ : uint ;                    (* ≥ 1 *)
 //! ```
 //!
@@ -300,6 +322,60 @@ pub struct EdgeChurnSpec {
     pub period: u64,
 }
 
+/// One explicit injection: a rumor appears at `source` at the start of
+/// `round`. Explicit entries are indexed by position — the `m`-th entry of
+/// [`InjectPattern::Explicit`] injects rumor id `m`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectionEntry {
+    /// Round at whose boundary the rumor is injected.
+    pub round: u64,
+    /// Node the rumor first appears at.
+    pub source: NodeId,
+}
+
+/// When and where streaming rumors enter the network. The sampled forms
+/// (Poisson, hotspot) draw their schedules from the seeded environment RNG
+/// at prepare time — after the tracked-rumor placement draw, per the
+/// documented draw-ordering contract — so every engine replays the identical
+/// schedule without drawing anything itself.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InjectPattern {
+    /// Independent arrivals: each round injects `Poisson(rate)` new rumors
+    /// (Knuth's product-of-uniforms sampler) at uniformly random sources,
+    /// until all `rumors` ids are spent; leftovers are injected in the last
+    /// round before the `max-rounds` horizon.
+    Poisson {
+        /// Mean arrivals per round, positive and finite.
+        rate: f64,
+    },
+    /// A bursty producer: `count` rumors per round, all at one fixed node,
+    /// starting at round 0, until all ids are spent.
+    Hotspot {
+        /// The producing node.
+        node: NodeId,
+        /// Rumors injected per round (≥ 1).
+        count: usize,
+    },
+    /// A fully spelled-out schedule: exactly one entry per rumor id.
+    Explicit(Vec<InjectionEntry>),
+}
+
+/// A multi-rumor streaming workload: `rumors` message ids (the engine's
+/// message universe, decoupled from the node count) entering the network
+/// per `pattern`, each optionally expiring globally `ttl` rounds after its
+/// injection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InjectionSpec {
+    /// Size of the rumor space (≥ 1). Streaming runs start with *empty*
+    /// node states; every rumor enters via injection.
+    pub rumors: usize,
+    /// When and where rumors are injected.
+    pub pattern: InjectPattern,
+    /// Rounds from a rumor's injection to its global expiry, if any. An
+    /// expired rumor is removed from every node and never reappears.
+    pub ttl: Option<u64>,
+}
+
 /// Where the tracked rumor starts. The scenario engine follows one original
 /// message ("the rumor") for its coverage metric; adversarial placement puts
 /// it where spreading is hardest.
@@ -422,8 +498,14 @@ pub enum StopRule {
     /// `max_rounds`). Churned-out nodes stay in the basis — they rejoin with
     /// state intact — while crashed nodes leave it, so the rule stays
     /// reachable after a crash burst (see `rpc_scenarios::exec` for the exact
-    /// target arithmetic).
+    /// target arithmetic). With an [`InjectionSpec`] the rule applies **per
+    /// rumor**: every rumor must reach the threshold (or expire) before the
+    /// run stops.
     Coverage(f64),
+    /// Run until every streaming rumor has either reached all participating
+    /// nodes or expired (capped by `max_rounds`). Requires an
+    /// [`InjectionSpec`].
+    AllRumors,
 }
 
 /// A complete, validated scenario description.
@@ -437,6 +519,10 @@ pub struct Scenario {
     pub protocol: ProtocolSpec,
     /// Loss / churn / crash / placement conditions.
     pub environment: EnvironmentSpec,
+    /// Multi-rumor streaming workload, if any. `None` is the classic
+    /// configuration: every node starts knowing its own message and the
+    /// message universe equals the node count.
+    pub injection: Option<InjectionSpec>,
     /// Termination rule.
     pub stop: StopRule,
     /// Hard cap on executed rounds — applied uniformly to every protocol by
@@ -461,6 +547,8 @@ impl Scenario {
             topology,
             protocol: ProtocolSpec::default(),
             environment: EnvironmentSpec::default(),
+            injection: None,
+            rumor_ttl: None,
             stop: StopRule::Complete,
             max_rounds: None,
         }
@@ -521,11 +609,31 @@ impl Scenario {
         if self.environment.byzantine > 0.0 {
             out.push_str(&format!("byzantine = {}\n", self.environment.byzantine));
         }
+        if let Some(inj) = &self.injection {
+            out.push_str(&format!("rumors = {}\n", inj.rumors));
+            match &inj.pattern {
+                InjectPattern::Poisson { rate } => {
+                    out.push_str(&format!("inject = poisson:{rate}\n"));
+                }
+                InjectPattern::Hotspot { node, count } => {
+                    out.push_str(&format!("inject = hotspot:{node}:{count}\n"));
+                }
+                InjectPattern::Explicit(entries) => {
+                    for e in entries {
+                        out.push_str(&format!("inject = {}:{}\n", e.round, e.source));
+                    }
+                }
+            }
+            if let Some(ttl) = inj.ttl {
+                out.push_str(&format!("rumor-ttl = {ttl}\n"));
+            }
+        }
         out.push_str(&format!("start = {}\n", self.environment.placement.name()));
         match self.stop {
             StopRule::Complete => out.push_str("stop = complete\n"),
             StopRule::Rounds(r) => out.push_str(&format!("stop = rounds:{r}\n")),
             StopRule::Coverage(f) => out.push_str(&format!("stop = coverage:{f}\n")),
+            StopRule::AllRumors => out.push_str("stop = all-rumors\n"),
         }
         // The default cap is derived from n; only a custom cap is spelled out.
         if self.max_rounds != default_max_rounds(self.topology.num_nodes()) {
@@ -543,6 +651,9 @@ impl Scenario {
         let mut degree: Option<f64> = None;
         let mut protocol = ProtocolSpec::default();
         let mut environment = EnvironmentSpec::default();
+        let mut rumors: Option<usize> = None;
+        let mut inject_pattern: Option<InjectPattern> = None;
+        let mut rumor_ttl: Option<u64> = None;
         let mut stop = StopRule::Complete;
         let mut max_rounds = None;
         let mut unknown_keys: Vec<String> = Vec::new();
@@ -632,6 +743,56 @@ impl Scenario {
                     });
                 }
                 "byzantine" => environment.byzantine = parse_num::<f64>("byzantine", value)?,
+                "rumors" => rumors = Some(parse_num::<usize>("rumors", value)?),
+                "inject" => {
+                    let mixed = || {
+                        ScenarioError::Parse(
+                            "inject forms cannot be mixed: use either one sampled form \
+                             (poisson/hotspot) or explicit round:source entries"
+                                .into(),
+                        )
+                    };
+                    if let Some(rate) = value.strip_prefix("poisson:") {
+                        if matches!(inject_pattern, Some(InjectPattern::Explicit(_))) {
+                            return Err(mixed());
+                        }
+                        inject_pattern = Some(InjectPattern::Poisson {
+                            rate: parse_num::<f64>("inject poisson rate", rate)?,
+                        });
+                    } else if let Some(rest) = value.strip_prefix("hotspot:") {
+                        if matches!(inject_pattern, Some(InjectPattern::Explicit(_))) {
+                            return Err(mixed());
+                        }
+                        let parts: Vec<&str> = rest.split(':').collect();
+                        if parts.len() != 2 {
+                            return Err(ScenarioError::Parse(format!(
+                                "inject hotspot must be hotspot:node:count, got {value}"
+                            )));
+                        }
+                        inject_pattern = Some(InjectPattern::Hotspot {
+                            node: parse_num::<NodeId>("inject hotspot node", parts[0])?,
+                            count: parse_num::<usize>("inject hotspot count", parts[1])?,
+                        });
+                    } else {
+                        let (round, source) = value.split_once(':').ok_or_else(|| {
+                            ScenarioError::Parse(format!(
+                                "inject must be poisson:rate, hotspot:node:count, \
+                                 or round:source, got {value}"
+                            ))
+                        })?;
+                        let entry = InjectionEntry {
+                            round: parse_num::<u64>("inject round", round)?,
+                            source: parse_num::<NodeId>("inject source", source)?,
+                        };
+                        // Like loss-burst, explicit entries accumulate.
+                        match &mut inject_pattern {
+                            Some(InjectPattern::Explicit(entries)) => entries.push(entry),
+                            None => inject_pattern = Some(InjectPattern::Explicit(vec![entry])),
+                            Some(_) => return Err(mixed()),
+                        }
+                    }
+                }
+                "rumor-ttl" => rumor_ttl = Some(parse_num::<u64>("rumor-ttl", value)?),
                 "start" => {
                     environment.placement = match value {
                         "random" => StartPlacement::Random,
@@ -645,6 +806,8 @@ impl Scenario {
                 "stop" => {
                     stop = if value == "complete" {
                         StopRule::Complete
+                    } else if value == "all-rumors" {
+                        StopRule::AllRumors
                     } else if let Some(r) = value.strip_prefix("rounds:") {
                         StopRule::Rounds(parse_num::<u64>("stop rounds", r)?)
                     } else if let Some(f) = value.strip_prefix("coverage:") {
@@ -697,9 +860,28 @@ impl Scenario {
             Some(other) => return Err(ScenarioError::Parse(format!("unknown topology: {other}"))),
         };
 
+        // `inject` / `rumor-ttl` only mean something for a streaming
+        // workload, so either without `rumors` is a spec inconsistency (the
+        // builder cannot even represent it).
+        let injection = match rumors {
+            Some(r) => Some(InjectionSpec {
+                rumors: r,
+                pattern: inject_pattern.unwrap_or(InjectPattern::Poisson { rate: 1.0 }),
+                ttl: rumor_ttl,
+            }),
+            None if inject_pattern.is_some() => {
+                return Err(ScenarioError::Invalid("inject requires the rumors key".into()));
+            }
+            None if rumor_ttl.is_some() => {
+                return Err(ScenarioError::Invalid("rumor-ttl requires the rumors key".into()));
+            }
+            None => None,
+        };
+
         let mut builder = Scenario::builder(name, topology);
         builder.protocol = protocol;
         builder.environment = environment;
+        builder.injection = injection;
         builder.stop = stop;
         builder.max_rounds = max_rounds;
         builder.build()
@@ -745,6 +927,8 @@ pub struct ScenarioBuilder {
     topology: TopologySpec,
     protocol: ProtocolSpec,
     environment: EnvironmentSpec,
+    injection: Option<InjectionSpec>,
+    rumor_ttl: Option<u64>,
     stop: StopRule,
     max_rounds: Option<u64>,
 }
@@ -809,6 +993,47 @@ impl ScenarioBuilder {
     /// Selects the tracked-rumor placement.
     pub fn placement(mut self, placement: StartPlacement) -> Self {
         self.environment.placement = placement;
+        self
+    }
+
+    /// Installs a fully specified streaming workload (see [`InjectionSpec`]).
+    pub fn injection(mut self, injection: InjectionSpec) -> Self {
+        self.injection = Some(injection);
+        self
+    }
+
+    /// Streams `rumors` Poisson arrivals at `rate` mean rumors per round.
+    pub fn inject_poisson(mut self, rumors: usize, rate: f64) -> Self {
+        self.injection =
+            Some(InjectionSpec { rumors, pattern: InjectPattern::Poisson { rate }, ttl: None });
+        self
+    }
+
+    /// Streams `rumors` from one node, `count` per round (see
+    /// [`InjectPattern::Hotspot`]).
+    pub fn inject_hotspot(mut self, rumors: usize, node: NodeId, count: usize) -> Self {
+        self.injection = Some(InjectionSpec {
+            rumors,
+            pattern: InjectPattern::Hotspot { node, count },
+            ttl: None,
+        });
+        self
+    }
+
+    /// Streams rumors on an explicit schedule: entry `m` injects rumor `m`.
+    pub fn inject_explicit(mut self, entries: Vec<InjectionEntry>) -> Self {
+        self.injection = Some(InjectionSpec {
+            rumors: entries.len(),
+            pattern: InjectPattern::Explicit(entries),
+            ttl: None,
+        });
+        self
+    }
+
+    /// Expires every streaming rumor `ttl` rounds after its injection;
+    /// requires one of the `inject_*` methods (checked at build time).
+    pub fn rumor_ttl(mut self, ttl: u64) -> Self {
+        self.rumor_ttl = Some(ttl);
         self
     }
 
@@ -951,6 +1176,87 @@ impl ScenarioBuilder {
         if max_rounds == 0 {
             return Err(ScenarioError::Invalid("max-rounds must be at least 1".into()));
         }
+        let mut injection = self.injection;
+        if let Some(ttl) = self.rumor_ttl {
+            match &mut injection {
+                Some(inj) => inj.ttl = Some(ttl),
+                None => {
+                    return Err(ScenarioError::Invalid(
+                        "rumor-ttl requires a streaming injection (the rumors key)".into(),
+                    ));
+                }
+            }
+        }
+        if let Some(inj) = &injection {
+            // Like unknown keys at parse time, every problem with the
+            // injection spec is collected and reported in one error.
+            let mut problems: Vec<String> = Vec::new();
+            if inj.rumors == 0 {
+                problems.push("rumors must be at least 1".into());
+            }
+            if self.protocol != ProtocolSpec::PushPull {
+                problems.push(format!(
+                    "streaming injection requires the push-pull protocol \
+                     (the phase-based {} protocol assumes the classic one-rumor-per-node start)",
+                    self.protocol.name()
+                ));
+            }
+            match &inj.pattern {
+                InjectPattern::Poisson { rate } => {
+                    if !rate.is_finite() || *rate <= 0.0 {
+                        problems
+                            .push(format!("poisson rate must be positive and finite, got {rate}"));
+                    }
+                }
+                InjectPattern::Hotspot { node, count } => {
+                    if *node as usize >= n {
+                        problems.push(format!("hotspot node {node} out of range for n = {n}"));
+                    }
+                    if *count == 0 {
+                        problems.push("hotspot count must be at least 1".into());
+                    }
+                }
+                InjectPattern::Explicit(entries) => {
+                    if entries.len() != inj.rumors {
+                        problems.push(format!(
+                            "explicit injection needs exactly {} round:source entries \
+                             (one per rumor), got {}",
+                            inj.rumors,
+                            entries.len()
+                        ));
+                    }
+                    for (m, e) in entries.iter().enumerate() {
+                        if e.round >= max_rounds {
+                            problems.push(format!(
+                                "rumor {m} injected at round {} at or past the \
+                                 max-rounds cap {max_rounds}",
+                                e.round
+                            ));
+                        }
+                        if e.source as usize >= n {
+                            problems.push(format!(
+                                "rumor {m} source {} out of range for n = {n}",
+                                e.source
+                            ));
+                        }
+                    }
+                }
+            }
+            if inj.ttl == Some(0) {
+                problems.push("rumor-ttl must be at least 1".into());
+            }
+            if !problems.is_empty() {
+                return Err(ScenarioError::Invalid(format!(
+                    "injection spec: {}",
+                    problems.join("; ")
+                )));
+            }
+        }
+        if matches!(self.stop, StopRule::AllRumors) && injection.is_none() {
+            return Err(ScenarioError::Invalid(
+                "stop = all-rumors requires a streaming injection (the rumors key)".into(),
+            ));
+        }
         match self.stop {
             StopRule::Coverage(f) if !(f.is_finite() && 0.0 < f && f <= 1.0) => {
                 return Err(ScenarioError::Invalid(format!(
@@ -977,6 +1283,7 @@ impl ScenarioBuilder {
             topology: self.topology,
             protocol: self.protocol,
             environment: self.environment,
+            injection,
             stop: self.stop,
             max_rounds,
         })
@@ -1325,6 +1632,136 @@ mod tests {
         let over = default_max_rounds(64) + 1;
         assert!(matches!(
             base().stop(StopRule::Rounds(over)).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn every_injection_pattern_roundtrips_through_the_text_format() {
+        let base = || Scenario::builder("stream", TopologySpec::ErdosRenyiPaper { n: 128 });
+        let cases = [
+            base().inject_poisson(16, 1.5).stop(StopRule::AllRumors).build().unwrap(),
+            base().inject_hotspot(12, 7, 4).rumor_ttl(24).build().unwrap(),
+            base()
+                .inject_explicit(vec![
+                    InjectionEntry { round: 0, source: 3 },
+                    InjectionEntry { round: 2, source: 9 },
+                    InjectionEntry { round: 2, source: 0 },
+                ])
+                .stop(StopRule::Coverage(0.9))
+                .build()
+                .unwrap(),
+        ];
+        for s in cases {
+            let text = s.to_text();
+            assert_eq!(Scenario::parse_str(&text).unwrap(), s, "lossy roundtrip for:\n{text}");
+        }
+        let explicit = base()
+            .inject_explicit(vec![
+                InjectionEntry { round: 0, source: 3 },
+                InjectionEntry { round: 2, source: 9 },
+            ])
+            .build()
+            .unwrap()
+            .to_text();
+        assert!(explicit.contains("inject = 0:3\ninject = 2:9"), "got:\n{explicit}");
+    }
+
+    #[test]
+    fn rumors_without_inject_defaults_to_unit_rate_poisson() {
+        let s = Scenario::parse_str("name = x\nn = 64\nrumors = 8\n").unwrap();
+        let inj = s.injection.as_ref().unwrap();
+        assert_eq!(inj.rumors, 8);
+        assert_eq!(inj.pattern, InjectPattern::Poisson { rate: 1.0 });
+        assert_eq!(inj.ttl, None);
+        assert_eq!(Scenario::parse_str(&s.to_text()).unwrap(), s);
+    }
+
+    #[test]
+    fn injection_validation_reports_every_problem_at_once() {
+        let built = Scenario::builder("x", TopologySpec::Complete { n: 16 })
+            .max_rounds(10)
+            .inject_explicit(vec![
+                InjectionEntry { round: 10, source: 3 },
+                InjectionEntry { round: 2, source: 16 },
+                InjectionEntry { round: 3, source: 5 },
+            ])
+            .rumor_ttl(0)
+            .build();
+        match built {
+            Err(ScenarioError::Invalid(msg)) => {
+                assert!(msg.contains("rumor 0 injected at round 10"), "got: {msg}");
+                assert!(msg.contains("rumor 1 source 16 out of range"), "got: {msg}");
+                assert!(msg.contains("rumor-ttl must be at least 1"), "got: {msg}");
+            }
+            other => panic!("expected one Invalid listing all problems, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injection_validation_rejects_bad_specs() {
+        let base = || Scenario::builder("x", TopologySpec::Complete { n: 16 });
+        assert!(matches!(base().inject_poisson(0, 1.0).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().inject_poisson(4, 0.0).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(
+            base().inject_poisson(4, f64::NAN).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(matches!(base().inject_hotspot(4, 16, 1).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().inject_hotspot(4, 0, 0).build(), Err(ScenarioError::Invalid(_))));
+        // Entry count must equal the rumor count.
+        assert!(matches!(
+            base()
+                .injection(InjectionSpec {
+                    rumors: 3,
+                    pattern: InjectPattern::Explicit(vec![InjectionEntry { round: 0, source: 0 }]),
+                    ttl: None,
+                })
+                .build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        // Streaming is push-pull-only: the phase-based protocols assume the
+        // classic one-rumor-per-node start.
+        assert!(matches!(
+            base().protocol(ProtocolSpec::Memory).inject_poisson(4, 1.0).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        // TTL and the all-rumors stop rule require an injection.
+        assert!(matches!(base().rumor_ttl(8).build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(base().stop(StopRule::AllRumors).build(), Err(ScenarioError::Invalid(_))));
+        assert!(base().inject_poisson(4, 1.0).stop(StopRule::AllRumors).build().is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_injection_values() {
+        for line in [
+            "inject = poisson:fast",
+            "inject = hotspot:3",
+            "inject = hotspot:3:2:1",
+            "inject = 5",
+            "inject = a:b",
+        ] {
+            let text = format!("name = x\nn = 64\nrumors = 4\n{line}\n");
+            assert!(
+                matches!(Scenario::parse_str(&text), Err(ScenarioError::Parse(_))),
+                "accepted {line:?}"
+            );
+        }
+        // Mixing the sampled and explicit forms is a parse error.
+        for lines in ["inject = poisson:1\ninject = 2:3", "inject = 2:3\ninject = hotspot:1:2"] {
+            let text = format!("name = x\nn = 64\nrumors = 4\n{lines}\n");
+            assert!(
+                matches!(Scenario::parse_str(&text), Err(ScenarioError::Parse(_))),
+                "accepted mixed forms: {lines:?}"
+            );
+        }
+        // `inject` / `rumor-ttl` without `rumors` are spec inconsistencies.
+        assert!(matches!(
+            Scenario::parse_str("name = x\nn = 64\ninject = poisson:1\n"),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(matches!(
+            Scenario::parse_str("name = x\nn = 64\nrumor-ttl = 8\n"),
             Err(ScenarioError::Invalid(_))
         ));
     }

@@ -705,8 +705,8 @@ impl CellCache {
             let s = e.stopped;
             writeln!(
                 out,
-                "stopped {} {} {} {}",
-                s.complete, s.round_budget, s.coverage, s.max_rounds
+                "stopped {} {} {} {} {}",
+                s.complete, s.round_budget, s.coverage, s.all_rumors, s.max_rounds
             )
             .unwrap();
             for (name, st, sd) in &e.metrics {
@@ -741,6 +741,7 @@ fn parse_entry(fields: &[&str]) -> Option<CacheEntry> {
                     complete: next()?,
                     round_budget: next()?,
                     coverage: next()?,
+                    all_rumors: next()?,
                     max_rounds: next()?,
                 });
             }
@@ -1216,7 +1217,13 @@ mod tests {
             fingerprint: 0xdead_beef_0123_4567,
             reps: 7,
             budget_exhausted: true,
-            stopped: StoppedByCounts { complete: 4, round_budget: 1, coverage: 0, max_rounds: 2 },
+            stopped: StoppedByCounts {
+                complete: 4,
+                round_budget: 1,
+                coverage: 0,
+                all_rumors: 3,
+                max_rounds: 2,
+            },
             metrics: vec![
                 (
                     "m".to_string(),
@@ -1251,7 +1258,7 @@ mod tests {
         std::fs::write(
             &path,
             "# header\ncell good\nfp 00000000000000ff\nreps 2\nexhausted 0\n\
-             stopped 2 0 0 0\nmetric m 1 1 1 1 1 0\nend\n\
+             stopped 2 0 0 0 0\nmetric m 1 1 1 1 1 0\nend\n\
              cell broken\nreps not-a-number\nend\nnoise outside blocks\n",
         )
         .unwrap();
