@@ -163,6 +163,15 @@ pub trait Engine {
     /// CSR edge slots go down, replacing any previously down set.
     fn schedule_edge_outage(&mut self, round: u64, slots: Vec<NodeId>);
 
+    /// Applies every scheduled liveness/injection event due at the current
+    /// round immediately. Scheduled events are normally applied lazily from
+    /// the engine primitives (`open_channel`, `deliver`); drivers that gate
+    /// per-node work on liveness or informedness *before* calling a
+    /// primitive invoke this at the top of each step so round-boundary
+    /// events (crash bursts, rumor injections) are visible to those checks.
+    /// Idempotent within a round; never draws randomness.
+    fn apply_due_events(&mut self);
+
     /// Marks the given nodes Byzantine: they open channels and receive
     /// normally but silently drop every packet they should send.
     fn set_byzantine(&mut self, nodes: &[NodeId]);
@@ -295,6 +304,9 @@ impl Engine for crate::sim::Simulation<'_> {
     }
     fn schedule_edge_outage(&mut self, round: u64, slots: Vec<NodeId>) {
         Self::schedule_edge_outage(self, round, slots)
+    }
+    fn apply_due_events(&mut self) {
+        Self::apply_due_events(self)
     }
     fn set_byzantine(&mut self, nodes: &[NodeId]) {
         Self::set_byzantine(self, nodes)

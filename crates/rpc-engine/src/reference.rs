@@ -131,6 +131,12 @@ impl<'g> UnpackedSimulation<'g> {
         self.schedule[self.next_event..].sort_by_key(|e| e.round);
     }
 
+    /// Mirrors [`crate::Simulation::apply_due_events`]: applies due
+    /// scheduled events immediately, idempotently, and draw-free.
+    pub fn apply_due_events(&mut self) {
+        self.poll_events();
+    }
+
     fn poll_events(&mut self) {
         if self.next_event >= self.schedule.len() {
             return;
@@ -630,6 +636,10 @@ impl Engine for UnpackedSimulation<'_> {
 
     fn schedule_edge_outage(&mut self, round: u64, slots: Vec<NodeId>) {
         self.push_event(LivenessEvent { round, kind: LivenessKind::EdgeOutage, nodes: slots });
+    }
+
+    fn apply_due_events(&mut self) {
+        Self::apply_due_events(self)
     }
 
     fn set_byzantine(&mut self, nodes: &[NodeId]) {

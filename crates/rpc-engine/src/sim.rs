@@ -885,6 +885,18 @@ impl<'g> Simulation<'g> {
         }
     }
 
+    /// Applies every scheduled liveness/injection event due at the current
+    /// round *now*, without waiting for the next engine primitive. The
+    /// lazy `poll_events` application runs from `open_channel` /
+    /// `deliver`, which is invisible to drivers that gate their per-node
+    /// work on liveness or informedness *before* touching a primitive
+    /// (e.g. a broadcast driver that only opens channels for informed
+    /// nodes). Such drivers call this once at the top of each step; it is
+    /// idempotent within a round and draws nothing from the RNG.
+    pub fn apply_due_events(&mut self) {
+        self.poll_events();
+    }
+
     /// Opens a channel from `v` to a uniformly random neighbour and records
     /// the channel opening. Returns `None` if `v` has failed, departed, or is
     /// isolated. Departed neighbours are excluded from the selection; crashed

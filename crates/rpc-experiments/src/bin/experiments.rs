@@ -21,7 +21,27 @@
 //!   sweep       Every sweep-backed experiment above (respects --only)
 //!   all         sweep + separation
 //!   profile     Aggregate a recorded trace into a per-cell timing table
+//!   node        Serve one gossip node over JSON lines on stdin/stdout
+//!   cluster     Run a scenario as an in-process node cluster under a nemesis
 //! ```
+//!
+//! `node` and `cluster` take their own flags (they are runtime commands, not
+//! sweeps):
+//!
+//! ```text
+//! experiments node [--state-path FILE]
+//! experiments cluster [--scenario NAME] [--n N] [--seed S]
+//!                     [--nemesis SPEC] [--trace-out FILE] [--require-complete]
+//! ```
+//!
+//! `node` speaks the Maelstrom-style wire protocol of `rpc-runtime`: it waits
+//! for an `init` envelope naming a registry scenario, then answers
+//! `start_round`/`gossip`/`read` until EOF. `--state-path` persists the rumor
+//! store after every message so a supervisor can kill and restart the process
+//! without losing rumors. `cluster` wires n such actors to the coordinator
+//! over in-process channels and injects faults per the `--nemesis` grammar
+//! (`drop=0.1,delay=0.2:3,duplicate=0.05,partition=4:2,crash=3@5+4,seed=9`);
+//! `--require-complete` exits nonzero unless the stop rule was satisfied.
 //!
 //! `--profile` (or `--trace-out FILE`) streams every sweep's observability
 //! events — dispatch decisions, pool/arena stats, per-repetition wall-clock —
@@ -40,14 +60,21 @@
 //! one CSV file per experiment plus a JSON sweep report (same stem) carrying
 //! the per-cell CI aggregates.
 
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rpc_experiments::{
     ablation, fig1, fig4, phases, profile, report::Table, robustness, scenario, separation, table1,
     theory_check, RunOpts,
 };
+use rpc_obs::TraceWriter;
+use rpc_runtime::{
+    run_cluster, run_cluster_observed, serve, ClusterConfig, NemesisSpec, RetryPolicy,
+    RuntimeOutcome, StdioTransport,
+};
 use rpc_scenarios::{
-    arithmetic_failure_sweep, dense_size_sweep, failure_sweep, size_sweep, SweepReport,
+    arithmetic_failure_sweep, dense_size_sweep, failure_sweep, registry, size_sweep, SweepReport,
 };
 
 /// Prints the table as Markdown and, with `--out`, writes `<stem>.csv` plus —
@@ -188,11 +215,12 @@ fn run_phases(opts: &RunOpts) {
 
 fn run_scenarios(opts: &RunOpts) {
     // Scenario graphs use a quarter of the sweep's largest size: the registry
-    // runs 21 scenarios (all three protocols under complete/rounds/coverage
+    // runs 24 scenarios (all three protocols under complete/rounds/coverage
     // stop rules, the hostile-dimension set — zone crashes, loss bursts,
-    // edge churn, Byzantine senders — and the multi-rumor streaming set), so
-    // this keeps `--quick` in CI territory while the default/large scales
-    // still exercise real sizes.
+    // edge churn, Byzantine senders — the multi-rumor streaming set, and the
+    // node-runtime trio that the differential suite replays), so this keeps
+    // `--quick` in CI territory while the default/large scales still
+    // exercise real sizes.
     let n = (opts.scale.max_n / 4).max(256);
     let spec = scenario::spec(n, opts.scale.seed, opts.policy("rounds"));
     let report = opts.run_spec(&spec);
@@ -265,9 +293,120 @@ fn truncate_trace(opts: &RunOpts) {
     }
 }
 
+/// `experiments node [--state-path FILE]` — the deployable actor: serve one
+/// gossip node over JSON lines on stdin/stdout until EOF.
+fn run_node(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut state_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--state-path" => {
+                let path = args.next().ok_or("--state-path needs a file argument")?;
+                state_path = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown node flag: {other}")),
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut transport = StdioTransport::new(stdin.lock(), stdout.lock());
+    serve(&mut transport, state_path.as_deref()).map_err(|e| e.to_string())
+}
+
+/// `experiments cluster ...` — run one registry scenario as an in-process
+/// cluster of node actors under a (possibly hostile) nemesis and print the
+/// outcome summary.
+fn run_cluster_cmd(mut args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut scenario_name = "sparse-er".to_string();
+    let mut n = 16usize;
+    let mut seed = 1u64;
+    let mut nemesis = NemesisSpec::default();
+    let mut trace_out: Option<PathBuf> = None;
+    let mut require_complete = false;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs an argument"));
+        match arg.as_str() {
+            "--scenario" => scenario_name = value("--scenario")?,
+            "--n" => {
+                n = value("--n")?.parse().map_err(|e| format!("bad --n: {e}"))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--nemesis" => nemesis = NemesisSpec::parse(&value("--nemesis")?)?,
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--require-complete" => require_complete = true,
+            other => return Err(format!("unknown cluster flag: {other}")),
+        }
+    }
+
+    let scenario = registry::find(&scenario_name, n)
+        .ok_or_else(|| format!("no registry scenario named {scenario_name:?}"))?;
+    // The registry clamps sizes so every scenario stays well-formed; report
+    // the size the cluster will actually run at, not the one requested.
+    if scenario.topology.num_nodes() != n {
+        eprintln!("note: registry clamped --n {n} to {}", scenario.topology.num_nodes());
+        n = scenario.topology.num_nodes();
+    }
+    let config = ClusterConfig { policy: RetryPolicy::default(), nemesis };
+    let outcome = match &trace_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?;
+            let mut sink = TraceWriter::new(std::io::BufWriter::new(file));
+            let outcome = run_cluster_observed(&scenario, seed, &config, &mut sink)
+                .map_err(|e| e.to_string())?;
+            let mut writer = sink.finish().map_err(|e| format!("trace {}: {e}", path.display()))?;
+            writer.flush().map_err(|e| format!("trace {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+            outcome
+        }
+        None => run_cluster(&scenario, seed, &config).map_err(|e| e.to_string())?,
+    };
+
+    print_cluster_summary(&scenario_name, n, seed, &outcome);
+    if require_complete && !outcome.completed {
+        return Err(format!("stop rule not satisfied: {:?}", outcome.stopped_by));
+    }
+    Ok(())
+}
+
+/// Prints the cluster outcome in the same key/value style the sweep tables
+/// use for their stderr progress lines.
+fn print_cluster_summary(scenario: &str, n: usize, seed: u64, outcome: &RuntimeOutcome) {
+    println!("cluster {scenario} n={n} seed={seed}");
+    println!("  completed        {}", outcome.completed);
+    println!("  stopped_by       {:?}", outcome.stopped_by);
+    println!("  rounds           {}", outcome.rounds);
+    println!("  packets          {}", outcome.total_packets);
+    println!("  exchanges        {}", outcome.total_exchanges);
+    println!("  retries          {}", outcome.retries);
+    println!("  degraded_rounds  {}", outcome.quorum_advances);
+    let f = &outcome.faults;
+    println!(
+        "  faults           dropped={} delayed={} duplicated={} partition_drops={} \
+         crash_drops={} crashes={} restarts={}",
+        f.dropped, f.delayed, f.duplicated, f.partition_drops, f.crash_drops, f.crashes, f.restarts
+    );
+    let informed = outcome.final_counts.iter().filter(|&&c| c > 0).count();
+    println!("  informed_nodes   {informed}/{n}");
+    println!("  forged_rumors    {}", outcome.forged);
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| "help".to_string());
+    // The runtime commands parse their own flags — they are not sweeps and
+    // take none of the sweep options.
+    if command == "node" || command == "cluster" {
+        let result = if command == "node" { run_node(args) } else { run_cluster_cmd(args) };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match RunOpts::parse(args) {
         Ok(o) => o,
         Err(e) => {
@@ -309,7 +448,10 @@ fn main() -> ExitCode {
                  <table1|fig1|fig2|fig3|fig4|fig5|theory|separation|ablation|phases|scenario|sweep|all|profile> \
                  [--quick|--large] [--max-n N] [--reps K] [--max-reps K] [--ci-rel T] \
                  [--seed S] [--threads T] [--out DIR] [--cache FILE] [--only NAME]... \
-                 [--trace-out FILE] [--profile]"
+                 [--trace-out FILE] [--profile]\n       \
+                 experiments node [--state-path FILE]\n       \
+                 experiments cluster [--scenario NAME] [--n N] [--seed S] [--nemesis SPEC] \
+                 [--trace-out FILE] [--require-complete]"
             );
         }
         other => {

@@ -12,9 +12,10 @@
 use rand::Rng;
 use rpc_graphs::{Graph, NodeId};
 
-use rpc_engine::{sample_failures, ContactLists, Metrics};
+use rpc_engine::{sample_failures, ContactLists, Engine, Metrics};
 
 use crate::config::LeaderElectionConfig;
+use crate::runner::{ProtocolDriver, StepStatus};
 
 /// Result of one leader-election run.
 #[derive(Clone, Debug)]
@@ -205,6 +206,230 @@ impl LeaderElection {
     }
 }
 
+/// The distilled result of a driver-run election, carried on the scenario
+/// outcome so registry scenarios can assert the paper's success predicate
+/// (Lemma 18: a unique leader every alive node is aware of) without
+/// re-running the election.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElectionSummary {
+    /// The elected leader, if exactly one node considers itself the leader.
+    pub leader: Option<NodeId>,
+    /// Number of nodes that consider themselves the leader (1 on success).
+    pub self_declared: usize,
+    /// Number of nodes that declared themselves candidates.
+    pub candidates: usize,
+    /// Number of participating nodes aware of the leader at the end.
+    pub aware_nodes: usize,
+    /// Number of participating nodes at the end.
+    pub alive_nodes: usize,
+}
+
+impl ElectionSummary {
+    /// Whether election succeeded: exactly one self-declared leader and every
+    /// participating node is aware of it (the [`ElectionOutcome::succeeded`]
+    /// predicate, evaluated against the engine's liveness masks).
+    pub fn succeeded(&self) -> bool {
+        self.leader.is_some() && self.aware_nodes == self.alive_nodes
+    }
+}
+
+/// Where a [`LeaderElectionDriver`] is in Algorithm 3's schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ElectionStage {
+    /// Candidate selection plus the candidates' initial push (one round).
+    Candidacy,
+    /// Push step `k` of `push_steps` (1-based).
+    Push(u64),
+    /// Pull step `k` of `pull_steps` (1-based).
+    Pull(u64),
+    /// Schedule exhausted; the summary is cached.
+    Done,
+}
+
+/// The resumable [`ProtocolDriver`] for Algorithm 3: the same candidacy →
+/// push → pull schedule as [`LeaderElection::run_with_failures`], but driven
+/// through an [`Engine`] so the scenario executor's environment dimensions
+/// (crash bursts, per-round traces, stop rules) apply uniformly. Liveness
+/// comes from the engine's masks instead of a bespoke `alive` vector, and
+/// every random draw (candidacy coin, `open-avoid` neighbour choice) comes
+/// from the engine RNG, so runs are deterministic in the scenario seed.
+#[derive(Clone, Debug)]
+pub struct LeaderElectionDriver {
+    config: LeaderElectionConfig,
+    stage: ElectionStage,
+    /// Smallest identifier seen so far by each node (identifier of `v` is `v`).
+    best: Vec<Option<NodeId>>,
+    active: Vec<bool>,
+    contacts: ContactLists,
+    candidates: usize,
+    arrivals: Vec<(NodeId, NodeId)>,
+    summary: Option<ElectionSummary>,
+}
+
+impl LeaderElectionDriver {
+    /// A driver for an `n`-node election with an explicit configuration.
+    pub fn new(config: LeaderElectionConfig, n: usize) -> Self {
+        Self {
+            config,
+            stage: ElectionStage::Candidacy,
+            best: vec![None; n],
+            active: vec![false; n],
+            contacts: ContactLists::new(n),
+            candidates: 0,
+            arrivals: Vec::new(),
+            summary: None,
+        }
+    }
+
+    /// A driver with the paper's default constants for `n` nodes.
+    pub fn paper(n: usize) -> Self {
+        Self::new(LeaderElectionConfig::paper_defaults(n), n)
+    }
+
+    /// The cached election result; `Some` once the schedule is exhausted.
+    pub fn summary(&self) -> Option<&ElectionSummary> {
+        self.summary.as_ref()
+    }
+
+    fn merge_arrivals<E: Engine>(&mut self, sim: &E) {
+        for &(to, id) in &self.arrivals {
+            if !sim.is_participating(to) {
+                continue;
+            }
+            self.active[to as usize] = true;
+            self.best[to as usize] = Some(match self.best[to as usize] {
+                Some(current) => current.min(id),
+                None => id,
+            });
+        }
+    }
+
+    fn advance<E: Engine>(&mut self, sim: &E) {
+        let push_steps = self.config.push_steps as u64;
+        let pull_steps = self.config.pull_steps as u64;
+        self.stage = match self.stage {
+            ElectionStage::Candidacy if push_steps > 0 => ElectionStage::Push(1),
+            ElectionStage::Push(step) if step < push_steps => ElectionStage::Push(step + 1),
+            ElectionStage::Candidacy | ElectionStage::Push(_) if pull_steps > 0 => {
+                ElectionStage::Pull(1)
+            }
+            ElectionStage::Pull(step) if step < pull_steps => ElectionStage::Pull(step + 1),
+            _ => ElectionStage::Done,
+        };
+        if self.stage == ElectionStage::Done && self.summary.is_none() {
+            self.summary = Some(self.evaluate(sim));
+        }
+    }
+
+    fn evaluate<E: Engine>(&self, sim: &E) -> ElectionSummary {
+        let n = sim.num_nodes();
+        let self_declared: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| sim.is_participating(v) && self.best[v as usize] == Some(v))
+            .collect();
+        let leader = if self_declared.len() == 1 { Some(self_declared[0]) } else { None };
+        let aware_nodes = match leader {
+            Some(l) => (0..n as NodeId)
+                .filter(|&v| sim.is_participating(v) && self.best[v as usize] == Some(l))
+                .count(),
+            None => 0,
+        };
+        let alive_nodes = (0..n as NodeId).filter(|&v| sim.is_participating(v)).count();
+        ElectionSummary {
+            leader,
+            self_declared: self_declared.len(),
+            candidates: self.candidates,
+            aware_nodes,
+            alive_nodes,
+        }
+    }
+}
+
+impl ProtocolDriver for LeaderElectionDriver {
+    fn name(&self) -> &'static str {
+        "leader-election"
+    }
+
+    fn finished<E: Engine>(&self, _sim: &E) -> bool {
+        self.stage == ElectionStage::Done
+    }
+
+    fn succeeded<E: Engine>(&self, _sim: &E) -> bool {
+        self.summary.is_some_and(|s| s.succeeded())
+    }
+
+    fn election_summary(&self) -> Option<ElectionSummary> {
+        self.summary
+    }
+
+    fn step<E: Engine>(&mut self, sim: &mut E) -> StepStatus {
+        if self.stage == ElectionStage::Done {
+            return StepStatus::Done;
+        }
+        // Land scheduled crash/churn bursts before the stage body so a
+        // round-0 failure regime excludes its victims from candidacy, exactly
+        // like `run_with_failures` fails nodes before the algorithm starts.
+        sim.apply_due_events();
+        let n = sim.num_nodes();
+        self.arrivals.clear();
+        match self.stage {
+            ElectionStage::Candidacy => {
+                for v in 0..n as NodeId {
+                    if !sim.is_participating(v)
+                        || !sim.rng_mut().gen_bool(self.config.candidate_probability)
+                    {
+                        continue;
+                    }
+                    self.candidates += 1;
+                    self.active[v as usize] = true;
+                    self.best[v as usize] = Some(v);
+                    let avoid = self.contacts.get(v).addresses();
+                    if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                        sim.metrics_mut().record_packet(v);
+                        sim.metrics_mut().record_exchange(v);
+                        self.contacts.get_mut(v).store(0, u, 0);
+                        self.arrivals.push((u, v));
+                    }
+                }
+            }
+            ElectionStage::Push(step) => {
+                for v in 0..n as NodeId {
+                    if !sim.is_participating(v) || !self.active[v as usize] {
+                        continue;
+                    }
+                    let Some(id) = self.best[v as usize] else { continue };
+                    let avoid = self.contacts.get(v).addresses();
+                    if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                        sim.metrics_mut().record_packet(v);
+                        sim.metrics_mut().record_exchange(v);
+                        self.contacts.get_mut(v).store((step % 4) as usize, u, step);
+                        self.arrivals.push((u, id));
+                    }
+                }
+            }
+            ElectionStage::Pull(step) => {
+                for v in 0..n as NodeId {
+                    let avoid = self.contacts.get(v).addresses();
+                    if let Some(u) = sim.open_channel_avoiding(v, &avoid) {
+                        self.contacts.get_mut(v).store((step % 4) as usize, u, 1000 + step);
+                        if sim.is_participating(u) {
+                            if let Some(id) = self.best[u as usize] {
+                                sim.metrics_mut().record_packet(u);
+                                sim.metrics_mut().record_exchange(v);
+                                self.arrivals.push((v, id));
+                            }
+                        }
+                    }
+                }
+            }
+            ElectionStage::Done => unreachable!("early-returned above"),
+        }
+        sim.metrics_mut().finish_round();
+        self.merge_arrivals(sim);
+        self.advance(sim);
+        StepStatus::Running
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +499,71 @@ mod tests {
         let b = LeaderElection::paper(n).run(&g, 10);
         assert_eq!(a.leader, b.leader);
         assert_eq!(a.total_packets, b.total_packets);
+    }
+
+    #[test]
+    fn driver_elects_a_unique_known_leader_on_a_random_graph() {
+        use rpc_engine::Simulation;
+
+        let n = 1024;
+        let g = ErdosRenyi::paper_density(n).generate(1);
+        let mut sim = Simulation::new(&g, 2);
+        let mut driver = LeaderElectionDriver::paper(n);
+        assert!(!driver.finished(&sim));
+        assert_eq!(driver.election_summary(), None);
+        let rounds = crate::runner::run_driver(&mut driver, &mut sim);
+        let config = LeaderElectionConfig::paper_defaults(n);
+        assert_eq!(rounds, 1 + config.push_steps as u64 + config.pull_steps as u64);
+        assert_eq!(rounds, sim.metrics().rounds());
+        assert!(driver.finished(&sim));
+        let summary = driver.election_summary().expect("summary cached at Done");
+        assert!(summary.succeeded(), "election failed: {summary:?}");
+        assert_eq!(summary.self_declared, 1);
+        assert_eq!(summary.aware_nodes, n);
+        assert_eq!(summary.alive_nodes, n);
+        assert!(summary.candidates >= 1);
+        assert!(driver.succeeded(&sim));
+        // Further steps are no-op `Done`s.
+        let packets = sim.metrics().total_packets();
+        assert_eq!(driver.step(&mut sim), StepStatus::Done);
+        assert_eq!(sim.metrics().total_packets(), packets);
+    }
+
+    #[test]
+    fn driver_tolerates_a_round_zero_crash_burst() {
+        use rpc_engine::Simulation;
+
+        // Lemma 19's failure regime expressed through the engine: a scheduled
+        // crash burst at round 0 lands (via `apply_due_events`) before the
+        // candidacy draw, so victims neither run nor count as alive.
+        let n = 2048;
+        let failures = 64; // ≈ n^{0.55}
+        let g = ErdosRenyi::paper_density(n).generate(11);
+        let mut sim = Simulation::new(&g, 12);
+        sim.schedule_crash(0, (0..failures as NodeId).collect());
+        let mut driver = LeaderElectionDriver::paper(n);
+        crate::runner::run_driver(&mut driver, &mut sim);
+        let summary = driver.election_summary().expect("summary cached at Done");
+        assert_eq!(summary.alive_nodes, n - failures);
+        assert_eq!(summary.self_declared, 1, "no unique leader: {summary:?}");
+        assert!(summary.aware_nodes as f64 >= 0.99 * summary.alive_nodes as f64);
+    }
+
+    #[test]
+    fn driver_is_deterministic_in_the_seed() {
+        use rpc_engine::Simulation;
+
+        let n = 256;
+        let g = ErdosRenyi::paper_density(n).generate(9);
+        let run = |seed| {
+            let mut sim = Simulation::new(&g, seed);
+            let mut driver = LeaderElectionDriver::paper(n);
+            crate::runner::run_driver(&mut driver, &mut sim);
+            (*driver.summary().unwrap(), sim.metrics().total_packets())
+        };
+        assert_eq!(run(10), run(10));
+        // Different seeds elect (almost surely) different candidate sets.
+        assert_ne!(run(10).1, run(99).1);
     }
 
     #[test]

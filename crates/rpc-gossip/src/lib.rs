@@ -45,12 +45,14 @@ pub mod push_pull;
 pub mod runner;
 pub mod theory;
 
-pub use broadcast::{BroadcastOutcome, PushBroadcast, PushPullBroadcast};
+pub use broadcast::{
+    BroadcastDriver, BroadcastMode, BroadcastOutcome, PushBroadcast, PushPullBroadcast,
+};
 pub use config::{
     loglog2n, FastGossipingConfig, LeaderElectionConfig, MemoryGossipConfig, PushPullConfig,
 };
 pub use fast_gossiping::{FastGossiping, FastGossipingDriver};
-pub use leader_election::{ElectionOutcome, LeaderElection};
+pub use leader_election::{ElectionOutcome, ElectionSummary, LeaderElection, LeaderElectionDriver};
 pub use memory_model::{MemoryDriver, MemoryGossip};
 pub use outcome::GossipOutcome;
 pub use push_pull::{PushPullDriver, PushPullGossip};
@@ -58,12 +60,16 @@ pub use runner::{run_driver, GossipAlgorithm, ProtocolDriver, StepStatus};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
-    pub use crate::broadcast::{BroadcastOutcome, PushBroadcast, PushPullBroadcast};
+    pub use crate::broadcast::{
+        BroadcastDriver, BroadcastMode, BroadcastOutcome, PushBroadcast, PushPullBroadcast,
+    };
     pub use crate::config::{
         FastGossipingConfig, LeaderElectionConfig, MemoryGossipConfig, PushPullConfig,
     };
     pub use crate::fast_gossiping::{FastGossiping, FastGossipingDriver};
-    pub use crate::leader_election::{ElectionOutcome, LeaderElection};
+    pub use crate::leader_election::{
+        ElectionOutcome, ElectionSummary, LeaderElection, LeaderElectionDriver,
+    };
     pub use crate::memory_model::{MemoryDriver, MemoryGossip};
     pub use crate::outcome::GossipOutcome;
     pub use crate::push_pull::{PushPullDriver, PushPullGossip};

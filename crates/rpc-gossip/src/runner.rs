@@ -11,6 +11,7 @@
 use rpc_engine::{Engine, Simulation};
 use rpc_graphs::Graph;
 
+use crate::leader_election::ElectionSummary;
 use crate::outcome::GossipOutcome;
 
 /// What one [`ProtocolDriver::step`] call did.
@@ -61,6 +62,23 @@ pub trait ProtocolDriver {
     /// Executes one synchronous round, or returns [`StepStatus::Done`]
     /// (without executing anything) once the schedule is exhausted.
     fn step<E: Engine>(&mut self, sim: &mut E) -> StepStatus;
+
+    /// Whether the protocol's *goal* has been achieved at its natural
+    /// termination. For the gossiping protocols this is gossip completion
+    /// (the default); protocols with a different success condition — leader
+    /// election, whose goal is a unique, universally known leader — override
+    /// it so the scenario executor reports `completed` against the right
+    /// predicate. Read-only; never draws randomness.
+    fn succeeded<E: Engine>(&self, sim: &E) -> bool {
+        sim.gossip_complete()
+    }
+
+    /// The election result, for drivers that run a leader election
+    /// ([`crate::LeaderElectionDriver`]); `None` for every gossiping
+    /// protocol. Available once the driver's schedule is exhausted.
+    fn election_summary(&self) -> Option<ElectionSummary> {
+        None
+    }
 }
 
 /// Steps `driver` until its schedule is exhausted and returns the number of

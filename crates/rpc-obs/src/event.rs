@@ -165,6 +165,44 @@ pub enum ObsEvent<'a> {
         /// Simulation checkouts.
         sim: ReuseStats,
     },
+    /// The node runtime's nemesis perturbed one wire message.
+    TransportFault {
+        /// Protocol round the message belonged to.
+        round: u64,
+        /// Fault kind: `"drop"`, `"delay"`, `"duplicate"`, `"partition"` or
+        /// `"crash"`.
+        kind: &'a str,
+        /// Sender node name.
+        from: &'a str,
+        /// Receiver node name.
+        to: &'a str,
+    },
+    /// The node runtime's round synchronizer timed out waiting for acks and
+    /// scheduled a retry with exponential backoff.
+    RetryTimeout {
+        /// The round being synchronized.
+        round: u64,
+        /// Retry attempt number (1-based; attempt 0 was the original send).
+        attempt: u32,
+        /// Backoff applied to the retry deadline, in scheduler ticks.
+        backoff: u64,
+        /// Nodes still missing an ack.
+        missing: usize,
+    },
+    /// The node runtime's coordinator advanced a round.
+    RoundAdvanced {
+        /// The round that finished.
+        round: u64,
+        /// Acks collected when the round advanced.
+        acks: usize,
+        /// Acks a full round would have collected.
+        expected: usize,
+        /// Retries spent on this round.
+        retries: u32,
+        /// Whether the round advanced degraded on a quorum (true) or fully
+        /// acked (false).
+        quorum: bool,
+    },
 }
 
 impl ObsEvent<'_> {
@@ -186,6 +224,9 @@ impl ObsEvent<'_> {
             ObsEvent::RunFinished { .. } => "run-finished",
             ObsEvent::Pool { .. } => "pool",
             ObsEvent::Arena { .. } => "arena",
+            ObsEvent::TransportFault { .. } => "transport-fault",
+            ObsEvent::RetryTimeout { .. } => "retry-timeout",
+            ObsEvent::RoundAdvanced { .. } => "round-advanced",
         }
     }
 }
@@ -320,6 +361,9 @@ mod tests {
             ObsEvent::RunFinished { rounds: 3, total_packets: 9, cores: CoreRounds::default() },
             ObsEvent::Pool { stats: PoolStats::default() },
             ObsEvent::Arena { graph: ReuseStats::default(), sim: ReuseStats::default() },
+            ObsEvent::TransportFault { round: 2, kind: "drop", from: "n0", to: "n1" },
+            ObsEvent::RetryTimeout { round: 2, attempt: 1, backoff: 16, missing: 2 },
+            ObsEvent::RoundAdvanced { round: 2, acks: 4, expected: 5, retries: 1, quorum: true },
         ];
         let kinds: std::collections::HashSet<_> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len());

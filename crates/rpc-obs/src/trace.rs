@@ -180,6 +180,22 @@ impl<W: Write> Observer for TraceWriter<W> {
                     .num("sim_reused", sim.reused)
                     .num("sim_fresh", sim.fresh);
             }
+            ObsEvent::TransportFault { round, kind, from, to } => {
+                obj.num("round", round).str("kind", kind).str("from", from).str("to", to);
+            }
+            ObsEvent::RetryTimeout { round, attempt, backoff, missing } => {
+                obj.num("round", round)
+                    .num("attempt", attempt as u64)
+                    .num("backoff", backoff)
+                    .num("missing", missing as u64);
+            }
+            ObsEvent::RoundAdvanced { round, acks, expected, retries, quorum } => {
+                obj.num("round", round)
+                    .num("acks", acks as u64)
+                    .num("expected", expected as u64)
+                    .num("retries", retries as u64)
+                    .boolean("quorum", quorum);
+            }
         }
         obj.close();
         self.write_line();
@@ -243,6 +259,9 @@ mod tests {
                 graph: ReuseStats { reused: 3, fresh: 1 },
                 sim: ReuseStats { reused: 4, fresh: 1 },
             },
+            ObsEvent::TransportFault { round: 3, kind: "drop", from: "n2", to: "n4" },
+            ObsEvent::RetryTimeout { round: 3, attempt: 1, backoff: 16, missing: 2 },
+            ObsEvent::RoundAdvanced { round: 3, acks: 4, expected: 5, retries: 1, quorum: true },
         ];
         let lines = lines_of(&events);
         assert_eq!(lines.len(), events.len());

@@ -64,14 +64,15 @@ use rpc_engine::{
     SimulationArena, UnpackedSimulation,
 };
 use rpc_gossip::{
-    FastGossiping, FastGossipingConfig, FastGossipingDriver, MemoryDriver, MemoryGossip,
-    ProtocolDriver, PushPullDriver, StepStatus,
+    BroadcastDriver, ElectionSummary, FastGossiping, FastGossipingConfig, FastGossipingDriver,
+    LeaderElectionDriver, MemoryDriver, MemoryGossip, ProtocolDriver, PushPullDriver, StepStatus,
 };
 use rpc_graphs::{Graph, GraphArena, NodeId};
 use rpc_obs::{CoreRounds, NoopObserver, ObsEvent, Observer};
 
 use crate::spec::{
-    zone_members, InjectPattern, InjectionSpec, ProtocolSpec, Scenario, StartPlacement, StopRule,
+    zone_members, InjectPattern, InjectionSpec, ProtocolSpec, Scenario, ScenarioError,
+    StartPlacement, StopRule,
 };
 
 // Sub-stream indices for [`derive_seed`], so graph generation, environment
@@ -87,6 +88,85 @@ const STREAM_RUN: u64 = 0x0375_6e21;
 /// and RNG stream the stepped side uses.
 pub fn scenario_engine_seeds(seed: u64) -> (u64, u64) {
     (derive_seed(seed, STREAM_GRAPH, 0), derive_seed(seed, STREAM_RUN, 0))
+}
+
+/// Everything the node runtime (`rpc-runtime`) needs to replicate a scenario
+/// run outside the in-process executor: the derived engine seeds, the tracked
+/// rumor's source (drawn from the environment stream exactly as
+/// [`run_scenario`] draws it), and the parameters of the drive loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimePlan {
+    /// Seed for the topology generator (the graph stream of `seed`).
+    pub graph_seed: u64,
+    /// Seed for every node's engine replica (the run stream of `seed`).
+    pub run_seed: u64,
+    /// The tracked rumor's source node.
+    pub tracked: NodeId,
+    /// The scenario's stop rule.
+    pub stop: StopRule,
+    /// Hard cap on executed rounds.
+    pub max_rounds: u64,
+    /// Number of nodes.
+    pub n: usize,
+}
+
+/// Derives the [`RuntimePlan`] of `scenario` under `seed` against the
+/// already generated `graph`, for the node runtime's coordinator.
+///
+/// The runtime covers the **benign, classic, push-pull** slice of the
+/// scenario space — per-round lockstep equality with [`run_scenario_traced`]
+/// is only defined where the simulator's randomness is confined to the run
+/// stream every node actor replicates. Anything else (a phase-based or
+/// election protocol, a hostile environment, streaming injection) is
+/// rejected with a [`ScenarioError::Invalid`] naming the unsupported
+/// dimension; faults belong to the runtime's nemesis transport, not the
+/// scenario's environment schedule.
+pub fn plan_runtime(
+    scenario: &Scenario,
+    seed: u64,
+    graph: &Graph,
+) -> Result<RuntimePlan, ScenarioError> {
+    if scenario.protocol != ProtocolSpec::PushPull {
+        return Err(ScenarioError::Invalid(format!(
+            "the node runtime drives the push-pull protocol only, not {}",
+            scenario.protocol.name()
+        )));
+    }
+    if scenario.environment.is_hostile() {
+        return Err(ScenarioError::Invalid(
+            "the node runtime requires a benign environment (no loss, churn, \
+             crash, edge-churn or byzantine dimensions): faults are injected \
+             by its nemesis transport instead"
+                .into(),
+        ));
+    }
+    if scenario.injection.is_some() {
+        return Err(ScenarioError::Invalid(
+            "the node runtime drives classic (one-rumor-per-node) runs only, \
+             not streaming injection"
+                .into(),
+        ));
+    }
+    let n = scenario.num_nodes();
+    if graph.num_nodes() != n {
+        return Err(ScenarioError::Invalid(format!(
+            "graph has {} nodes but the scenario specifies n = {n}",
+            graph.num_nodes()
+        )));
+    }
+    let (graph_seed, run_seed) = scenario_engine_seeds(seed);
+    // Benign environments schedule nothing, so the placement draw is the
+    // environment stream's first — replicated here draw for draw.
+    let mut env_rng = SmallRng::seed_from_u64(derive_seed(seed, STREAM_ENV, 0));
+    let tracked = place_rumor(scenario.environment.placement, graph, &mut env_rng);
+    Ok(RuntimePlan {
+        graph_seed,
+        run_seed,
+        tracked,
+        stop: scenario.stop,
+        max_rounds: scenario.max_rounds,
+        n,
+    })
 }
 
 /// Why a scenario run ended — the discriminant behind
@@ -208,6 +288,9 @@ pub struct ScenarioOutcome {
     /// Per-rumor statistics of a streaming run; `None` for classic (single
     /// tracked rumor) scenarios. Engine-agnostic, included in equality.
     pub rumor_stats: Option<RumorStats>,
+    /// The election result of a `leader-election` scenario; `None` for every
+    /// gossiping protocol. Engine-agnostic, included in equality.
+    pub election: Option<ElectionSummary>,
     /// Delivery batches per adaptive core (scalar/eager/batch) over the run.
     /// **Diagnostics**: thread-count-dependent, excluded from equality.
     pub core_rounds: CoreRounds,
@@ -228,6 +311,7 @@ impl PartialEq for ScenarioOutcome {
             && self.departed == other.departed
             && self.phases == other.phases
             && self.rumor_stats == other.rumor_stats
+            && self.election == other.election
     }
 }
 
@@ -515,6 +599,18 @@ fn run_scenario_core<E: Engine, O: Observer>(
             let mut driver = MemoryDriver::new(MemoryGossip::paper(n));
             run_prepared_core(scenario, sim, env_rng, &mut driver, trace, obs)
         }
+        ProtocolSpec::BroadcastPush => {
+            let mut driver = BroadcastDriver::push(scenario.max_rounds as usize);
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace, obs)
+        }
+        ProtocolSpec::BroadcastPushPull => {
+            let mut driver = BroadcastDriver::push_pull(scenario.max_rounds as usize);
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace, obs)
+        }
+        ProtocolSpec::LeaderElection => {
+            let mut driver = LeaderElectionDriver::paper(n);
+            run_prepared_core(scenario, sim, env_rng, &mut driver, trace, obs)
+        }
     }
 }
 
@@ -632,6 +728,7 @@ fn run_prepared_core<E: Engine, D: ProtocolDriver, O: Observer>(
         departed: n - sim.present_count(),
         phases: sim.metrics().phases().to_vec(),
         rumor_stats: watch.map(|w| w.into_stats(sim)),
+        election: driver.election_summary(),
         core_rounds: sim.metrics().core_rounds(),
     }
 }
@@ -777,11 +874,12 @@ fn drive<E: Engine, D: ProtocolDriver, O: Observer>(
         match scenario.stop {
             StopRule::Complete => {
                 if driver.finished(sim) {
-                    break if sim.gossip_complete() {
+                    break if driver.succeeded(sim) {
                         StoppedBy::Complete
                     } else {
-                        // A phase-based schedule can end with gossiping
-                        // incomplete (e.g. under crashes); report it honestly.
+                        // A phase-based schedule can end with its goal unmet
+                        // (gossiping incomplete under crashes, a failed
+                        // election); report it honestly.
                         StoppedBy::MaxRoundsExhausted
                     };
                 }
@@ -842,7 +940,7 @@ fn drive<E: Engine, D: ProtocolDriver, O: Observer>(
         }
         match status {
             StepStatus::Done => {
-                break if sim.gossip_complete() {
+                break if driver.succeeded(sim) {
                     StoppedBy::Complete
                 } else {
                     StoppedBy::MaxRoundsExhausted
@@ -864,7 +962,7 @@ fn drive<E: Engine, D: ProtocolDriver, O: Observer>(
 /// Informed nodes that crash *after* learning the rumor still count toward
 /// the achieved side, which only makes the rule easier to satisfy. A target
 /// of 0 (possible only when `alive == 0`) never fires — see the caller.
-fn coverage_target(fraction: f64, alive: usize) -> usize {
+pub fn coverage_target(fraction: f64, alive: usize) -> usize {
     (fraction * alive as f64).ceil() as usize
 }
 

@@ -68,10 +68,11 @@ pub mod sweep;
 pub use batch::{BatchDriver, ScenarioReport, StoppedByCounts};
 pub use cells::{run_cell, run_cell_meta, CellJob, Probe, RepMeta, RepOutcome};
 pub use exec::{
-    run_scenario, run_scenario_in, run_scenario_observed, run_scenario_observed_in,
-    run_scenario_observed_traced, run_scenario_traced, run_scenario_traced_in,
-    run_scenario_unpacked, run_scenario_unpacked_traced, scenario_engine_seeds, RoundTrace,
-    RumorStats, ScenarioArena, ScenarioOutcome, ScenarioTrace, StoppedBy,
+    coverage_target, plan_runtime, run_scenario, run_scenario_in, run_scenario_observed,
+    run_scenario_observed_in, run_scenario_observed_traced, run_scenario_traced,
+    run_scenario_traced_in, run_scenario_unpacked, run_scenario_unpacked_traced,
+    scenario_engine_seeds, RoundTrace, RumorStats, RuntimePlan, ScenarioArena, ScenarioOutcome,
+    ScenarioTrace, StoppedBy,
 };
 pub use spec::{
     zone_members, zone_of, ChurnSpec, CrashSpec, EdgeChurnSpec, EnvironmentSpec, InjectPattern,

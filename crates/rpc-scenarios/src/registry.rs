@@ -1,24 +1,26 @@
 //! The built-in scenario registry.
 //!
-//! Twenty-one named scenarios spanning the axes the paper studies (density,
+//! Twenty-four named scenarios spanning the axes the paper studies (density,
 //! topology, robustness) plus the dynamic workloads the scenario engine adds
 //! (churn, loss, crash bursts, adversarial placement). Four pair the
 //! phase-based protocols (fast-gossiping, memory) with step-granular stop
 //! rules — round budgets and coverage thresholds under churn and crash
 //! bursts — which the step-driven executor made possible; five exercise the
 //! correlated hostile-environment dimensions (failure zones, burst loss,
-//! edge churn, Byzantine senders, and all of them stacked); the last four
-//! are multi-rumor streaming workloads (Poisson arrivals, hotspot bursts,
-//! TTL expiry, and streaming under a hostile environment). All of them scale
-//! with a single size parameter so the same registry serves CI smoke runs
-//! and large sweeps.
+//! edge churn, Byzantine senders, and all of them stacked); four are
+//! multi-rumor streaming workloads (Poisson arrivals, hotspot bursts,
+//! TTL expiry, and streaming under a hostile environment); the last three
+//! run the single-rumor broadcast baselines (push, push-pull) and the
+//! leader election under the paper's random-failure regime. All of them
+//! scale with a single size parameter so the same registry serves CI smoke
+//! runs and large sweeps.
 
 use rpc_graphs::log2n;
 
-use crate::spec::{ProtocolSpec, Scenario, StartPlacement, StopRule, TopologySpec};
+use crate::spec::{InjectionEntry, ProtocolSpec, Scenario, StartPlacement, StopRule, TopologySpec};
 
 /// Names of the built-in scenarios, in registry order.
-pub const BUILTIN_NAMES: [&str; 21] = [
+pub const BUILTIN_NAMES: [&str; 24] = [
     "dense-er",
     "sparse-er",
     "random-regular",
@@ -40,6 +42,9 @@ pub const BUILTIN_NAMES: [&str; 21] = [
     "hotspot-burst",
     "ttl-expiry",
     "hostile-stream",
+    "broadcast-push",
+    "broadcast-push-pull",
+    "election-failures",
 ];
 
 /// Builds the registry for graphs of `n` nodes (`n ≥ 16`; smaller values are
@@ -243,7 +248,41 @@ pub fn builtin(n: usize) -> Vec<Scenario> {
                 .stop(StopRule::Rounds(2 * round_budget))
                 .build(),
         ),
+        // Single-rumor push broadcast (Pittel's baseline): one rumor injected
+        // at node 0 in round 0, pushed by informed nodes until everyone has
+        // heard it.
+        build(
+            Scenario::builder("broadcast-push", TopologySpec::ErdosRenyiPaper { n })
+                .protocol(ProtocolSpec::BroadcastPush)
+                .inject_explicit(vec![InjectionEntry { round: 0, source: 0 }])
+                .stop(StopRule::AllRumors)
+                .build(),
+        ),
+        // Single-rumor push-pull broadcast (Karp et al.): the pull direction
+        // closes the tail exponentially faster than pure push.
+        build(
+            Scenario::builder("broadcast-push-pull", TopologySpec::ErdosRenyiPaper { n })
+                .protocol(ProtocolSpec::BroadcastPushPull)
+                .inject_explicit(vec![InjectionEntry { round: 0, source: 0 }])
+                .stop(StopRule::AllRumors)
+                .build(),
+        ),
+        // Algorithm 3 under Lemma 19's failure regime: about n^0.55 nodes
+        // crash at round 0 (before candidacy), and the survivors must still
+        // elect a unique, universally known leader.
+        build(
+            Scenario::builder("election-failures", TopologySpec::ErdosRenyiPaper { n })
+                .protocol(ProtocolSpec::LeaderElection)
+                .crash(0, election_failures(n))
+                .build(),
+        ),
     ]
+}
+
+/// The `n^{ε'}` random-failure count of the election scenario (ε' = 0.55,
+/// matching the Lemma 19 regression tests).
+fn election_failures(n: usize) -> usize {
+    (n as f64).powf(0.55).round() as usize
 }
 
 /// Size of the smallest zone when `n` nodes split into `zones` contiguous
@@ -278,13 +317,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_twenty_one_uniquely_named_scenarios() {
+    fn registry_has_twenty_four_uniquely_named_scenarios() {
         let scenarios = builtin(1024);
-        assert_eq!(scenarios.len(), 21);
+        assert_eq!(scenarios.len(), 24);
         let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, BUILTIN_NAMES);
         let unique: std::collections::HashSet<_> = names.iter().collect();
-        assert_eq!(unique.len(), 21);
+        assert_eq!(unique.len(), 24);
+    }
+
+    #[test]
+    fn broadcast_and_election_scenarios_are_wired_correctly() {
+        for (name, protocol) in [
+            ("broadcast-push", ProtocolSpec::BroadcastPush),
+            ("broadcast-push-pull", ProtocolSpec::BroadcastPushPull),
+        ] {
+            let s = find(name, 256).unwrap();
+            assert_eq!(s.protocol, protocol);
+            let inj = s.injection.as_ref().expect("broadcast carries an injection");
+            assert_eq!(inj.rumors, 1);
+            assert_eq!(s.stop, StopRule::AllRumors);
+        }
+        let election = find("election-failures", 1024).unwrap();
+        assert_eq!(election.protocol, ProtocolSpec::LeaderElection);
+        let crash = election.environment.crash.expect("election carries a crash burst");
+        assert_eq!(crash.round, 0);
+        assert_eq!(crash.count, election_failures(1024));
+        assert!(crash.count >= 16 && crash.count < 1024 / 8);
+        assert_eq!(election.stop, StopRule::Complete);
     }
 
     #[test]

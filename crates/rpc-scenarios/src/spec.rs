@@ -21,7 +21,9 @@
 //! topology = erdos-renyi      # erdos-renyi | random-regular | complete
 //! n = 1024
 //! degree = 100                # optional; omitted = paper density log^2 n
-//! protocol = push-pull        # push-pull | fast-gossiping | memory
+//! protocol = push-pull        # push-pull | fast-gossiping | memory |
+//!                             # broadcast-push | broadcast-push-pull |
+//!                             # leader-election
 //! loss = 0.05                 # per-packet loss probability, default 0
 //! loss-burst = 4:6:0.5        # start:len:prob, repeatable, default none
 //! churn = 0.1:4:8             # fraction:period:downtime, default none
@@ -66,6 +68,8 @@
 //!   | ⟨degree⟩   : float                       (* for random-regular: a
 //!                                                 positive integer *)
 //!   | ⟨protocol⟩ : "push-pull" | "fast-gossiping" | "memory"
+//!                | "broadcast-push" | "broadcast-push-pull"
+//!                | "leader-election"
 //!   | ⟨loss⟩     : float                       (* in [0, 1) *)
 //!   | ⟨loss-burst⟩ : uint ":" uint ":" float   (* start:len:prob; the only
 //!                                                 repeatable key — each
@@ -220,31 +224,80 @@ pub enum ProtocolSpec {
     FastGossiping,
     /// Algorithm 2 (memory model: leader tree, gather, broadcast).
     Memory,
+    /// The push broadcast baseline (Pittel): informed nodes push the rumor.
+    /// Requires a streaming injection — broadcasting spreads injected rumors,
+    /// not the classic one-rumor-per-node start.
+    BroadcastPush,
+    /// The push-pull broadcast baseline (Karp et al.). Requires a streaming
+    /// injection, like [`Self::BroadcastPush`].
+    BroadcastPushPull,
+    /// Algorithm 3 (randomized leader election in the memory model). Success
+    /// is a unique universally known leader, reported through
+    /// [`rpc_gossip::ElectionSummary`] on the scenario outcome.
+    LeaderElection,
 }
 
 impl ProtocolSpec {
-    /// Report label, matching [`GossipAlgorithm::name`].
+    /// Report label, matching [`GossipAlgorithm::name`] for the gossiping
+    /// protocols and the driver name for the rest.
     pub fn name(&self) -> &'static str {
         match self {
             ProtocolSpec::PushPull => "push-pull",
             ProtocolSpec::FastGossiping => "fast-gossiping",
             ProtocolSpec::Memory => "memory",
+            ProtocolSpec::BroadcastPush => "broadcast-push",
+            ProtocolSpec::BroadcastPushPull => "broadcast-push-pull",
+            ProtocolSpec::LeaderElection => "leader-election",
         }
     }
 
+    /// Whether the protocol runs on the streaming rumor engine (and may thus
+    /// carry an injection spec): push-pull and the broadcast baselines spread
+    /// whatever rumors exist, while the phase-based protocols and the leader
+    /// election assume the classic one-rumor-per-node start.
+    pub fn supports_streaming(&self) -> bool {
+        matches!(
+            self,
+            ProtocolSpec::PushPull | ProtocolSpec::BroadcastPush | ProtocolSpec::BroadcastPushPull
+        )
+    }
+
+    /// Whether the protocol is a single/streamed-rumor broadcast baseline,
+    /// which *requires* an injection spec (there is no classic start to fall
+    /// back to).
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, ProtocolSpec::BroadcastPush | ProtocolSpec::BroadcastPushPull)
+    }
+
     /// Instantiates the algorithm with its paper constants for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// For the broadcast and leader-election protocols, which have no
+    /// [`GossipAlgorithm`] block entry point — they exist only as
+    /// [`rpc_gossip::ProtocolDriver`]s and are always dispatched through the
+    /// scenario executor.
     pub fn build(&self, n: usize) -> Box<dyn GossipAlgorithm> {
         match self {
             ProtocolSpec::PushPull => Box::new(PushPullGossip::default()),
             ProtocolSpec::FastGossiping => Box::new(FastGossiping::paper(n)),
             ProtocolSpec::Memory => Box::new(MemoryGossip::paper(n)),
+            other => panic!(
+                "{} has no block GossipAlgorithm entry point; run it through \
+                 the scenario executor's driver dispatch",
+                other.name()
+            ),
         }
     }
 
     /// Runs the algorithm (instantiated exactly as [`Self::build`] does) on
     /// any [`rpc_engine::Engine`] — the engine-generic entry point the
-    /// scenario executor uses, kept next to `build` so the protocol-to-
-    /// configuration mapping exists in one place.
+    /// stepped-vs-block equivalence suite uses, kept next to `build` so the
+    /// protocol-to-configuration mapping exists in one place.
+    ///
+    /// # Panics
+    ///
+    /// For the broadcast and leader-election protocols, like [`Self::build`].
     pub fn run_on_engine<E: rpc_engine::Engine>(
         &self,
         n: usize,
@@ -254,6 +307,11 @@ impl ProtocolSpec {
             ProtocolSpec::PushPull => PushPullGossip::default().run_on_engine(sim),
             ProtocolSpec::FastGossiping => FastGossiping::paper(n).run_on_engine(sim),
             ProtocolSpec::Memory => MemoryGossip::paper(n).run_on_engine(sim),
+            other => panic!(
+                "{} has no block run_on_engine entry point; run it through \
+                 the scenario executor's driver dispatch",
+                other.name()
+            ),
         }
     }
 }
@@ -677,6 +735,9 @@ impl Scenario {
                         "push-pull" => ProtocolSpec::PushPull,
                         "fast-gossiping" => ProtocolSpec::FastGossiping,
                         "memory" => ProtocolSpec::Memory,
+                        "broadcast-push" => ProtocolSpec::BroadcastPush,
+                        "broadcast-push-pull" => ProtocolSpec::BroadcastPushPull,
+                        "leader-election" => ProtocolSpec::LeaderElection,
                         other => {
                             return Err(ScenarioError::Parse(format!("unknown protocol: {other}")))
                         }
@@ -1194,10 +1255,11 @@ impl ScenarioBuilder {
             if inj.rumors == 0 {
                 problems.push("rumors must be at least 1".into());
             }
-            if self.protocol != ProtocolSpec::PushPull {
+            if !self.protocol.supports_streaming() {
                 problems.push(format!(
-                    "streaming injection requires the push-pull protocol \
-                     (the phase-based {} protocol assumes the classic one-rumor-per-node start)",
+                    "streaming injection requires the push-pull protocol or a \
+                     broadcast baseline (the {} protocol assumes the classic \
+                     one-rumor-per-node start)",
                     self.protocol.name()
                 ));
             }
@@ -1251,6 +1313,14 @@ impl ScenarioBuilder {
                     problems.join("; ")
                 )));
             }
+        }
+        if self.protocol.is_broadcast() && injection.is_none() {
+            return Err(ScenarioError::Invalid(format!(
+                "the {} protocol requires a streaming injection (the rumors/inject \
+                 keys): broadcasting spreads injected rumors, there is no classic \
+                 one-rumor-per-node start to fall back to",
+                self.protocol.name()
+            )));
         }
         if matches!(self.stop, StopRule::AllRumors) && injection.is_none() {
             return Err(ScenarioError::Invalid(
@@ -1330,11 +1400,20 @@ mod tests {
             TopologySpec::Complete { n: 128 },
         ];
         for topology in topologies {
-            for protocol in
-                [ProtocolSpec::PushPull, ProtocolSpec::FastGossiping, ProtocolSpec::Memory]
-            {
-                let s =
-                    Scenario::builder("t", topology.clone()).protocol(protocol).build().unwrap();
+            for protocol in [
+                ProtocolSpec::PushPull,
+                ProtocolSpec::FastGossiping,
+                ProtocolSpec::Memory,
+                ProtocolSpec::BroadcastPush,
+                ProtocolSpec::BroadcastPushPull,
+                ProtocolSpec::LeaderElection,
+            ] {
+                let mut builder = Scenario::builder("t", topology.clone()).protocol(protocol);
+                if protocol.is_broadcast() {
+                    // Broadcast baselines require an injection to start from.
+                    builder = builder.inject_explicit(vec![InjectionEntry { round: 0, source: 0 }]);
+                }
+                let s = builder.build().unwrap();
                 assert_eq!(Scenario::parse_str(&s.to_text()).unwrap(), s);
             }
         }
@@ -1602,8 +1681,12 @@ mod tests {
         // The step-driven executor removed the push-pull-only restriction:
         // round budgets, coverage thresholds and explicit caps now validate
         // for the phase-based protocols too.
-        for protocol in [ProtocolSpec::PushPull, ProtocolSpec::FastGossiping, ProtocolSpec::Memory]
-        {
+        for protocol in [
+            ProtocolSpec::PushPull,
+            ProtocolSpec::FastGossiping,
+            ProtocolSpec::Memory,
+            ProtocolSpec::LeaderElection,
+        ] {
             for stop in [StopRule::Complete, StopRule::Rounds(5), StopRule::Coverage(0.9)] {
                 let built = Scenario::builder("x", TopologySpec::ErdosRenyiPaper { n: 64 })
                     .protocol(protocol)
@@ -1730,6 +1813,32 @@ mod tests {
         assert!(matches!(base().rumor_ttl(8).build(), Err(ScenarioError::Invalid(_))));
         assert!(matches!(base().stop(StopRule::AllRumors).build(), Err(ScenarioError::Invalid(_))));
         assert!(base().inject_poisson(4, 1.0).stop(StopRule::AllRumors).build().is_ok());
+    }
+
+    #[test]
+    fn broadcast_baselines_require_an_injection_and_accept_one() {
+        let base = || Scenario::builder("bcast", TopologySpec::ErdosRenyiPaper { n: 128 });
+        for protocol in [ProtocolSpec::BroadcastPush, ProtocolSpec::BroadcastPushPull] {
+            let rejected = base().protocol(protocol).build();
+            assert!(
+                matches!(rejected, Err(ScenarioError::Invalid(ref m)) if m.contains("injection")),
+                "{} without injection: {rejected:?}",
+                protocol.name()
+            );
+            let accepted = base()
+                .protocol(protocol)
+                .inject_explicit(vec![InjectionEntry { round: 0, source: 3 }])
+                .stop(StopRule::AllRumors)
+                .build();
+            assert!(accepted.is_ok(), "{} with injection: {accepted:?}", protocol.name());
+        }
+        // Leader election is classic-start-only, like the phase-based
+        // protocols.
+        assert!(matches!(
+            base().protocol(ProtocolSpec::LeaderElection).inject_poisson(4, 1.0).build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        assert!(base().protocol(ProtocolSpec::LeaderElection).build().is_ok());
     }
 
     #[test]

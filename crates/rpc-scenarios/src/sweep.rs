@@ -719,7 +719,21 @@ impl CellCache {
             }
             out.push_str("end\n");
         }
-        std::fs::write(path, out)
+        // Write-then-rename so an interrupt (Ctrl-C, SIGTERM, OOM-kill) mid
+        // write can never leave a truncated cache at `path`: the reader either
+        // sees the previous complete file or the new complete file. The
+        // temporary lives in the same directory, so the rename stays on one
+        // filesystem (atomic on POSIX).
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, out)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Don't leave the orphan behind; the save still failed.
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -1267,6 +1281,39 @@ mod tests {
         assert_eq!(cache.entries.len(), 1);
         assert_eq!(cache.entries["good"].fingerprint, 0xff);
         assert!(CellCache::load(Path::new("/no/such/file")).entries.is_empty());
+    }
+
+    #[test]
+    fn cache_save_is_atomic_and_truncated_files_load_leniently() {
+        let dir = std::env::temp_dir().join("rpc-sweep-cache-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cells.cache");
+        let mut cache = CellCache::default();
+        cache.entries.insert(
+            "s/n=64".to_string(),
+            CacheEntry {
+                fingerprint: 1,
+                reps: 2,
+                budget_exhausted: false,
+                stopped: StoppedByCounts::default(),
+                metrics: vec![("m".to_string(), SummaryStats::default(), 0.0)],
+            },
+        );
+        cache.save(&path).unwrap();
+        // The write-then-rename leaves no temporary behind.
+        assert!(!path.with_extension("tmp").exists(), "orphan temp file after save");
+        // A kill mid-write truncates the file at an arbitrary byte. Every
+        // prefix must load without panicking, dropping at most the cut block
+        // (an interrupted *save* can't produce these thanks to the rename,
+        // but a cache copied off a dying machine can).
+        let full = std::fs::read_to_string(&path).unwrap();
+        for cut in 0..=full.len() {
+            let truncated = &full[..cut];
+            std::fs::write(&path, truncated).unwrap();
+            let loaded = CellCache::load(&path);
+            assert!(loaded.entries.len() <= 1, "phantom entries from {truncated:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! End-to-end checks of the broadcast and leader-election registry
+//! scenarios: the protocols added on top of the [`rpc_gossip::ProtocolDriver`]
+//! surface must run through the full scenario executor — registry lookup,
+//! environment scheduling, drive loop, outcome assembly — not just through
+//! their own unit tests.
+
+use rpc_scenarios::registry::find;
+use rpc_scenarios::{run_scenario, run_scenario_unpacked, StoppedBy};
+
+#[test]
+fn broadcast_scenarios_complete_and_push_pull_beats_push() {
+    for n in [256usize, 1024] {
+        for seed in [1u64, 7, 42] {
+            let push = run_scenario(&find("broadcast-push", n).unwrap(), seed, 1);
+            let pushpull = run_scenario(&find("broadcast-push-pull", n).unwrap(), seed, 1);
+            for (label, o) in [("push", &push), ("push-pull", &pushpull)] {
+                assert!(o.completed, "broadcast-{label} n={n} seed={seed}: {o:?}");
+                assert_eq!(o.stopped_by, StoppedBy::AllRumorsDone);
+                let stats = o.rumor_stats.as_ref().expect("broadcast runs are streaming");
+                assert_eq!(stats.completed_count(), 1);
+                assert!(o.election.is_none());
+            }
+            // Karp et al.: the pull direction closes the tail exponentially
+            // faster, so push-pull needs strictly fewer rounds at these sizes.
+            assert!(
+                pushpull.rounds < push.rounds,
+                "n={n} seed={seed}: push-pull {} !< push {}",
+                pushpull.rounds,
+                push.rounds
+            );
+        }
+    }
+}
+
+#[test]
+fn election_scenario_succeeds_under_the_paper_failure_regime() {
+    for n in [256usize, 1024] {
+        for seed in [1u64, 7, 42] {
+            let scenario = find("election-failures", n).unwrap();
+            let outcome = run_scenario(&scenario, seed, 1);
+            assert!(outcome.completed, "election n={n} seed={seed}: {outcome:?}");
+            assert_eq!(outcome.stopped_by, StoppedBy::Complete);
+            let election = outcome.election.expect("election scenario reports a summary");
+            assert!(election.succeeded(), "n={n} seed={seed}: {election:?}");
+            assert_eq!(election.self_declared, 1);
+            assert!(election.alive_nodes < n, "the crash burst must land");
+            assert_eq!(election.aware_nodes, election.alive_nodes);
+            assert_eq!(outcome.crashed, n - election.alive_nodes);
+        }
+    }
+}
+
+#[test]
+fn new_protocols_agree_between_packed_and_unpacked_engines() {
+    for name in ["broadcast-push", "broadcast-push-pull", "election-failures"] {
+        let scenario = find(name, 256).unwrap();
+        let packed = run_scenario(&scenario, 5, 1);
+        let unpacked = run_scenario_unpacked(&scenario, 5);
+        assert_eq!(packed, unpacked, "{name} diverges between engines");
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`scenarios`] — the declarative scenario engine (topology/protocol/
 //!   environment specs, dynamic churn and message loss, a multi-threaded
 //!   Monte Carlo batch driver, and a registry of named workloads),
+//! * [`runtime`] — the fault-tolerant node runtime (per-node actors over a
+//!   pluggable transport, a seeded nemesis fault injector, and a retrying
+//!   round synchronizer),
 //! * [`experiments`] — the harness that regenerates every figure and table of
 //!   the paper's evaluation section,
 //! * [`obs`] — the zero-cost observability layer (the `Observer` trait, the
@@ -37,6 +40,7 @@ pub use rpc_experiments as experiments;
 pub use rpc_gossip as gossip;
 pub use rpc_graphs as graphs;
 pub use rpc_obs as obs;
+pub use rpc_runtime as runtime;
 pub use rpc_scenarios as scenarios;
 
 /// Convenience re-exports of the most commonly used types.
